@@ -1,0 +1,73 @@
+//! Function inputs.
+//!
+//! Table 2 gives each function two inputs: input A (used in the record
+//! phase) and a different, usually larger input B (test phase), because
+//! "in real-world deployments, inputs are most likely different across
+//! invocations" (§3.1). Figure 8 additionally sweeps the test-phase input
+//! from 1/4× to 4× the record-phase size.
+//!
+//! An [`Input`] carries a *scale* (relative to the function's input A, in
+//! whatever unit the function's buffers grow with — bytes for file
+//! inputs, matrix dimension for matmul, node count for pagerank), the
+//! network payload size, and a content seed (different inputs have
+//! entirely different contents, which drives flow-variant page selection
+//! and written tokens).
+
+/// One concrete input to a function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Input {
+    /// Workload magnitude relative to the function's input A (1.0 = A).
+    pub scale: f64,
+    /// Network payload delivered to the guest, in KiB (0 for functions
+    /// with generated inputs).
+    pub payload_kb: u64,
+    /// Content seed: different seeds mean entirely different input data.
+    pub seed: u64,
+}
+
+impl Input {
+    /// Creates an input.
+    pub fn new(scale: f64, payload_kb: u64, seed: u64) -> Self {
+        assert!(scale > 0.0, "input scale must be positive");
+        Input { scale, payload_kb, seed }
+    }
+
+    /// Payload size in pages (rounded up; 0 stays 0).
+    pub fn payload_pages(&self) -> u64 {
+        (self.payload_kb * 1024).div_ceil(4096)
+    }
+
+    /// A copy with a different content seed (same size, different data —
+    /// the `image-diff` pattern of §3.1).
+    pub fn reseeded(&self, seed: u64) -> Input {
+        Input { seed, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_pages_rounding() {
+        assert_eq!(Input::new(1.0, 0, 1).payload_pages(), 0);
+        assert_eq!(Input::new(1.0, 4, 1).payload_pages(), 1);
+        assert_eq!(Input::new(1.0, 5, 1).payload_pages(), 2);
+        assert_eq!(Input::new(1.0, 101, 1).payload_pages(), 26);
+    }
+
+    #[test]
+    fn reseed_keeps_size() {
+        let a = Input::new(2.0, 100, 1);
+        let b = a.reseeded(9);
+        assert_eq!(b.scale, 2.0);
+        assert_eq!(b.payload_kb, 100);
+        assert_eq!(b.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        Input::new(0.0, 0, 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Guest physical memory layout and scattered page pools.
+//!
+//! The paper's guests have 2 GB of memory (§6.1). The layout divides
+//! guest-physical pages into the segments that drive snapshot behavior:
+//!
+//! - **kernel** — pages used by the guest kernel during boot. Non-zero in
+//!   every snapshot; almost never touched by invocations. This is the bulk
+//!   of the *cold set* ("usually more than 100 MB in size, and most of
+//!   them are pages used in the guest booting process", §4.8).
+//! - **runtime area** — where the interpreter and libraries live. Pages
+//!   here are scattered in small clusters (the loader mapped shared
+//!   objects all over the address space), which is why hello-world's
+//!   loading set has ">1000 regions" before merging (§4.6).
+//! - **stable data area** — contiguous long-lived data (a resident Python
+//!   list, model weights).
+//! - **heap area** — anonymous allocations made during invocations; zero
+//!   in a sanitized snapshot.
+
+use sim_core::rng::Prng;
+use sim_core::units::{pages_for_bytes, GIB};
+use sim_mm::addr::{PageNum, PageRange};
+
+/// Deterministic scattered page pool: small clusters with small gaps,
+/// grouped into super-clusters separated by large jumps. Models the page
+/// population of a loaded language runtime.
+#[derive(Clone, Debug)]
+pub struct ScatterPool {
+    /// All pool pages in ascending address order.
+    pages: Vec<PageNum>,
+    /// Cluster extents, ascending.
+    clusters: Vec<PageRange>,
+}
+
+/// Shape parameters for a [`ScatterPool`].
+#[derive(Clone, Debug)]
+pub struct ScatterParams {
+    /// Minimum pages per cluster.
+    pub cluster_min: u64,
+    /// Maximum pages per cluster.
+    pub cluster_max: u64,
+    /// Minimum gap between clusters inside a super-cluster.
+    pub gap_min: u64,
+    /// Maximum gap between clusters inside a super-cluster.
+    pub gap_max: u64,
+    /// Clusters per super-cluster.
+    pub clusters_per_super: u64,
+    /// Minimum gap between super-clusters.
+    pub super_gap_min: u64,
+    /// Maximum gap between super-clusters.
+    pub super_gap_max: u64,
+}
+
+impl Default for ScatterParams {
+    fn default() -> Self {
+        // Tuned so a ~3000-page pool lands in ~1000 clusters, most gaps
+        // under the 32-page merge threshold, with occasional large jumps —
+        // the hello-world shape of §4.6.
+        ScatterParams {
+            cluster_min: 2,
+            cluster_max: 4,
+            gap_min: 1,
+            gap_max: 6,
+            clusters_per_super: 16,
+            super_gap_min: 150,
+            super_gap_max: 800,
+        }
+    }
+}
+
+impl ScatterPool {
+    /// Builds a pool of `target_pages` pages inside `area`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area cannot hold the pool with the given shape.
+    pub fn build(area: PageRange, target_pages: u64, params: &ScatterParams, seed: u64) -> Self {
+        let mut rng = Prng::new(seed);
+        let mut pages = Vec::with_capacity(target_pages as usize);
+        let mut clusters = Vec::new();
+        let mut pos = area.start;
+        let mut cluster_in_super = 0;
+        while (pages.len() as u64) < target_pages {
+            let len = rng
+                .range(params.cluster_min, params.cluster_max)
+                .min(target_pages - pages.len() as u64);
+            assert!(pos + len <= area.end, "scatter pool overflows area {area}");
+            clusters.push(PageRange::with_len(pos, len));
+            for p in pos..pos + len {
+                pages.push(p);
+            }
+            pos += len;
+            cluster_in_super += 1;
+            if cluster_in_super >= params.clusters_per_super {
+                cluster_in_super = 0;
+                pos += rng.range(params.super_gap_min, params.super_gap_max);
+            } else {
+                pos += rng.range(params.gap_min, params.gap_max);
+            }
+        }
+        ScatterPool { pages, clusters }
+    }
+
+    /// Total pages in the pool.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// All pool pages, ascending.
+    pub fn pages(&self) -> &[PageNum] {
+        &self.pages
+    }
+
+    /// Cluster extents, ascending.
+    pub fn clusters(&self) -> &[PageRange] {
+        &self.clusters
+    }
+
+    /// Gaps between consecutive clusters of at most `max_gap` pages.
+    ///
+    /// These model the padding/other-library data that sits between the
+    /// pages a function touches within one mapped shared object: non-zero
+    /// in the boot image (part of the cold set) even though no invocation
+    /// reads it. Larger gaps (between shared objects) stay zero.
+    pub fn small_gaps(&self, max_gap: u64) -> Vec<PageRange> {
+        self.clusters
+            .windows(2)
+            .filter_map(|w| {
+                let gap = w[0].gap_to(&w[1]).expect("clusters ascend");
+                (gap > 0 && gap <= max_gap)
+                    .then(|| PageRange::new(w[0].end, w[1].start))
+            })
+            .collect()
+    }
+
+    /// The per-invocation access set: the first `base` pages (stable
+    /// across invocations) plus `variant` pages sampled from the remainder
+    /// with `variant_seed` (input-dependent code paths). Returned in a
+    /// stable pseudo-random *access order* derived from `order_seed`
+    /// (imports do not happen in address order), with the variant pages
+    /// interleaved at seeded positions.
+    pub fn access_set(
+        &self,
+        base: u64,
+        variant: u64,
+        order_seed: u64,
+        variant_seed: u64,
+    ) -> Vec<PageNum> {
+        let base = base.min(self.len()) as usize;
+        let mut set: Vec<PageNum> = self.pages[..base].to_vec();
+        // Stable shuffle: same order_seed => same access order, so the
+        // working-set *order* is consistent across invocations (what
+        // REAP's prefetch and FaaSnap's groups rely on).
+        let mut order_rng = Prng::new(order_seed);
+        // Shuffle at cluster granularity: pages within a cluster stay
+        // together (code within a shared object is accessed together).
+        let mut chunks: Vec<Vec<PageNum>> = Vec::new();
+        {
+            let mut cur: Vec<PageNum> = Vec::new();
+            for &p in &set {
+                if let Some(&last) = cur.last() {
+                    if p != last + 1 {
+                        chunks.push(std::mem::take(&mut cur));
+                    }
+                }
+                cur.push(p);
+            }
+            if !cur.is_empty() {
+                chunks.push(cur);
+            }
+        }
+        order_rng.shuffle(&mut chunks);
+        set = chunks.into_iter().flatten().collect();
+
+        // Variant pages come from the tail of the pool.
+        let tail = &self.pages[base..];
+        if !tail.is_empty() && variant > 0 {
+            let mut vrng = Prng::new(variant_seed);
+            let mut picks: Vec<PageNum> = Vec::with_capacity(variant as usize);
+            let mut idx: Vec<usize> = (0..tail.len()).collect();
+            vrng.shuffle(&mut idx);
+            for &i in idx.iter().take(variant.min(tail.len() as u64) as usize) {
+                picks.push(tail[i]);
+            }
+            // Interleave the variant picks at seeded positions.
+            for p in picks {
+                let at = vrng.below(set.len() as u64 + 1) as usize;
+                set.insert(at, p);
+            }
+        }
+        set
+    }
+}
+
+/// The guest physical layout used by all functions.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Total guest pages (2 GB default).
+    pub total_pages: u64,
+    /// Guest kernel / boot pages (non-zero, rarely touched).
+    pub kernel: PageRange,
+    /// Area where runtime pools are placed.
+    pub runtime_area: PageRange,
+    /// Area for stable long-lived data.
+    pub stable_area: PageRange,
+    /// First heap page (anonymous allocations grow upward from here).
+    pub heap_base: PageNum,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new(pages_for_bytes(2 * GIB))
+    }
+}
+
+impl Layout {
+    /// Creates the standard layout for a guest of `total_pages`.
+    pub fn new(total_pages: u64) -> Self {
+        // Fractions follow the 2 GB reference guest; smaller guests (used
+        // in tests) scale down proportionally.
+        let kernel_pages = (total_pages / 13).max(16); // ~160 MB on 2 GB
+        let kernel = PageRange::with_len(1, kernel_pages);
+        let runtime_len = (total_pages * 30 / 100).max(32);
+        let runtime_area = PageRange::with_len(kernel.end + 1, runtime_len);
+        let stable_len = (total_pages * 28 / 100).max(32);
+        let stable_area = PageRange::with_len(runtime_area.end + 1, stable_len);
+        let heap_base = stable_area.end + 1;
+        assert!(heap_base < total_pages);
+        Layout { total_pages, kernel, runtime_area, stable_area, heap_base }
+    }
+
+    /// Pages available for the heap.
+    pub fn heap_pages(&self) -> u64 {
+        self.total_pages - self.heap_base
+    }
+
+    /// A stable-data extent of `pages` pages at the start of the stable
+    /// area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stable area is too small.
+    pub fn stable_extent(&self, pages: u64) -> PageRange {
+        assert!(pages <= self.stable_area.len(), "stable data exceeds area");
+        PageRange::with_len(self.stable_area.start, pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::units::MIB;
+
+    fn pool() -> ScatterPool {
+        let layout = Layout::default();
+        ScatterPool::build(layout.runtime_area, 3020, &ScatterParams::default(), 7)
+    }
+
+    #[test]
+    fn pool_has_requested_pages() {
+        let p = pool();
+        assert_eq!(p.len(), 3020);
+        let mut sorted = p.pages().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, p.pages(), "pages ascend");
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3020, "no duplicates");
+    }
+
+    #[test]
+    fn pool_is_fragmented_like_hello_world() {
+        // §4.6: "there can be more than 1000 loading set regions" for
+        // hello-world before merging.
+        let p = pool();
+        assert!(p.clusters().len() > 800, "{} clusters", p.clusters().len());
+        assert!(p.clusters().len() < 1600, "{} clusters", p.clusters().len());
+    }
+
+    #[test]
+    fn pool_gaps_mostly_under_merge_threshold() {
+        let p = pool();
+        let gaps: Vec<u64> = p
+            .clusters()
+            .windows(2)
+            .map(|w| w[0].gap_to(&w[1]).expect("sorted clusters"))
+            .collect();
+        let small = gaps.iter().filter(|&&g| g <= 32).count();
+        let frac = small as f64 / gaps.len() as f64;
+        assert!(frac > 0.85, "only {frac:.2} of gaps are mergeable");
+        assert!(gaps.iter().any(|&g| g > 32), "some gaps must block merging");
+    }
+
+    #[test]
+    fn pool_deterministic() {
+        let a = pool();
+        let b = pool();
+        assert_eq!(a.pages(), b.pages());
+    }
+
+    #[test]
+    fn access_set_base_is_stable_order() {
+        let p = pool();
+        let a = p.access_set(2000, 0, 11, 1);
+        let b = p.access_set(2000, 0, 11, 2);
+        assert_eq!(a, b, "no variant => identical access order");
+        assert_eq!(a.len(), 2000);
+        // Order is shuffled relative to address order.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_ne!(a, sorted);
+        assert_eq!(sorted, p.pages()[..2000].to_vec());
+    }
+
+    #[test]
+    fn access_set_variant_depends_on_seed() {
+        let p = pool();
+        let a = p.access_set(2000, 300, 11, 1);
+        let b = p.access_set(2000, 300, 11, 2);
+        assert_eq!(a.len(), 2300);
+        assert_ne!(a, b, "different variant seeds pick different pages");
+        // Base pages are common to both.
+        let base: std::collections::HashSet<_> = p.pages()[..2000].iter().collect();
+        assert!(a.iter().filter(|p| base.contains(p)).count() == 2000);
+    }
+
+    #[test]
+    fn access_set_clamps() {
+        let p = pool();
+        let a = p.access_set(999_999, 999_999, 1, 1);
+        assert_eq!(a.len() as u64, p.len());
+    }
+
+    #[test]
+    fn layout_segments_disjoint_and_ordered() {
+        let l = Layout::default();
+        assert_eq!(l.total_pages, 524_288);
+        assert!(l.kernel.end <= l.runtime_area.start);
+        assert!(l.runtime_area.end <= l.stable_area.start);
+        assert!(l.stable_area.end <= l.heap_base);
+        assert!(l.heap_pages() > pages_for_bytes(540 * MIB), "heap fits mmap's 512 MB");
+        // Kernel ~160 MB.
+        let kernel_mb = l.kernel.bytes() / MIB;
+        assert!((120..200).contains(&kernel_mb), "kernel {kernel_mb} MB");
+    }
+
+    #[test]
+    fn small_layout_for_tests() {
+        let l = Layout::new(4096);
+        assert!(l.heap_pages() > 100);
+        assert!(l.kernel.len() >= 16);
+    }
+
+    #[test]
+    fn stable_extent_bounds() {
+        let l = Layout::default();
+        let e = l.stable_extent(1000);
+        assert_eq!(e.start, l.stable_area.start);
+        assert_eq!(e.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds area")]
+    fn oversized_stable_extent_panics() {
+        Layout::new(4096).stable_extent(1 << 30);
+    }
+}

@@ -1,0 +1,40 @@
+//! The evaluation functions of Table 2, as deterministic trace generators.
+//!
+//! The paper evaluates three synthetic functions (hello-world, read-list,
+//! mmap) and nine application functions drawn from FunctionBench, SeBS,
+//! and Sprocket (image, json, pyaes, chameleon, matmul, ffmpeg,
+//! compression, recognition, pagerank). We cannot run Python/Flask guests,
+//! so each function is modeled as a memory-access trace generator whose
+//! page-population structure is calibrated to Table 2's measured working
+//! sets:
+//!
+//! - **runtime pages** — interpreter + imported libraries, scattered in
+//!   small clusters across the guest address space (this is what makes
+//!   loading sets fragmented, §4.6); mostly stable across invocations,
+//!   with an input-dependent *flow-variant* fraction (different code
+//!   paths);
+//! - **stable data pages** — long-lived non-zero data read by every
+//!   invocation (read-list's 512 MB list, recognition's ResNet-50
+//!   weights);
+//! - **input and buffer pages** — anonymous allocations scaling with the
+//!   input (decode buffers, matrices, graphs), written during the
+//!   invocation and mostly freed at its end — zero pages in a sanitized
+//!   snapshot, which is exactly the population FaaSnap's per-region
+//!   mapping accelerates;
+//! - **compute** — per-page and fixed work calibrated so warm-VM execution
+//!   times land near the paper's Figure 1.
+//!
+//! [`spec::Function::trace`] builds the trace for a given [`Input`];
+//! [`spec::Function::boot_image`] builds the post-boot,
+//! runtime-initialized guest memory the *clean snapshot* freezes
+//! (Figure 5's record phase starts from it).
+
+pub mod catalog;
+pub mod input;
+pub mod layout;
+pub mod spec;
+
+pub use catalog::{all_functions, application_functions, by_name, synthetic_functions};
+pub use input::Input;
+pub use layout::{Layout, ScatterPool};
+pub use spec::{Function, FunctionParams};

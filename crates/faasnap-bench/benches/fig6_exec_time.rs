@@ -1,0 +1,10 @@
+//! Regenerates Figure 6; see `faasnap_bench::figures::fig6_exec_time`.
+
+use faasnap_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() { Effort::Quick } else { Effort::Full };
+    for table in figures::fig6_exec_time(effort) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact; see `faasnap_bench::figures::fig8_input_sweep`.
+
+use faasnap_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() { Effort::Quick } else { Effort::Full };
+    let out = figures::fig8_input_sweep(effort);
+    println!("{out}");
+}

@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks of the library's own hot operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use faasnap::loadingset::LoadingSet;
+use faasnap::wset::WorkingSet;
+use sim_core::engine::{Engine, Scheduler, World};
+use sim_core::time::{SimDuration, SimTime};
+use sim_mm::addr::PageRange;
+use sim_mm::page_cache::PageCache;
+use sim_mm::vma::{AddressSpace, Backing};
+use sim_storage::file::FileId;
+use sim_vm::guest_memory::GuestMemory;
+
+fn bench_loading_set_build(c: &mut Criterion) {
+    // A hello-world-shaped working set: ~3000 scattered pages.
+    let mut ws = WorkingSet::new();
+    let pages: Vec<u64> = (0..3000u64).map(|i| i * 7 + (i % 3)).collect();
+    ws.extend(&pages);
+    let mut mem = GuestMemory::new(1 << 20);
+    for &p in &pages {
+        mem.write(p, p + 1);
+    }
+    c.bench_function("loading_set_build_3k_pages", |b| {
+        b.iter(|| black_box(LoadingSet::build(&ws, &mem, 32)))
+    });
+}
+
+fn bench_zero_scan(c: &mut Criterion) {
+    let mut mem = GuestMemory::new(1 << 19);
+    for p in (0..(1 << 19)).step_by(5) {
+        mem.write(p, 1);
+    }
+    c.bench_function("nonzero_region_scan_512k_pages", |b| {
+        b.iter(|| black_box(mem.nonzero_regions().len()))
+    });
+}
+
+fn bench_page_cache(c: &mut Criterion) {
+    c.bench_function("page_cache_insert_touch_10k", |b| {
+        b.iter(|| {
+            let mut cache = PageCache::new(1 << 20);
+            for p in 0..10_000u64 {
+                cache.insert(FileId(1), p);
+            }
+            let mut hits = 0u64;
+            for p in 0..10_000u64 {
+                hits += cache.touch(FileId(1), p) as u64;
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_vma_overlay(c: &mut Criterion) {
+    c.bench_function("vma_overlay_1k_regions_lookup", |b| {
+        b.iter(|| {
+            let mut a = AddressSpace::new();
+            a.map_fixed(PageRange::new(0, 1 << 19), Backing::Anonymous);
+            for i in 0..1000u64 {
+                a.map_fixed(
+                    PageRange::with_len(i * 400, 16),
+                    Backing::File { file: FileId(1), offset_page: i * 16 },
+                );
+            }
+            let mut n = 0u64;
+            for p in (0..(1 << 19)).step_by(997) {
+                n += a.resolve(p).is_some() as u64;
+            }
+            black_box(n)
+        })
+    });
+}
+
+struct Pingpong {
+    remaining: u64,
+}
+
+impl World for Pingpong {
+    type Event = ();
+    fn handle(&mut self, now: SimTime, _: (), sched: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_after(now, SimDuration::from_nanos(10), ());
+        }
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    c.bench_function("des_engine_100k_events", |b| {
+        b.iter(|| {
+            let mut w = Pingpong { remaining: 100_000 };
+            let mut e: Engine<()> = Engine::new();
+            e.scheduler().schedule(SimTime::ZERO, ());
+            e.run(&mut w);
+            black_box(e.delivered())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_loading_set_build,
+    bench_zero_scan,
+    bench_page_cache,
+    bench_vma_overlay,
+    bench_engine_throughput
+);
+criterion_main!(benches);

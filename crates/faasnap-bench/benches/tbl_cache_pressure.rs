@@ -1,0 +1,8 @@
+//! Cache-pressure extension; see `faasnap_bench::figures::tbl_cache_pressure`.
+
+use faasnap_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() { Effort::Quick } else { Effort::Full };
+    println!("{}", figures::tbl_cache_pressure(effort));
+}

@@ -1,0 +1,8 @@
+//! §7.1 serving-policy crossover; see `faasnap_bench::figures::tbl_policy`.
+
+use faasnap_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() { Effort::Quick } else { Effort::Full };
+    println!("{}", figures::tbl_policy(effort));
+}

@@ -1,0 +1,8 @@
+//! Design-choice sensitivity sweep; see `faasnap_bench::figures::tbl_sensitivity`.
+
+use faasnap_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() { Effort::Quick } else { Effort::Full };
+    println!("{}", figures::tbl_sensitivity(effort));
+}

@@ -1,0 +1,43 @@
+//! Calibration tool: prints per-strategy invocation reports and disk
+//! statistics for one function, so cost-model changes can be checked
+//! against the paper's reference points quickly.
+//!
+//! ```sh
+//! cargo run --release -p faasnap-bench --bin debug_calib [function] [a|b|diff]
+//! ```
+
+use faasnap::strategy::RestoreStrategy;
+use faasnap_bench::runner::{ensure_recorded, platform_with, report_line, run_once};
+use sim_storage::profiles::DiskProfile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hello-world".into());
+    let funcs = faas_workloads::all_functions();
+    let mut p = platform_with(DiskProfile::nvme_c5d(), 0xDEB6, &funcs);
+    let f = faas_workloads::by_name(&name).unwrap();
+    ensure_recorded(&mut p, &name, "d", &f.input_a());
+    let test_input = match std::env::args().nth(2).as_deref() {
+        Some("b") => f.input_b(),
+        Some("diff") => f.input_a().reseeded(0xD1FF),
+        _ => f.input_a(),
+    };
+    let a = p.registry().artifacts(&name, "d").unwrap();
+    println!(
+        "{name}: ws={} pages, reap_ws={} pages, ls: {} regions {} file pages (unmerged {})",
+        a.ws.len(), a.reap_ws.len(), a.ls.region_count(), a.ls.file_pages(), a.ls.unmerged_region_count()
+    );
+    println!("record: {}", report_line(&a.record_report));
+    for sys in [
+        RestoreStrategy::Warm,
+        RestoreStrategy::Vanilla,
+        RestoreStrategy::Cached,
+        RestoreStrategy::Reap,
+        RestoreStrategy::faasnap(),
+    ] {
+        let out = run_once(&mut p, &name, "d", &test_input, sys);
+        println!("{:>12}: {}", sys.label(), report_line(&out.report));
+        let d = &p.host().disks[0];
+        println!("              disk: {} reqs ({} seq), {} pages", d.stats().requests, d.stats().sequential_requests, d.stats().pages);
+        p.host_mut().disks[0].reset_stats();
+    }
+}

@@ -1,0 +1,84 @@
+//! Config-driven test runner, mirroring the artifact's
+//! `test.py test-2inputs.json` workflow (artifact appendix A.4).
+//!
+//! ```sh
+//! # Built-in configs:
+//! cargo run --release -p faasnap-bench --bin test_config -- test-2inputs
+//! cargo run --release -p faasnap-bench --bin test_config -- test-6inputs
+//! # Or a JSON file:
+//! cargo run --release -p faasnap-bench --bin test_config -- my-config.json
+//! ```
+
+use faasnap_bench::runner::{ensure_recorded, measure_total, platform_with};
+use faasnap_daemon::config::ExperimentConfig;
+use faasnap_daemon::metrics::TextTable;
+
+fn die(msg: &str) -> ! {
+    eprintln!("test_config: {msg}");
+    std::process::exit(2);
+}
+
+fn load_config(arg: &str) -> ExperimentConfig {
+    match arg {
+        "test-2inputs" => ExperimentConfig::test_2inputs(),
+        "test-6inputs" => ExperimentConfig::test_6inputs(),
+        path => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read config {path}: {e}")));
+            ExperimentConfig::from_json(&json)
+                .unwrap_or_else(|e| die(&format!("bad config {path}: {e}")))
+        }
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "test-2inputs".into());
+    let config = load_config(&arg);
+    println!("config:\n{}\n", config.to_json());
+
+    let profile = config.disk_profile().expect("device profile");
+    let strategies = config.restore_strategies().expect("strategies");
+    let functions: Vec<_> = config
+        .functions
+        .iter()
+        .map(|n| faas_workloads::by_name(n).unwrap_or_else(|| panic!("unknown function {n}")))
+        .collect();
+    let mut platform = platform_with(profile, config.seed, &functions);
+
+    let mut headers: Vec<&str> = vec!["function", "ratio"];
+    headers.extend(config.strategies.iter().map(|s| s.as_str()));
+    let mut table = TextTable::new(
+        format!("config run ({}): total time (ms)", config.device),
+        &headers,
+    );
+
+    let ratios: Vec<f64> =
+        if config.input_ratios.is_empty() { vec![f64::NAN] } else { config.input_ratios.clone() };
+    for f in &functions {
+        ensure_recorded(&mut platform, f.name(), "cfg", &f.input_a());
+        for &ratio in &ratios {
+            let input = if ratio.is_nan() {
+                f.input_b()
+            } else {
+                f.input_scaled(ratio, 0xC0F ^ (ratio * 8.0) as u64)
+            };
+            let mut row = vec![
+                f.name().to_string(),
+                if ratio.is_nan() { "B".into() } else { format!("{ratio}") },
+            ];
+            for &strategy in &strategies {
+                let cell = measure_total(
+                    &mut platform,
+                    f.name(),
+                    "cfg",
+                    &input,
+                    strategy,
+                    config.repetitions,
+                );
+                row.push(format!("{cell}"));
+            }
+            table.row(row);
+        }
+    }
+    println!("{table}");
+}

@@ -1,0 +1,81 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each evaluation artifact has a bench target (run `cargo bench -p
+//! faasnap-bench` to regenerate them all) backed by a driver in
+//! [`figures`]:
+//!
+//! | target               | paper artifact | driver |
+//! |----------------------|----------------|--------|
+//! | `fig1_breakdown`     | Figure 1       | [`figures::fig1_breakdown`] |
+//! | `fig2_fault_dist`    | Figure 2       | [`figures::fig2_fault_dist`] |
+//! | `table2_workingsets` | Table 2        | [`figures::table2_workingsets`] |
+//! | `fig6_exec_time`     | Figure 6       | [`figures::fig6_exec_time`] |
+//! | `fig7_synthetic`     | Figure 7       | [`figures::fig7_synthetic`] |
+//! | `fig8_input_sweep`   | Figure 8       | [`figures::fig8_input_sweep`] |
+//! | `table3_analysis`    | Table 3        | [`figures::table3_analysis`] |
+//! | `fig9_ablation`      | Figure 9       | [`figures::fig9_ablation`] |
+//! | `fig10_burst`        | Figure 10      | [`figures::fig10_burst`] |
+//! | `fig11_remote`       | Figure 11      | [`figures::fig11_remote`] |
+//! | `tbl_footprint`      | §7.3           | [`figures::tbl_footprint`] |
+//! | `tbl_merge`          | §4.6           | [`figures::tbl_merge`] |
+//! | `micro`              | (criterion)    | library microbenchmarks |
+//!
+//! Drivers accept an [`Effort`] so smoke tests can run the same code
+//! cheaply; bench targets use [`Effort::Full`].
+
+pub mod figures;
+pub mod runner;
+
+/// How much work to spend on an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Few functions, one repetition (CI smoke tests).
+    Quick,
+    /// The paper's protocol (all functions, full repetitions).
+    Full,
+}
+
+impl Effort {
+    /// Repetitions for a `paper_reps`-rep experiment.
+    pub fn reps(self, paper_reps: u32) -> u32 {
+        match self {
+            Effort::Quick => 1,
+            Effort::Full => paper_reps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_reps() {
+        assert_eq!(Effort::Quick.reps(5), 1);
+        assert_eq!(Effort::Full.reps(5), 5);
+    }
+
+    #[test]
+    fn table2_driver_runs_quick() {
+        let t = figures::table2_workingsets(Effort::Quick);
+        assert!(!t.is_empty());
+        let s = format!("{t}");
+        assert!(s.contains("hello-world"));
+        assert!(s.contains("11.8"));
+    }
+
+    #[test]
+    fn merge_driver_runs_quick() {
+        let t = figures::tbl_merge(Effort::Quick);
+        assert_eq!(t.len(), 1);
+        assert!(format!("{t}").contains("hello-world"));
+    }
+
+    #[test]
+    fn fig7_driver_runs_quick() {
+        let t = figures::fig7_synthetic(Effort::Quick);
+        let s = format!("{t}");
+        assert!(s.contains("hello-world"));
+        assert!(s.contains("FaaSnap"));
+    }
+}

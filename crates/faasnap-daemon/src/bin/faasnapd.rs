@@ -1,0 +1,224 @@
+//! `faasnapd` — command-line front-end to the FaaSnap platform.
+//!
+//! The real FaaSnap daemon is an HTTP service driven by a remote load
+//! balancer; this CLI exposes the same operations over the simulated
+//! host, one invocation flow per run:
+//!
+//! ```sh
+//! faasnapd list
+//! faasnapd invoke <function> [--strategy faasnap|firecracker|cached|reap|warm]
+//!                            [--input a|b] [--ratio <f64>] [--device nvme|ebs]
+//!                            [--trace]
+//! faasnapd burst <function> --parallelism <n> [--strategy ...] [--kind same|diff]
+//! faasnapd policy <function>
+//! ```
+
+use faasnap::strategy::RestoreStrategy;
+use faasnap_daemon::config::ExperimentConfig;
+use faasnap_daemon::platform::{BurstKind, Platform};
+use faasnap_daemon::policy::{best_mode_for_period, Costs, ModeLatencies};
+use faasnap_daemon::spans::invocation_trace;
+use sim_core::time::SimDuration;
+use sim_storage::profiles::DiskProfile;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if matches!(name, "trace") {
+                    "true".to_string()
+                } else {
+                    iter.next().unwrap_or_else(|| die(&format!("--{name} needs a value")))
+                };
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("faasnapd: {msg}");
+    std::process::exit(2);
+}
+
+fn platform_for(device: &str, seed: u64) -> Platform {
+    let profile = match device {
+        "nvme" => DiskProfile::nvme_c5d(),
+        "ebs" => DiskProfile::ebs_io2(),
+        other => die(&format!("unknown device {other:?} (nvme|ebs)")),
+    };
+    let mut p = Platform::new(profile, seed);
+    for f in faas_workloads::all_functions() {
+        p.register(f);
+    }
+    p
+}
+
+fn strategy_for(name: &str) -> RestoreStrategy {
+    ExperimentConfig::parse_strategy(name).unwrap_or_else(|e| die(&e))
+}
+
+fn main() {
+    let args = Args::parse();
+    match args.positional.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("invoke") => cmd_invoke(&args),
+        Some("burst") => cmd_burst(&args),
+        Some("policy") => cmd_policy(&args),
+        _ => die("usage: faasnapd <list|invoke|burst|policy> [args]; see --help in the source header"),
+    }
+}
+
+fn cmd_list() {
+    println!("{:<14} {:<34} {:>9} {:>9}", "function", "description", "WS A", "WS B");
+    for f in faas_workloads::all_functions() {
+        let ws = |i: &faas_workloads::Input| {
+            sim_core::units::format_bytes(f.trace(i).distinct_pages() * 4096)
+        };
+        println!(
+            "{:<14} {:<34} {:>9} {:>9}",
+            f.name(),
+            f.params().description,
+            ws(&f.input_a()),
+            ws(&f.input_b()),
+        );
+    }
+}
+
+fn function_for(args: &Args) -> faas_workloads::Function {
+    let name = args
+        .positional
+        .get(1)
+        .unwrap_or_else(|| die("missing function name"));
+    faas_workloads::by_name(name).unwrap_or_else(|| die(&format!("unknown function {name}")))
+}
+
+fn input_for(args: &Args, f: &faas_workloads::Function) -> faas_workloads::Input {
+    if let Some(ratio) = args.flags.get("ratio") {
+        let r: f64 = ratio.parse().unwrap_or_else(|_| die("--ratio must be a number"));
+        if !(r > 0.0) {
+            die("--ratio must be positive");
+        }
+        return f.input_scaled(r, 0xC11);
+    }
+    match args.flag("input", "b").as_str() {
+        "a" => f.input_a(),
+        "b" => f.input_b(),
+        other => die(&format!("unknown input {other:?} (a|b)")),
+    }
+}
+
+fn cmd_invoke(args: &Args) {
+    let f = function_for(args);
+    let strategy = strategy_for(&args.flag("strategy", "faasnap"));
+    let mut p = platform_for(&args.flag("device", "nvme"), 0xFA5D);
+    let input = input_for(args, &f);
+    println!("recording snapshot for {} (input A)...", f.name());
+    p.record(f.name(), "cli", &f.input_a()).unwrap_or_else(|e| die(&e));
+    let out = p.invoke(f.name(), "cli", &input, strategy).unwrap_or_else(|e| die(&e));
+    let r = &out.report;
+    println!(
+        "{} under {}: total {} (setup {} + invoke {})",
+        f.name(),
+        strategy.label(),
+        r.total_time(),
+        r.setup_time,
+        r.invocation_time
+    );
+    println!(
+        "faults: {} anon, {} minor, {} major, {} host-pte, {} uffd; fetched {} pages in {}",
+        r.anon_faults, r.minor_faults, r.major_faults, r.host_pte_faults, r.uffd_faults,
+        r.fetch_pages, r.fetch_time
+    );
+    if args.flags.contains_key("trace") {
+        println!("\n{}", invocation_trace(f.name(), r));
+    }
+}
+
+fn cmd_burst(args: &Args) {
+    let f = function_for(args);
+    let strategy = strategy_for(&args.flag("strategy", "faasnap"));
+    let parallelism: u32 = args
+        .flag("parallelism", "16")
+        .parse()
+        .unwrap_or_else(|_| die("--parallelism must be an integer"));
+    if parallelism == 0 {
+        die("--parallelism must be at least 1");
+    }
+    let kind = match args.flag("kind", "same").as_str() {
+        "same" => BurstKind::SameSnapshot,
+        "diff" => BurstKind::DifferentSnapshots,
+        other => die(&format!("unknown burst kind {other:?} (same|diff)")),
+    };
+    let mut p = platform_for(&args.flag("device", "nvme"), 0xB557);
+    p.record(f.name(), "cli", &f.input_a()).unwrap_or_else(|e| die(&e));
+    let outs = p
+        .burst(f.name(), "cli", &f.input_b(), strategy, parallelism, kind)
+        .unwrap_or_else(|e| die(&e));
+    let mut times: Vec<f64> =
+        outs.iter().map(|o| o.report.total_time().as_millis_f64()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{} x{} ({kind:?}, {}): mean {:.1} ms, min {:.1} ms, max {:.1} ms",
+        f.name(),
+        parallelism,
+        strategy.label(),
+        mean,
+        times.first().unwrap(),
+        times.last().unwrap(),
+    );
+}
+
+fn cmd_policy(args: &Args) {
+    let f = function_for(args);
+    let mut p = platform_for(&args.flag("device", "nvme"), 0x9011);
+    p.record(f.name(), "cli", &f.input_a()).unwrap_or_else(|e| die(&e));
+    let warm = p
+        .invoke(f.name(), "cli", &f.input_b(), RestoreStrategy::Warm)
+        .unwrap_or_else(|e| die(&e))
+        .report
+        .total_time();
+    let snap = p
+        .invoke(f.name(), "cli", &f.input_b(), RestoreStrategy::faasnap())
+        .unwrap_or_else(|e| die(&e))
+        .report
+        .total_time();
+    let cold = p.host().boot.cold_start() + warm;
+    let latencies = ModeLatencies { warm, snapshot: snap, cold };
+    println!(
+        "{}: warm {}, FaaSnap snapshot {}, cold {}",
+        f.name(),
+        warm,
+        snap,
+        cold
+    );
+    for (secs, label) in
+        [(10u64, "10s"), (60, "1min"), (600, "10min"), (3600, "1h"), (86_400, "24h")]
+    {
+        let mode = best_mode_for_period(
+            SimDuration::from_secs(secs),
+            SimDuration::from_secs(7 * 86_400),
+            SimDuration::from_secs(900),
+            latencies,
+            Costs::default(),
+            1000.0,
+        );
+        println!("  every {label:>6}: serve via {mode:?}");
+    }
+}

@@ -1,0 +1,165 @@
+//! JSON experiment configurations.
+//!
+//! The released FaaSnap artifact drives its evaluation with JSON configs
+//! (`test-2inputs.json` for Figures 6/7/10/11, `test-6inputs.json` for
+//! Figure 8 — see the paper's artifact appendix). This module mirrors
+//! that interface so experiments are declarative and serializable.
+
+use serde::{Deserialize, Serialize};
+
+use faasnap::strategy::{FaasnapConfig, RestoreStrategy};
+use sim_storage::profiles::DiskProfile;
+
+/// A declarative experiment configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Functions to run (Table 2 names).
+    pub functions: Vec<String>,
+    /// Restore strategies: `"warm"`, `"firecracker"` (vanilla),
+    /// `"cached"`, `"reap"`, `"faasnap"`, `"con-paging"`, `"per-region"`.
+    pub strategies: Vec<String>,
+    /// Repetitions per data point (the paper uses 5 for Figure 6, 3 for
+    /// Figures 8 and 11).
+    pub repetitions: u32,
+    /// Storage: `"nvme"` (local SSD) or `"ebs"` (remote block storage).
+    pub device: String,
+    /// Burst parallelism levels (Figure 10); empty for non-burst tests.
+    #[serde(default)]
+    pub parallelism: Vec<u32>,
+    /// Test-phase input size ratios (Figure 8); empty means the standard
+    /// A→B / B→A two-input protocol.
+    #[serde(default)]
+    pub input_ratios: Vec<f64>,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The standard two-input configuration (Figures 6 and 7).
+    pub fn test_2inputs() -> Self {
+        ExperimentConfig {
+            functions: faas_workloads::all_functions()
+                .iter()
+                .map(|f| f.name().to_string())
+                .collect(),
+            strategies: vec![
+                "firecracker".into(),
+                "reap".into(),
+                "faasnap".into(),
+                "cached".into(),
+            ],
+            repetitions: 5,
+            device: "nvme".into(),
+            parallelism: vec![],
+            input_ratios: vec![],
+            seed: 0xFAA5,
+        }
+    }
+
+    /// The six-input ratio sweep (Figure 8).
+    pub fn test_6inputs() -> Self {
+        let mut c = Self::test_2inputs();
+        c.repetitions = 3;
+        c.input_ratios = vec![0.25, 0.5, 1.0, 2.0, 4.0];
+        c
+    }
+
+    /// Parses a strategy name.
+    pub fn parse_strategy(name: &str) -> Result<RestoreStrategy, String> {
+        Ok(match name {
+            "warm" => RestoreStrategy::Warm,
+            "firecracker" | "vanilla" => RestoreStrategy::Vanilla,
+            "cached" => RestoreStrategy::Cached,
+            "reap" => RestoreStrategy::Reap,
+            "faasnap" => RestoreStrategy::faasnap(),
+            "con-paging" => RestoreStrategy::FaaSnap(FaasnapConfig::concurrent_paging_only()),
+            "per-region" => RestoreStrategy::FaaSnap(FaasnapConfig::per_region()),
+            other => return Err(format!("unknown strategy {other:?}")),
+        })
+    }
+
+    /// Parsed strategies, in order.
+    pub fn restore_strategies(&self) -> Result<Vec<RestoreStrategy>, String> {
+        self.strategies.iter().map(|s| Self::parse_strategy(s)).collect()
+    }
+
+    /// The disk profile for `device`.
+    pub fn disk_profile(&self) -> Result<DiskProfile, String> {
+        match self.device.as_str() {
+            "nvme" => Ok(DiskProfile::nvme_c5d()),
+            "ebs" => Ok(DiskProfile::ebs_io2()),
+            other => Err(format!("unknown device {other:?}")),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_json() {
+        let c = ExperimentConfig::test_2inputs();
+        let json = c.to_json();
+        let back = ExperimentConfig::from_json(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(
+            ExperimentConfig::parse_strategy("firecracker").unwrap(),
+            RestoreStrategy::Vanilla
+        );
+        assert_eq!(
+            ExperimentConfig::parse_strategy("faasnap").unwrap(),
+            RestoreStrategy::faasnap()
+        );
+        assert!(ExperimentConfig::parse_strategy("bogus").is_err());
+    }
+
+    #[test]
+    fn default_configs() {
+        let c2 = ExperimentConfig::test_2inputs();
+        assert_eq!(c2.functions.len(), 12);
+        assert_eq!(c2.repetitions, 5);
+        assert!(c2.input_ratios.is_empty());
+        let c6 = ExperimentConfig::test_6inputs();
+        assert_eq!(c6.input_ratios.len(), 5);
+        assert_eq!(c6.repetitions, 3);
+    }
+
+    #[test]
+    fn device_profiles() {
+        let mut c = ExperimentConfig::test_2inputs();
+        assert_eq!(c.disk_profile().unwrap().name, "nvme-c5d");
+        c.device = "ebs".into();
+        assert_eq!(c.disk_profile().unwrap().name, "ebs-io2");
+        c.device = "floppy".into();
+        assert!(c.disk_profile().is_err());
+    }
+
+    #[test]
+    fn missing_optional_fields_default() {
+        let json = r#"{
+            "functions": ["json"],
+            "strategies": ["faasnap"],
+            "repetitions": 1,
+            "device": "nvme",
+            "seed": 1
+        }"#;
+        let c = ExperimentConfig::from_json(json).unwrap();
+        assert!(c.parallelism.is_empty());
+        assert!(c.input_ratios.is_empty());
+    }
+}

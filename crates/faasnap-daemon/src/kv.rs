@@ -1,0 +1,144 @@
+//! External state storage for functions (the paper's host-local Redis).
+//!
+//! §5: "FaaS applications rely on external storage to store state,
+//! including input, output, and intermediate data, that persists beyond
+//! the lifetime of a function invocation. We run an in-memory Redis data
+//! store on the host for external storage for functions."
+//!
+//! [`KvStore`] is that component: a deterministic in-memory key/value
+//! store with a simple loopback-latency model, used by the platform to
+//! stage function inputs (the artifact's setup "populates Redis with
+//! input data") and collect outputs.
+
+use std::collections::HashMap;
+
+use sim_core::time::SimDuration;
+
+/// A stored value: content identity plus size (payload bytes are not
+/// materialized; functions consume them through their traces).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KvValue {
+    /// Size in bytes.
+    pub len: u64,
+    /// Content fingerprint (e.g. an input's content seed).
+    pub fingerprint: u64,
+}
+
+/// In-memory KV store with loopback access costs.
+#[derive(Clone, Debug)]
+pub struct KvStore {
+    map: HashMap<String, KvValue>,
+    /// Per-request round trip on the loopback interface.
+    rtt: SimDuration,
+    /// Payload streaming bandwidth (loopback is fast but not free).
+    bytes_per_sec: u64,
+    gets: u64,
+    puts: u64,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore {
+            map: HashMap::new(),
+            rtt: SimDuration::from_micros(85),
+            bytes_per_sec: 4_000_000_000, // ~4 GB/s loopback
+            gets: 0,
+            puts: 0,
+        }
+    }
+}
+
+impl KvStore {
+    /// Creates a store with default loopback costs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value` under `key`, returning the simulated request time.
+    pub fn put(&mut self, key: impl Into<String>, value: KvValue) -> SimDuration {
+        let cost = self.access_cost(value.len);
+        self.map.insert(key.into(), value);
+        self.puts += 1;
+        cost
+    }
+
+    /// Fetches `key`; returns the value and the simulated request time.
+    pub fn get(&mut self, key: &str) -> Option<(KvValue, SimDuration)> {
+        self.gets += 1;
+        let v = self.map.get(key)?.clone();
+        let cost = self.access_cost(v.len);
+        Some((v, cost))
+    }
+
+    /// Removes `key`.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.map.values().map(|v| v.len).sum()
+    }
+
+    /// `(gets, puts)` so far.
+    pub fn ops(&self) -> (u64, u64) {
+        (self.gets, self.puts)
+    }
+
+    fn access_cost(&self, len: u64) -> SimDuration {
+        self.rtt + SimDuration::from_secs_f64(len as f64 / self.bytes_per_sec as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut kv = KvStore::new();
+        let cost = kv.put("input-a", KvValue { len: 101 * 1024, fingerprint: 0xA });
+        assert!(cost > SimDuration::from_micros(80));
+        let (v, _) = kv.get("input-a").expect("stored");
+        assert_eq!(v.len, 101 * 1024);
+        assert_eq!(v.fingerprint, 0xA);
+        assert_eq!(kv.ops(), (1, 1));
+    }
+
+    #[test]
+    fn missing_key() {
+        let mut kv = KvStore::new();
+        assert!(kv.get("nope").is_none());
+        assert!(!kv.delete("nope"));
+    }
+
+    #[test]
+    fn larger_payloads_cost_more() {
+        let mut kv = KvStore::new();
+        let small = kv.put("s", KvValue { len: 1024, fingerprint: 1 });
+        let big = kv.put("b", KvValue { len: 100 << 20, fingerprint: 2 });
+        assert!(big > small * 10);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut kv = KvStore::new();
+        kv.put("a", KvValue { len: 10, fingerprint: 1 });
+        kv.put("b", KvValue { len: 20, fingerprint: 2 });
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.stored_bytes(), 30);
+        kv.delete("a");
+        assert_eq!(kv.stored_bytes(), 20);
+        assert!(!kv.is_empty());
+    }
+}

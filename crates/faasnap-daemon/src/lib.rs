@@ -1,0 +1,37 @@
+//! The FaaSnap platform daemon.
+//!
+//! The paper's daemon "manages local VM images, guest kernels, snapshot
+//! memory and working set files, active VMs, and network resources" and
+//! "exposes an API to allow remote clients to control resources and send
+//! invocation requests" (§4.1). This crate is that layer over the
+//! simulated host:
+//!
+//! - [`registry`] — functions and their recorded snapshot artifacts.
+//! - [`platform`] — the daemon API: register a function, run its record
+//!   phase, invoke it under any restore strategy (with the evaluation's
+//!   drop-caches hygiene), and run bursty workloads (§6.6) on shared host
+//!   resources.
+//! - [`config`] — JSON experiment configurations mirroring the artifact's
+//!   `test-2inputs.json` / `test-6inputs.json` files.
+//! - [`kv`] — the host-local Redis analog functions use for input/output
+//!   state (§5).
+//! - [`metrics`] — repetition aggregation (mean ± stddev, as the paper
+//!   reports) and text-table rendering for experiment output.
+//! - [`spans`] — per-invocation trace spans (the artifact's Zipkin
+//!   analog).
+
+pub mod config;
+pub mod kv;
+pub mod metrics;
+pub mod platform;
+pub mod policy;
+pub mod registry;
+pub mod spans;
+
+pub use config::ExperimentConfig;
+pub use kv::{KvStore, KvValue};
+pub use metrics::{MeasuredCell, TextTable};
+pub use platform::{BurstKind, Platform};
+pub use policy::{simulate_policy, ModeLatencies, Policy, ServingMode};
+pub use spans::{invocation_trace, Span};
+pub use registry::FunctionRegistry;

@@ -1,0 +1,161 @@
+//! Measurement aggregation and table rendering.
+//!
+//! The paper reports mean ± standard deviation over 3–5 repetitions
+//! (§6.2, §6.3). [`MeasuredCell`] wraps a [`Summary`] with that
+//! formatting; [`TextTable`] renders the aligned text tables the bench
+//! harness prints for every figure.
+
+use std::fmt;
+
+use sim_core::stats::Summary;
+use sim_core::time::SimDuration;
+
+/// A mean ± stddev cell.
+#[derive(Clone, Debug, Default)]
+pub struct MeasuredCell {
+    summary: Summary,
+}
+
+impl MeasuredCell {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a duration sample in milliseconds.
+    pub fn record(&mut self, d: SimDuration) {
+        self.summary.record_ms(d);
+    }
+
+    /// Records a raw sample.
+    pub fn record_value(&mut self, v: f64) {
+        self.summary.record(v);
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Standard deviation of the samples.
+    pub fn stddev(&self) -> f64 {
+        self.summary.stddev()
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.summary.count()
+    }
+}
+
+impl fmt::Display for MeasuredCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count() <= 1 {
+            write!(f, "{:.1}", self.mean())
+        } else {
+            write!(f, "{:.1} ±{:.1}", self.mean(), self.stddev())
+        }
+    }
+}
+
+/// A simple aligned text table.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_formatting() {
+        let mut c = MeasuredCell::new();
+        c.record(SimDuration::from_millis(100));
+        assert_eq!(format!("{c}"), "100.0");
+        c.record(SimDuration::from_millis(120));
+        assert_eq!(format!("{c}"), "110.0 ±10.0");
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("demo", &["function", "ms"]);
+        t.row(vec!["hello-world".into(), "4.0".into()]);
+        t.row(vec!["json".into(), "150.3".into()]);
+        let s = format!("{t}");
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("hello-world"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Right-aligned columns: both data lines end in the ms column.
+        assert!(lines[3].ends_with("4.0"));
+        assert!(lines[4].ends_with("150.3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

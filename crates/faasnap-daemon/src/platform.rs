@@ -1,0 +1,303 @@
+//! The daemon API: record, invoke, and burst.
+//!
+//! [`Platform`] owns the simulated host and the function registry and
+//! exposes the operations the paper's daemon supports ("creating
+//! functions using installed images and kernels, booting VMs for a
+//! function, invoking functions on the booted VM, taking snapshots of a
+//! VM, restoring snapshots", §5), reduced to the flow the evaluation
+//! exercises: record phase → drop caches → test-phase invocation, plus
+//! the §6.6 bursty workloads.
+
+use faas_workloads::{Function, Input};
+use faasnap::runtime::{run_invocations, Host, InvocationOutcome, InvocationSpec};
+use faasnap::strategy::RestoreStrategy;
+use sim_storage::file::DeviceId;
+use sim_storage::profiles::DiskProfile;
+
+use crate::kv::{KvStore, KvValue};
+use crate::registry::FunctionRegistry;
+
+/// Snapshot sharing mode of a burst (§6.6): "the burst of VMs from the
+/// same snapshot and from different snapshots".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurstKind {
+    /// All VMs restore from one snapshot (same application).
+    SameSnapshot,
+    /// Every VM has its own snapshot files (different applications).
+    DifferentSnapshots,
+}
+
+/// The FaaSnap daemon bound to a simulated host.
+pub struct Platform {
+    host: Host,
+    registry: FunctionRegistry,
+    device: DeviceId,
+    kv: KvStore,
+}
+
+impl Platform {
+    /// Creates a platform on a host with one disk of `profile`.
+    pub fn new(profile: DiskProfile, seed: u64) -> Self {
+        let host = Host::new(profile, seed);
+        let device = host.primary_device();
+        Platform { host, registry: FunctionRegistry::new(), device, kv: KvStore::new() }
+    }
+
+    /// The external state store (the §5 Redis analog). Inputs staged by
+    /// [`Platform::invoke`] and function outputs live here.
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// The underlying host (for inspection in tests/experiments).
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Mutable host access (e.g. to add an EBS device).
+    pub fn host_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+
+    /// Device snapshots are placed on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Places future snapshot artifacts on `device` (e.g. remote EBS for
+    /// the §6.7 experiment).
+    pub fn set_device(&mut self, device: DeviceId) {
+        self.device = device;
+    }
+
+    /// Registers a function.
+    pub fn register(&mut self, function: Function) {
+        self.registry.register(function);
+    }
+
+    /// The registry.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// Runs the record phase for `name` with `input`, storing artifacts
+    /// under `label`.
+    pub fn record(
+        &mut self,
+        name: &str,
+        label: &str,
+        input: &Input,
+    ) -> Result<(), String> {
+        let device = self.device;
+        self.registry.record(&mut self.host, name, label, input, device)
+    }
+
+    /// Test-phase invocation: drops caches (§6.1 hygiene), restores under
+    /// `strategy`, and executes the function with `input`.
+    pub fn invoke(
+        &mut self,
+        name: &str,
+        label: &str,
+        input: &Input,
+        strategy: RestoreStrategy,
+    ) -> Result<InvocationOutcome, String> {
+        let spec = self.build_spec(name, label, input, strategy)?;
+        // Stage the input payload in external storage (the function
+        // fetches it from there at the start of its trace) and record the
+        // output it produces.
+        self.kv.put(
+            format!("{name}/input"),
+            KvValue { len: input.payload_kb * 1024, fingerprint: input.seed },
+        );
+        self.host.drop_caches();
+        let outcome = faasnap::runtime::run_invocation(&mut self.host, spec);
+        self.kv.put(
+            format!("{name}/output"),
+            KvValue { len: input.payload_kb * 1024, fingerprint: outcome.final_memory.checksum() },
+        );
+        Ok(outcome)
+    }
+
+    /// Builds a test-phase spec without running it.
+    pub fn build_spec(
+        &self,
+        name: &str,
+        label: &str,
+        input: &Input,
+        strategy: RestoreStrategy,
+    ) -> Result<InvocationSpec, String> {
+        let f = self
+            .registry
+            .function(name)
+            .ok_or_else(|| format!("unknown function {name}"))?;
+        let trace = f.trace(input);
+        let artifacts = self
+            .registry
+            .artifacts(name, label)
+            .ok_or_else(|| format!("{name}: no artifacts recorded under label {label}"))?;
+        Ok(artifacts.spec(strategy, trace))
+    }
+
+    /// Runs a burst of `parallelism` simultaneous invocations (§6.6). For
+    /// [`BurstKind::SameSnapshot`] all VMs share the artifacts recorded
+    /// under `label`; for [`BurstKind::DifferentSnapshots`] each VM `i`
+    /// uses artifacts recorded under `label.i` (recording them on demand).
+    /// Each VM receives `input` with a distinct content seed.
+    pub fn burst(
+        &mut self,
+        name: &str,
+        label: &str,
+        input: &Input,
+        strategy: RestoreStrategy,
+        parallelism: u32,
+        kind: BurstKind,
+    ) -> Result<Vec<InvocationOutcome>, String> {
+        assert!(parallelism > 0);
+        let mut specs = Vec::with_capacity(parallelism as usize);
+        match kind {
+            BurstKind::SameSnapshot => {
+                for i in 0..parallelism {
+                    let vm_input = input.reseeded(input.seed ^ (0x1000 + i as u64));
+                    specs.push(self.build_spec(name, label, &vm_input, strategy)?);
+                }
+            }
+            BurstKind::DifferentSnapshots => {
+                for i in 0..parallelism {
+                    let inst = format!("{label}.{i}");
+                    if self.registry.artifacts(name, &inst).is_none() {
+                        // Record an independent snapshot (its own files),
+                        // following the standard protocol: the record
+                        // phase always uses the function's input A.
+                        let rec_input = self
+                            .registry
+                            .function(name)
+                            .ok_or_else(|| format!("unknown function {name}"))?
+                            .input_a()
+                            .reseeded(input.seed ^ (0x2000 + i as u64));
+                        self.record(name, &inst, &rec_input)?;
+                    }
+                    let vm_input = input.reseeded(input.seed ^ (0x3000 + i as u64));
+                    specs.push(self.build_spec(name, &inst, &vm_input, strategy)?);
+                }
+            }
+        }
+        self.host.drop_caches();
+        Ok(run_invocations(&mut self.host, specs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn platform() -> Platform {
+        let mut p = Platform::new(DiskProfile::nvme_c5d(), 7);
+        p.register(faas_workloads::by_name("hello-world").unwrap());
+        p
+    }
+
+    #[test]
+    fn record_then_invoke() {
+        let mut p = platform();
+        let f = faas_workloads::by_name("hello-world").unwrap();
+        p.record("hello-world", "a", &f.input_a()).unwrap();
+        let out = p
+            .invoke("hello-world", "a", &f.input_b(), RestoreStrategy::faasnap())
+            .unwrap();
+        assert!(out.report.total_time() > SimDuration::ZERO);
+        assert!(out.report.total_faults() > 0);
+    }
+
+    #[test]
+    fn invoke_without_record_fails() {
+        let mut p = platform();
+        let f = faas_workloads::by_name("hello-world").unwrap();
+        let err = p
+            .invoke("hello-world", "a", &f.input_b(), RestoreStrategy::Vanilla)
+            .unwrap_err();
+        assert!(err.contains("no artifacts"));
+    }
+
+    #[test]
+    fn unknown_function_fails() {
+        let mut p = platform();
+        let input = Input::new(1.0, 0, 1);
+        assert!(p.invoke("ghost", "a", &input, RestoreStrategy::Vanilla).is_err());
+    }
+
+    #[test]
+    fn same_snapshot_burst_shares_cache() {
+        let mut p = platform();
+        let f = faas_workloads::by_name("hello-world").unwrap();
+        p.record("hello-world", "a", &f.input_a()).unwrap();
+        let outs = p
+            .burst(
+                "hello-world",
+                "a",
+                &f.input_b(),
+                RestoreStrategy::faasnap(),
+                4,
+                BurstKind::SameSnapshot,
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 4);
+        // Read-once lock: the total prefetch traffic should be roughly one
+        // loading set, not four (some double-reads from racing faults are
+        // fine).
+        let ls_pages =
+            p.registry().artifacts("hello-world", "a").unwrap().ls.file_pages();
+        let loader_pages = p.host().disks[0]
+            .stats()
+            .pages_of(sim_storage::device::IoKind::LoaderPrefetch);
+        assert!(
+            loader_pages < ls_pages * 2,
+            "loader read {loader_pages} pages for a {ls_pages}-page loading set"
+        );
+    }
+
+    #[test]
+    fn different_snapshot_burst_records_instances() {
+        let mut p = platform();
+        let f = faas_workloads::by_name("hello-world").unwrap();
+        let outs = p
+            .burst(
+                "hello-world",
+                "d",
+                &f.input_b(),
+                RestoreStrategy::Vanilla,
+                3,
+                BurstKind::DifferentSnapshots,
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 3);
+        assert!(p.registry().artifacts("hello-world", "d.0").is_some());
+        assert!(p.registry().artifacts("hello-world", "d.2").is_some());
+        // Distinct memory files per instance.
+        let f0 = p.registry().artifacts("hello-world", "d.0").unwrap().snapshot.mem_file();
+        let f1 = p.registry().artifacts("hello-world", "d.1").unwrap().snapshot.mem_file();
+        assert_ne!(f0, f1);
+    }
+
+    #[test]
+    fn burst_determinism() {
+        let run = || {
+            let mut p = platform();
+            let f = faas_workloads::by_name("hello-world").unwrap();
+            p.record("hello-world", "a", &f.input_a()).unwrap();
+            p.burst(
+                "hello-world",
+                "a",
+                &f.input_b(),
+                RestoreStrategy::faasnap(),
+                3,
+                BurstKind::SameSnapshot,
+            )
+            .unwrap()
+            .iter()
+            .map(|o| o.report.total_time().as_nanos())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

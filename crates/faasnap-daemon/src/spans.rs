@@ -1,0 +1,150 @@
+//! Invocation trace spans (the artifact's Zipkin analog).
+//!
+//! The released FaaSnap artifact reports "execution traces of invocations
+//! ... accessible on the Zipkin web page" (artifact appendix A.4). This
+//! module reconstructs the same span structure from an
+//! [`InvocationReport`]: a root `invocation` span with `setup`,
+//! `function`, `loader-prefetch`, and `fault-handling` children, rendered
+//! as an indented text tree.
+
+use std::fmt;
+
+use faasnap::report::InvocationReport;
+use sim_core::time::SimDuration;
+
+/// One timed span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Span name, e.g. `"setup"`.
+    pub name: String,
+    /// Offset from the invocation request.
+    pub start: SimDuration,
+    /// Span duration.
+    pub duration: SimDuration,
+    /// Nested spans.
+    pub children: Vec<Span>,
+    /// Free-form annotations (fault counts etc.).
+    pub tags: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Creates a leaf span.
+    pub fn new(name: impl Into<String>, start: SimDuration, duration: SimDuration) -> Self {
+        Span { name: name.into(), start, duration, children: Vec::new(), tags: Vec::new() }
+    }
+
+    /// Adds a tag.
+    pub fn tag(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.tags.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Total spans in this tree.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(Span::span_count).sum::<usize>()
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{indent}{} [{} +{}]",
+            self.name, self.start, self.duration
+        ));
+        for (k, v) in &self.tags {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render(depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(0, &mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Builds the span tree of one invocation from its report.
+pub fn invocation_trace(label: &str, report: &InvocationReport) -> Span {
+    let mut root = Span::new(
+        format!("invocation:{label}"),
+        SimDuration::ZERO,
+        report.total_time(),
+    );
+    root = root.tag("degraded", report.degraded);
+
+    let setup = Span::new("setup", SimDuration::ZERO, report.setup_time)
+        .tag("mmap_calls", report.mmap_calls);
+    root.children.push(setup);
+
+    if report.fetch_pages > 0 {
+        let fetch = Span::new("prefetch", SimDuration::ZERO, report.fetch_time)
+            .tag("pages", report.fetch_pages);
+        root.children.push(fetch);
+    }
+
+    let mut function = Span::new("function", report.setup_time, report.invocation_time);
+    let faults = Span::new("fault-handling", report.setup_time, report.fault_wait)
+        .tag("anon", report.anon_faults)
+        .tag("minor", report.minor_faults)
+        .tag("major", report.major_faults)
+        .tag("host_pte", report.host_pte_faults)
+        .tag("uffd", report.uffd_faults);
+    function.children.push(faults);
+    root.children.push(function);
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mm::fault::FaultKind;
+
+    fn sample_report() -> InvocationReport {
+        let mut r = InvocationReport::default();
+        r.setup_time = SimDuration::from_millis(50);
+        r.invocation_time = SimDuration::from_millis(120);
+        r.fetch_pages = 1000;
+        r.fetch_time = SimDuration::from_millis(20);
+        r.mmap_calls = 117;
+        r.record_fault(FaultKind::Minor, SimDuration::from_micros(4));
+        r.record_fault(FaultKind::Major, SimDuration::from_micros(90));
+        r
+    }
+
+    #[test]
+    fn trace_structure() {
+        let span = invocation_trace("image", &sample_report());
+        assert_eq!(span.span_count(), 5);
+        assert_eq!(span.duration, SimDuration::from_millis(170));
+        assert_eq!(span.children.len(), 3);
+        assert_eq!(span.children[0].name, "setup");
+        assert_eq!(span.children[1].name, "prefetch");
+        assert_eq!(span.children[2].name, "function");
+        assert_eq!(span.children[2].start, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn no_prefetch_span_without_loader() {
+        let mut r = sample_report();
+        r.fetch_pages = 0;
+        let span = invocation_trace("x", &r);
+        assert!(span.children.iter().all(|c| c.name != "prefetch"));
+    }
+
+    #[test]
+    fn render_contains_tags() {
+        let s = format!("{}", invocation_trace("image", &sample_report()));
+        assert!(s.contains("invocation:image"));
+        assert!(s.contains("mmap_calls=117"));
+        assert!(s.contains("major=1"));
+        assert!(s.contains("minor=1"));
+        // Indentation reflects nesting.
+        assert!(s.contains("\n  setup"));
+        assert!(s.contains("\n    fault-handling"));
+    }
+}

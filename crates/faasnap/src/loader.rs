@@ -1,0 +1,299 @@
+//! The concurrent-paging daemon loader (§4.2).
+//!
+//! "Instead of blocking the VM while waiting for the prefetch to complete,
+//! the FaaSnap daemon starts the VM immediately after setup ... it starts
+//! a loader thread to prefetch the pages from the working set recorded in
+//! earlier invocations." The loader runs in the daemon (not the VMM), so
+//! prefetching begins the moment the invocation request arrives.
+//!
+//! A [`LoaderPlan`] is the ordered list of disk reads the loader will
+//! issue, one at a time (a single loader thread):
+//!
+//! - **Full FaaSnap** ([`LoaderPlan::from_loading_set`]): sequential
+//!   chunks of the compact loading-set file — strictly ascending file
+//!   offsets, so every read after the first hits the device's sequential
+//!   fast path.
+//! - **Concurrent paging only** ([`LoaderPlan::address_order`]): the
+//!   working set's non-zero pages read from the *memory file* in address
+//!   order (Figure 9's first ablation) — disk-friendly order but not
+//!   access order, so the guest often gets ahead of the loader.
+//! - **Per-region** ([`LoaderPlan::group_order`]): working-set regions
+//!   read from the memory file in group order (access-order-approximate,
+//!   §4.3) — better race behavior, but scattered reads.
+
+use sim_mm::addr::{runs_from_pages, PageNum};
+use sim_storage::device::{IoKind, IoRequest};
+use sim_storage::file::FileId;
+use sim_vm::guest_memory::GuestMemory;
+
+use crate::loadingset::LoadingSet;
+use crate::wset::WorkingSet;
+
+/// Maximum pages per loader read (512 KiB chunks keep the pipeline busy
+/// without monopolizing the bus).
+pub const LOADER_CHUNK_PAGES: u64 = 128;
+
+/// An ordered prefetch plan.
+#[derive(Clone, Debug, Default)]
+pub struct LoaderPlan {
+    /// Reads in issue order.
+    chunks: Vec<IoRequest>,
+    /// For each chunk, the guest pages its file pages back (same order as
+    /// the file pages), so the runtime knows what became prefetched.
+    guest_pages: Vec<Vec<PageNum>>,
+}
+
+impl LoaderPlan {
+    /// Full-FaaSnap plan: read the loading-set file sequentially.
+    pub fn from_loading_set(ls: &LoadingSet, ls_file: FileId) -> LoaderPlan {
+        let mut plan = LoaderPlan::default();
+        for region in ls.regions() {
+            let mut off = 0;
+            while off < region.guest.len() {
+                let len = (region.guest.len() - off).min(LOADER_CHUNK_PAGES);
+                plan.chunks.push(IoRequest {
+                    file: ls_file,
+                    page: region.file_start + off,
+                    pages: len,
+                    kind: IoKind::LoaderPrefetch,
+                });
+                plan.guest_pages.push(
+                    (region.guest.start + off..region.guest.start + off + len).collect(),
+                );
+                off += len;
+            }
+        }
+        plan.coalesce_sequential();
+        plan
+    }
+
+    /// Figure 9 "concurrent paging" ablation: the working set's non-zero
+    /// pages from the memory file, in ascending address order.
+    pub fn address_order(ws: &WorkingSet, memory: &GuestMemory, mem_file: FileId) -> LoaderPlan {
+        let mut pages: Vec<PageNum> =
+            ws.pages().iter().copied().filter(|&p| memory.is_nonzero(p)).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        Self::from_memfile_runs(pages, mem_file)
+    }
+
+    /// Figure 9 "per-region" ablation: working-set non-zero pages from the
+    /// memory file in group order (address order within each group).
+    pub fn group_order(ws: &WorkingSet, memory: &GuestMemory, mem_file: FileId) -> LoaderPlan {
+        let mut plan = LoaderPlan::default();
+        let group_size = ws.group_size() as usize;
+        let pages = ws.pages();
+        let mut start = 0;
+        while start < pages.len() {
+            let end = (start + group_size).min(pages.len());
+            let mut group: Vec<PageNum> =
+                pages[start..end].iter().copied().filter(|&p| memory.is_nonzero(p)).collect();
+            group.sort_unstable();
+            group.dedup();
+            let sub = Self::from_memfile_runs(group, mem_file);
+            plan.chunks.extend(sub.chunks);
+            plan.guest_pages.extend(sub.guest_pages);
+            start = end;
+        }
+        plan
+    }
+
+    fn from_memfile_runs(sorted_pages: Vec<PageNum>, mem_file: FileId) -> LoaderPlan {
+        let mut plan = LoaderPlan::default();
+        for run in runs_from_pages(sorted_pages) {
+            let mut off = 0;
+            while off < run.len() {
+                let len = (run.len() - off).min(LOADER_CHUNK_PAGES);
+                plan.chunks.push(IoRequest {
+                    file: mem_file,
+                    page: run.start + off,
+                    pages: len,
+                    kind: IoKind::LoaderPrefetch,
+                });
+                plan.guest_pages
+                    .push((run.start + off..run.start + off + len).collect());
+                off += len;
+            }
+        }
+        plan
+    }
+
+    /// Merges chunks that are contiguous in the file up to the chunk size
+    /// (regions adjacent in the loading-set file read as one stream).
+    fn coalesce_sequential(&mut self) {
+        let mut chunks: Vec<IoRequest> = Vec::with_capacity(self.chunks.len());
+        let mut guests: Vec<Vec<PageNum>> = Vec::with_capacity(self.guest_pages.len());
+        for (c, g) in self.chunks.drain(..).zip(self.guest_pages.drain(..)) {
+            match (chunks.last_mut(), guests.last_mut()) {
+                (Some(last), Some(lg))
+                    if last.file == c.file
+                        && last.page + last.pages == c.page
+                        && last.pages + c.pages <= LOADER_CHUNK_PAGES =>
+                {
+                    last.pages += c.pages;
+                    lg.extend(g);
+                }
+                _ => {
+                    chunks.push(c);
+                    guests.push(g);
+                }
+            }
+        }
+        self.chunks = chunks;
+        self.guest_pages = guests;
+    }
+
+    /// Number of reads in the plan.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True if there is nothing to prefetch.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// The `idx`-th read.
+    pub fn chunk(&self, idx: usize) -> &IoRequest {
+        &self.chunks[idx]
+    }
+
+    /// Guest pages backed by the `idx`-th read.
+    pub fn guest_pages(&self, idx: usize) -> &[PageNum] {
+        &self.guest_pages[idx]
+    }
+
+    /// Total pages the plan reads.
+    pub fn total_pages(&self) -> u64 {
+        self.chunks.iter().map(|c| c.pages).sum()
+    }
+
+    /// Total bytes the plan reads.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * sim_core::units::PAGE_SIZE
+    }
+
+    /// Fraction of reads that continue the previous read's file extent
+    /// (sequentiality of the plan; ~1.0 for loading-set plans).
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.chunks.len() <= 1 {
+            return 1.0;
+        }
+        let seq = self
+            .chunks
+            .windows(2)
+            .filter(|w| w[0].file == w[1].file && w[0].page + w[0].pages == w[1].page)
+            .count();
+        seq as f64 / (self.chunks.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with(nonzero: std::ops::Range<u64>) -> GuestMemory {
+        let mut m = GuestMemory::new(1 << 20);
+        for p in nonzero {
+            m.write(p, 1);
+        }
+        m
+    }
+
+    fn ws_of(pages: &[u64]) -> WorkingSet {
+        let mut ws = WorkingSet::with_group_size(4);
+        ws.extend(pages);
+        ws
+    }
+
+    #[test]
+    fn loading_set_plan_is_fully_sequential() {
+        let ws = ws_of(&[100, 101, 500, 501, 502, 900]);
+        let mem = mem_with(0..1000);
+        let ls = LoadingSet::build(&ws, &mem, 0);
+        let plan = LoaderPlan::from_loading_set(&ls, FileId(7));
+        assert!(plan.sequential_fraction() > 0.99);
+        assert_eq!(plan.total_pages(), ls.file_pages());
+        // File offsets strictly ascend.
+        let mut next = 0;
+        for i in 0..plan.len() {
+            assert_eq!(plan.chunk(i).page, next);
+            next += plan.chunk(i).pages;
+        }
+    }
+
+    #[test]
+    fn loading_set_plan_maps_guest_pages() {
+        let ws = ws_of(&[10, 11, 40]);
+        let mem = mem_with(0..100);
+        let ls = LoadingSet::build(&ws, &mem, 0);
+        let plan = LoaderPlan::from_loading_set(&ls, FileId(7));
+        let all_guest: Vec<u64> =
+            (0..plan.len()).flat_map(|i| plan.guest_pages(i).to_vec()).collect();
+        let mut sorted = all_guest.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![10, 11, 40]);
+    }
+
+    #[test]
+    fn address_order_plan_sorted_and_skips_zero() {
+        let ws = ws_of(&[500, 10, 11, 200]);
+        let mut mem = mem_with(0..300);
+        mem.zero(200);
+        let plan = LoaderPlan::address_order(&ws, &mem, FileId(1));
+        // 500 is zero (outside 0..300)? No: 500 not in nonzero range => skipped.
+        let pages: Vec<u64> = (0..plan.len()).map(|i| plan.chunk(i).page).collect();
+        assert_eq!(pages, vec![10], "one run starting at 10");
+        assert_eq!(plan.total_pages(), 2);
+    }
+
+    #[test]
+    fn group_order_plan_follows_groups() {
+        // Group size 4: group 0 = [100,101,102,103], group 1 = [0,1,2,3].
+        let ws = ws_of(&[100, 101, 102, 103, 0, 1, 2, 3]);
+        let mem = mem_with(0..200);
+        let plan = LoaderPlan::group_order(&ws, &mem, FileId(1));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.chunk(0).page, 100, "group 0 read first");
+        assert_eq!(plan.chunk(1).page, 0);
+        // Scattered: reads are not sequential in the file.
+        assert!(plan.sequential_fraction() < 0.5);
+    }
+
+    #[test]
+    fn chunking_large_regions() {
+        let pages: Vec<u64> = (0..300).collect();
+        let ws = {
+            let mut w = WorkingSet::with_group_size(1024);
+            w.extend(&pages);
+            w
+        };
+        let mem = mem_with(0..300);
+        let ls = LoadingSet::build(&ws, &mem, 0);
+        let plan = LoaderPlan::from_loading_set(&ls, FileId(1));
+        assert_eq!(plan.len(), 3, "300 pages in 128-page chunks");
+        assert_eq!(plan.chunk(0).pages, 128);
+        assert_eq!(plan.chunk(2).pages, 44);
+    }
+
+    #[test]
+    fn empty_plans() {
+        let ws = WorkingSet::new();
+        let mem = GuestMemory::new(100);
+        let ls = LoadingSet::build(&ws, &mem, 0);
+        assert!(LoaderPlan::from_loading_set(&ls, FileId(1)).is_empty());
+        assert!(LoaderPlan::address_order(&ws, &mem, FileId(1)).is_empty());
+        assert!(LoaderPlan::group_order(&ws, &mem, FileId(1)).is_empty());
+    }
+
+    #[test]
+    fn all_chunks_tagged_loader() {
+        let ws = ws_of(&[1, 2, 3]);
+        let mem = mem_with(0..10);
+        let ls = LoadingSet::build(&ws, &mem, 0);
+        let plan = LoaderPlan::from_loading_set(&ls, FileId(1));
+        for i in 0..plan.len() {
+            assert_eq!(plan.chunk(i).kind, IoKind::LoaderPrefetch);
+        }
+    }
+}

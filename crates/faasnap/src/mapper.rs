@@ -1,0 +1,197 @@
+//! Guest-memory mapping setup per restore strategy.
+//!
+//! Vanilla Firecracker maps the entire guest space to the memory file.
+//! FaaSnap builds the Figure 4 hierarchy with overlapping `MAP_FIXED`
+//! mappings (§4.8): anonymous base → non-zero regions onto the memory
+//! file → loading-set regions onto the loading-set file. "One way to map
+//! these regions is to make non-overlapping mmap calls for each individual
+//! region. However, we can reduce the number of mmap calls by mapping
+//! smaller regions on top of existing ones in a hierarchy." Both variants
+//! are implemented so the benefit is measurable.
+
+use sim_mm::addr::PageRange;
+use sim_mm::vma::{AddressSpace, Backing};
+use sim_storage::file::FileId;
+
+use crate::loadingset::LoadingSet;
+
+/// Maps the whole guest space to the memory file (vanilla Firecracker
+/// snapshot restore, also used by Cached and REAP).
+pub fn map_vanilla(aspace: &mut AddressSpace, total_pages: u64, mem_file: FileId) {
+    aspace.map_fixed(
+        PageRange::new(0, total_pages),
+        Backing::File { file: mem_file, offset_page: 0 },
+    );
+}
+
+/// Maps the whole guest space anonymously (warm VMs are booted from VM
+/// images, "the guest memory region is mapped to host anonymous memory",
+/// §3.3).
+pub fn map_warm(aspace: &mut AddressSpace, total_pages: u64) {
+    aspace.map_fixed(PageRange::new(0, total_pages), Backing::Anonymous);
+}
+
+/// Builds FaaSnap's hierarchical overlapping mapping (Figure 4):
+///
+/// 1. one anonymous mapping over the whole guest space (zero regions and
+///    released/unused sets resolve here),
+/// 2. non-zero regions overlaid at identical offsets in the memory file
+///    (the cold set resolves here),
+/// 3. loading-set regions overlaid at their recorded offsets in the
+///    loading-set file.
+///
+/// Returns the number of `mmap` calls issued.
+pub fn map_faasnap_hierarchical(
+    aspace: &mut AddressSpace,
+    total_pages: u64,
+    nonzero_regions: &[PageRange],
+    ls: &LoadingSet,
+    mem_file: FileId,
+    ls_file: FileId,
+) -> u64 {
+    let before = aspace.mmap_calls();
+    aspace.map_fixed(PageRange::new(0, total_pages), Backing::Anonymous);
+    for r in nonzero_regions {
+        aspace.map_fixed(*r, Backing::File { file: mem_file, offset_page: r.start });
+    }
+    for r in ls.regions() {
+        aspace.map_fixed(r.guest, Backing::File { file: ls_file, offset_page: r.file_start });
+    }
+    aspace.mmap_calls() - before
+}
+
+/// The flat (non-hierarchical) alternative: computes the final partition
+/// of the guest space and maps every piece exactly once, with no
+/// overlapping. Produces the same address space as the hierarchical
+/// variant but needs many more `mmap` calls (every anonymous hole between
+/// file-backed pieces becomes its own mapping).
+///
+/// Returns the number of `mmap` calls issued.
+pub fn map_faasnap_flat(
+    aspace: &mut AddressSpace,
+    total_pages: u64,
+    nonzero_regions: &[PageRange],
+    ls: &LoadingSet,
+    mem_file: FileId,
+    ls_file: FileId,
+) -> u64 {
+    let before = aspace.mmap_calls();
+    // Build the final per-page backing: 0 = anon, 1 = memfile, 2 = lsfile.
+    // (Dense scratch array: setup-time only.)
+    let mut owner = vec![0u8; total_pages as usize];
+    for r in nonzero_regions {
+        for p in r.iter() {
+            owner[p as usize] = 1;
+        }
+    }
+    for r in ls.regions() {
+        for p in r.guest.iter() {
+            owner[p as usize] = 2;
+        }
+    }
+    // Emit maximal runs of equal backing.
+    let mut start = 0u64;
+    for p in 1..=total_pages {
+        if p == total_pages || owner[p as usize] != owner[start as usize] {
+            let run = PageRange::new(start, p);
+            match owner[start as usize] {
+                0 => aspace.map_fixed(run, Backing::Anonymous),
+                1 => aspace
+                    .map_fixed(run, Backing::File { file: mem_file, offset_page: run.start }),
+                _ => {
+                    let file_start = ls
+                        .file_page_of(run.start)
+                        .expect("ls region pages have file offsets");
+                    aspace.map_fixed(
+                        run,
+                        Backing::File { file: ls_file, offset_page: file_start },
+                    );
+                }
+            }
+            start = p;
+        }
+    }
+    aspace.mmap_calls() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wset::WorkingSet;
+    use sim_mm::vma::Resolved;
+    use sim_vm::guest_memory::GuestMemory;
+
+    fn build_ls(ws_pages: &[u64], nonzero: &[u64], total: u64) -> (LoadingSet, Vec<PageRange>) {
+        let mut ws = WorkingSet::new();
+        ws.extend(ws_pages);
+        let mut mem = GuestMemory::new(total);
+        for &p in nonzero {
+            mem.write(p, p + 1);
+        }
+        (LoadingSet::build(&ws, &mem, 2), mem.nonzero_regions())
+    }
+
+    #[test]
+    fn vanilla_is_one_call_whole_file() {
+        let mut a = AddressSpace::new();
+        map_vanilla(&mut a, 1000, FileId(1));
+        assert_eq!(a.mmap_calls(), 1);
+        assert_eq!(a.resolve(999), Some(Resolved::File { file: FileId(1), file_page: 999 }));
+        assert!(a.covers(PageRange::new(0, 1000)));
+    }
+
+    #[test]
+    fn warm_is_anonymous() {
+        let mut a = AddressSpace::new();
+        map_warm(&mut a, 100);
+        assert_eq!(a.resolve(50), Some(Resolved::Anonymous));
+    }
+
+    #[test]
+    fn hierarchical_mapping_resolves_each_set_correctly() {
+        // Non-zero: [10,20) and [40,50). WS (cached during record):
+        // 10..14 and 45..47. Loading set = their intersection regions.
+        let (ls, nz) = build_ls(&[10, 11, 12, 13, 45, 46], &(10..20).chain(40..50).collect::<Vec<_>>(), 100);
+        let mut a = AddressSpace::new();
+        let calls =
+            map_faasnap_hierarchical(&mut a, 100, &nz, &ls, FileId(1), FileId(2));
+        assert_eq!(calls, 1 + 2 + 2);
+        // Zero page -> anonymous (unused set).
+        assert_eq!(a.resolve(5), Some(Resolved::Anonymous));
+        // Cold set (non-zero, not in WS) -> memory file at same offset.
+        assert_eq!(a.resolve(17), Some(Resolved::File { file: FileId(1), file_page: 17 }));
+        assert_eq!(a.resolve(42), Some(Resolved::File { file: FileId(1), file_page: 42 }));
+        // Loading set -> loading set file at recorded offsets.
+        let f10 = ls.file_page_of(10).unwrap();
+        assert_eq!(a.resolve(10), Some(Resolved::File { file: FileId(2), file_page: f10 }));
+        let f46 = ls.file_page_of(46).unwrap();
+        assert_eq!(a.resolve(46), Some(Resolved::File { file: FileId(2), file_page: f46 }));
+        assert!(a.covers(PageRange::new(0, 100)));
+    }
+
+    #[test]
+    fn flat_and_hierarchical_agree() {
+        let nonzero: Vec<u64> = (10..30).chain(50..90).chain(95..97).collect();
+        let ws: Vec<u64> = (12..18).chain(55..60).chain(70..75).chain(95..97).collect();
+        let (ls, nz) = build_ls(&ws, &nonzero, 200);
+        let mut h = AddressSpace::new();
+        let hcalls = map_faasnap_hierarchical(&mut h, 200, &nz, &ls, FileId(1), FileId(2));
+        let mut f = AddressSpace::new();
+        let fcalls = map_faasnap_flat(&mut f, 200, &nz, &ls, FileId(1), FileId(2));
+        for p in 0..200 {
+            assert_eq!(h.resolve(p), f.resolve(p), "page {p} differs");
+        }
+        assert!(
+            fcalls > hcalls,
+            "flat ({fcalls}) should need more mmap calls than hierarchical ({hcalls})"
+        );
+    }
+
+    #[test]
+    fn hierarchical_call_count_formula() {
+        let (ls, nz) = build_ls(&[10, 50], &[10, 50], 100);
+        let mut a = AddressSpace::new();
+        let calls = map_faasnap_hierarchical(&mut a, 100, &nz, &ls, FileId(1), FileId(2));
+        assert_eq!(calls, 1 + nz.len() as u64 + ls.region_count());
+    }
+}

@@ -1,0 +1,198 @@
+//! The REAP baseline (§2.5, integrated as in §5).
+//!
+//! REAP's restore sequence:
+//!
+//! 1. register the guest memory region with `userfaultfd`;
+//! 2. **blocking fetch**: read the compact working-set file in one
+//!    sequential pass (bypassing the page cache — "REAP bypasses the page
+//!    cache to maximize read bandwidth", §6.6) and install every page via
+//!    `UFFDIO_COPY` *before* the function starts — the long gray setup
+//!    bars of Figure 1;
+//! 3. during execution, faults on installed pages are fast (< 4 µs, host
+//!    PTE present); faults **outside** the working set go to the
+//!    user-space handler, which reads the page from the memory file and
+//!    installs it — serialized, with wake/copy/context-switch overheads
+//!    (the 8–64 µs and > 128 µs populations of Figure 2).
+//!
+//! [`ReapHandler`] is the passive timing model of that single-threaded
+//! handler; the DES runtime routes `FaultOutcome::Userfault` events to it.
+
+use sim_core::rng::Prng;
+use sim_core::time::{SimDuration, SimTime};
+use sim_mm::costs::FaultCosts;
+
+/// Cost of one bulk `UFFDIO_COPY` page install during the working-set
+/// fetch (amortized; cheaper than per-miss installs).
+pub const BULK_COPY_US_PER_PAGE: f64 = 0.45;
+
+/// The serialized user-level fault handler.
+#[derive(Clone, Debug)]
+pub struct ReapHandler {
+    /// When the handler thread frees up.
+    busy_until: SimTime,
+    rng: Prng,
+    /// Faults served at user level.
+    misses: u64,
+    /// Total time faulting vCPUs spent waiting on the handler.
+    total_wait: SimDuration,
+}
+
+/// The handler's verdict for one user-level fault.
+#[derive(Clone, Copy, Debug)]
+pub struct ReapService {
+    /// When the guest resumes.
+    pub resume_at: SimTime,
+    /// Whether the memory-file page still needs a disk read (the runtime
+    /// submits it and calls [`ReapHandler::complete_with_io`] instead).
+    pub needs_io: bool,
+}
+
+impl ReapHandler {
+    /// Creates an idle handler.
+    pub fn new(seed: u64) -> Self {
+        ReapHandler {
+            busy_until: SimTime::ZERO,
+            rng: Prng::new(seed),
+            misses: 0,
+            total_wait: SimDuration::ZERO,
+        }
+    }
+
+    /// Computes the blocking working-set fetch time: one sequential read
+    /// of `ws_pages` pages at `read_bandwidth` plus the bulk installs.
+    pub fn fetch_time(ws_pages: u64, read: SimDuration) -> SimDuration {
+        read + SimDuration::from_micros_f64(ws_pages as f64 * BULK_COPY_US_PER_PAGE)
+    }
+
+    /// Serves a fault that arrived at `now` and whose memory-file page is
+    /// already in the page cache: wake + read from cache + copy + resume.
+    pub fn serve_cached(&mut self, now: SimTime, costs: &FaultCosts) -> ReapService {
+        let start = now.max(self.busy_until);
+        let service = costs.uffd_wake(&mut self.rng)
+            + costs.minor_fault(&mut self.rng)
+            + costs.uffd_copy(&mut self.rng)
+            + costs.uffd_resume(&mut self.rng);
+        let resume_at = start + service;
+        self.busy_until = resume_at;
+        self.misses += 1;
+        self.total_wait += resume_at - now;
+        ReapService { resume_at, needs_io: false }
+    }
+
+    /// Begins serving a fault whose page needs a disk read. The handler is
+    /// busy from `now` (wake + read issue); the runtime submits the I/O and
+    /// finishes with [`ReapHandler::complete_with_io`].
+    pub fn serve_uncached(&mut self, now: SimTime, costs: &FaultCosts) -> SimTime {
+        let start = now.max(self.busy_until);
+        let issue_at = start + costs.uffd_wake(&mut self.rng);
+        // Handler blocks on the read; busy_until is extended by
+        // complete_with_io once the completion time is known.
+        self.busy_until = issue_at;
+        issue_at
+    }
+
+    /// Completes an uncached service: the disk read finished at `io_done`;
+    /// copy + resume follow. Returns when the guest resumes.
+    pub fn complete_with_io(
+        &mut self,
+        fault_arrival: SimTime,
+        io_done: SimTime,
+        costs: &FaultCosts,
+    ) -> SimTime {
+        let resume_at =
+            io_done + costs.uffd_copy(&mut self.rng) + costs.uffd_resume(&mut self.rng);
+        self.busy_until = self.busy_until.max(resume_at);
+        self.misses += 1;
+        self.total_wait += resume_at - fault_arrival;
+        resume_at
+    }
+
+    /// Faults served at user level so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cumulative vCPU wait attributable to user-level handling.
+    pub fn total_wait(&self) -> SimDuration {
+        self.total_wait
+    }
+
+    /// When the handler next frees up (for tests).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    #[test]
+    fn cached_service_in_expected_band() {
+        // Figure 2: REAP out-of-set faults on cached pages take 8-64 us.
+        let mut h = ReapHandler::new(1);
+        let costs = FaultCosts::default();
+        let mut total = 0.0;
+        for i in 0..100 {
+            let s = h.serve_cached(t(i * 1000), &costs);
+            let dt = (s.resume_at - t(i * 1000)).as_micros_f64();
+            assert!(!s.needs_io);
+            total += dt;
+        }
+        let mean = total / 100.0;
+        assert!((8.0..40.0).contains(&mean), "mean cached service {mean}us");
+    }
+
+    #[test]
+    fn handler_serializes_bursts() {
+        let mut h = ReapHandler::new(2);
+        let costs = FaultCosts::default();
+        // Ten faults arriving simultaneously queue behind one another.
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            let s = h.serve_cached(t(0), &costs);
+            assert!(s.resume_at > last, "strictly increasing completion");
+            last = s.resume_at;
+        }
+        assert!(last.as_micros_f64() > 100.0, "10 serialized services");
+        assert_eq!(h.misses(), 10);
+    }
+
+    #[test]
+    fn uncached_service_includes_io() {
+        let mut h = ReapHandler::new(3);
+        let costs = FaultCosts::default();
+        let arrival = t(10);
+        let issue = h.serve_uncached(arrival, &costs);
+        assert!(issue > arrival);
+        let io_done = issue + SimDuration::from_micros(120);
+        let resume = h.complete_with_io(arrival, io_done, &costs);
+        assert!(resume > io_done);
+        let total = (resume - arrival).as_micros_f64();
+        assert!(total > 125.0, "uncached service {total}us > 128us band");
+    }
+
+    #[test]
+    fn fetch_time_scales_with_ws() {
+        let read = SimDuration::from_millis(100);
+        let small = ReapHandler::fetch_time(1000, read);
+        let large = ReapHandler::fetch_time(131_072, read);
+        assert!(large > small);
+        // 131k pages at 0.45us/page ≈ 59ms of installs on top of the read.
+        let installs = (large - read).as_millis_f64();
+        assert!((50.0..70.0).contains(&installs), "installs {installs}ms");
+    }
+
+    #[test]
+    fn wait_accounting() {
+        let mut h = ReapHandler::new(4);
+        let costs = FaultCosts::default();
+        h.serve_cached(t(0), &costs);
+        assert!(h.total_wait() > SimDuration::ZERO);
+        assert_eq!(h.total_wait(), h.busy_until() - t(0));
+    }
+}

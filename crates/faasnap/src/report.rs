@@ -1,0 +1,140 @@
+//! Per-invocation measurement report.
+//!
+//! Mirrors the paper's instrumentation: end-to-end time split into setup
+//! and invocation (Figure 1), page-fault counts and handling-time
+//! distribution (`kvm_mmu_page_fault` via bpftrace — Figure 2, Figure 9),
+//! loader fetch time and size, guest-fault read volume and fault waiting
+//! time (Table 3), and disk request counts (Figure 9).
+
+use sim_core::stats::Log2Histogram;
+use sim_core::time::SimDuration;
+use sim_core::units::PAGE_SIZE;
+use sim_mm::fault::FaultKind;
+
+/// Everything measured about one invocation.
+#[derive(Clone, Debug, Default)]
+pub struct InvocationReport {
+    /// VM setup: VMM start, state restore, mapping setup, and (REAP) the
+    /// blocking working-set fetch. Figure 1's gray bars.
+    pub setup_time: SimDuration,
+    /// Function invocation: request sent → reply received.
+    pub invocation_time: SimDuration,
+    /// Fault counts by class.
+    pub anon_faults: u64,
+    /// Minor faults (page cache hits).
+    pub minor_faults: u64,
+    /// Major faults (disk reads, including page-lock waits on in-flight
+    /// reads).
+    pub major_faults: u64,
+    /// Fast faults on REAP-prefetched (host-PTE) pages.
+    pub host_pte_faults: u64,
+    /// Faults delivered to the user-level handler.
+    pub uffd_faults: u64,
+    /// Distribution of fault handling times (Figure 2).
+    pub fault_hist: Log2Histogram,
+    /// Total time the vCPU spent blocked on faults (Table 3's "page fault
+    /// waiting time").
+    pub fault_wait: SimDuration,
+    /// Loader: time from invocation start to the last prefetch completion.
+    pub fetch_time: SimDuration,
+    /// Loader: pages prefetched (Table 3's "fetch size"; for REAP, the
+    /// working-set file size).
+    pub fetch_pages: u64,
+    /// Pages read from disk due to guest faults (Table 3's "guest
+    /// pagefault size").
+    pub guest_fault_read_pages: u64,
+    /// Disk read requests caused by guest faults (Figure 9's "# of block
+    /// requests").
+    pub fault_block_requests: u64,
+    /// `mmap` calls made during setup.
+    pub mmap_calls: u64,
+    /// Anonymous (non-cache) pages resident at the end (memory footprint,
+    /// §7.3).
+    pub resident_pages: u64,
+    /// Page-cache pages attributable to this invocation's files at the end.
+    pub cache_pages: u64,
+    /// True if the restore degraded (missing/corrupt artifacts forced a
+    /// fallback toward vanilla demand paging).
+    pub degraded: bool,
+    /// Unique VM generation ID handed to the restored guest (§7.4): VMs
+    /// cloned from one snapshot reseed their PRNGs from it.
+    pub vm_generation_id: u64,
+}
+
+impl InvocationReport {
+    /// End-to-end time (setup + invocation), the quantity plotted in
+    /// Figures 6–8.
+    pub fn total_time(&self) -> SimDuration {
+        self.setup_time + self.invocation_time
+    }
+
+    /// Total guest page faults of all classes.
+    pub fn total_faults(&self) -> u64 {
+        self.anon_faults + self.minor_faults + self.major_faults + self.host_pte_faults
+            + self.uffd_faults
+    }
+
+    /// Fetch size in bytes.
+    pub fn fetch_bytes(&self) -> u64 {
+        self.fetch_pages * PAGE_SIZE
+    }
+
+    /// Guest-fault read volume in bytes.
+    pub fn guest_fault_read_bytes(&self) -> u64 {
+        self.guest_fault_read_pages * PAGE_SIZE
+    }
+
+    /// Records one handled fault.
+    pub fn record_fault(&mut self, kind: FaultKind, duration: SimDuration) {
+        match kind {
+            FaultKind::Anon => self.anon_faults += 1,
+            FaultKind::Minor => self.minor_faults += 1,
+            FaultKind::Major => self.major_faults += 1,
+            FaultKind::HostPte => self.host_pte_faults += 1,
+            FaultKind::Uffd => self.uffd_faults += 1,
+        }
+        self.fault_hist.record(duration);
+        self.fault_wait += duration;
+    }
+
+    /// Memory footprint in pages (anonymous + attributable page cache,
+    /// §7.3).
+    pub fn footprint_pages(&self) -> u64 {
+        self.resident_pages + self.cache_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut r = InvocationReport::default();
+        r.setup_time = SimDuration::from_millis(50);
+        r.invocation_time = SimDuration::from_millis(150);
+        assert_eq!(r.total_time(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn fault_recording() {
+        let mut r = InvocationReport::default();
+        r.record_fault(FaultKind::Anon, SimDuration::from_micros(2));
+        r.record_fault(FaultKind::Major, SimDuration::from_micros(100));
+        r.record_fault(FaultKind::Minor, SimDuration::from_micros(4));
+        assert_eq!(r.total_faults(), 3);
+        assert_eq!(r.anon_faults, 1);
+        assert_eq!(r.major_faults, 1);
+        assert_eq!(r.fault_wait, SimDuration::from_micros(106));
+        assert_eq!(r.fault_hist.count(), 3);
+    }
+
+    #[test]
+    fn byte_conversions() {
+        let mut r = InvocationReport::default();
+        r.fetch_pages = 256;
+        r.guest_fault_read_pages = 2;
+        assert_eq!(r.fetch_bytes(), 1 << 20);
+        assert_eq!(r.guest_fault_read_bytes(), 8192);
+    }
+}

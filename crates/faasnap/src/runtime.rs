@@ -1,0 +1,1253 @@
+//! The discrete-event invocation runtime.
+//!
+//! One [`Host`] (disks, page cache, in-flight I/O registry, CPU pool) can
+//! run any number of VMs concurrently (bursty workloads share the cache
+//! and the disk queue, §6.6). Each VM executes its function trace under a
+//! [`RestoreStrategy`]; the runtime translates vCPU steps into fault
+//! plans, disk I/O, loader prefetches, REAP handler services, and — in
+//! the record phase — `mincore` working-set scans.
+//!
+//! Time lines up with the paper's measurement boundaries:
+//!
+//! - `t = 0`: the invocation request reaches the daemon. The FaaSnap
+//!   loader starts prefetching *immediately* (§4.2: the loader lives in
+//!   the daemon "so that it can start prefetching immediately when the
+//!   daemon receives the invocation request").
+//! - `setup_time`: VMM start + state restore + mapping setup (+ REAP's
+//!   blocking working-set fetch). The vCPU starts here.
+//! - `done`: the function replies; `invocation_time = done − setup_time`.
+
+use sim_core::engine::{Engine, Scheduler, World};
+use sim_core::time::{SimDuration, SimTime};
+use sim_mm::addr::{PageNum, PageRange};
+use sim_mm::costs::FaultCosts;
+use sim_mm::fault::{FaultKind, FaultOutcome, FaultResolver};
+use sim_mm::inflight::InflightIo;
+use sim_mm::page_cache::PageCache;
+use sim_mm::page_table::{PageState, PageTable};
+use sim_mm::userfaultfd::UffdRegistry;
+use sim_mm::vma::{AddressSpace, Resolved};
+use sim_storage::device::{Disk, IoKind, IoRequest};
+use sim_storage::file::{DeviceId, FileId, SimFs};
+use sim_storage::profiles::DiskProfile;
+use sim_vm::boot::BootModel;
+use sim_vm::guest_kernel::GuestKernel;
+use sim_vm::guest_memory::GuestMemory;
+use sim_vm::trace::Trace;
+use sim_vm::vcpu::{Step, Vcpu};
+
+use crate::loader::LoaderPlan;
+use crate::loadingset::LoadingSet;
+use crate::mapper;
+use crate::reap::ReapHandler;
+use crate::record::{MincoreRecorder, UffdTracker};
+use crate::report::InvocationReport;
+use crate::strategy::{FaasnapConfig, RestoreStrategy};
+use crate::wset::{ReapWorkingSet, WorkingSet};
+
+/// Interval of the daemon's RSS poll during the record phase (§5 polls
+/// procfs; 2 ms keeps scan pacing responsive at negligible cost).
+const MINCORE_POLL_INTERVAL: SimDuration = SimDuration::from_millis(2);
+
+/// Processor-sharing CPU pool: compute segments stretch when more
+/// runnable vCPUs than cores exist (the 64-way burst bottleneck of §6.6).
+#[derive(Clone, Debug)]
+pub struct CpuPool {
+    cores: u32,
+    active: u32,
+}
+
+impl CpuPool {
+    /// Creates a pool with `cores` physical cores (c5d.metal has 96).
+    pub fn new(cores: u32) -> Self {
+        assert!(cores > 0);
+        CpuPool { cores, active: 0 }
+    }
+
+    /// Current slowdown factor for a newly started compute segment.
+    pub fn stretch(&self) -> f64 {
+        if self.active <= self.cores {
+            1.0
+        } else {
+            self.active as f64 / self.cores as f64
+        }
+    }
+
+    fn begin(&mut self) {
+        self.active += 1;
+    }
+
+    fn end(&mut self) {
+        debug_assert!(self.active > 0);
+        self.active -= 1;
+    }
+
+    /// Currently runnable tasks.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+}
+
+/// Shared host state.
+#[derive(Clone, Debug)]
+pub struct Host {
+    /// Simulated file registry.
+    pub fs: SimFs,
+    /// Block devices, indexed by `DeviceId`.
+    pub disks: Vec<Disk>,
+    /// The host page cache (shared by all VMs).
+    pub cache: PageCache,
+    /// In-flight read registry (page-lock semantics).
+    pub inflight: InflightIo,
+    /// Fault cost model.
+    pub costs: FaultCosts,
+    /// Boot/setup timing model.
+    pub boot: BootModel,
+    /// CPU pool.
+    pub cpu: CpuPool,
+    seed: u64,
+    vmgenid: u64,
+}
+
+impl Host {
+    /// Creates a host with one disk of the given profile and the paper's
+    /// 192 GB / 96-core c5d.metal shape.
+    pub fn new(profile: DiskProfile, seed: u64) -> Self {
+        Host {
+            fs: SimFs::new(),
+            disks: vec![Disk::new(profile, seed ^ 0xD15C)],
+            cache: PageCache::new(40 * 1024 * 1024), // 160 GB of page cache
+            inflight: InflightIo::new(),
+            costs: FaultCosts::default(),
+            boot: BootModel::default(),
+            cpu: CpuPool::new(96),
+            seed,
+            vmgenid: 0,
+        }
+    }
+
+    /// Adds another device (e.g. remote EBS next to the local NVMe).
+    pub fn add_device(&mut self, profile: DiskProfile) -> DeviceId {
+        let id = DeviceId(self.disks.len() as u32);
+        self.disks.push(Disk::new(profile, self.seed ^ 0xD15C ^ id.0 as u64));
+        id
+    }
+
+    /// The primary device.
+    pub fn primary_device(&self) -> DeviceId {
+        DeviceId(0)
+    }
+
+    /// Drops the entire page cache (between-test hygiene, §6.1).
+    pub fn drop_caches(&mut self) {
+        self.cache.drop_all();
+    }
+
+    /// Issues a fresh VM generation ID — the §7.4 mitigation for clones
+    /// restored from one snapshot ("using a special device to provide
+    /// unique VM IDs to the restored VMs"): guests reseed their PRNGs
+    /// from it, so identical restored states never share randomness.
+    pub fn next_vmgenid(&mut self) -> u64 {
+        self.vmgenid += 1;
+        self.vmgenid
+    }
+
+    /// Derives a fresh deterministic seed.
+    pub fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed
+    }
+
+    fn disk_of_file(&mut self, file: FileId) -> &mut Disk {
+        let dev = self.fs.meta(file).device;
+        &mut self.disks[dev.0 as usize]
+    }
+}
+
+/// Everything needed to run one invocation.
+#[derive(Clone, Debug)]
+pub struct InvocationSpec {
+    /// Restore strategy.
+    pub strategy: RestoreStrategy,
+    /// The function's execution trace for this input.
+    pub trace: Trace,
+    /// Guest memory contents at restore (the snapshot's frozen state).
+    pub memory: GuestMemory,
+    /// The snapshot memory file.
+    pub mem_file: FileId,
+    /// Non-zero regions of the memory file (from the post-record scan).
+    pub nonzero_regions: Vec<PageRange>,
+    /// The loading set (FaaSnap strategies).
+    pub ls: Option<LoadingSet>,
+    /// The loading-set file (FaaSnap with `loading_set_file`).
+    pub ls_file: Option<FileId>,
+    /// The grouped working set (FaaSnap ablations, warm residency).
+    pub ws: Option<WorkingSet>,
+    /// REAP's working set (REAP strategy).
+    pub reap_ws: Option<ReapWorkingSet>,
+    /// REAP's compact working-set file.
+    pub reap_ws_file: Option<FileId>,
+    /// Enable freed-page sanitization in the guest kernel (record phase).
+    pub sanitize: bool,
+    /// Record working sets during this run (record phase).
+    pub record: bool,
+    /// Working-set group size used when recording (§4.3).
+    pub record_group_size: u64,
+    /// RSS growth threshold pacing mincore scans when recording (§5).
+    pub record_scan_threshold: u64,
+    /// Verify mapping correctness at each fault (cheap; off for Warm).
+    pub verify_mappings: bool,
+}
+
+impl InvocationSpec {
+    /// A minimal spec for `strategy` over a bare snapshot.
+    pub fn new(
+        strategy: RestoreStrategy,
+        trace: Trace,
+        memory: GuestMemory,
+        mem_file: FileId,
+    ) -> Self {
+        let nonzero_regions = memory.nonzero_regions();
+        InvocationSpec {
+            strategy,
+            trace,
+            memory,
+            mem_file,
+            nonzero_regions,
+            ls: None,
+            ls_file: None,
+            ws: None,
+            reap_ws: None,
+            reap_ws_file: None,
+            sanitize: false,
+            record: false,
+            record_group_size: crate::wset::GROUP_SIZE,
+            record_scan_threshold: crate::wset::GROUP_SIZE,
+            verify_mappings: !matches!(strategy, RestoreStrategy::Warm),
+        }
+    }
+}
+
+/// The result of one invocation: measurements plus final state (the
+/// record phase snapshots the final memory).
+#[derive(Clone, Debug)]
+pub struct InvocationOutcome {
+    /// Measurements.
+    pub report: InvocationReport,
+    /// Guest memory at completion.
+    pub final_memory: GuestMemory,
+    /// Recorded working set (if `record`).
+    pub ws: Option<WorkingSet>,
+    /// Recorded REAP working set (if `record`).
+    pub reap_ws: Option<ReapWorkingSet>,
+}
+
+// ---------------------------------------------------------------------
+// Events and per-VM state
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Ev {
+    /// Setup finished: the vCPU starts executing.
+    StartVcpu { vm: usize },
+    /// Resume the vCPU (after an I/O-backed fault completed).
+    Resume { vm: usize },
+    /// The loader begins prefetching (at request arrival).
+    StartLoader { vm: usize },
+    /// A compute segment finished.
+    ComputeDone { vm: usize },
+    /// Resume the vCPU after a fixed-cost fault.
+    FaultDone { vm: usize, page: PageNum, write: bool, token: u64, kind: FaultKind, started: SimTime },
+    /// A guest-fault disk read finished.
+    FaultIoDone {
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        io: IoRequest,
+        started: SimTime,
+        overhead: SimDuration,
+    },
+    /// An async readahead read finished (no vCPU is waiting).
+    /// `guest_start` is the guest page backing `io.page`.
+    AsyncReadDone { vm: usize, io: IoRequest, guest_start: PageNum },
+    /// A page-lock wait on an in-flight read finished.
+    InflightDone { vm: usize, page: PageNum, write: bool, token: u64, started: SimTime },
+    /// A loader chunk read finished.
+    LoaderChunkDone { vm: usize, idx: usize },
+    /// A REAP handler disk read finished.
+    ReapIoDone {
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        io: IoRequest,
+        started: SimTime,
+    },
+    /// The guest resumes after user-level fault handling.
+    ReapResume { vm: usize, page: PageNum, write: bool, token: u64, started: SimTime },
+    /// Record-phase RSS poll tick.
+    MincorePoll { vm: usize },
+}
+
+struct VmRun {
+    vcpu: Vcpu,
+    mem: GuestMemory,
+    kernel: GuestKernel,
+    aspace: AddressSpace,
+    pt: PageTable,
+    uffd: UffdRegistry,
+    resolver: FaultResolver,
+    mem_file: FileId,
+    ls: Option<LoadingSet>,
+    ls_file: Option<FileId>,
+    loader_plan: LoaderPlan,
+    loader_next: usize,
+    loader_started: Option<SimTime>,
+    reap: Option<ReapHandler>,
+    invoke_start: SimTime,
+    done_at: Option<SimTime>,
+    report: InvocationReport,
+    mincore_rec: Option<MincoreRecorder>,
+    uffd_track: Option<UffdTracker>,
+    verify_mappings: bool,
+}
+
+struct SimWorld<'h> {
+    host: &'h mut Host,
+    vms: Vec<VmRun>,
+}
+
+/// Runs a batch of invocations that all arrive at `t = 0` on one host
+/// (one element = the single-VM case; many = a burst).
+pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<InvocationOutcome> {
+    // Each run has its own clock starting at zero: device queues and the
+    // in-flight registry (which hold absolute times) start idle.
+    for disk in &mut host.disks {
+        disk.reset_queue();
+    }
+    host.inflight.clear();
+
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut vms = Vec::with_capacity(specs.len());
+
+    for (i, spec) in specs.into_iter().enumerate() {
+        let seed = host.next_seed();
+        let (vm, setup_time) = prepare_vm(host, spec, seed);
+        // The loader starts at request arrival; the vCPU after setup.
+        if !vm.loader_plan.is_empty() {
+            engine.scheduler().schedule(SimTime::ZERO, Ev::StartLoader { vm: i });
+        }
+        engine.scheduler().schedule(SimTime::ZERO + setup_time, Ev::StartVcpu { vm: i });
+        if vm.mincore_rec.is_some() {
+            engine
+                .scheduler()
+                .schedule(SimTime::ZERO + MINCORE_POLL_INTERVAL, Ev::MincorePoll { vm: i });
+        }
+        vms.push(vm);
+    }
+
+    let mut world = SimWorld { host, vms };
+    engine.run(&mut world);
+
+    let SimWorld { host, vms } = world;
+    vms.into_iter()
+        .map(|mut vm| {
+            assert!(vm.done_at.is_some(), "vCPU never finished — deadlocked simulation?");
+            // Footprint accounting (§7.3): anonymous residency plus the
+            // page-cache pages of this VM's backing files.
+            vm.report.resident_pages = vm.pt.rss_pages();
+            vm.report.cache_pages = host.cache.resident_of(vm.mem_file)
+                + vm.ls_file.map(|f| host.cache.resident_of(f)).unwrap_or(0);
+            InvocationOutcome {
+                report: vm.report,
+                final_memory: vm.mem,
+                ws: vm.mincore_rec.map(|r| r.finish()),
+                reap_ws: vm.uffd_track.map(|t| t.finish()),
+            }
+        })
+        .collect()
+}
+
+/// Runs a single invocation.
+pub fn run_invocation(host: &mut Host, spec: InvocationSpec) -> InvocationOutcome {
+    run_invocations(host, vec![spec]).remove(0)
+}
+
+/// Convenience wrapper used by experiments: a complete invocation
+/// simulator bound to a host.
+pub struct InvocationSim;
+
+impl InvocationSim {
+    /// Runs `spec` on `host` after dropping caches (the evaluation's
+    /// between-test hygiene). `Cached` re-warms the cache afterwards.
+    pub fn run_clean(host: &mut Host, spec: InvocationSpec) -> InvocationOutcome {
+        host.drop_caches();
+        run_invocation(host, spec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// VM preparation (strategy-specific setup)
+// ---------------------------------------------------------------------
+
+fn prepare_vm(host: &mut Host, spec: InvocationSpec, seed: u64) -> (VmRun, SimDuration) {
+    let total_pages = spec.memory.total_pages();
+    let mut aspace = AddressSpace::new();
+    let mut pt = PageTable::new(total_pages);
+    let mut uffd = UffdRegistry::new();
+    let mut kernel = GuestKernel::new();
+    kernel.set_sanitize_freed(spec.sanitize);
+    let resolver = FaultResolver::new(host.costs.clone(), seed);
+    let mut report = InvocationReport::default();
+    let mut reap = None;
+    let mut loader_plan = LoaderPlan::default();
+
+    let mut setup = SimDuration::ZERO;
+    match spec.strategy {
+        RestoreStrategy::Warm => {
+            // Live VM: anonymous memory, previously touched pages resident.
+            mapper::map_warm(&mut aspace, total_pages);
+            for r in &spec.nonzero_regions {
+                pt.set_range(*r, PageState::Mapped);
+            }
+            if let Some(ws) = &spec.ws {
+                for &p in ws.pages() {
+                    pt.install(p);
+                }
+            }
+        }
+        RestoreStrategy::Vanilla => {
+            mapper::map_vanilla(&mut aspace, total_pages, spec.mem_file);
+            setup = host.boot.snapshot_setup_base() + host.costs.mmap_calls(1);
+        }
+        RestoreStrategy::Cached => {
+            mapper::map_vanilla(&mut aspace, total_pages, spec.mem_file);
+            setup = host.boot.snapshot_setup_base() + host.costs.mmap_calls(1);
+            // Pre-load the memory file into the page cache (reference
+            // setting; the warm-up itself is not measured, §6.1).
+            host.cache.insert_range(spec.mem_file, 0, total_pages);
+        }
+        RestoreStrategy::Reap => {
+            mapper::map_vanilla(&mut aspace, total_pages, spec.mem_file);
+            uffd.register(PageRange::new(0, total_pages));
+            let ws = spec.reap_ws.as_ref().expect("REAP needs a recorded working set");
+            let ws_file = spec.reap_ws_file.expect("REAP needs a working-set file");
+            // Blocking fetch: one sequential O_DIRECT read of the compact
+            // working-set file (bypasses the page cache), then bulk
+            // UFFDIO_COPY installs.
+            let read_done = if ws.is_empty() {
+                SimTime::ZERO
+            } else {
+                host.disk_of_file(ws_file).submit(
+                    SimTime::ZERO,
+                    IoRequest { file: ws_file, page: 0, pages: ws.len(), kind: IoKind::ReapFetch },
+                )
+            };
+            let fetch = ReapHandler::fetch_time(ws.len(), read_done - SimTime::ZERO);
+            for &p in ws.pages() {
+                pt.set_state(p, PageState::HostPte);
+            }
+            setup = host.boot.snapshot_setup_base() + host.costs.mmap_calls(1) + fetch;
+            report.fetch_time = fetch;
+            report.fetch_pages = ws.len();
+            reap = Some(ReapHandler::new(seed ^ 0x5EA9));
+        }
+        RestoreStrategy::FaaSnap(mut config) => {
+            config.validate().expect("invalid FaaSnap config");
+            // Robustness: if the loading-set artifacts are missing or
+            // corrupt (e.g. the file was evicted from snapshot storage),
+            // degrade gracefully — per-region needs the loading set, the
+            // ablation loaders need the working set; strip whatever is
+            // unavailable and fall back toward vanilla demand paging.
+            if config.loading_set_file && (spec.ls.is_none() || spec.ls_file.is_none()) {
+                config.loading_set_file = false;
+                config.per_region_mapping = false;
+                report.degraded = true;
+            }
+            if config.concurrent_paging
+                && !config.loading_set_file
+                && spec.ws.is_none()
+            {
+                config.concurrent_paging = false;
+                config.per_region_mapping = false;
+                report.degraded = true;
+            }
+            let mmaps = setup_faasnap_mapping(&mut aspace, &spec, total_pages, config);
+            setup = host.boot.snapshot_setup_base() + host.costs.mmap_calls(mmaps);
+            loader_plan = build_loader_plan(&spec, config);
+            report.fetch_pages = loader_plan.total_pages();
+        }
+    }
+    report.setup_time = setup;
+    report.mmap_calls = aspace.mmap_calls();
+    report.vm_generation_id = host.next_vmgenid();
+
+    let vm = VmRun {
+        vcpu: Vcpu::new(spec.trace),
+        mem: spec.memory,
+        kernel,
+        aspace,
+        pt,
+        uffd,
+        resolver,
+        mem_file: spec.mem_file,
+        ls: spec.ls,
+        ls_file: spec.ls_file,
+        loader_plan,
+        loader_next: 0,
+        loader_started: None,
+        reap,
+        invoke_start: SimTime::ZERO + setup,
+        done_at: None,
+        report,
+        mincore_rec: spec.record.then(|| {
+            MincoreRecorder::with_params(
+                total_pages,
+                WorkingSet::with_group_size(spec.record_group_size),
+                spec.record_scan_threshold,
+            )
+        }),
+        uffd_track: spec.record.then(|| UffdTracker::new(total_pages)),
+        verify_mappings: spec.verify_mappings,
+    };
+    (vm, setup)
+}
+
+fn setup_faasnap_mapping(
+    aspace: &mut AddressSpace,
+    spec: &InvocationSpec,
+    total_pages: u64,
+    config: FaasnapConfig,
+) -> u64 {
+    if !config.per_region_mapping {
+        mapper::map_vanilla(aspace, total_pages, spec.mem_file);
+        return 1;
+    }
+    let empty = LoadingSet::default();
+    let (ls, ls_file) = if config.loading_set_file {
+        (
+            spec.ls.as_ref().expect("FaaSnap full needs a loading set"),
+            spec.ls_file.expect("FaaSnap full needs a loading-set file"),
+        )
+    } else {
+        (&empty, spec.mem_file)
+    };
+    if config.hierarchical_mmap {
+        mapper::map_faasnap_hierarchical(
+            aspace,
+            total_pages,
+            &spec.nonzero_regions,
+            ls,
+            spec.mem_file,
+            ls_file,
+        )
+    } else {
+        mapper::map_faasnap_flat(
+            aspace,
+            total_pages,
+            &spec.nonzero_regions,
+            ls,
+            spec.mem_file,
+            ls_file,
+        )
+    }
+}
+
+fn build_loader_plan(spec: &InvocationSpec, config: FaasnapConfig) -> LoaderPlan {
+    if !config.concurrent_paging {
+        return LoaderPlan::default();
+    }
+    if config.loading_set_file {
+        let ls = spec.ls.as_ref().expect("loading set required");
+        let ls_file = spec.ls_file.expect("loading-set file required");
+        return LoaderPlan::from_loading_set(ls, ls_file);
+    }
+    let ws = spec.ws.as_ref().expect("ablation loaders need the working set");
+    if config.per_region_mapping {
+        LoaderPlan::group_order(ws, &spec.memory, spec.mem_file)
+    } else {
+        LoaderPlan::address_order(ws, &spec.memory, spec.mem_file)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event handling
+// ---------------------------------------------------------------------
+
+impl World for SimWorld<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::StartVcpu { vm } => self.drive_vcpu(vm, now, sched),
+            Ev::StartLoader { vm } => {
+                self.vms[vm].loader_started = Some(now);
+                self.loader_issue_next(vm, now, sched);
+            }
+            Ev::ComputeDone { vm } => {
+                self.host.cpu.end();
+                self.drive_vcpu(vm, now, sched);
+            }
+            Ev::FaultDone { vm, page, write, token, kind, started } => {
+                self.finish_access(vm, page, write, token, kind, started, now);
+                self.drive_vcpu(vm, now, sched);
+            }
+            Ev::FaultIoDone { vm, page, write, token, io, started, overhead } => {
+                self.host.cache.insert_range(io.file, io.page, io.pages);
+                self.host.inflight.complete_window(io.file, io.page, io.pages, now);
+                let v = &mut self.vms[vm];
+                v.report.guest_fault_read_pages += io.pages;
+                v.report.fault_block_requests += 1;
+                // Kernel-side handling overhead on top of the disk wait.
+                let done = now + overhead;
+                self.finish_access(vm, page, write, token, FaultKind::Major, started, done);
+                sched.schedule(done, Ev::Resume { vm });
+            }
+            Ev::Resume { vm } => self.drive_vcpu(vm, now, sched),
+            Ev::AsyncReadDone { vm, io, guest_start } => {
+                self.host.cache.insert_range(io.file, io.page, io.pages);
+                self.host.inflight.complete_window(io.file, io.page, io.pages, now);
+                let v = &mut self.vms[vm];
+                v.report.guest_fault_read_pages += io.pages;
+                v.report.fault_block_requests += 1;
+                // Readahead marker: if the guest has consumed up to (at
+                // least) one window behind this one, it is streaming —
+                // chain the next async window to stay ahead (Linux grows
+                // and re-arms async readahead the same way).
+                let marker = guest_start.saturating_sub(io.pages);
+                if v.done_at.is_none() && v.pt.state(marker) == PageState::Mapped {
+                    self.submit_async_window(
+                        vm,
+                        io.file,
+                        io.page + io.pages,
+                        guest_start + io.pages,
+                        io.pages,
+                        now,
+                        sched,
+                    );
+                }
+            }
+            Ev::InflightDone { vm, page, write, token, started } => {
+                self.finish_access(vm, page, write, token, FaultKind::Major, started, now);
+                self.drive_vcpu(vm, now, sched);
+            }
+            Ev::LoaderChunkDone { vm, idx } => {
+                let chunk = *self.vms[vm].loader_plan.chunk(idx);
+                self.host.cache.insert_range(chunk.file, chunk.page, chunk.pages);
+                self.host.inflight.complete_window(chunk.file, chunk.page, chunk.pages, now);
+                let v = &mut self.vms[vm];
+                if let Some(start) = v.loader_started {
+                    v.report.fetch_time = now - start;
+                }
+                self.loader_issue_next(vm, now, sched);
+            }
+            Ev::ReapIoDone { vm, page, write, token, io, started } => {
+                self.host.cache.insert_range(io.file, io.page, io.pages);
+                self.host.inflight.complete_window(io.file, io.page, io.pages, now);
+                let v = &mut self.vms[vm];
+                let resume_at = v
+                    .reap
+                    .as_mut()
+                    .expect("REAP handler present")
+                    .complete_with_io(started, now, &self.host.costs);
+                sched.schedule(resume_at, Ev::ReapResume { vm, page, write, token, started });
+            }
+            Ev::ReapResume { vm, page, write, token, started } => {
+                self.finish_access(vm, page, write, token, FaultKind::Uffd, started, now);
+                self.drive_vcpu(vm, now, sched);
+            }
+            Ev::MincorePoll { vm } => {
+                let v = &mut self.vms[vm];
+                if v.done_at.is_some() {
+                    return;
+                }
+                if let Some(rec) = &mut v.mincore_rec {
+                    rec.poll(v.pt.rss_pages(), &v.aspace, &v.pt, &self.host.cache);
+                }
+                sched.schedule(now + MINCORE_POLL_INTERVAL, Ev::MincorePoll { vm });
+            }
+        }
+    }
+}
+
+impl SimWorld<'_> {
+    /// Applies the completed access and updates stats.
+    fn finish_access(
+        &mut self,
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        kind: FaultKind,
+        started: SimTime,
+        now: SimTime,
+    ) {
+        let v = &mut self.vms[vm];
+        v.pt.install(page);
+        v.report.record_fault(kind, now - started);
+        if write {
+            v.mem.write(page, token);
+        }
+    }
+
+    /// Runs the vCPU until it blocks (fault/compute) or finishes.
+    fn drive_vcpu(&mut self, vm: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        loop {
+            let step = self.vms[vm].vcpu.next_step();
+            match step {
+                Step::Done => {
+                    let v = &mut self.vms[vm];
+                    v.done_at = Some(now);
+                    v.report.invocation_time = now - v.invoke_start;
+                    // Stop the loader: prefetching past the reply only
+                    // wastes disk bandwidth other VMs need.
+                    v.loader_next = v.loader_plan.len();
+                    // Final mincore scan (the daemon scans once more after
+                    // the invocation completes).
+                    if let Some(rec) = &mut v.mincore_rec {
+                        rec.scan(&v.aspace, &v.pt, &self.host.cache);
+                    }
+                    return;
+                }
+                Step::Compute(d) => {
+                    let stretch = self.host.cpu.stretch();
+                    self.host.cpu.begin();
+                    sched.schedule(now + d.mul_f64(stretch), Ev::ComputeDone { vm });
+                    return;
+                }
+                Step::Free { range } => {
+                    let v = &mut self.vms[vm];
+                    let cost = v.kernel.free_pages(&mut v.mem, range);
+                    if !cost.is_zero() {
+                        let stretch = self.host.cpu.stretch();
+                        self.host.cpu.begin();
+                        sched.schedule(now + cost.mul_f64(stretch), Ev::ComputeDone { vm });
+                        return;
+                    }
+                }
+                Step::Access { page, write, token } => {
+                    if self.handle_access(vm, page, write, token, now, sched) {
+                        return; // blocked on a fault
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one access; returns true if the vCPU blocked.
+    fn handle_access(
+        &mut self,
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) -> bool {
+        let v = &mut self.vms[vm];
+        let outcome = v.resolver.resolve(
+            page,
+            &v.aspace,
+            &mut v.pt,
+            &mut self.host.cache,
+            &v.uffd,
+            &self.host.inflight,
+        );
+        // Record-phase fault tracking: every first host-visible fault.
+        if !matches!(outcome, FaultOutcome::NoFault) {
+            if let Some(t) = &mut v.uffd_track {
+                t.on_fault(page);
+            }
+            if v.verify_mappings {
+                verify_mapping(v, page);
+            }
+        }
+        match outcome {
+            FaultOutcome::NoFault => {
+                if write {
+                    v.mem.write(page, token);
+                }
+                false
+            }
+            FaultOutcome::Resolved { cost, kind } => {
+                sched.schedule(
+                    now + cost,
+                    Ev::FaultDone { vm, page, write, token, kind, started: now },
+                );
+                true
+            }
+            FaultOutcome::WaitInflight { ready_at, cost } => {
+                sched.schedule(
+                    ready_at + cost,
+                    Ev::InflightDone { vm, page, write, token, started: now },
+                );
+                true
+            }
+            FaultOutcome::NeedsIo { io, overhead, async_io } => {
+                let done = self.host.disk_of_file(io.file).submit(now, io);
+                self.host.inflight.insert_window(io.file, io.page, io.pages, done);
+                sched.schedule(
+                    done,
+                    Ev::FaultIoDone { vm, page, write, token, io, started: now, overhead },
+                );
+                // Linux async readahead: the next window of a sequential
+                // stream is read without blocking the faulting task.
+                if let Some(aio) = async_io {
+                    let adone = self.host.disk_of_file(aio.file).submit(now, aio);
+                    self.host.inflight.insert_window(aio.file, aio.page, aio.pages, adone);
+                    let guest_start = page + io.pages;
+                    sched.schedule(adone, Ev::AsyncReadDone { vm, io: aio, guest_start });
+                }
+                true
+            }
+            FaultOutcome::Userfault { file, file_page } => {
+                let handler = self.vms[vm].reap.as_mut().expect("uffd fault without handler");
+                if self.host.cache.contains(file, file_page) {
+                    let svc = handler.serve_cached(now, &self.host.costs);
+                    sched.schedule(
+                        svc.resume_at,
+                        Ev::ReapResume { vm, page, write, token, started: now },
+                    );
+                } else {
+                    let issue_at = handler.serve_uncached(now, &self.host.costs);
+                    // The handler preads exactly the faulting page from the
+                    // memory file (Figure 2's > 128 µs population: most
+                    // out-of-set misses pay a full random disk read).
+                    let pages = 1;
+                    let io = IoRequest { file, page: file_page, pages, kind: IoKind::ReapMiss };
+                    let done = self.host.disk_of_file(file).submit(issue_at, io);
+                    self.host.inflight.insert_window(file, file_page, pages, done);
+                    self.vms[vm].report.guest_fault_read_pages += pages;
+                    self.vms[vm].report.fault_block_requests += 1;
+                    sched.schedule(
+                        done,
+                        Ev::ReapIoDone { vm, page, write, token, io, started: now },
+                    );
+                }
+                true
+            }
+        }
+    }
+
+    /// Issues a chained async readahead window for a streaming reader,
+    /// clamped to the mapping extent and trimmed at cached/in-flight
+    /// pages. No vCPU waits on it.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_async_window(
+        &mut self,
+        vm: usize,
+        file: FileId,
+        file_start: u64,
+        guest_start: PageNum,
+        len: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let v = &self.vms[vm];
+        if guest_start >= v.pt.total_pages() {
+            return;
+        }
+        // The chain only continues while the stream stays within one
+        // mapping: the next guest page must still resolve to the expected
+        // file offset, or the readahead state is stale (crossed a VMA
+        // boundary, e.g. into a different loading-set region).
+        match v.aspace.resolve(guest_start) {
+            Some(Resolved::File { file: f, file_page }) if f == file && file_page == file_start => {}
+            _ => return,
+        }
+        let room = v.aspace.contiguous_extent(guest_start, len);
+        let mut pages = 0;
+        for fp in file_start..file_start + room {
+            if self.host.cache.contains(file, fp)
+                || self.host.inflight.completion_of(file, fp).is_some()
+            {
+                break;
+            }
+            pages += 1;
+        }
+        if pages == 0 {
+            return;
+        }
+        let io = IoRequest { file, page: file_start, pages, kind: IoKind::FaultRead };
+        let done = self.host.disk_of_file(file).submit(now, io);
+        self.host.inflight.insert_window(file, file_start, pages, done);
+        sched.schedule(done, Ev::AsyncReadDone { vm, io, guest_start });
+    }
+
+    /// Advances the loader: skips chunks that are already fully cached
+    /// (the read-once lock under same-snapshot bursts, §6.6), then issues
+    /// the next read.
+    fn loader_issue_next(&mut self, vm: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        loop {
+            let v = &self.vms[vm];
+            let idx = v.loader_next;
+            if idx >= v.loader_plan.len() {
+                return; // prefetch complete
+            }
+            let chunk = *v.loader_plan.chunk(idx);
+            self.vms[vm].loader_next += 1;
+            // Read-once: skip fully cached or in-flight chunks.
+            let covered = (chunk.page..chunk.page + chunk.pages).all(|p| {
+                self.host.cache.contains(chunk.file, p)
+                    || self.host.inflight.completion_of(chunk.file, p).is_some()
+            });
+            if covered {
+                continue;
+            }
+            let done = self.host.disk_of_file(chunk.file).submit(now, chunk);
+            self.host.inflight.insert_window(chunk.file, chunk.page, chunk.pages, done);
+            sched.schedule(done, Ev::LoaderChunkDone { vm, idx });
+            return;
+        }
+    }
+}
+
+/// Verifies the mapping serves the right bytes for a faulting page:
+/// memory-file mappings must preserve offsets, loading-set mappings must
+/// match the recorded file layout, and anonymous mappings may only cover
+/// pages whose snapshot content is zero.
+fn verify_mapping(v: &VmRun, page: PageNum) {
+    match v.aspace.resolve(page) {
+        Some(Resolved::File { file, file_page }) if file == v.mem_file => {
+            assert_eq!(
+                file_page, page,
+                "memory-file mapping must be offset-preserving (page {page})"
+            );
+        }
+        Some(Resolved::File { file, file_page }) => {
+            let ls = v.ls.as_ref().expect("non-memfile mapping implies a loading set");
+            assert_eq!(Some(file), v.ls_file, "unexpected backing file");
+            assert_eq!(
+                ls.file_page_of(page),
+                Some(file_page),
+                "loading-set mapping must match the recorded layout (page {page})"
+            );
+        }
+        Some(Resolved::Anonymous) => {
+            assert_eq!(
+                v.mem.read(page),
+                0,
+                "page {page} mapped anonymously but snapshot content is non-zero"
+            );
+        }
+        None => panic!("fault on unmapped page {page}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadingset::MERGE_GAP;
+    use sim_storage::file::FileKind;
+    use sim_vm::trace::TraceOp;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    /// A tiny snapshot: non-zero pages in [100, 300), zero elsewhere.
+    fn tiny_world() -> (Host, GuestMemory, FileId) {
+        let mut host = Host::new(DiskProfile::nvme_c5d(), 11);
+        let mut mem = GuestMemory::new(2048);
+        for p in 100..300 {
+            mem.write(p, p * 13 + 1);
+        }
+        let dev = host.primary_device();
+        let f = host.fs.create("tiny.mem", FileKind::SnapshotMemory, 2048, dev);
+        (host, mem, f)
+    }
+
+    fn touch_trace(start: u64, len: u64, write: bool) -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceOp::Touch {
+            range: PageRange::with_len(start, len),
+            stride: 1,
+            write,
+            per_page_compute: us(1),
+            token_seed: if write { 5 } else { 0 },
+        });
+        t
+    }
+
+    #[test]
+    fn warm_run_no_setup_no_faults_on_resident_pages() {
+        let (mut host, mem, f) = tiny_world();
+        let mut spec =
+            InvocationSpec::new(RestoreStrategy::Warm, touch_trace(100, 50, false), mem, f);
+        spec.verify_mappings = false;
+        let out = run_invocation(&mut host, spec);
+        assert_eq!(out.report.setup_time, SimDuration::ZERO);
+        assert_eq!(out.report.total_faults(), 0, "resident pages do not fault");
+        // 50 pages x 1us compute.
+        let ms = out.report.invocation_time.as_millis_f64();
+        assert!((0.04..0.07).contains(&ms), "invoke {ms}ms");
+    }
+
+    #[test]
+    fn warm_faults_anon_on_new_pages() {
+        let (mut host, mem, f) = tiny_world();
+        let mut spec =
+            InvocationSpec::new(RestoreStrategy::Warm, touch_trace(1000, 20, true), mem, f);
+        spec.verify_mappings = false;
+        let out = run_invocation(&mut host, spec);
+        assert_eq!(out.report.anon_faults, 20);
+        assert_eq!(out.report.major_faults, 0);
+    }
+
+    #[test]
+    fn vanilla_majors_then_cached_minors() {
+        let (mut host, mem, f) = tiny_world();
+        let spec = InvocationSpec::new(
+            RestoreStrategy::Vanilla,
+            touch_trace(100, 100, false),
+            mem.clone(),
+            f,
+        );
+        let out = run_invocation(&mut host, spec);
+        assert!(out.report.major_faults > 0);
+        assert!(out.report.guest_fault_read_pages >= 100);
+        // Second run without dropping caches: everything is cached.
+        let spec2 =
+            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 100, false), mem, f);
+        let out2 = run_invocation(&mut host, spec2);
+        assert_eq!(out2.report.major_faults, 0);
+        assert_eq!(out2.report.minor_faults, 100);
+        assert!(out2.report.total_time() < out.report.total_time());
+    }
+
+    #[test]
+    fn cached_strategy_pre_warms() {
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let spec =
+            InvocationSpec::new(RestoreStrategy::Cached, touch_trace(100, 200, false), mem, f);
+        let out = run_invocation(&mut host, spec);
+        assert_eq!(out.report.major_faults, 0);
+        assert_eq!(out.report.minor_faults, 200);
+    }
+
+    #[test]
+    fn vanilla_write_to_zero_page_reads_disk() {
+        // The semantic gap (§3.2): guest anonymous allocation becomes a
+        // file-backed read under whole-file mapping.
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let spec =
+            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(1000, 10, true), mem, f);
+        let out = run_invocation(&mut host, spec);
+        assert!(out.report.major_faults > 0, "zero-page writes still read the file");
+    }
+
+    #[test]
+    fn faasnap_write_to_zero_page_is_anonymous() {
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        // Build artifacts: ws = the nonzero pages; heap pages zero.
+        let mut ws = WorkingSet::new();
+        ws.extend(&(100..300).collect::<Vec<_>>());
+        let ls = LoadingSet::build(&ws, &mem, MERGE_GAP);
+        let dev = host.primary_device();
+        let ls_file = host.fs.create("tiny.ls", FileKind::LoadingSet, ls.file_pages(), dev);
+        let mut spec = InvocationSpec::new(
+            RestoreStrategy::faasnap(),
+            touch_trace(1000, 10, true),
+            mem,
+            f,
+        );
+        spec.ls = Some(ls);
+        spec.ls_file = Some(ls_file);
+        spec.ws = Some(ws);
+        let out = run_invocation(&mut host, spec);
+        assert_eq!(out.report.anon_faults, 10, "heap writes are anonymous faults");
+        assert_eq!(out.report.guest_fault_read_pages, 0);
+        assert!(!out.report.degraded);
+    }
+
+    #[test]
+    fn reap_prefetch_gives_host_pte_faults() {
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let mut reap_ws = ReapWorkingSet::new();
+        for p in 100..200 {
+            reap_ws.record(p);
+        }
+        let dev = host.primary_device();
+        let ws_file = host.fs.create("tiny.ws", FileKind::WorkingSet, 100, dev);
+        let mut spec =
+            InvocationSpec::new(RestoreStrategy::Reap, touch_trace(100, 150, false), mem, f);
+        spec.reap_ws = Some(reap_ws);
+        spec.reap_ws_file = Some(ws_file);
+        let out = run_invocation(&mut host, spec);
+        assert_eq!(out.report.host_pte_faults, 100, "prefetched pages");
+        assert_eq!(out.report.uffd_faults, 50, "pages outside the WS go to user space");
+        assert_eq!(out.report.fetch_pages, 100);
+        assert!(out.report.setup_time > host.boot.snapshot_setup_base());
+    }
+
+    #[test]
+    fn cpu_pool_stretch() {
+        let mut pool = CpuPool::new(2);
+        assert_eq!(pool.stretch(), 1.0);
+        pool.begin();
+        pool.begin();
+        assert_eq!(pool.stretch(), 1.0);
+        pool.begin();
+        assert_eq!(pool.stretch(), 1.5);
+        assert_eq!(pool.active(), 3);
+        pool.end();
+        pool.end();
+        pool.end();
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn burst_shares_cache_across_vms() {
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let mk = |mem: &GuestMemory| {
+            InvocationSpec::new(
+                RestoreStrategy::Vanilla,
+                touch_trace(100, 200, false),
+                mem.clone(),
+                f,
+            )
+        };
+        let outs = run_invocations(&mut host, vec![mk(&mem), mk(&mem), mk(&mem)]);
+        let total_majors: u64 = outs.iter().map(|o| o.report.major_faults).sum();
+        let total_minors_waits: u64 = outs
+            .iter()
+            .map(|o| o.report.minor_faults + o.report.major_faults)
+            .sum();
+        // All 600 accesses fault, but disk pages are read far fewer than
+        // 600 times thanks to sharing (in-flight waits + cache hits).
+        assert_eq!(total_minors_waits, 600);
+        let read_pages = host.disks[0].stats().pages_of(IoKind::FaultRead);
+        assert!(read_pages < 450, "cache sharing should dedupe reads, got {read_pages}");
+        assert!(total_majors > 0);
+    }
+
+    #[test]
+    fn loader_populates_cache_for_late_vcpu() {
+        // With a long setup and a small loading set, the loader finishes
+        // before the vCPU starts: all guest faults become minors.
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let mut ws = WorkingSet::new();
+        ws.extend(&(100..300).collect::<Vec<_>>());
+        let ls = LoadingSet::build(&ws, &mem, MERGE_GAP);
+        let dev = host.primary_device();
+        let ls_file = host.fs.create("tiny.ls", FileKind::LoadingSet, ls.file_pages(), dev);
+        let mut spec = InvocationSpec::new(
+            RestoreStrategy::faasnap(),
+            touch_trace(100, 200, false),
+            mem,
+            f,
+        );
+        spec.ls = Some(ls);
+        spec.ls_file = Some(ls_file);
+        spec.ws = Some(ws);
+        let out = run_invocation(&mut host, spec);
+        assert_eq!(out.report.major_faults, 0, "loader beat the 50ms setup window");
+        assert_eq!(out.report.minor_faults, 200);
+        assert!(out.report.fetch_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn record_mode_produces_working_sets() {
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let mut spec =
+            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 50, false), mem, f);
+        spec.record = true;
+        let out = run_invocation(&mut host, spec);
+        let ws = out.ws.expect("working set recorded");
+        let reap = out.reap_ws.expect("REAP set recorded");
+        assert_eq!(reap.len(), 50, "every first fault recorded");
+        assert!(ws.len() >= 50, "mincore WS includes readahead");
+    }
+
+    #[test]
+    fn guest_writes_visible_in_final_memory() {
+        let (mut host, mem, f) = tiny_world();
+        let spec =
+            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 5, true), mem, f);
+        let out = run_invocation(&mut host, spec);
+        for p in 100..105 {
+            assert_eq!(out.final_memory.read(p), Trace::token_for(5, p));
+        }
+        assert_eq!(out.final_memory.read(105), 105 * 13 + 1, "untouched page intact");
+    }
+
+    #[test]
+    fn restored_clones_get_unique_generation_ids() {
+        // §7.4: "a special device to provide unique VM IDs to the
+        // restored VMs" so clones from one snapshot diverge their PRNGs.
+        let (mut host, mem, f) = tiny_world();
+        let mk = || {
+            InvocationSpec::new(
+                RestoreStrategy::Vanilla,
+                touch_trace(100, 5, false),
+                mem.clone(),
+                f,
+            )
+        };
+        let a = run_invocation(&mut host, mk());
+        let b = run_invocation(&mut host, mk());
+        assert_ne!(a.report.vm_generation_id, b.report.vm_generation_id);
+        assert!(a.report.vm_generation_id > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let (mut host, mem, f) = tiny_world();
+            let spec = InvocationSpec::new(
+                RestoreStrategy::Vanilla,
+                touch_trace(100, 100, false),
+                mem,
+                f,
+            );
+            run_invocation(&mut host, spec).report.total_time().as_nanos()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped anonymously but snapshot content is non-zero")]
+    fn mapping_verification_catches_stale_scans() {
+        let (mut host, mem, f) = tiny_world();
+        let mut spec =
+            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 5, false), mem, f);
+        // Sabotage: map the file with a shifted offset.
+        spec.nonzero_regions.clear();
+        let out_aspace_bug = spec.clone();
+        let _ = out_aspace_bug;
+        // Build a custom broken world by mapping manually through the
+        // public API: easiest is to shift the whole-file mapping by
+        // replacing mem_file offsets — emulate by running with a spec
+        // whose memory was shifted relative to the file.
+        let mut shifted = GuestMemory::new(2048);
+        for p in 100..300 {
+            shifted.write(p + 1, p * 13 + 1);
+        }
+        spec.memory = shifted;
+        // Now page 101 is non-zero in "RAM" but the file offset check
+        // can't catch that (offsets still align); instead the anonymous
+        // check fires on a page the mapper thinks is zero. Use FaaSnap
+        // mapping to trigger it.
+        spec.strategy = RestoreStrategy::faasnap();
+        spec.nonzero_regions = vec![PageRange::new(100, 300)]; // stale scan
+        let mut ws = WorkingSet::new();
+        ws.extend(&[100]);
+        let ls = LoadingSet::build(&ws, &spec.memory, 0);
+        let dev = host.primary_device();
+        let ls_file = host.fs.create("x.ls", FileKind::LoadingSet, 1.max(ls.file_pages()), dev);
+        spec.ls = Some(ls);
+        spec.ls_file = Some(ls_file);
+        spec.ws = Some(ws);
+        // Touching page 300 (zero per stale scan, non-zero in RAM).
+        spec.trace = touch_trace(300, 1, false);
+        run_invocation(&mut host, spec);
+    }
+}

@@ -1,0 +1,192 @@
+//! The restore strategy taxonomy.
+//!
+//! The evaluation compares four systems (§3.1, §6.1) plus FaaSnap's
+//! internal ablations (§6.5, Figure 9):
+//!
+//! - **Warm** — a live VM that served a previous invocation: no setup, the
+//!   guest's previously touched pages are resident, memory is anonymous.
+//! - **Vanilla** (called *Firecracker* in the paper) — restore from the
+//!   memory file with one whole-file mapping; pure demand paging.
+//! - **Cached** — Vanilla with the memory file pre-loaded into the page
+//!   cache ("not practical in real-world deployments ... a useful
+//!   reference point").
+//! - **Reap** — blocking working-set prefetch + `userfaultfd` handling.
+//! - **FaaSnap** — concurrent paging + working-set groups + host page
+//!   recording + per-region mapping + loading-set file, individually
+//!   switchable for the Figure 9 ablation.
+
+use std::fmt;
+
+/// Which FaaSnap optimizations are active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaasnapConfig {
+    /// §4.2: loader prefetches concurrently with guest execution. (All
+    /// Figure 9 ablation steps include this; turning it off degenerates
+    /// to Vanilla.)
+    pub concurrent_paging: bool,
+    /// §4.3–4.5: per-region mapping (zero→anon, non-zero→memory file) and
+    /// group-ordered loading. Without it the loader reads the working set
+    /// in address order over a whole-file mapping.
+    pub per_region_mapping: bool,
+    /// §4.6–4.7: compact loading-set file read sequentially. Requires
+    /// `per_region_mapping`.
+    pub loading_set_file: bool,
+    /// §4.8: hierarchical overlapping mmaps (vs. flat per-piece mapping).
+    pub hierarchical_mmap: bool,
+}
+
+impl FaasnapConfig {
+    /// Full FaaSnap (the paper's headline configuration).
+    pub fn full() -> Self {
+        FaasnapConfig {
+            concurrent_paging: true,
+            per_region_mapping: true,
+            loading_set_file: true,
+            hierarchical_mmap: true,
+        }
+    }
+
+    /// Figure 9's "concurrent paging" step: loader only, vanilla mapping,
+    /// address-order reads from the memory file.
+    pub fn concurrent_paging_only() -> Self {
+        FaasnapConfig {
+            concurrent_paging: true,
+            per_region_mapping: false,
+            loading_set_file: false,
+            hierarchical_mmap: true,
+        }
+    }
+
+    /// Figure 9's "per-region" step: per-region mapping + group-ordered
+    /// loading from the memory file, but no compact loading-set file.
+    pub fn per_region() -> Self {
+        FaasnapConfig {
+            concurrent_paging: true,
+            per_region_mapping: true,
+            loading_set_file: false,
+            hierarchical_mmap: true,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.loading_set_file && !self.per_region_mapping {
+            return Err("loading_set_file requires per_region_mapping".into());
+        }
+        if !self.concurrent_paging && (self.per_region_mapping || self.loading_set_file) {
+            return Err("FaaSnap variants all build on concurrent paging".into());
+        }
+        Ok(())
+    }
+}
+
+/// How a VM is provided for an invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreStrategy {
+    /// Live warm VM (no restore).
+    Warm,
+    /// Vanilla Firecracker snapshot restore (demand paging).
+    Vanilla,
+    /// Vanilla with the memory file pre-cached (reference).
+    Cached,
+    /// REAP: blocking working-set prefetch + userfaultfd.
+    Reap,
+    /// FaaSnap with the given optimization set.
+    FaaSnap(FaasnapConfig),
+}
+
+impl RestoreStrategy {
+    /// Full-FaaSnap shorthand.
+    pub fn faasnap() -> Self {
+        RestoreStrategy::FaaSnap(FaasnapConfig::full())
+    }
+
+    /// The four headline systems in the paper's plotting order.
+    pub fn headline() -> [RestoreStrategy; 4] {
+        [
+            RestoreStrategy::Vanilla,
+            RestoreStrategy::Reap,
+            RestoreStrategy::faasnap(),
+            RestoreStrategy::Cached,
+        ]
+    }
+
+    /// Figure 9's ablation ladder.
+    pub fn ablation_ladder() -> [RestoreStrategy; 4] {
+        [
+            RestoreStrategy::Vanilla,
+            RestoreStrategy::FaaSnap(FaasnapConfig::concurrent_paging_only()),
+            RestoreStrategy::FaaSnap(FaasnapConfig::per_region()),
+            RestoreStrategy::faasnap(),
+        ]
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RestoreStrategy::Warm => "Warm",
+            RestoreStrategy::Vanilla => "Firecracker",
+            RestoreStrategy::Cached => "Cached",
+            RestoreStrategy::Reap => "REAP",
+            RestoreStrategy::FaaSnap(c) => {
+                if c.loading_set_file {
+                    "FaaSnap"
+                } else if c.per_region_mapping {
+                    "per-region"
+                } else {
+                    "con-paging"
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RestoreStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(FaasnapConfig::full().validate().is_ok());
+        assert!(FaasnapConfig::concurrent_paging_only().validate().is_ok());
+        assert!(FaasnapConfig::per_region().validate().is_ok());
+    }
+
+    #[test]
+    fn inconsistent_configs_rejected() {
+        let mut c = FaasnapConfig::full();
+        c.per_region_mapping = false;
+        assert!(c.validate().is_err());
+        let mut c = FaasnapConfig::full();
+        c.concurrent_paging = false;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RestoreStrategy::Vanilla.label(), "Firecracker");
+        assert_eq!(RestoreStrategy::faasnap().label(), "FaaSnap");
+        assert_eq!(
+            RestoreStrategy::FaaSnap(FaasnapConfig::concurrent_paging_only()).label(),
+            "con-paging"
+        );
+        assert_eq!(
+            RestoreStrategy::FaaSnap(FaasnapConfig::per_region()).label(),
+            "per-region"
+        );
+        assert_eq!(format!("{}", RestoreStrategy::Warm), "Warm");
+    }
+
+    #[test]
+    fn ladder_progresses() {
+        let l = RestoreStrategy::ablation_ladder();
+        assert_eq!(l[0].label(), "Firecracker");
+        assert_eq!(l[3].label(), "FaaSnap");
+    }
+}

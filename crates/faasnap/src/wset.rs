@@ -1,0 +1,189 @@
+//! Working sets and working-set groups.
+//!
+//! §4.3: "FaaSnap ... divides the working set pages into several working
+//! set groups by their access order: e.g., the first N accessed pages are
+//! assigned group 1, the next N accessed pages are assigned group 2, etc.
+//! ... we find N = 1024 works well across the function benchmarks."
+//!
+//! Two working-set representations coexist:
+//!
+//! - [`WorkingSet`] — FaaSnap's: pages in the order they *appeared in
+//!   `mincore` scans* (so readahead-fetched pages are included), carrying
+//!   group numbers.
+//! - [`ReapWorkingSet`] — REAP's: pages in first-*fault* order, recorded
+//!   via `userfaultfd`; no groups (REAP fetches the whole set up front).
+
+use std::collections::HashSet;
+
+use sim_mm::addr::PageNum;
+
+/// Pages per working-set group (§4.3).
+pub const GROUP_SIZE: u64 = 1024;
+
+/// FaaSnap's grouped working set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkingSet {
+    /// Pages in scan-appearance order.
+    pages: Vec<PageNum>,
+    /// Pages per group.
+    group_size: u64,
+}
+
+impl WorkingSet {
+    /// Creates an empty working set with the standard group size.
+    pub fn new() -> Self {
+        WorkingSet { pages: Vec::new(), group_size: GROUP_SIZE }
+    }
+
+    /// Creates an empty working set with a custom group size (for the
+    /// sensitivity experiments).
+    pub fn with_group_size(group_size: u64) -> Self {
+        assert!(group_size > 0);
+        WorkingSet { pages: Vec::new(), group_size }
+    }
+
+    /// Appends newly observed pages (one `mincore` scan's delta).
+    pub fn extend(&mut self, new_pages: &[PageNum]) {
+        self.pages.extend_from_slice(new_pages);
+    }
+
+    /// Pages in scan order.
+    pub fn pages(&self) -> &[PageNum] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Group size in use.
+    pub fn group_size(&self) -> u64 {
+        self.group_size
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> u64 {
+        self.len().div_ceil(self.group_size)
+    }
+
+    /// Group number of the page at scan position `idx` (0-based groups).
+    pub fn group_of_index(&self, idx: u64) -> u32 {
+        (idx / self.group_size) as u32
+    }
+
+    /// `(page, group)` pairs in scan order.
+    pub fn pages_with_groups(&self) -> impl Iterator<Item = (PageNum, u32)> + '_ {
+        self.pages.iter().enumerate().map(|(i, &p)| (p, (i as u64 / self.group_size) as u32))
+    }
+
+    /// The set of pages, for membership tests.
+    pub fn page_set(&self) -> HashSet<PageNum> {
+        self.pages.iter().copied().collect()
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.len() * sim_core::units::PAGE_SIZE
+    }
+}
+
+/// REAP's fault-order working set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReapWorkingSet {
+    pages: Vec<PageNum>,
+}
+
+impl ReapWorkingSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a first fault on `page` (caller ensures first-ness).
+    pub fn record(&mut self, page: PageNum) {
+        self.pages.push(page);
+    }
+
+    /// Pages in fault order.
+    pub fn pages(&self) -> &[PageNum] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.len() * sim_core::units::PAGE_SIZE
+    }
+
+    /// The set of pages, for membership tests.
+    pub fn page_set(&self) -> HashSet<PageNum> {
+        self.pages.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_assigned_by_scan_order() {
+        let mut ws = WorkingSet::with_group_size(4);
+        ws.extend(&[10, 11, 12]);
+        ws.extend(&[50, 51, 52, 53, 54]);
+        assert_eq!(ws.len(), 8);
+        assert_eq!(ws.group_count(), 2);
+        let groups: Vec<u32> = ws.pages_with_groups().map(|(_, g)| g).collect();
+        assert_eq!(groups, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(ws.group_of_index(0), 0);
+        assert_eq!(ws.group_of_index(7), 1);
+    }
+
+    #[test]
+    fn default_group_size_is_1024() {
+        let ws = WorkingSet::new();
+        assert_eq!(ws.group_size(), 1024);
+    }
+
+    #[test]
+    fn empty_and_bytes() {
+        let mut ws = WorkingSet::new();
+        assert!(ws.is_empty());
+        assert_eq!(ws.group_count(), 0);
+        ws.extend(&[1, 2]);
+        assert_eq!(ws.bytes(), 8192);
+    }
+
+    #[test]
+    fn reap_set_preserves_fault_order() {
+        let mut r = ReapWorkingSet::new();
+        r.record(100);
+        r.record(5);
+        r.record(77);
+        assert_eq!(r.pages(), &[100, 5, 77]);
+        assert_eq!(r.len(), 3);
+        assert!(r.page_set().contains(&5));
+    }
+
+    #[test]
+    fn page_set_membership() {
+        let mut ws = WorkingSet::new();
+        ws.extend(&[3, 9]);
+        let s = ws.page_set();
+        assert!(s.contains(&3) && s.contains(&9) && !s.contains(&4));
+    }
+}

@@ -1,0 +1,23 @@
+//! Deterministic discrete-event simulation (DES) core.
+//!
+//! This crate provides the foundation for the FaaSnap reproduction's
+//! simulated host: a nanosecond-resolution simulated clock ([`time::SimTime`]),
+//! a generic event engine ([`engine::Engine`]), a self-contained
+//! deterministic RNG ([`rng::Prng`]), and statistics utilities
+//! ([`stats::Log2Histogram`], [`stats::Summary`]) used to reproduce the
+//! paper's measurement methodology (e.g. the log-scale page-fault-time
+//! histograms of Figure 2).
+//!
+//! Everything in this crate is deterministic: given the same seed and the
+//! same sequence of scheduled events, a simulation replays identically.
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use engine::{Engine, Scheduler};
+pub use rng::Prng;
+pub use stats::{Log2Histogram, Summary};
+pub use time::{SimDuration, SimTime};

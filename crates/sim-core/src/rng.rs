@@ -1,0 +1,237 @@
+//! Self-contained deterministic pseudo-random number generation.
+//!
+//! The simulation deliberately does not depend on the `rand` crate for its
+//! hot paths: reproducibility of experiment output across dependency
+//! upgrades matters more than statistical sophistication here. [`Prng`]
+//! implements xoshiro256** (Blackman & Vigna) seeded via splitmix64, the
+//! same construction used by many simulators. It is *not* cryptographic.
+
+/// A deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed using splitmix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // xoshiro must not be seeded with all zeros; splitmix64 of any seed
+        // cannot produce four zero words, but guard anyway.
+        let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
+        Prng { s }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulation component its own stream.
+    pub fn fork(&mut self, label: u64) -> Prng {
+        Prng::new(self.next_u64() ^ label.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Prng::below requires bound > 0");
+        // Lemire-style rejection-free-enough reduction with a widening
+        // multiply; bias is negligible (< 2^-32) for the bounds we use,
+        // and determinism is what we care about.
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Prng::range requires lo <= hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A multiplicative jitter factor in `[1 - spread, 1 + spread]`,
+    /// used to give cost constants realistic variance.
+    pub fn jitter(&mut self, spread: f64) -> f64 {
+        1.0 + (self.f64() * 2.0 - 1.0) * spread
+    }
+
+    /// Approximately normally distributed value (Irwin–Hall sum of 12),
+    /// with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.f64()).sum();
+        mean + (sum - 6.0) * stddev
+    }
+
+    /// Log-normal-ish positive value with median `median`; `sigma` controls
+    /// tail heaviness. Used for latency sampling.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (self.normal(0.0, sigma)).exp()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut r = Prng::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Prng::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = Prng::new(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Prng::new(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = Prng::new(17);
+        for _ in 0..1000 {
+            let j = r.jitter(0.2);
+            assert!((0.8..=1.2).contains(&j));
+        }
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut r = Prng::new(19);
+        for _ in 0..1000 {
+            assert!(r.lognormal(5.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Prng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move elements");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut r = Prng::new(29);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn fork_independent() {
+        let mut base = Prng::new(31);
+        let mut c1 = base.fork(1);
+        let mut c2 = base.fork(2);
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Prng::new(37);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

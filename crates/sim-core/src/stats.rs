@@ -1,0 +1,338 @@
+//! Measurement utilities mirroring the paper's methodology.
+//!
+//! [`Log2Histogram`] reproduces the Figure 2 presentation: page-fault
+//! handling times bucketed by powers of two of microseconds (0.5 µs …
+//! 512 µs). [`Summary`] accumulates mean / standard deviation / min / max /
+//! percentiles for run-to-run variation (the paper reports mean ± stddev of
+//! 3–5 runs).
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A histogram with power-of-two microsecond buckets, as in Figure 2.
+///
+/// Bucket `i` counts samples in `[2^(i-1) µs, 2^i µs)`; bucket 0 counts
+/// samples below `0.5 µs` is handled by `lo`, and samples at or above the
+/// top edge land in `hi`.
+#[derive(Clone, Debug, Default)]
+pub struct Log2Histogram {
+    /// Count below the first edge (0.5 µs).
+    lo: u64,
+    /// Counts for [0.5,1), [1,2), [2,4), ... [256,512) µs.
+    buckets: [u64; 11],
+    /// Count at or above 512 µs.
+    hi: u64,
+    total_ns: u64,
+    count: u64,
+    max_ns: u64,
+}
+
+impl Log2Histogram {
+    /// Bucket edges in microseconds, matching Figure 2's x ticks.
+    pub const EDGES_US: [f64; 12] =
+        [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, f64::INFINITY];
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.total_ns += ns;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+        let us = ns as f64 / 1000.0;
+        if us < 0.5 {
+            self.lo += 1;
+        } else if us >= 512.0 {
+            self.hi += 1;
+        } else {
+            // First bucket edge is 0.5 µs = 2^-1.
+            let idx = (us.log2().floor() as i32 + 1).clamp(0, 10) as usize;
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.total_ns)
+    }
+
+    /// Mean sample, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.total_ns / self.count)
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Fraction of samples at or above `edge_us` microseconds (computed
+    /// from bucket boundaries; `edge_us` must be one of [`Self::EDGES_US`]).
+    pub fn fraction_at_or_above(&self, edge_us: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut above = self.hi;
+        for (i, &e) in Self::EDGES_US[..11].iter().enumerate() {
+            if e >= edge_us {
+                above += self.buckets[i];
+            }
+        }
+        above as f64 / self.count as f64
+    }
+
+    /// Returns `(label, count)` rows for display, matching Figure 2's bars.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![("<0.5us".to_string(), self.lo)];
+        for i in 0..11 {
+            let lo = Self::EDGES_US[i];
+            let hi = Self::EDGES_US[i + 1];
+            rows.push((format!("[{lo},{hi})us"), self.buckets[i]));
+        }
+        rows.push((">=512us".to_string(), self.hi));
+        rows
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        self.lo += other.lo;
+        self.hi += other.hi;
+        for i in 0..11 {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.total_ns += other.total_ns;
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl fmt::Display for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>14} {:>10}", "bucket", "count")?;
+        for (label, count) in self.rows() {
+            if count > 0 {
+                writeln!(f, "{label:>14} {count:>10}")?;
+            }
+        }
+        write!(f, "n={} mean={} total={}", self.count, self.mean(), self.total())
+    }
+}
+
+/// Accumulates scalar samples and reports summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from an iterator of samples.
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Summary { samples: iter.into_iter().collect() }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Records a duration in milliseconds.
+    pub fn record_ms(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation, or 0 if fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.samples.len() as f64)
+            .sqrt()
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Percentile via nearest-rank on a sorted copy (p in [0, 100]).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// All samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} +/- {:.2} (n={})", self.mean(), self.stddev(), self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: f64) -> SimDuration {
+        SimDuration::from_micros_f64(v)
+    }
+
+    #[test]
+    fn histogram_bucket_assignment() {
+        let mut h = Log2Histogram::new();
+        h.record(us(0.3)); // lo
+        h.record(us(0.5)); // [0.5,1)
+        h.record(us(0.9)); // [0.5,1)
+        h.record(us(1.0)); // [1,2)
+        h.record(us(3.7)); // [2,4)
+        h.record(us(31.9)); // [16,32)
+        h.record(us(32.0)); // [32,64)
+        h.record(us(600.0)); // hi
+        let rows = h.rows();
+        assert_eq!(rows[0].1, 1, "lo");
+        assert_eq!(rows[1].1, 2, "[0.5,1)");
+        assert_eq!(rows[2].1, 1, "[1,2)");
+        assert_eq!(rows[3].1, 1, "[2,4)");
+        assert_eq!(rows[6].1, 1, "[16,32)");
+        assert_eq!(rows[7].1, 1, "[32,64)");
+        assert_eq!(rows[12].1, 1, "hi");
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_fraction_above() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..91 {
+            h.record(us(3.0));
+        }
+        for _ in 0..9 {
+            h.record(us(100.0));
+        }
+        let f = h.fraction_at_or_above(32.0);
+        assert!((f - 0.09).abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    fn histogram_mean_total_max() {
+        let mut h = Log2Histogram::new();
+        h.record(us(2.0));
+        h.record(us(4.0));
+        assert_eq!(h.mean().as_nanos(), 3_000);
+        assert_eq!(h.total().as_nanos(), 6_000);
+        assert_eq!(h.max().as_nanos(), 4_000);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(us(1.0));
+        b.record(us(1.0));
+        b.record(us(700.0));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.rows()[2].1, 2);
+        assert_eq!(a.rows()[12].1, 1);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.fraction_at_or_above(32.0), 0.0);
+    }
+
+    #[test]
+    fn summary_basic_stats() {
+        let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.stddev() - 1.118).abs() < 1e-3);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let s = Summary::from_iter((1..=100).map(|x| x as f64));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        let p50 = s.percentile(50.0);
+        assert!((49.0..=51.0).contains(&p50));
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let e = Summary::new();
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.stddev(), 0.0);
+        assert_eq!(e.percentile(50.0), 0.0);
+        let s = Summary::from_iter([7.0]);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 7.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = Summary::from_iter([1.0, 3.0]);
+        assert_eq!(format!("{s}"), "2.00 +/- 1.00 (n=2)");
+    }
+}

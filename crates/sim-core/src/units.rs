@@ -1,0 +1,68 @@
+//! Byte and page units used throughout the simulation.
+//!
+//! Both the host and the guest use 4 KiB pages, matching the x86-64 setup
+//! of the paper's testbed (AWS c5d.metal, Linux host, Firecracker guest).
+
+/// Bytes per page (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Number of pages needed to hold `bytes` (rounded up).
+pub const fn pages_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+/// Number of bytes in `pages` pages.
+pub const fn bytes_for_pages(pages: u64) -> u64 {
+    pages * PAGE_SIZE
+}
+
+/// Formats a byte count with a binary-unit suffix, e.g. `"20.6 MiB"`.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_round_trip() {
+        assert_eq!(pages_for_bytes(0), 0);
+        assert_eq!(pages_for_bytes(1), 1);
+        assert_eq!(pages_for_bytes(4096), 1);
+        assert_eq!(pages_for_bytes(4097), 2);
+        assert_eq!(bytes_for_pages(3), 12_288);
+    }
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(MIB, 1_048_576);
+        assert_eq!(GIB, 1_073_741_824);
+        assert_eq!(pages_for_bytes(2 * GIB), 524_288);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(21_600_000), "20.6 MiB");
+        assert_eq!(format_bytes(2 * GIB), "2.0 GiB");
+    }
+}

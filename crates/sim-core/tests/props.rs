@@ -1,0 +1,96 @@
+//! Property tests for the DES engine and statistics utilities.
+
+use proptest::prelude::*;
+
+use sim_core::engine::{Engine, Scheduler, World};
+use sim_core::rng::Prng;
+use sim_core::stats::{Log2Histogram, Summary};
+use sim_core::time::{SimDuration, SimTime};
+
+/// Records delivery order.
+#[derive(Default)]
+struct Recorder {
+    seen: Vec<(u64, u32)>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+        self.seen.push((now.as_nanos(), ev));
+    }
+}
+
+proptest! {
+    /// Events are always delivered in non-decreasing time order, with
+    /// FIFO tie-breaking by insertion order.
+    #[test]
+    fn engine_delivers_in_order(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut w = Recorder::default();
+        let mut e: Engine<u32> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            e.scheduler().schedule(SimTime::from_nanos(t), i as u32);
+        }
+        e.run(&mut w);
+        prop_assert_eq!(w.seen.len(), times.len());
+        for pair in w.seen.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated");
+            }
+        }
+        prop_assert_eq!(e.delivered(), times.len() as u64);
+    }
+
+    /// The histogram conserves count and total across arbitrary samples.
+    #[test]
+    fn histogram_conservation(samples in proptest::collection::vec(0u64..2_000_000, 0..300)) {
+        let mut h = Log2Histogram::new();
+        let mut total = 0u64;
+        for &ns in &samples {
+            h.record(SimDuration::from_nanos(ns));
+            total += ns;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.total().as_nanos(), total);
+        let bucket_sum: u64 = h.rows().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_sum, samples.len() as u64);
+        prop_assert_eq!(h.max().as_nanos(), samples.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Summary percentiles are monotone and bounded by min/max.
+    #[test]
+    fn summary_percentiles_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_iter(samples.iter().copied());
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = s.percentile(p);
+            prop_assert!(v >= last, "percentile not monotone at {}", p);
+            prop_assert!(v >= s.min() && v <= s.max());
+            last = v;
+        }
+        prop_assert!(s.mean() >= s.min() && s.mean() <= s.max());
+    }
+
+    /// Prng::below never exceeds its bound, for any seed and bound.
+    #[test]
+    fn prng_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut r = Prng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    /// Duration arithmetic is associative over addition for in-range values.
+    #[test]
+    fn duration_addition(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        let (da, db, dc) = (
+            SimDuration::from_nanos(a),
+            SimDuration::from_nanos(b),
+            SimDuration::from_nanos(c),
+        );
+        prop_assert_eq!((da + db) + dc, da + (db + dc));
+        prop_assert_eq!(da + db, db + da);
+        let t = SimTime::from_nanos(a);
+        prop_assert_eq!((t + db) - t, db);
+    }
+}

@@ -1,0 +1,183 @@
+//! Calibrated fault-cost constants.
+//!
+//! Every constant is tied to a measurement reported in the paper (§3.3,
+//! Figure 2, measured with `bpftrace` on `kvm_mmu_page_fault`):
+//!
+//! - Warm VMs: "average time is 2.5 microseconds, and more than 90% of the
+//!   warm page faults take less than 4 microseconds" — anonymous-memory
+//!   faults are the cheapest.
+//! - Cached: "more than 90% of the page faults in less than 8
+//!   microseconds, and the average time is 3.7 microseconds" — minor
+//!   faults through the page-cache layer.
+//! - Firecracker: "average page fault time of 13.3 microseconds. Nearly 9%
+//!   of the page faults take more than 32 microseconds" — majors pay the
+//!   disk read on top of a kernel fixed cost.
+//! - REAP: in-working-set faults "< 4 microseconds since the host page
+//!   table entries already exist"; out-of-set faults add "an overhead of
+//!   several microseconds" of user-level handling, and "the guest cannot
+//!   immediately resume after a page fault is handled, causing context
+//!   switches".
+//!
+//! Samplers take a [`Prng`] so distributions have the tails visible in
+//! Figure 2 while remaining deterministic per seed.
+
+use sim_core::rng::Prng;
+use sim_core::time::SimDuration;
+
+/// Cost model for host-side page fault handling.
+#[derive(Clone, Debug)]
+pub struct FaultCosts {
+    /// Median anonymous zero-fill fault (warm-VM-style fault).
+    pub anon_median_us: f64,
+    /// Median minor fault served from the page cache.
+    pub minor_median_us: f64,
+    /// Fixed kernel-side overhead of a major fault, added to the disk wait.
+    pub major_overhead_us: f64,
+    /// Fault on a page whose host PTE already exists (REAP-prefetched).
+    pub host_pte_median_us: f64,
+    /// Cost of waking the user-level `userfaultfd` handler.
+    pub uffd_wake_us: f64,
+    /// `UFFDIO_COPY` install cost per page.
+    pub uffd_copy_us: f64,
+    /// Extra penalty before the guest resumes after a user-level-handled
+    /// fault: "the guest cannot immediately resume after a page fault is
+    /// handled, causing context switches" and KVM "blocks to wait for the
+    /// guest CPU to be ready" (§3.3, §6.4).
+    pub uffd_resume_us: f64,
+    /// One `mmap` call during VM setup.
+    pub mmap_call_us: f64,
+    /// One `mincore` scan per GiB of mapped range.
+    pub mincore_per_gib_us: f64,
+    /// Log-normal sigma for fast-path samples.
+    pub sigma: f64,
+}
+
+impl Default for FaultCosts {
+    fn default() -> Self {
+        FaultCosts {
+            anon_median_us: 2.3,
+            minor_median_us: 3.4,
+            major_overhead_us: 6.0,
+            host_pte_median_us: 2.8,
+            uffd_wake_us: 8.0,
+            uffd_copy_us: 2.5,
+            uffd_resume_us: 20.0,
+            mmap_call_us: 3.0,
+            mincore_per_gib_us: 250.0,
+            sigma: 0.33,
+        }
+    }
+}
+
+impl FaultCosts {
+    /// Samples an anonymous zero-fill fault.
+    pub fn anon_fault(&self, rng: &mut Prng) -> SimDuration {
+        SimDuration::from_micros_f64(rng.lognormal(self.anon_median_us, self.sigma))
+    }
+
+    /// Samples a minor fault served from the page cache.
+    pub fn minor_fault(&self, rng: &mut Prng) -> SimDuration {
+        SimDuration::from_micros_f64(rng.lognormal(self.minor_median_us, self.sigma))
+    }
+
+    /// Samples the kernel-side overhead of a major fault (excludes the
+    /// disk wait, which the device model supplies).
+    pub fn major_overhead(&self, rng: &mut Prng) -> SimDuration {
+        SimDuration::from_micros_f64(rng.lognormal(self.major_overhead_us, self.sigma))
+    }
+
+    /// Samples a fault on a host-PTE-present page.
+    pub fn host_pte_fault(&self, rng: &mut Prng) -> SimDuration {
+        SimDuration::from_micros_f64(rng.lognormal(self.host_pte_median_us, self.sigma))
+    }
+
+    /// Samples the handler-wake cost of a `userfaultfd` fault.
+    pub fn uffd_wake(&self, rng: &mut Prng) -> SimDuration {
+        SimDuration::from_micros_f64(rng.lognormal(self.uffd_wake_us, self.sigma))
+    }
+
+    /// Samples one `UFFDIO_COPY` page install.
+    pub fn uffd_copy(&self, rng: &mut Prng) -> SimDuration {
+        SimDuration::from_micros_f64(rng.lognormal(self.uffd_copy_us, self.sigma))
+    }
+
+    /// Samples the guest-resume context-switch penalty after user-level
+    /// fault handling.
+    pub fn uffd_resume(&self, rng: &mut Prng) -> SimDuration {
+        SimDuration::from_micros_f64(rng.lognormal(self.uffd_resume_us, self.sigma))
+    }
+
+    /// Cost of issuing `n` `mmap` calls during VM setup.
+    pub fn mmap_calls(&self, n: u64) -> SimDuration {
+        SimDuration::from_micros_f64(self.mmap_call_us * n as f64)
+    }
+
+    /// Cost of one `mincore` scan over `pages` pages.
+    pub fn mincore_scan(&self, pages: u64) -> SimDuration {
+        let gib = pages as f64 * 4096.0 / (1u64 << 30) as f64;
+        SimDuration::from_micros_f64(self.mincore_per_gib_us * gib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_us(mut sample: impl FnMut(&mut Prng) -> SimDuration) -> f64 {
+        let mut rng = Prng::new(99);
+        let n = 20_000;
+        (0..n).map(|_| sample(&mut rng).as_micros_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn anon_faults_match_warm_distribution() {
+        let c = FaultCosts::default();
+        // Paper: warm average 2.5us, >90% below 4us.
+        let mean = mean_us(|r| c.anon_fault(r));
+        assert!((2.2..2.8).contains(&mean), "anon mean {mean}us");
+        let mut rng = Prng::new(1);
+        let under4 =
+            (0..10_000).filter(|_| c.anon_fault(&mut rng).as_micros_f64() < 4.0).count();
+        assert!(under4 > 9_000, "only {under4}/10000 under 4us");
+    }
+
+    #[test]
+    fn minor_faults_match_cached_distribution() {
+        let c = FaultCosts::default();
+        // Paper: cached average 3.7us, >90% below 8us.
+        let mean = mean_us(|r| c.minor_fault(r));
+        assert!((3.2..4.1).contains(&mean), "minor mean {mean}us");
+        let mut rng = Prng::new(2);
+        let under8 =
+            (0..10_000).filter(|_| c.minor_fault(&mut rng).as_micros_f64() < 8.0).count();
+        assert!(under8 > 9_000, "only {under8}/10000 under 8us");
+    }
+
+    #[test]
+    fn host_pte_faults_fast() {
+        let c = FaultCosts::default();
+        // Paper: REAP in-working-set faults under 4us.
+        let mut rng = Prng::new(3);
+        let under4 =
+            (0..10_000).filter(|_| c.host_pte_fault(&mut rng).as_micros_f64() < 4.0).count();
+        assert!(under4 > 8_500, "only {under4}/10000 under 4us");
+    }
+
+    #[test]
+    fn setup_costs_scale() {
+        let c = FaultCosts::default();
+        assert_eq!(c.mmap_calls(0), SimDuration::ZERO);
+        assert!(c.mmap_calls(1000) > c.mmap_calls(10));
+        // 2 GiB mincore scan is sub-millisecond.
+        let scan = c.mincore_scan(524_288).as_micros_f64();
+        assert!((400.0..600.0).contains(&scan), "2GiB scan {scan}us");
+    }
+
+    #[test]
+    fn ordering_of_fault_classes() {
+        let c = FaultCosts::default();
+        let anon = mean_us(|r| c.anon_fault(r));
+        let minor = mean_us(|r| c.minor_fault(r));
+        assert!(anon < minor, "anon faults must be cheaper than minor faults");
+    }
+}

@@ -1,0 +1,453 @@
+//! Guest page fault classification and resolution planning.
+//!
+//! [`FaultResolver::resolve`] is the model of `kvm_mmu_page_fault` plus the
+//! host fault path. Given a faulting guest page it returns a
+//! [`FaultOutcome`] describing *what must happen* — an immediate cost for
+//! anonymous/minor/host-PTE faults, a disk I/O plus overhead for majors, or
+//! delivery to user space for `userfaultfd`-registered ranges. The DES
+//! runtime executes the plan (schedules the disk completion, inserts the
+//! readahead window into the page cache, resumes the vCPU).
+//!
+//! The classification order mirrors the kernel:
+//!
+//! 1. page fully mapped → no fault;
+//! 2. host PTE present (REAP-prefetched) → cheap fault;
+//! 3. `userfaultfd`-registered → user-space delivery;
+//! 4. anonymous VMA → zero-fill fault;
+//! 5. file-backed, cached → minor fault;
+//! 6. file-backed, uncached → major fault with readahead.
+
+use std::collections::HashMap;
+
+use sim_core::rng::Prng;
+use sim_core::time::SimDuration;
+use sim_storage::device::{IoKind, IoRequest};
+use sim_storage::file::FileId;
+use sim_storage::readahead::ReadaheadState;
+
+use crate::addr::PageNum;
+use crate::costs::FaultCosts;
+use crate::inflight::InflightIo;
+use crate::page_cache::PageCache;
+use crate::page_table::{PageState, PageTable};
+use crate::userfaultfd::UffdRegistry;
+use crate::vma::{AddressSpace, Resolved};
+
+/// The class of a handled fault, for accounting (Figure 2, Figure 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Anonymous zero-fill.
+    Anon,
+    /// Served from the page cache.
+    Minor,
+    /// Required a disk read.
+    Major,
+    /// Host PTE already present (prefetched via `UFFDIO_COPY`).
+    HostPte,
+    /// Delivered to a user-space `userfaultfd` handler.
+    Uffd,
+}
+
+/// The plan for resolving one fault.
+#[derive(Clone, Debug)]
+pub enum FaultOutcome {
+    /// The page is already fully mapped; no host-visible fault occurs.
+    NoFault,
+    /// Fault resolves after `cost` with no I/O. The page is installed.
+    Resolved {
+        /// Handling time.
+        cost: SimDuration,
+        /// Fault class (`Anon`, `Minor`, or `HostPte`).
+        kind: FaultKind,
+    },
+    /// Major fault: the runtime must submit `io`, wait for completion,
+    /// add `overhead`, insert the read window into the page cache, and
+    /// install the faulting page. For sequential streams the kernel also
+    /// issues `async_io` — the *next* window, read without blocking the
+    /// faulting task (Linux async readahead), which is what makes
+    /// streaming reads bandwidth-bound instead of latency-bound.
+    NeedsIo {
+        /// Disk read covering the faulting page and its readahead window.
+        io: IoRequest,
+        /// Kernel-side handling overhead on top of the disk wait.
+        overhead: SimDuration,
+        /// Optional non-blocking read of the following window.
+        async_io: Option<IoRequest>,
+    },
+    /// The page is already being read (loader prefetch, another VM, or an
+    /// earlier readahead window): sleep on the page lock until `ready_at`,
+    /// then pay `cost` to install. Counted as a major fault whose disk
+    /// wait overlaps someone else's read.
+    WaitInflight {
+        /// Completion instant of the in-flight read.
+        ready_at: sim_core::time::SimTime,
+        /// Install cost after the read completes.
+        cost: SimDuration,
+    },
+    /// The fault must be delivered to the user-space handler registered
+    /// for this range (REAP). The runtime routes it to the handler model.
+    Userfault {
+        /// Backing file of the faulting page (the snapshot memory file).
+        file: FileId,
+        /// Page within the backing file.
+        file_page: u64,
+    },
+}
+
+/// Per-address-space fault resolver: owns readahead state per backing
+/// file and the RNG used for cost sampling.
+#[derive(Clone, Debug)]
+pub struct FaultResolver {
+    costs: FaultCosts,
+    readahead: HashMap<FileId, ReadaheadState>,
+    rng: Prng,
+    /// Maximum readahead window in pages (Linux default 32 = 128 KiB).
+    max_ra_pages: u64,
+    initial_ra_pages: u64,
+}
+
+impl FaultResolver {
+    /// Creates a resolver with the given cost model and RNG seed.
+    pub fn new(costs: FaultCosts, seed: u64) -> Self {
+        FaultResolver {
+            costs,
+            readahead: HashMap::new(),
+            rng: Prng::new(seed),
+            max_ra_pages: 32,
+            initial_ra_pages: 4,
+        }
+    }
+
+    /// Overrides readahead window sizes (for sensitivity experiments).
+    pub fn with_readahead(mut self, initial: u64, max: u64) -> Self {
+        self.initial_ra_pages = initial;
+        self.max_ra_pages = max;
+        self.readahead.clear();
+        self
+    }
+
+    /// The cost model in use.
+    pub fn costs(&self) -> &FaultCosts {
+        &self.costs
+    }
+
+    /// Plans the resolution of a guest access to `page`.
+    ///
+    /// For `Resolved` outcomes the page table is updated here; for
+    /// `NeedsIo` and `Userfault` the runtime installs the page when the
+    /// plan completes.
+    pub fn resolve(
+        &mut self,
+        page: PageNum,
+        aspace: &AddressSpace,
+        pt: &mut PageTable,
+        cache: &mut PageCache,
+        uffd: &UffdRegistry,
+        inflight: &InflightIo,
+    ) -> FaultOutcome {
+        if !pt.faults_on(page) {
+            return FaultOutcome::NoFault;
+        }
+
+        // Prefetched pages fault cheaply even under uffd registration: the
+        // host PTE exists, so no user-space event fires.
+        if pt.state(page) == PageState::HostPte {
+            pt.install(page);
+            return FaultOutcome::Resolved {
+                cost: self.costs.host_pte_fault(&mut self.rng),
+                kind: FaultKind::HostPte,
+            };
+        }
+
+        let resolved = aspace
+            .resolve(page)
+            .unwrap_or_else(|| panic!("guest fault on unmapped page {page}"));
+
+        if uffd.covers(page) {
+            let (file, file_page) = match resolved {
+                Resolved::File { file, file_page } => (file, file_page),
+                // uffd over an anonymous range: the handler still serves
+                // the fault; it has no backing file page. REAP always
+                // registers over a file mapping, so treat this as a bug.
+                Resolved::Anonymous => {
+                    panic!("userfaultfd over anonymous mapping is not modeled")
+                }
+            };
+            return FaultOutcome::Userfault { file, file_page };
+        }
+
+        match resolved {
+            Resolved::Anonymous => {
+                pt.install(page);
+                FaultOutcome::Resolved {
+                    cost: self.costs.anon_fault(&mut self.rng),
+                    kind: FaultKind::Anon,
+                }
+            }
+            Resolved::File { file, file_page } => {
+                if cache.touch(file, file_page) {
+                    pt.install(page);
+                    FaultOutcome::Resolved {
+                        cost: self.costs.minor_fault(&mut self.rng),
+                        kind: FaultKind::Minor,
+                    }
+                } else if let Some(ready_at) = inflight.completion_of(file, file_page) {
+                    // Sleep on the page lock; the read in flight will
+                    // populate the cache. Install cost on wake.
+                    FaultOutcome::WaitInflight {
+                        ready_at,
+                        cost: self.costs.minor_fault(&mut self.rng),
+                    }
+                } else {
+                    let (io, async_io) =
+                        self.plan_major(page, file, file_page, aspace, cache, inflight);
+                    FaultOutcome::NeedsIo {
+                        io,
+                        overhead: self.costs.major_overhead(&mut self.rng),
+                        async_io,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the readahead window for a major fault: starts at the
+    /// faulting file page, clamped to the VMA extent and trimmed at the
+    /// first already-cached page so the device read stays contiguous.
+    /// For sequential streams (grown window) it also plans the *next*
+    /// window as a non-blocking async read.
+    fn plan_major(
+        &mut self,
+        page: PageNum,
+        file: FileId,
+        file_page: u64,
+        aspace: &AddressSpace,
+        cache: &PageCache,
+        inflight: &InflightIo,
+    ) -> (IoRequest, Option<IoRequest>) {
+        let (init, max) = (self.initial_ra_pages, self.max_ra_pages);
+        let ra = self
+            .readahead
+            .entry(file)
+            .or_insert_with(|| ReadaheadState::new(init, max));
+        let (start, len) = ra.on_miss(file_page);
+        debug_assert_eq!(start, file_page);
+        let sequential_stream = ra.window_pages() > init;
+
+        // Clamp to the contiguous extent of the mapping so the window
+        // never crosses into a different VMA (FaaSnap's per-region
+        // mappings naturally bound readahead to each region).
+        let vma_limit = aspace.contiguous_extent(page, len);
+        let mut pages = vma_limit.max(1);
+
+        // Trim at the first cached page to keep the read contiguous.
+        for (i, fp) in (file_page..file_page + pages).enumerate() {
+            if i > 0 && cache.contains(file, fp) {
+                pages = i as u64;
+                break;
+            }
+        }
+
+        let io = IoRequest { file, page: file_page, pages, kind: IoKind::FaultRead };
+
+        // Async readahead: only when the stream looks sequential and the
+        // sync window was not clipped (a clip means we ran into cached
+        // pages or a mapping boundary — no stream to pipeline).
+        let mut async_io = None;
+        if sequential_stream && pages == len {
+            let a_start = file_page + pages;
+            let room = aspace
+                .contiguous_extent(page + pages, len)
+                .min(len);
+            let mut a_pages = 0;
+            for fp in a_start..a_start + room {
+                if cache.contains(file, fp) || inflight.completion_of(file, fp).is_some() {
+                    break;
+                }
+                a_pages += 1;
+            }
+            if a_pages > 0 {
+                async_io = Some(IoRequest {
+                    file,
+                    page: a_start,
+                    pages: a_pages,
+                    kind: IoKind::FaultRead,
+                });
+            }
+        }
+        (io, async_io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PageRange;
+    use crate::vma::Backing;
+
+    fn setup(
+        total: u64,
+    ) -> (AddressSpace, PageTable, PageCache, UffdRegistry, InflightIo, FaultResolver) {
+        let aspace = AddressSpace::new();
+        let pt = PageTable::new(total);
+        let cache = PageCache::new(1 << 20);
+        let uffd = UffdRegistry::new();
+        let inflight = InflightIo::new();
+        let r = FaultResolver::new(FaultCosts::default(), 42);
+        (aspace, pt, cache, uffd, inflight, r)
+    }
+
+    #[test]
+    fn mapped_page_no_fault() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
+        pt.install(5);
+        assert!(matches!(r.resolve(5, &a, &mut pt, &mut c, &u, &fl), FaultOutcome::NoFault));
+    }
+
+    #[test]
+    fn anon_fault_resolves_and_installs() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
+        match r.resolve(7, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::Resolved { kind: FaultKind::Anon, cost } => {
+                assert!(cost.as_micros_f64() < 15.0);
+            }
+            other => panic!("expected anon fault, got {other:?}"),
+        }
+        assert!(!pt.faults_on(7));
+    }
+
+    #[test]
+    fn minor_fault_from_cache() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        c.insert(FileId(1), 10);
+        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::Resolved { kind: FaultKind::Minor, .. } => {}
+            other => panic!("expected minor fault, got {other:?}"),
+        }
+        assert!(!pt.faults_on(10));
+    }
+
+    #[test]
+    fn major_fault_plans_readahead_io() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::NeedsIo { io, overhead, .. } => {
+                assert_eq!(io.file, FileId(1));
+                assert_eq!(io.page, 10);
+                assert_eq!(io.pages, 4, "initial readahead window");
+                assert_eq!(io.kind, IoKind::FaultRead);
+                assert!(overhead.as_micros_f64() > 1.0);
+            }
+            other => panic!("expected major fault, got {other:?}"),
+        }
+        // Page not installed until the runtime completes the IO.
+        assert!(pt.faults_on(10));
+    }
+
+    #[test]
+    fn major_window_clamped_to_vma() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 12), Backing::File { file: FileId(1), offset_page: 0 });
+        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::NeedsIo { io, .. } => assert_eq!(io.pages, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn major_window_trimmed_at_cached_page() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        c.insert(FileId(1), 13);
+        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::NeedsIo { io, .. } => assert_eq!(io.pages, 3, "trim before cached page 13"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_offset_translation_in_major() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(50, 60), Backing::File { file: FileId(2), offset_page: 7 });
+        match r.resolve(55, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::NeedsIo { io, .. } => {
+                assert_eq!(io.file, FileId(2));
+                assert_eq!(io.page, 12);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_majors_grow_window() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(1000);
+        a.map_fixed(PageRange::new(0, 1000), Backing::File { file: FileId(1), offset_page: 0 });
+        let sizes: Vec<u64> = [0u64, 4, 12]
+            .iter()
+            .map(|&p| match r.resolve(p, &a, &mut pt, &mut c, &u, &fl) {
+                FaultOutcome::NeedsIo { io, .. } => io.pages,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn uffd_fault_routed_to_user_space() {
+        let (mut a, mut pt, mut c, mut u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        u.register(PageRange::new(0, 100));
+        match r.resolve(33, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::Userfault { file, file_page } => {
+                assert_eq!(file, FileId(1));
+                assert_eq!(file_page, 33);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_pte_fast_path_beats_uffd() {
+        let (mut a, mut pt, mut c, mut u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        u.register(PageRange::new(0, 100));
+        pt.set_state(20, PageState::HostPte);
+        match r.resolve(20, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::Resolved { kind: FaultKind::HostPte, cost } => {
+                assert!(cost.as_micros_f64() < 10.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inflight_read_blocks_instead_of_duplicating() {
+        let (mut a, mut pt, mut c, u, mut fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        let ready = sim_core::time::SimTime::from_nanos(50_000);
+        fl.insert_window(FileId(1), 8, 8, ready);
+        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::WaitInflight { ready_at, cost } => {
+                assert_eq!(ready_at, ready);
+                assert!(cost.as_micros_f64() < 15.0);
+            }
+            other => panic!("expected WaitInflight, got {other:?}"),
+        }
+        // A page outside the window still plans its own IO.
+        assert!(matches!(
+            r.resolve(40, &a, &mut pt, &mut c, &u, &fl),
+            FaultOutcome::NeedsIo { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped page")]
+    fn unmapped_fault_panics() {
+        let (a, mut pt, mut c, u, fl, mut r) = setup(100);
+        r.resolve(5, &a, &mut pt, &mut c, &u, &fl);
+    }
+}

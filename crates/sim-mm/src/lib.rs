@@ -1,0 +1,45 @@
+//! Simulated host memory management.
+//!
+//! This crate models the parts of the Linux host kernel that determine
+//! snapshot-restore performance in the FaaSnap paper:
+//!
+//! - [`addr`] — guest-physical page numbers and ranges.
+//! - [`vma`] — the VMM's virtual memory areas over the guest region,
+//!   including `MAP_FIXED` overlay semantics used by FaaSnap's
+//!   *hierarchical overlapping mappings* (§4.8): an anonymous base mapping,
+//!   non-zero regions overlaid onto the memory file, and loading-set
+//!   regions overlaid onto the loading-set file.
+//! - [`page_table`] — per-address-space page presence (three states:
+//!   unmapped, host-PTE-only as after `UFFDIO_COPY`, fully mapped) and RSS
+//!   accounting.
+//! - [`page_cache`] — the host page cache shared by all VMs: LRU, explicit
+//!   drop (the evaluation drops caches before each test), and warm-up for
+//!   the `Cached` reference setting.
+//! - [`fault`] — classification and cost/IO planning for guest page faults
+//!   (anonymous zero-fill vs. minor vs. major vs. `userfaultfd`).
+//! - [`mincore`] — the `mincore(2)` model used by FaaSnap's host page
+//!   recording (§4.4): file-backed pages are "in core" iff cached, so
+//!   readahead-fetched pages are recorded into the working set.
+//! - [`userfaultfd`] — registration of ranges for user-level fault
+//!   handling (REAP's mechanism).
+//! - [`costs`] — calibrated fault-cost constants with the paper sentences
+//!   they come from.
+
+pub mod addr;
+pub mod costs;
+pub mod fault;
+pub mod inflight;
+pub mod mincore;
+pub mod page_cache;
+pub mod page_table;
+pub mod userfaultfd;
+pub mod vma;
+
+pub use addr::{PageNum, PageRange};
+pub use costs::FaultCosts;
+pub use fault::{FaultOutcome, FaultResolver};
+pub use inflight::InflightIo;
+pub use page_cache::PageCache;
+pub use page_table::{PageState, PageTable};
+pub use userfaultfd::UffdRegistry;
+pub use vma::{AddressSpace, Backing, Vma};

@@ -1,0 +1,138 @@
+//! The `mincore(2)` model used for FaaSnap's host page recording.
+//!
+//! §4.4: "FaaSnap uses the mincore syscall to construct the working set
+//! file. mincore scans the present bits in the page table entries to
+//! determine if pages in a memory range are present in memory. In our
+//! case, it detects if guest pages are in the host page cache."
+//!
+//! For a file-backed mapping, a page is *in core* iff the backing file
+//! page is resident in the page cache — whether it got there via a guest
+//! fault, kernel readahead, or another process reading the same file. This
+//! is exactly why host page recording is more tolerant of working-set
+//! drift than `userfaultfd` tracking: readahead-predicted pages are
+//! recorded too. For an anonymous mapping, a page is in core iff it is
+//! resident in the address space.
+
+use crate::addr::{PageNum, PageRange};
+use crate::page_cache::PageCache;
+use crate::page_table::{PageState, PageTable};
+use crate::vma::{AddressSpace, Resolved};
+
+/// Returns the in-core bitmap for `range` of the mapped guest region,
+/// exactly as `mincore` would report it.
+pub fn mincore(
+    range: PageRange,
+    aspace: &AddressSpace,
+    pt: &PageTable,
+    cache: &PageCache,
+) -> Vec<bool> {
+    range.iter().map(|p| page_in_core(p, aspace, pt, cache)).collect()
+}
+
+/// In-core test for a single page.
+pub fn page_in_core(
+    page: PageNum,
+    aspace: &AddressSpace,
+    pt: &PageTable,
+    cache: &PageCache,
+) -> bool {
+    match aspace.resolve(page) {
+        Some(Resolved::File { file, file_page }) => cache.contains(file, file_page),
+        Some(Resolved::Anonymous) => pt.state(page) != PageState::NotPresent,
+        None => false,
+    }
+}
+
+/// Scans `range` and returns pages that are in core now but absent from
+/// `already_seen` (a bitmap indexed from `range.start`), updating
+/// `already_seen` in place. This is the incremental scan the FaaSnap
+/// daemon performs repeatedly during the record phase (§5): each call
+/// returns the *newly present* pages, in address order.
+pub fn scan_new_pages(
+    range: PageRange,
+    aspace: &AddressSpace,
+    pt: &PageTable,
+    cache: &PageCache,
+    already_seen: &mut [bool],
+) -> Vec<PageNum> {
+    assert_eq!(already_seen.len() as u64, range.len(), "bitmap sized to range");
+    let mut new_pages = Vec::new();
+    for (i, p) in range.iter().enumerate() {
+        if !already_seen[i] && page_in_core(p, aspace, pt, cache) {
+            already_seen[i] = true;
+            new_pages.push(p);
+        }
+    }
+    new_pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vma::Backing;
+    use sim_storage::file::FileId;
+
+    fn world() -> (AddressSpace, PageTable, PageCache) {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 50), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(PageRange::new(50, 100), Backing::Anonymous);
+        (a, PageTable::new(100), PageCache::new(1000))
+    }
+
+    #[test]
+    fn file_pages_follow_page_cache() {
+        let (a, pt, mut c) = world();
+        assert!(!page_in_core(10, &a, &pt, &c));
+        c.insert(FileId(1), 10);
+        assert!(page_in_core(10, &a, &pt, &c));
+    }
+
+    #[test]
+    fn readahead_pages_visible_without_guest_access() {
+        // The key host-page-recording property: pages cached by readahead
+        // are in core even though the guest never faulted on them.
+        let (a, pt, mut c) = world();
+        c.insert_range(FileId(1), 20, 8);
+        let bits = mincore(PageRange::new(18, 30), &a, &pt, &c);
+        assert_eq!(bits, vec![false, false, true, true, true, true, true, true, true, true, false, false]);
+        assert_eq!(pt.rss_pages(), 0, "guest never touched anything");
+    }
+
+    #[test]
+    fn anon_pages_follow_residency() {
+        let (a, mut pt, c) = world();
+        assert!(!page_in_core(60, &a, &pt, &c));
+        pt.install(60);
+        assert!(page_in_core(60, &a, &pt, &c));
+        pt.set_state(61, PageState::HostPte);
+        assert!(page_in_core(61, &a, &pt, &c), "host-PTE pages are resident");
+    }
+
+    #[test]
+    fn unmapped_pages_not_in_core() {
+        let (a, pt, c) = world();
+        assert!(!page_in_core(500, &a, &pt, &c));
+    }
+
+    #[test]
+    fn incremental_scan_returns_only_new_pages() {
+        let (a, pt, mut c) = world();
+        let range = PageRange::new(0, 50);
+        let mut seen = vec![false; 50];
+        c.insert_range(FileId(1), 5, 3);
+        let first = scan_new_pages(range, &a, &pt, &c, &mut seen);
+        assert_eq!(first, vec![5, 6, 7]);
+        // Nothing new on re-scan.
+        assert!(scan_new_pages(range, &a, &pt, &c, &mut seen).is_empty());
+        c.insert(FileId(1), 30);
+        assert_eq!(scan_new_pages(range, &a, &pt, &c, &mut seen), vec![30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmap sized to range")]
+    fn mis_sized_bitmap_panics() {
+        let (a, pt, c) = world();
+        let mut seen = vec![false; 3];
+        scan_new_pages(PageRange::new(0, 50), &a, &pt, &c, &mut seen);
+    }
+}

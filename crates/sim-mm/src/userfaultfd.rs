@@ -1,0 +1,146 @@
+//! `userfaultfd` registration model.
+//!
+//! REAP (§2.5) registers the guest memory region with `userfaultfd` so
+//! that page faults are delivered to a user-space handler instead of being
+//! resolved by the kernel. The registry tracks which ranges are registered;
+//! the handler's timing behavior (wake latency, serialized service,
+//! `UFFDIO_COPY` installs, context-switch resume penalty) lives with the
+//! REAP restore strategy in the `faasnap` crate.
+
+use crate::addr::{normalize, PageNum, PageRange};
+
+/// Registered `userfaultfd` ranges for one address space.
+#[derive(Clone, Debug, Default)]
+pub struct UffdRegistry {
+    ranges: Vec<PageRange>,
+}
+
+impl UffdRegistry {
+    /// Creates an empty registry (no user-level fault handling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a range for user-level fault delivery.
+    pub fn register(&mut self, range: PageRange) {
+        if range.is_empty() {
+            return;
+        }
+        let mut all = std::mem::take(&mut self.ranges);
+        all.push(range);
+        self.ranges = normalize(all);
+    }
+
+    /// Removes a range from user-level delivery (UFFDIO_UNREGISTER).
+    pub fn unregister(&mut self, range: PageRange) {
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        for r in &self.ranges {
+            if !r.overlaps(&range) {
+                out.push(*r);
+                continue;
+            }
+            if r.start < range.start {
+                out.push(PageRange::new(r.start, range.start));
+            }
+            if range.end < r.end {
+                out.push(PageRange::new(range.end, r.end));
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// True if faults on `page` are delivered to user space.
+    pub fn covers(&self, page: PageNum) -> bool {
+        // Binary search over sorted disjoint ranges.
+        match self.ranges.binary_search_by(|r| {
+            if r.end <= page {
+                std::cmp::Ordering::Less
+            } else if r.start > page {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(_) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Registered ranges, sorted and disjoint.
+    pub fn ranges(&self) -> &[PageRange] {
+        &self.ranges
+    }
+
+    /// Clears all registrations.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_cover() {
+        let mut u = UffdRegistry::new();
+        assert!(!u.covers(5));
+        u.register(PageRange::new(0, 10));
+        assert!(u.covers(0));
+        assert!(u.covers(9));
+        assert!(!u.covers(10));
+    }
+
+    #[test]
+    fn overlapping_registrations_normalize() {
+        let mut u = UffdRegistry::new();
+        u.register(PageRange::new(0, 10));
+        u.register(PageRange::new(5, 20));
+        u.register(PageRange::new(20, 25));
+        assert_eq!(u.ranges(), &[PageRange::new(0, 25)]);
+    }
+
+    #[test]
+    fn unregister_splits() {
+        let mut u = UffdRegistry::new();
+        u.register(PageRange::new(0, 100));
+        u.unregister(PageRange::new(40, 60));
+        assert!(u.covers(39));
+        assert!(!u.covers(40));
+        assert!(!u.covers(59));
+        assert!(u.covers(60));
+        assert_eq!(u.ranges().len(), 2);
+    }
+
+    #[test]
+    fn unregister_everything() {
+        let mut u = UffdRegistry::new();
+        u.register(PageRange::new(10, 20));
+        u.unregister(PageRange::new(0, 100));
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn covers_with_many_ranges() {
+        let mut u = UffdRegistry::new();
+        for i in 0..50 {
+            u.register(PageRange::new(i * 10, i * 10 + 5));
+        }
+        assert!(u.covers(123));
+        assert!(!u.covers(127));
+        assert!(u.covers(494));
+        assert!(!u.covers(495));
+    }
+
+    #[test]
+    fn empty_register_is_noop() {
+        let mut u = UffdRegistry::new();
+        u.register(PageRange::EMPTY);
+        assert!(u.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Virtual memory areas of the VMM's guest-memory mapping.
+//!
+//! Firecracker provides guest memory to KVM as one host-virtual region.
+//! Vanilla snapshot restore maps the whole region to the memory file;
+//! FaaSnap instead builds a *hierarchy of overlapping mappings* (§4.8):
+//!
+//! 1. an anonymous mapping covering the entire guest space,
+//! 2. non-zero regions `MAP_FIXED`-overlaid onto the memory file,
+//! 3. loading-set regions `MAP_FIXED`-overlaid onto the loading-set file.
+//!
+//! [`AddressSpace::map_fixed`] implements the kernel's `MAP_FIXED`
+//! semantics: a new mapping atomically replaces any overlapped portions of
+//! existing mappings (splitting them as needed), exactly like Linux. The
+//! number of `mmap` calls is tracked because mapping-setup overhead is part
+//! of the paper's motivation for region merging (§4.6: >1000 regions for
+//! hello-world before merging, <100 after).
+
+use std::collections::BTreeMap;
+
+use sim_storage::file::FileId;
+
+use crate::addr::{PageNum, PageRange};
+
+/// What a VMA is backed by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backing {
+    /// Host anonymous memory (zero-fill on first touch).
+    Anonymous,
+    /// A file, starting at `offset_page` within it for the VMA's first page.
+    File {
+        /// Backing file.
+        file: FileId,
+        /// File page corresponding to the VMA's first page.
+        offset_page: u64,
+    },
+}
+
+/// One mapped region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Vma {
+    /// Pages covered.
+    pub range: PageRange,
+    /// Backing store.
+    pub backing: Backing,
+}
+
+impl Vma {
+    /// Resolves a page within this VMA to its backing location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the VMA.
+    pub fn resolve(&self, page: PageNum) -> Resolved {
+        assert!(self.range.contains(page), "page {page} outside {:?}", self.range);
+        match self.backing {
+            Backing::Anonymous => Resolved::Anonymous,
+            Backing::File { file, offset_page } => {
+                Resolved::File { file, file_page: offset_page + (page - self.range.start) }
+            }
+        }
+    }
+
+    /// Returns the sub-VMA covering `sub` (used when splitting).
+    fn slice(&self, sub: PageRange) -> Vma {
+        debug_assert!(self.range.intersect(&sub) == sub);
+        let backing = match self.backing {
+            Backing::Anonymous => Backing::Anonymous,
+            Backing::File { file, offset_page } => Backing::File {
+                file,
+                offset_page: offset_page + (sub.start - self.range.start),
+            },
+        };
+        Vma { range: sub, backing }
+    }
+}
+
+/// The backing location of a single page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolved {
+    /// Host anonymous memory.
+    Anonymous,
+    /// Page `file_page` of `file`.
+    File {
+        /// Backing file.
+        file: FileId,
+        /// Page index within the file.
+        file_page: u64,
+    },
+}
+
+/// The VMM's guest-memory address space: disjoint VMAs keyed by start page.
+#[derive(Clone, Debug, Default)]
+pub struct AddressSpace {
+    vmas: BTreeMap<PageNum, Vma>,
+    mmap_calls: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps `range` to `backing` with `MAP_FIXED` semantics: any existing
+    /// mappings overlapping `range` are truncated/split/replaced.
+    pub fn map_fixed(&mut self, range: PageRange, backing: Backing) {
+        if range.is_empty() {
+            return;
+        }
+        self.mmap_calls += 1;
+
+        // Collect keys of VMAs that might overlap: those starting before
+        // range.end, walking back to the one covering range.start.
+        let overlapping: Vec<PageNum> = self
+            .vmas
+            .range(..range.end)
+            .rev()
+            .take_while(|(_, v)| v.range.end > range.start)
+            .map(|(k, _)| *k)
+            .collect();
+
+        for key in overlapping {
+            let old = self.vmas.remove(&key).expect("key just observed");
+            // Left remainder.
+            let left = PageRange::new(old.range.start, range.start.max(old.range.start).min(old.range.end));
+            if !left.is_empty() {
+                let slice = old.slice(left);
+                self.vmas.insert(slice.range.start, slice);
+            }
+            // Right remainder.
+            let right = PageRange::new(range.end.max(old.range.start).min(old.range.end), old.range.end);
+            if !right.is_empty() {
+                let slice = old.slice(right);
+                self.vmas.insert(slice.range.start, slice);
+            }
+        }
+
+        self.vmas.insert(range.start, Vma { range, backing });
+    }
+
+    /// Looks up the VMA covering `page`, if any.
+    pub fn lookup(&self, page: PageNum) -> Option<&Vma> {
+        self.vmas
+            .range(..=page)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.range.contains(page))
+    }
+
+    /// Resolves a page to its backing location, if mapped.
+    pub fn resolve(&self, page: PageNum) -> Option<Resolved> {
+        self.lookup(page).map(|v| v.resolve(page))
+    }
+
+    /// Number of `mmap` calls issued against this address space.
+    pub fn mmap_calls(&self) -> u64 {
+        self.mmap_calls
+    }
+
+    /// Number of distinct VMAs currently present.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Iterates VMAs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// True if every page of `range` is covered by some VMA.
+    pub fn covers(&self, range: PageRange) -> bool {
+        let mut next = range.start;
+        for vma in self.vmas.range(..range.end).map(|(_, v)| v) {
+            if vma.range.end <= next {
+                continue;
+            }
+            if vma.range.start > next {
+                return false;
+            }
+            next = vma.range.end;
+            if next >= range.end {
+                return true;
+            }
+        }
+        next >= range.end
+    }
+
+    /// Largest extent of contiguous pages starting at `page` that share the
+    /// same VMA, clamped to `limit` pages. Used to clamp readahead windows
+    /// so a read never crosses a mapping boundary.
+    pub fn contiguous_extent(&self, page: PageNum, limit: u64) -> u64 {
+        match self.lookup(page) {
+            Some(vma) => (vma.range.end - page).min(limit),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(id: u64, off: u64) -> Backing {
+        Backing::File { file: FileId(id), offset_page: off }
+    }
+
+    #[test]
+    fn single_mapping_lookup() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
+        assert_eq!(a.resolve(50), Some(Resolved::Anonymous));
+        assert_eq!(a.resolve(100), None);
+        assert_eq!(a.vma_count(), 1);
+        assert_eq!(a.mmap_calls(), 1);
+    }
+
+    #[test]
+    fn file_offset_resolution() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(10, 20), file(3, 100));
+        assert_eq!(a.resolve(15), Some(Resolved::File { file: FileId(3), file_page: 105 }));
+    }
+
+    #[test]
+    fn overlay_splits_underlying_mapping() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
+        a.map_fixed(PageRange::new(40, 60), file(1, 0));
+        assert_eq!(a.vma_count(), 3);
+        assert_eq!(a.resolve(39), Some(Resolved::Anonymous));
+        assert_eq!(a.resolve(40), Some(Resolved::File { file: FileId(1), file_page: 0 }));
+        assert_eq!(a.resolve(59), Some(Resolved::File { file: FileId(1), file_page: 19 }));
+        assert_eq!(a.resolve(60), Some(Resolved::Anonymous));
+    }
+
+    #[test]
+    fn overlay_preserves_file_offsets_on_split() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 100), file(1, 1000));
+        a.map_fixed(PageRange::new(40, 60), Backing::Anonymous);
+        // Right remainder keeps its file offset aligned.
+        assert_eq!(a.resolve(60), Some(Resolved::File { file: FileId(1), file_page: 1060 }));
+        assert_eq!(a.resolve(0), Some(Resolved::File { file: FileId(1), file_page: 1000 }));
+    }
+
+    #[test]
+    fn hierarchical_overlap_faasnap_style() {
+        // Anonymous base, then non-zero regions onto the memory file, then
+        // loading-set regions onto the loading-set file (Figure 4).
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 1000), Backing::Anonymous);
+        a.map_fixed(PageRange::new(100, 500), file(1, 100)); // memory file, same offset
+        a.map_fixed(PageRange::new(200, 300), file(2, 0)); // loading set file, compact
+        assert_eq!(a.resolve(50), Some(Resolved::Anonymous));
+        assert_eq!(a.resolve(150), Some(Resolved::File { file: FileId(1), file_page: 150 }));
+        assert_eq!(a.resolve(250), Some(Resolved::File { file: FileId(2), file_page: 50 }));
+        assert_eq!(a.resolve(400), Some(Resolved::File { file: FileId(1), file_page: 400 }));
+        assert_eq!(a.resolve(700), Some(Resolved::Anonymous));
+        assert!(a.covers(PageRange::new(0, 1000)));
+        assert_eq!(a.mmap_calls(), 3);
+    }
+
+    #[test]
+    fn exact_replacement() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(10, 20), Backing::Anonymous);
+        a.map_fixed(PageRange::new(10, 20), file(1, 0));
+        assert_eq!(a.vma_count(), 1);
+        assert_eq!(a.resolve(10), Some(Resolved::File { file: FileId(1), file_page: 0 }));
+    }
+
+    #[test]
+    fn overlay_spanning_multiple_vmas() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 10), file(1, 0));
+        a.map_fixed(PageRange::new(10, 20), file(2, 0));
+        a.map_fixed(PageRange::new(20, 30), file(3, 0));
+        a.map_fixed(PageRange::new(5, 25), Backing::Anonymous);
+        assert_eq!(a.resolve(4), Some(Resolved::File { file: FileId(1), file_page: 4 }));
+        assert_eq!(a.resolve(5), Some(Resolved::Anonymous));
+        assert_eq!(a.resolve(24), Some(Resolved::Anonymous));
+        assert_eq!(a.resolve(25), Some(Resolved::File { file: FileId(3), file_page: 5 }));
+        assert_eq!(a.vma_count(), 3);
+    }
+
+    #[test]
+    fn coverage_detects_holes() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 10), Backing::Anonymous);
+        a.map_fixed(PageRange::new(20, 30), Backing::Anonymous);
+        assert!(a.covers(PageRange::new(0, 10)));
+        assert!(a.covers(PageRange::new(5, 8)));
+        assert!(!a.covers(PageRange::new(0, 30)));
+        assert!(!a.covers(PageRange::new(15, 18)));
+    }
+
+    #[test]
+    fn contiguous_extent_clamps() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
+        a.map_fixed(PageRange::new(100, 200), file(1, 0));
+        assert_eq!(a.contiguous_extent(90, 32), 10);
+        assert_eq!(a.contiguous_extent(90, 5), 5);
+        assert_eq!(a.contiguous_extent(250, 32), 0);
+    }
+
+    #[test]
+    fn empty_map_is_noop() {
+        let mut a = AddressSpace::new();
+        a.map_fixed(PageRange::EMPTY, Backing::Anonymous);
+        assert_eq!(a.vma_count(), 0);
+        assert_eq!(a.mmap_calls(), 0);
+    }
+}

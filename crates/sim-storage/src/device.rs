@@ -1,0 +1,335 @@
+//! Queued block device model.
+//!
+//! The device is a passive state machine: callers submit a read request at
+//! the current simulated instant and receive the completion time; the DES
+//! world schedules the completion event. Three resources shape timing:
+//!
+//! 1. **Setup latency** — each request pays a fixed setup cost; requests
+//!    that continue the previous request on the same file pay the (much
+//!    smaller) sequential setup. This is what makes FaaSnap's compact,
+//!    sequentially laid-out loading-set file fast and scattered 4 KiB
+//!    demand reads slow (§4.7: "Scattered reads ... usually lead to lower
+//!    disk performance").
+//! 2. **Shared data bus** — transfers serialize on device bandwidth; setup
+//!    of one request overlaps with transfers of others (queued device).
+//! 3. **IOPS gate** — admissions are spaced at least `1 / max_iops` apart.
+//!
+//! Per-request statistics are tagged with an [`IoKind`] so experiments can
+//! report loader traffic vs. guest-fault traffic separately (Figure 9's
+//! "# of block requests", Table 3's fetch sizes).
+
+use sim_core::rng::Prng;
+use sim_core::time::SimTime;
+use sim_core::units::PAGE_SIZE;
+
+use crate::file::FileId;
+use crate::profiles::DiskProfile;
+
+/// Why a read was issued; used only for accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Host kernel demand read triggered by a guest page fault (plus its
+    /// readahead window).
+    FaultRead,
+    /// FaaSnap daemon loader prefetch (concurrent paging).
+    LoaderPrefetch,
+    /// REAP working-set fetch at invocation start.
+    ReapFetch,
+    /// REAP user-level handler read for an out-of-working-set fault.
+    ReapMiss,
+    /// Snapshot creation write-out.
+    SnapshotWrite,
+    /// Page-cache warm-up for the `Cached` reference setting.
+    CacheWarmup,
+    /// Anything else.
+    Other,
+}
+
+/// A read (or write) request against a file region.
+#[derive(Clone, Copy, Debug)]
+pub struct IoRequest {
+    /// Target file.
+    pub file: FileId,
+    /// First page within the file.
+    pub page: u64,
+    /// Number of pages.
+    pub pages: u64,
+    /// Accounting tag.
+    pub kind: IoKind,
+}
+
+impl IoRequest {
+    /// Total bytes moved by this request.
+    pub fn bytes(&self) -> u64 {
+        self.pages * PAGE_SIZE
+    }
+}
+
+/// Aggregate device statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Total requests admitted.
+    pub requests: u64,
+    /// Total pages transferred.
+    pub pages: u64,
+    /// Requests that hit the sequential fast path.
+    pub sequential_requests: u64,
+    /// Requests by kind: (fault, loader, reap_fetch, reap_miss, write, warmup, other).
+    pub by_kind: [u64; 7],
+    /// Pages by kind, same order as `by_kind`.
+    pub pages_by_kind: [u64; 7],
+}
+
+impl IoStats {
+    fn kind_index(kind: IoKind) -> usize {
+        match kind {
+            IoKind::FaultRead => 0,
+            IoKind::LoaderPrefetch => 1,
+            IoKind::ReapFetch => 2,
+            IoKind::ReapMiss => 3,
+            IoKind::SnapshotWrite => 4,
+            IoKind::CacheWarmup => 5,
+            IoKind::Other => 6,
+        }
+    }
+
+    /// Requests issued with the given tag.
+    pub fn requests_of(&self, kind: IoKind) -> u64 {
+        self.by_kind[Self::kind_index(kind)]
+    }
+
+    /// Pages transferred with the given tag.
+    pub fn pages_of(&self, kind: IoKind) -> u64 {
+        self.pages_by_kind[Self::kind_index(kind)]
+    }
+
+    /// Bytes transferred with the given tag.
+    pub fn bytes_of(&self, kind: IoKind) -> u64 {
+        self.pages_of(kind) * PAGE_SIZE
+    }
+}
+
+/// A queued block device.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    profile: DiskProfile,
+    rng: Prng,
+    /// When the shared data bus next frees.
+    bus_free: SimTime,
+    /// IOPS admission gate: earliest next admission.
+    iops_gate: SimTime,
+    /// Last request's (file, end page), for sequential detection.
+    last_extent: Option<(FileId, u64)>,
+    stats: IoStats,
+}
+
+impl Disk {
+    /// Creates a device with the given profile. The seed controls latency
+    /// jitter only.
+    pub fn new(profile: DiskProfile, seed: u64) -> Self {
+        Disk {
+            profile,
+            rng: Prng::new(seed),
+            bus_free: SimTime::ZERO,
+            iops_gate: SimTime::ZERO,
+            last_extent: None,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// The device's performance profile.
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// Submits a request at instant `now`; returns its completion time.
+    ///
+    /// The model: the request is admitted at
+    /// `start = max(now, iops_gate)`; it pays setup latency (sequential or
+    /// random, jittered), then its transfer serializes on the shared bus.
+    pub fn submit(&mut self, now: SimTime, req: IoRequest) -> SimTime {
+        assert!(req.pages > 0, "zero-length I/O request");
+        let sequential = self.last_extent == Some((req.file, req.page));
+        self.last_extent = Some((req.file, req.page + req.pages));
+
+        let base_setup =
+            if sequential { self.profile.sequential_setup } else { self.profile.random_setup };
+        let setup = if self.profile.latency_jitter > 0.0 {
+            base_setup.mul_f64(self.rng.jitter(self.profile.latency_jitter))
+        } else {
+            base_setup
+        };
+
+        let admitted = now.max(self.iops_gate);
+        self.iops_gate = admitted + self.profile.iops_gap();
+
+        // Setup overlaps with other requests' transfers; the transfer
+        // (plus per-command processing) serializes on the bus.
+        let bus_overhead = if sequential {
+            self.profile.sequential_bus_overhead
+        } else {
+            self.profile.random_bus_overhead
+        };
+        let busy = bus_overhead + self.profile.transfer_time(req.bytes());
+        let transfer_start = (admitted + setup).max(self.bus_free);
+        let completion = transfer_start + busy;
+        self.bus_free = completion;
+
+        self.stats.requests += 1;
+        self.stats.pages += req.pages;
+        if sequential {
+            self.stats.sequential_requests += 1;
+        }
+        let k = IoStats::kind_index(req.kind);
+        self.stats.by_kind[k] += 1;
+        self.stats.pages_by_kind[k] += req.pages;
+
+        completion
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. between the record and test phases) without
+    /// touching queue state.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Resets queue state (bus, IOPS gate, sequential detector) to idle.
+    ///
+    /// Each simulation run starts its clock at zero, so the runtime must
+    /// reset device queues between runs — otherwise a new run's requests
+    /// would queue behind the previous run's (stale, absolute-time)
+    /// backlog.
+    pub fn reset_queue(&mut self) {
+        self.bus_free = SimTime::ZERO;
+        self.iops_gate = SimTime::ZERO;
+        self.last_extent = None;
+    }
+
+    /// Earliest instant at which a request submitted now could complete;
+    /// useful for tests and back-pressure heuristics.
+    pub fn queue_free_at(&self) -> SimTime {
+        self.bus_free.max(self.iops_gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::units::MIB;
+
+    fn req(file: u64, page: u64, pages: u64) -> IoRequest {
+        IoRequest { file: FileId(file), page, pages, kind: IoKind::FaultRead }
+    }
+
+    fn quiet_nvme() -> Disk {
+        let mut p = DiskProfile::nvme_c5d();
+        p.latency_jitter = 0.0;
+        Disk::new(p, 1)
+    }
+
+    #[test]
+    fn single_random_read_latency() {
+        let mut d = quiet_nvme();
+        let done = d.submit(SimTime::ZERO, req(0, 100, 1));
+        let us = done.as_micros_f64();
+        // setup 68us + 12us command overhead + ~2.6us transfer.
+        assert!((65.0..95.0).contains(&us), "latency {us}us");
+    }
+
+    #[test]
+    fn sequential_follow_up_is_cheap() {
+        let mut d = quiet_nvme();
+        let t1 = d.submit(SimTime::ZERO, req(0, 0, 8));
+        let t2 = d.submit(t1, req(0, 8, 8));
+        let gap = (t2 - t1).as_micros_f64();
+        // Sequential setup (6us) + 32KiB transfer (~20us).
+        assert!(gap < 40.0, "sequential continuation took {gap}us");
+        assert_eq!(d.stats().sequential_requests, 1);
+    }
+
+    #[test]
+    fn non_contiguous_is_random() {
+        let mut d = quiet_nvme();
+        let t1 = d.submit(SimTime::ZERO, req(0, 0, 8));
+        let t2 = d.submit(t1, req(0, 100, 8));
+        assert!((t2 - t1).as_micros_f64() > 60.0);
+        assert_eq!(d.stats().sequential_requests, 0);
+    }
+
+    #[test]
+    fn different_file_breaks_sequence() {
+        let mut d = quiet_nvme();
+        d.submit(SimTime::ZERO, req(0, 0, 8));
+        d.submit(SimTime::from_nanos(1_000_000), req(1, 8, 8));
+        assert_eq!(d.stats().sequential_requests, 0);
+    }
+
+    #[test]
+    fn bandwidth_serializes_transfers() {
+        let mut d = quiet_nvme();
+        // Two 64 MiB reads submitted back-to-back at t=0: the second's
+        // transfer must wait for the first.
+        let one = d.submit(SimTime::ZERO, req(0, 0, 16384));
+        let two = d.submit(SimTime::ZERO, req(1, 0, 16384));
+        let t_one = one.as_millis_f64();
+        let t_two = two.as_millis_f64();
+        let expect_one = 64.0 * MIB as f64 / 1589e6 * 1e3;
+        assert!((t_one - expect_one).abs() < 5.0, "first {t_one}ms vs {expect_one}ms");
+        assert!(t_two > 1.9 * t_one, "second must queue: {t_two} vs {t_one}");
+    }
+
+    #[test]
+    fn iops_gate_spaces_admissions() {
+        let mut p = DiskProfile::nvme_c5d();
+        p.latency_jitter = 0.0;
+        let mut d = Disk::new(p.clone(), 1);
+        // 1000 tiny reads at t=0; admissions spaced by ~3.5us mean the last
+        // completes no earlier than ~3.5ms.
+        let mut last = SimTime::ZERO;
+        for i in 0..1000 {
+            last = d.submit(SimTime::ZERO, req(0, i * 2, 1));
+        }
+        assert!(last.as_millis_f64() >= 1000.0 / 285_000.0 * 1000.0 * 0.9);
+    }
+
+    #[test]
+    fn stats_by_kind() {
+        let mut d = quiet_nvme();
+        d.submit(SimTime::ZERO, IoRequest { file: FileId(0), page: 0, pages: 4, kind: IoKind::LoaderPrefetch });
+        d.submit(SimTime::ZERO, IoRequest { file: FileId(0), page: 9, pages: 2, kind: IoKind::FaultRead });
+        assert_eq!(d.stats().requests_of(IoKind::LoaderPrefetch), 1);
+        assert_eq!(d.stats().pages_of(IoKind::LoaderPrefetch), 4);
+        assert_eq!(d.stats().bytes_of(IoKind::FaultRead), 2 * PAGE_SIZE);
+        assert_eq!(d.stats().requests, 2);
+        d.reset_stats();
+        assert_eq!(d.stats().requests, 0);
+    }
+
+    #[test]
+    fn instant_profile_completes_immediately() {
+        let mut d = Disk::new(DiskProfile::instant(), 1);
+        let done = d.submit(SimTime::from_nanos(5), req(0, 0, 1024));
+        assert_eq!(done, SimTime::from_nanos(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_request_panics() {
+        let mut d = quiet_nvme();
+        d.submit(SimTime::ZERO, req(0, 0, 0));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = || {
+            let mut d = Disk::new(DiskProfile::nvme_c5d(), 7);
+            (0..100).map(|i| d.submit(SimTime::ZERO, req(0, i * 7, 3)).as_nanos()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

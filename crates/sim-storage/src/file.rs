@@ -1,0 +1,160 @@
+//! Simulated file registry.
+//!
+//! Snapshot artifacts (memory files, working-set files, loading-set files,
+//! VM state files) are modeled as files with a length, a kind, and a home
+//! device. Page *contents* are tracked by the VM layer; the storage layer
+//! only needs identity and extent so the device and page cache can account
+//! for reads.
+
+use std::collections::HashMap;
+
+/// Identifies a simulated file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Identifies a simulated block device within a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+/// What role a file plays, for reporting and sanity checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Full copy of guest physical memory (one per snapshot).
+    SnapshotMemory,
+    /// Firecracker VM state (device + vCPU state); small.
+    SnapshotState,
+    /// REAP compact working-set file.
+    WorkingSet,
+    /// FaaSnap compact loading-set file.
+    LoadingSet,
+    /// Guest rootfs / kernel image, or anything else.
+    Other,
+}
+
+/// Metadata for one simulated file.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    /// Display name, e.g. `"image.snap.mem"`.
+    pub name: String,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// Length in pages.
+    pub len_pages: u64,
+    /// Device the file lives on.
+    pub device: DeviceId,
+}
+
+/// Registry of simulated files.
+#[derive(Clone, Debug, Default)]
+pub struct SimFs {
+    files: HashMap<FileId, FileMeta>,
+    next_id: u64,
+}
+
+impl SimFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a file and returns its id.
+    pub fn create(
+        &mut self,
+        name: impl Into<String>,
+        kind: FileKind,
+        len_pages: u64,
+        device: DeviceId,
+    ) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(id, FileMeta { name: name.into(), kind, len_pages, device });
+        id
+    }
+
+    /// Looks up file metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown (a wiring bug, not a runtime condition).
+    pub fn meta(&self, id: FileId) -> &FileMeta {
+        self.files.get(&id).expect("unknown FileId")
+    }
+
+    /// Looks up file metadata, returning `None` for unknown ids.
+    pub fn try_meta(&self, id: FileId) -> Option<&FileMeta> {
+        self.files.get(&id)
+    }
+
+    /// Changes a file's length (e.g. when a loading-set file is written).
+    pub fn set_len_pages(&mut self, id: FileId, len_pages: u64) {
+        self.files.get_mut(&id).expect("unknown FileId").len_pages = len_pages;
+    }
+
+    /// Moves a file to a different device (e.g. local SSD vs. remote EBS).
+    pub fn set_device(&mut self, id: FileId, device: DeviceId) {
+        self.files.get_mut(&id).expect("unknown FileId").device = device;
+    }
+
+    /// Removes a file. Returns its metadata if it existed.
+    pub fn remove(&mut self, id: FileId) -> Option<FileMeta> {
+        self.files.remove(&id)
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterates over all files.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &FileMeta)> {
+        self.files.iter().map(|(id, m)| (*id, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut fs = SimFs::new();
+        let dev = DeviceId(0);
+        let a = fs.create("a.mem", FileKind::SnapshotMemory, 524_288, dev);
+        let b = fs.create("a.ls", FileKind::LoadingSet, 100, dev);
+        assert_ne!(a, b);
+        assert_eq!(fs.meta(a).len_pages, 524_288);
+        assert_eq!(fs.meta(b).kind, FileKind::LoadingSet);
+        assert_eq!(fs.len(), 2);
+    }
+
+    #[test]
+    fn resize_and_move() {
+        let mut fs = SimFs::new();
+        let f = fs.create("x", FileKind::WorkingSet, 10, DeviceId(0));
+        fs.set_len_pages(f, 99);
+        fs.set_device(f, DeviceId(1));
+        assert_eq!(fs.meta(f).len_pages, 99);
+        assert_eq!(fs.meta(f).device, DeviceId(1));
+    }
+
+    #[test]
+    fn remove_file() {
+        let mut fs = SimFs::new();
+        let f = fs.create("x", FileKind::Other, 1, DeviceId(0));
+        assert!(fs.remove(f).is_some());
+        assert!(fs.try_meta(f).is_none());
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown FileId")]
+    fn unknown_id_panics() {
+        let fs = SimFs::new();
+        fs.meta(FileId(42));
+    }
+}

@@ -1,0 +1,141 @@
+//! Disk performance profiles.
+//!
+//! The paper measures two storage configurations:
+//! - a local NVMe SSD on the c5d.metal host: "measured maximum throughput
+//!   of 1589 MB/s and 285,000 IOPS" (§3.1, §6.1);
+//! - an AWS EBS io2 volume: "64K maximum IOPS and 1 GB/s maximum
+//!   throughput" (§6.7).
+//!
+//! Setup latencies are not reported directly; they are calibrated so that
+//! the simulated fault-time distributions match Figure 2 (major page
+//! faults mostly in the 32–512 µs buckets on NVMe) and so that baseline
+//! Firecracker on EBS lands ~33 % slower than on NVMe (§6.7).
+
+use sim_core::time::SimDuration;
+
+/// Performance parameters of a simulated block device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiskProfile {
+    /// Human-readable name, e.g. `"nvme-c5d"`.
+    pub name: &'static str,
+    /// Sustained data-bus bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Maximum request admission rate (requests per second).
+    pub max_iops: u64,
+    /// Per-request setup latency for a random (non-sequential) read.
+    pub random_setup: SimDuration,
+    /// Per-request setup latency when the request continues the previous
+    /// request on the same file (controller/FTL locality, no full seek).
+    pub sequential_setup: SimDuration,
+    /// Relative spread applied as multiplicative jitter on setup latency
+    /// (0.0 disables jitter; the paper's distributions have visible tails).
+    pub latency_jitter: f64,
+    /// Per-command device-side processing charged against the shared bus
+    /// for random requests. This is what makes many small scattered reads
+    /// aggregate worse than few large sequential ones even at high queue
+    /// depth (the §4.7 motivation for the compact loading-set file).
+    pub random_bus_overhead: SimDuration,
+    /// Per-command bus overhead for sequential continuations.
+    pub sequential_bus_overhead: SimDuration,
+}
+
+impl DiskProfile {
+    /// The paper's local NVMe SSD (c5d.metal instance store).
+    pub fn nvme_c5d() -> Self {
+        DiskProfile {
+            name: "nvme-c5d",
+            bandwidth_bytes_per_sec: 1589 * 1_000_000,
+            max_iops: 285_000,
+            random_setup: SimDuration::from_micros(68),
+            sequential_setup: SimDuration::from_micros(6),
+            latency_jitter: 0.35,
+            random_bus_overhead: SimDuration::from_micros(12),
+            sequential_bus_overhead: SimDuration::from_nanos(1_500),
+        }
+    }
+
+    /// The paper's remote EBS io2 volume (§6.7).
+    pub fn ebs_io2() -> Self {
+        DiskProfile {
+            name: "ebs-io2",
+            bandwidth_bytes_per_sec: 1_000 * 1_000_000,
+            max_iops: 64_000,
+            random_setup: SimDuration::from_micros(450),
+            sequential_setup: SimDuration::from_micros(90),
+            latency_jitter: 0.25,
+            random_bus_overhead: SimDuration::from_micros(24),
+            sequential_bus_overhead: SimDuration::from_micros(3),
+        }
+    }
+
+    /// An idealized infinitely fast device (useful in tests to isolate
+    /// non-storage costs; approximates the `Cached` reference setting when
+    /// combined with a pre-populated page cache).
+    pub fn instant() -> Self {
+        DiskProfile {
+            name: "instant",
+            bandwidth_bytes_per_sec: u64::MAX,
+            max_iops: u64::MAX,
+            random_setup: SimDuration::ZERO,
+            sequential_setup: SimDuration::ZERO,
+            latency_jitter: 0.0,
+            random_bus_overhead: SimDuration::ZERO,
+            sequential_bus_overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Time to push `bytes` through the data bus.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.bandwidth_bytes_per_sec == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+
+    /// Minimum spacing between request admissions imposed by the IOPS cap.
+    pub fn iops_gap(&self) -> SimDuration {
+        if self.max_iops == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(1.0 / self.max_iops as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvme_transfer_times() {
+        let p = DiskProfile::nvme_c5d();
+        // 4 KiB at 1589 MB/s is ~2.6 us.
+        let t = p.transfer_time(4096).as_micros_f64();
+        assert!((2.0..3.5).contains(&t), "4KiB transfer {t}us");
+        // 512 MiB takes ~338 ms.
+        let t = p.transfer_time(512 * 1024 * 1024).as_millis_f64();
+        assert!((300.0..380.0).contains(&t), "512MiB transfer {t}ms");
+    }
+
+    #[test]
+    fn nvme_iops_gap() {
+        let p = DiskProfile::nvme_c5d();
+        let g = p.iops_gap().as_micros_f64();
+        assert!((3.0..4.0).contains(&g), "iops gap {g}us");
+    }
+
+    #[test]
+    fn ebs_slower_than_nvme() {
+        let nvme = DiskProfile::nvme_c5d();
+        let ebs = DiskProfile::ebs_io2();
+        assert!(ebs.random_setup > nvme.random_setup);
+        assert!(ebs.iops_gap() > nvme.iops_gap());
+        assert!(ebs.transfer_time(1 << 20) > nvme.transfer_time(1 << 20));
+    }
+
+    #[test]
+    fn instant_profile_is_free() {
+        let p = DiskProfile::instant();
+        assert!(p.transfer_time(u64::MAX / 2).is_zero());
+        assert!(p.iops_gap().is_zero());
+    }
+}

@@ -1,0 +1,125 @@
+//! Linux-style readahead window model.
+//!
+//! When a file-backed fault misses the page cache, the host kernel reads a
+//! window of pages around/after the faulting page, and grows the window
+//! when it detects a sequential stream. Two paper observations depend on
+//! this behavior:
+//!
+//! - §3.3: "the readahead mechanism in the host kernel fetches pages near
+//!   the faulting page into the page cache to reduce future disk reads" —
+//!   so vanilla Firecracker faults are a mix of slow majors and fast
+//!   cache-hit minors;
+//! - §4.4 (*host page recording*): "the pages touched by readahead can be
+//!   accessed in future invocations ... readahead can 'predict' some future
+//!   guest memory accesses", which is why FaaSnap records working sets with
+//!   `mincore` (which sees readahead pages) rather than `userfaultfd`
+//!   (which sees only faulting pages).
+//!
+//! The model keeps per-stream state: a miss adjacent to (or inside) the
+//! previous window doubles the window size up to `max_pages`; an isolated
+//! miss resets it to `initial_pages`. Windows start at the faulting page
+//! and extend forward, clamped by the caller to the mapping/file extent.
+
+/// Readahead tracking for one sequential-access detector (typically one
+/// per mapped file per address space).
+#[derive(Clone, Debug)]
+pub struct ReadaheadState {
+    initial_pages: u64,
+    max_pages: u64,
+    window_pages: u64,
+    /// End (exclusive) of the last window issued.
+    last_end: Option<u64>,
+}
+
+impl Default for ReadaheadState {
+    fn default() -> Self {
+        Self::new(8, 32)
+    }
+}
+
+impl ReadaheadState {
+    /// Creates a detector with the given initial and maximum window sizes
+    /// (pages). Linux defaults to 128 KiB max readahead (32 pages).
+    pub fn new(initial_pages: u64, max_pages: u64) -> Self {
+        assert!(initial_pages >= 1 && max_pages >= initial_pages);
+        ReadaheadState { initial_pages, max_pages, window_pages: initial_pages, last_end: None }
+    }
+
+    /// Computes the read window for a cache miss at `page`.
+    ///
+    /// Returns `(start, len)` in file pages. The caller clamps to the
+    /// mapping and drops already-cached pages.
+    pub fn on_miss(&mut self, page: u64) -> (u64, u64) {
+        let sequentialish = match self.last_end {
+            // A miss just past (or within one window of) the previous
+            // window counts as a sequential stream.
+            Some(end) => page >= end.saturating_sub(self.window_pages) && page <= end + 1,
+            None => false,
+        };
+        if sequentialish {
+            self.window_pages = (self.window_pages * 2).min(self.max_pages);
+        } else {
+            self.window_pages = self.initial_pages;
+        }
+        let start = page;
+        let len = self.window_pages;
+        self.last_end = Some(start + len);
+        (start, len)
+    }
+
+    /// Current window size in pages (for inspection/tests).
+    pub fn window_pages(&self) -> u64 {
+        self.window_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_miss_uses_initial_window() {
+        let mut ra = ReadaheadState::new(8, 32);
+        assert_eq!(ra.on_miss(100), (100, 8));
+    }
+
+    #[test]
+    fn sequential_stream_grows_to_max() {
+        let mut ra = ReadaheadState::new(8, 32);
+        let (s1, l1) = ra.on_miss(0);
+        assert_eq!((s1, l1), (0, 8));
+        let (s2, l2) = ra.on_miss(8);
+        assert_eq!((s2, l2), (8, 16));
+        let (s3, l3) = ra.on_miss(24);
+        assert_eq!((s3, l3), (24, 32));
+        let (_s4, l4) = ra.on_miss(56);
+        assert_eq!(l4, 32, "window capped at max");
+    }
+
+    #[test]
+    fn random_miss_resets_window() {
+        let mut ra = ReadaheadState::new(8, 32);
+        ra.on_miss(0);
+        ra.on_miss(8);
+        assert_eq!(ra.window_pages(), 16);
+        let (s, l) = ra.on_miss(10_000);
+        assert_eq!((s, l), (10_000, 8));
+        assert_eq!(ra.window_pages(), 8);
+    }
+
+    #[test]
+    fn near_sequential_within_window_still_grows() {
+        let mut ra = ReadaheadState::new(8, 32);
+        ra.on_miss(0); // window [0,8)
+        // A miss at page 5 (inside the previous window region) keeps the
+        // stream alive — models interleaved readers.
+        let (_, l) = ra.on_miss(5);
+        assert_eq!(l, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        ReadaheadState::new(16, 8);
+    }
+}

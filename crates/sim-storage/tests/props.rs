@@ -1,0 +1,84 @@
+//! Property tests for the block-device model.
+
+use proptest::prelude::*;
+
+use sim_core::time::SimTime;
+use sim_storage::device::{Disk, IoKind, IoRequest};
+use sim_storage::file::FileId;
+use sim_storage::profiles::DiskProfile;
+use sim_storage::readahead::ReadaheadState;
+
+fn req(file: u64, page: u64, pages: u64) -> IoRequest {
+    IoRequest { file: FileId(file), page, pages, kind: IoKind::FaultRead }
+}
+
+proptest! {
+    /// Completions never precede submissions, and the shared-bus model
+    /// keeps completions of successively submitted requests monotone.
+    #[test]
+    fn completions_causal_and_monotone(
+        reqs in proptest::collection::vec((0u64..4, 0u64..100_000, 1u64..256), 1..100),
+        gaps in proptest::collection::vec(0u64..100_000, 1..100)
+    ) {
+        let mut d = Disk::new(DiskProfile::nvme_c5d(), 7);
+        let mut now = SimTime::ZERO;
+        let mut last_done = SimTime::ZERO;
+        for ((f, p, n), gap) in reqs.iter().zip(gaps.iter().cycle()) {
+            now = now + sim_core::time::SimDuration::from_nanos(*gap);
+            let done = d.submit(now, req(*f, *p, *n));
+            prop_assert!(done >= now, "completion precedes submission");
+            prop_assert!(done >= last_done, "bus order violated");
+            last_done = done;
+        }
+    }
+
+    /// Page accounting is exact.
+    #[test]
+    fn stats_conserve_pages(
+        reqs in proptest::collection::vec((0u64..3, 0u64..10_000, 1u64..64), 0..60)
+    ) {
+        let mut d = Disk::new(DiskProfile::nvme_c5d(), 9);
+        let mut total = 0u64;
+        for (f, p, n) in &reqs {
+            d.submit(SimTime::ZERO, req(*f, *p, *n));
+            total += n;
+        }
+        prop_assert_eq!(d.stats().pages, total);
+        prop_assert_eq!(d.stats().requests, reqs.len() as u64);
+        let by_kind: u64 = (0..7).map(|i| d.stats().pages_by_kind[i]).sum();
+        prop_assert_eq!(by_kind, total);
+    }
+
+    /// A strictly sequential stream is never slower than the same bytes
+    /// issued at scattered offsets.
+    #[test]
+    fn sequential_no_slower_than_scattered(n_chunks in 2u64..40, chunk in 1u64..64) {
+        let mut seq = Disk::new({ let mut p = DiskProfile::nvme_c5d(); p.latency_jitter = 0.0; p }, 1);
+        let mut rand = Disk::new({ let mut p = DiskProfile::nvme_c5d(); p.latency_jitter = 0.0; p }, 1);
+        let mut seq_done = SimTime::ZERO;
+        let mut rand_done = SimTime::ZERO;
+        for i in 0..n_chunks {
+            seq_done = seq.submit(SimTime::ZERO, req(0, i * chunk, chunk));
+            // Scattered: big strides break sequential detection.
+            rand_done = rand.submit(SimTime::ZERO, req(0, i * (chunk + 1000), chunk));
+        }
+        prop_assert!(seq_done <= rand_done);
+    }
+
+    /// Readahead windows always start at the missing page and stay within
+    /// configured bounds.
+    #[test]
+    fn readahead_window_bounds(
+        misses in proptest::collection::vec(0u64..1_000_000, 1..100),
+        initial in 1u64..16,
+        maxw in 16u64..128
+    ) {
+        let mut ra = ReadaheadState::new(initial, maxw);
+        for &m in &misses {
+            let (start, len) = ra.on_miss(m);
+            prop_assert_eq!(start, m);
+            prop_assert!(len >= initial.min(maxw));
+            prop_assert!(len <= maxw);
+        }
+    }
+}

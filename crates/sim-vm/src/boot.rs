@@ -1,0 +1,72 @@
+//! VM setup and boot timing model.
+//!
+//! Figure 1's gray bars are "VM setup, including starting the VMM,
+//! connecting virtual devices, restoring VM CPU state, etc." — several
+//! tens of milliseconds, identical across snapshot systems except for
+//! extra per-strategy work (REAP's blocking working-set fetch; FaaSnap's
+//! additional `mmap` calls). Cold boots additionally pay guest kernel boot
+//! ("Firecracker can boot an unmodified Linux kernel in 125 ms", §2.2)
+//! and runtime/library initialization (seconds, §2.1).
+
+use sim_core::time::SimDuration;
+
+/// Fixed timing components of VM lifecycle operations.
+#[derive(Clone, Debug)]
+pub struct BootModel {
+    /// Starting the VMM process and connecting virtual devices.
+    pub vmm_start: SimDuration,
+    /// Restoring VM state (vCPU registers, device state) from the state file.
+    pub restore_vm_state: SimDuration,
+    /// Creating the network namespace and virtual devices.
+    pub network_setup: SimDuration,
+    /// Guest kernel boot (cold start only).
+    pub guest_kernel_boot: SimDuration,
+    /// Language runtime + library initialization (cold start only); the
+    /// paper reports seconds to minutes depending on the function (§2.1).
+    pub runtime_init: SimDuration,
+}
+
+impl Default for BootModel {
+    fn default() -> Self {
+        BootModel {
+            vmm_start: SimDuration::from_millis(38),
+            restore_vm_state: SimDuration::from_millis(4),
+            network_setup: SimDuration::from_millis(9),
+            guest_kernel_boot: SimDuration::from_millis(125),
+            runtime_init: SimDuration::from_millis(1800),
+        }
+    }
+}
+
+impl BootModel {
+    /// Base setup time common to every snapshot restore (before strategy-
+    /// specific mapping/fetch work).
+    pub fn snapshot_setup_base(&self) -> SimDuration {
+        self.vmm_start + self.network_setup + self.restore_vm_state
+    }
+
+    /// Full cold-start time (boot a VM from scratch and initialize the
+    /// runtime) — the baseline snapshots eliminate.
+    pub fn cold_start(&self) -> SimDuration {
+        self.vmm_start + self.network_setup + self.guest_kernel_boot + self.runtime_init
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_setup_in_tens_of_ms() {
+        let b = BootModel::default();
+        let ms = b.snapshot_setup_base().as_millis_f64();
+        assert!((30.0..80.0).contains(&ms), "setup {ms}ms");
+    }
+
+    #[test]
+    fn cold_start_dominated_by_init() {
+        let b = BootModel::default();
+        assert!(b.cold_start() > SimDuration::from_secs(1));
+        assert!(b.cold_start() > b.snapshot_setup_base() * 10);
+    }
+}

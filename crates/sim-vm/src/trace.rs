@@ -1,0 +1,205 @@
+//! The memory-access trace language.
+//!
+//! Workload functions (crate `faas-workloads`) compile to a [`Trace`]: a
+//! sequence of [`TraceOp`]s the simulated vCPU interprets. Traces capture
+//! everything the host can observe about a function: which guest pages it
+//! touches, in what order, whether it writes (allocations become non-zero
+//! pages), how much compute separates accesses (which determines whether
+//! the FaaSnap loader can stay ahead of the guest), and which pages the
+//! guest frees (which the modified guest kernel sanitizes during the
+//! record phase).
+
+use sim_core::time::SimDuration;
+use sim_mm::addr::PageRange;
+
+/// One operation in a function's execution trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Pure guest computation for the given duration.
+    Compute(SimDuration),
+    /// Touch every `stride`-th page of `range`, in address order,
+    /// performing `per_page_compute` of work between consecutive touches.
+    /// `write` pages are written with a token derived from `token_seed`;
+    /// reads leave contents unchanged.
+    Touch {
+        /// Pages accessed.
+        range: PageRange,
+        /// Access stride in pages (1 = every page).
+        stride: u64,
+        /// True for writes (contents change), false for reads.
+        write: bool,
+        /// Guest work between consecutive page accesses.
+        per_page_compute: SimDuration,
+        /// Seed for written content tokens (ignored for reads). A zero
+        /// seed writes zero pages (e.g. guest-side memset-to-zero).
+        token_seed: u64,
+    },
+    /// Touch an explicit list of pages in the given order (for scattered
+    /// access patterns that are not strided).
+    TouchList {
+        /// Pages in access order.
+        pages: Vec<u64>,
+        /// True for writes.
+        write: bool,
+        /// Guest work between consecutive page accesses.
+        per_page_compute: SimDuration,
+        /// Seed for written content tokens.
+        token_seed: u64,
+    },
+    /// The guest frees `range`; with sanitization enabled the guest kernel
+    /// zeroes the pages (making them zero pages in the next snapshot).
+    Free {
+        /// Freed pages.
+        range: PageRange,
+    },
+}
+
+/// A function execution trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Operations, executed in order by one vCPU.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an op (builder style).
+    pub fn push(&mut self, op: TraceOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Total number of page accesses the trace performs.
+    pub fn access_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Touch { range, stride, .. } => range.len().div_ceil(*stride),
+                TraceOp::TouchList { pages, .. } => pages.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of *distinct* pages the trace touches.
+    pub fn distinct_pages(&self) -> u64 {
+        let mut pages = std::collections::HashSet::new();
+        for op in &self.ops {
+            match op {
+                TraceOp::Touch { range, stride, .. } => {
+                    let mut p = range.start;
+                    while p < range.end {
+                        pages.insert(p);
+                        p += stride;
+                    }
+                }
+                TraceOp::TouchList { pages: list, .. } => pages.extend(list.iter().copied()),
+                _ => {}
+            }
+        }
+        pages.len() as u64
+    }
+
+    /// Sum of all explicit compute durations (excludes fault handling).
+    pub fn compute_total(&self) -> SimDuration {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Compute(d) => *d,
+                TraceOp::Touch { range, stride, per_page_compute, .. } => {
+                    *per_page_compute * range.len().div_ceil(*stride)
+                }
+                TraceOp::TouchList { pages, per_page_compute, .. } => {
+                    *per_page_compute * pages.len() as u64
+                }
+                TraceOp::Free { .. } => SimDuration::ZERO,
+            })
+            .sum()
+    }
+
+    /// The content token written to `page` by a touch with `token_seed`.
+    /// Deterministic and non-zero for non-zero seeds.
+    pub fn token_for(token_seed: u64, page: u64) -> u64 {
+        if token_seed == 0 {
+            return 0;
+        }
+        let mut x = token_seed ^ page.wrapping_mul(0x9E3779B97F4A7C15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 33;
+        x | 1 // never zero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn access_counting() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Touch {
+            range: PageRange::new(0, 10),
+            stride: 1,
+            write: false,
+            per_page_compute: SimDuration::ZERO,
+            token_seed: 0,
+        });
+        t.push(TraceOp::Touch {
+            range: PageRange::new(0, 10),
+            stride: 3,
+            write: true,
+            per_page_compute: SimDuration::ZERO,
+            token_seed: 1,
+        });
+        t.push(TraceOp::TouchList {
+            pages: vec![100, 5, 7],
+            write: false,
+            per_page_compute: SimDuration::ZERO,
+            token_seed: 0,
+        });
+        assert_eq!(t.access_count(), 10 + 4 + 3);
+        // Distinct: 0..10 (10) + 100 = 11 (5,7 already counted; stride hits 0,3,6,9).
+        assert_eq!(t.distinct_pages(), 11);
+    }
+
+    #[test]
+    fn compute_totals() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Compute(us(100)));
+        t.push(TraceOp::Touch {
+            range: PageRange::new(0, 4),
+            stride: 1,
+            write: false,
+            per_page_compute: us(2),
+            token_seed: 0,
+        });
+        assert_eq!(t.compute_total(), us(108));
+    }
+
+    #[test]
+    fn tokens_deterministic_and_nonzero() {
+        assert_eq!(Trace::token_for(5, 10), Trace::token_for(5, 10));
+        assert_ne!(Trace::token_for(5, 10), Trace::token_for(5, 11));
+        assert_ne!(Trace::token_for(5, 10), Trace::token_for(6, 10));
+        assert_eq!(Trace::token_for(0, 10), 0, "zero seed writes zeros");
+        for p in 0..1000 {
+            assert_ne!(Trace::token_for(1, p), 0);
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert_eq!(t.access_count(), 0);
+        assert_eq!(t.compute_total(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the vCPU interpreter and guest memory.
+
+use proptest::prelude::*;
+
+use sim_core::time::SimDuration;
+use sim_mm::addr::PageRange;
+use sim_vm::guest_memory::GuestMemory;
+use sim_vm::trace::{Trace, TraceOp};
+use sim_vm::vcpu::{Step, Vcpu};
+
+/// Arbitrary small trace over pages < 2000.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let op = prop_oneof![
+        (0u64..5_000).prop_map(|us| TraceOp::Compute(SimDuration::from_micros(us))),
+        (0u64..1_900, 1u64..100, 1u64..4, any::<bool>(), 0u64..50).prop_map(
+            |(start, len, stride, write, seed)| TraceOp::Touch {
+                range: PageRange::with_len(start, len.min(2_000 - start)),
+                stride,
+                write,
+                per_page_compute: SimDuration::from_nanos(500),
+                token_seed: seed,
+            }
+        ),
+        proptest::collection::vec(0u64..2_000, 0..40).prop_map(|pages| TraceOp::TouchList {
+            pages,
+            write: false,
+            per_page_compute: SimDuration::ZERO,
+            token_seed: 0,
+        }),
+        (0u64..1_900, 1u64..100)
+            .prop_map(|(s, l)| TraceOp::Free { range: PageRange::with_len(s, l.min(2_000 - s)) }),
+    ];
+    proptest::collection::vec(op, 0..20).prop_map(|ops| Trace { ops })
+}
+
+proptest! {
+    /// The interpreter performs exactly `access_count()` accesses, in the
+    /// order the trace specifies, and always terminates with `Done`.
+    #[test]
+    fn vcpu_access_count_matches_trace(trace in arb_trace()) {
+        let expected = trace.access_count();
+        let mut vcpu = Vcpu::new(trace);
+        let mut accesses = 0u64;
+        let mut steps = 0u64;
+        loop {
+            match vcpu.next_step() {
+                Step::Done => break,
+                Step::Access { .. } => accesses += 1,
+                Step::Compute(_) | Step::Free { .. } => {}
+            }
+            steps += 1;
+            prop_assert!(steps < 2_000_000, "interpreter diverged");
+        }
+        prop_assert_eq!(accesses, expected);
+        prop_assert_eq!(vcpu.accesses(), expected);
+        prop_assert!(vcpu.is_done());
+        // Done is sticky.
+        prop_assert_eq!(vcpu.next_step(), Step::Done);
+    }
+
+    /// Replaying a trace's writes against guest memory is equivalent to
+    /// directly applying the trace token function.
+    #[test]
+    fn vcpu_writes_equal_token_function(trace in arb_trace()) {
+        let mut via_vcpu = GuestMemory::new(2_000);
+        let mut vcpu = Vcpu::new(trace.clone());
+        loop {
+            match vcpu.next_step() {
+                Step::Done => break,
+                Step::Access { page, write, token } => {
+                    if write {
+                        via_vcpu.write(page, token);
+                    }
+                }
+                Step::Free { range } => via_vcpu.zero_range(range),
+                Step::Compute(_) => {}
+            }
+        }
+        // Direct application.
+        let mut direct = GuestMemory::new(2_000);
+        for op in &trace.ops {
+            match op {
+                TraceOp::Touch { range, stride, write: true, token_seed, .. } => {
+                    let mut p = range.start;
+                    while p < range.end {
+                        direct.write(p, Trace::token_for(*token_seed, p));
+                        p += stride;
+                    }
+                }
+                TraceOp::Free { range } => direct.zero_range(*range),
+                _ => {}
+            }
+        }
+        prop_assert_eq!(via_vcpu.checksum(), direct.checksum());
+    }
+
+    /// Guest memory write/zero/read round trips for arbitrary operations.
+    #[test]
+    fn guest_memory_ops(ops in proptest::collection::vec((0u64..500, any::<u64>()), 0..200)) {
+        let mut mem = GuestMemory::new(500);
+        let mut model = std::collections::HashMap::new();
+        for (page, token) in ops {
+            mem.write(page, token);
+            if token == 0 {
+                model.remove(&page);
+            } else {
+                model.insert(page, token);
+            }
+        }
+        for p in 0..500 {
+            prop_assert_eq!(mem.read(p), model.get(&p).copied().unwrap_or(0));
+        }
+        prop_assert_eq!(mem.nonzero_count(), model.len() as u64);
+        // Region scan covers exactly the non-zero pages.
+        let from_regions: u64 = mem.nonzero_regions().iter().map(|r| r.len()).sum();
+        prop_assert_eq!(from_regions, model.len() as u64);
+    }
+}

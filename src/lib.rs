@@ -1,0 +1,18 @@
+//! FaaSnap reproduction — umbrella crate.
+//!
+//! Re-exports the workspace's public API so examples and integration
+//! tests can use one import root. See the individual crates for detail:
+//!
+//! - [`sim_core`], [`sim_storage`], [`sim_mm`], [`sim_vm`] — the
+//!   simulated host substrate.
+//! - [`faas_workloads`] — the Table 2 functions.
+//! - [`faasnap`] — the paper's contribution and its baselines.
+//! - [`faasnap_daemon`] — the platform layer.
+
+pub use faas_workloads;
+pub use faasnap;
+pub use faasnap_daemon;
+pub use sim_core;
+pub use sim_mm;
+pub use sim_storage;
+pub use sim_vm;

@@ -1,0 +1,190 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+
+use faasnap::loadingset::LoadingSet;
+use faasnap::mapper;
+use faasnap::wset::WorkingSet;
+use sim_mm::addr::{normalize, PageRange};
+use sim_mm::vma::{AddressSpace, Backing, Resolved};
+use sim_storage::file::FileId;
+use sim_vm::guest_memory::GuestMemory;
+
+/// A small arbitrary set of distinct pages below `max`.
+fn arb_pages(max: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0..max, 0..120).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    /// MAP_FIXED overlay semantics: the address space must agree with a
+    /// naive "last mapping wins per page" model for any mapping sequence.
+    #[test]
+    fn vma_overlay_matches_naive_model(
+        ops in proptest::collection::vec((0u64..200, 1u64..60, 0u8..3), 1..25)
+    ) {
+        let total = 260u64;
+        let mut aspace = AddressSpace::new();
+        let mut naive: Vec<Option<(u8, u64, u64)>> = vec![None; total as usize];
+        for (start, len, kind) in ops {
+            let end = (start + len).min(total);
+            let range = PageRange::new(start, end);
+            let backing = match kind {
+                0 => Backing::Anonymous,
+                1 => Backing::File { file: FileId(1), offset_page: start },
+                _ => Backing::File { file: FileId(2), offset_page: 1000 + start },
+            };
+            aspace.map_fixed(range, backing);
+            for p in start..end {
+                naive[p as usize] = Some(match kind {
+                    0 => (0, 0, 0),
+                    1 => (1, 1, p),
+                    _ => (2, 2, 1000 + p),
+                });
+            }
+        }
+        for p in 0..total {
+            let got = aspace.resolve(p);
+            match (naive[p as usize], got) {
+                (None, None) => {}
+                (Some((0, _, _)), Some(Resolved::Anonymous)) => {}
+                (Some((_, f, fp)), Some(Resolved::File { file, file_page })) => {
+                    prop_assert_eq!(file, FileId(f as u64));
+                    prop_assert_eq!(file_page, fp);
+                }
+                (expect, got) => prop_assert!(false, "page {}: {:?} vs {:?}", p, expect, got),
+            }
+        }
+    }
+
+    /// normalize() produces sorted, disjoint, non-adjacent ranges covering
+    /// exactly the input's page set.
+    #[test]
+    fn normalize_preserves_page_set(
+        ranges in proptest::collection::vec((0u64..500, 0u64..40), 0..30)
+    ) {
+        let input: Vec<PageRange> =
+            ranges.iter().map(|&(s, l)| PageRange::with_len(s, l)).collect();
+        let mut expected: Vec<bool> = vec![false; 600];
+        for r in &input {
+            for p in r.iter() {
+                expected[p as usize] = true;
+            }
+        }
+        let out = normalize(input);
+        // Coverage identical.
+        let mut got = vec![false; 600];
+        for r in &out {
+            for p in r.iter() {
+                prop_assert!(!got[p as usize], "overlap in output");
+                got[p as usize] = true;
+            }
+        }
+        prop_assert_eq!(got, expected);
+        // Sorted and non-adjacent.
+        for w in out.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+    }
+
+    /// Loading set = working set ∩ non-zero pages, modulo merged gaps:
+    /// every proper loading-set page is covered; no covered page lies
+    /// outside [min, max] of proper pages; zero pages only appear as gap
+    /// filler inside merged regions.
+    #[test]
+    fn loading_set_invariants(
+        ws_pages in arb_pages(4000),
+        nonzero in arb_pages(4000),
+        gap in 0u64..64
+    ) {
+        let mut ws = WorkingSet::with_group_size(64);
+        ws.extend(&ws_pages);
+        let mut mem = GuestMemory::new(4096);
+        for &p in &nonzero {
+            mem.write(p, p + 1);
+        }
+        let ls = LoadingSet::build(&ws, &mem, gap);
+
+        let proper: std::collections::HashSet<u64> = ws_pages
+            .iter()
+            .copied()
+            .filter(|p| mem.is_nonzero(*p))
+            .collect();
+        // Every proper page is covered with a valid file offset.
+        for &p in &proper {
+            prop_assert!(ls.covers(p), "proper page {} uncovered", p);
+            prop_assert!(ls.file_page_of(p).is_some());
+        }
+        prop_assert_eq!(ls.core_pages(), proper.len() as u64);
+        // File layout is a bijection: offsets are dense and unique.
+        let mut seen = vec![false; ls.file_pages() as usize];
+        for r in ls.regions() {
+            for (i, _) in r.guest.iter().enumerate() {
+                let fp = (r.file_start + i as u64) as usize;
+                prop_assert!(!seen[fp], "file page reused");
+                seen[fp] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "file has holes");
+        // Regions sorted by (group, address).
+        for w in ls.regions().windows(2) {
+            prop_assert!(
+                (w[0].group, w[0].guest.start) < (w[1].group, w[1].guest.start)
+            );
+        }
+        // Merging respects the gap threshold: consecutive regions in
+        // address order are separated by more than `gap` pages.
+        let mut by_addr: Vec<_> = ls.regions().to_vec();
+        by_addr.sort_by_key(|r| r.guest.start);
+        for w in by_addr.windows(2) {
+            prop_assert!(w[1].guest.start - w[0].guest.end > gap);
+        }
+    }
+
+    /// Hierarchical and flat FaaSnap mappings are observationally
+    /// identical for arbitrary loading sets.
+    #[test]
+    fn mapping_variants_agree(
+        ws_pages in arb_pages(1500),
+        nonzero_extra in arb_pages(1500)
+    ) {
+        let total = 1600u64;
+        let mut mem = GuestMemory::new(total);
+        for &p in ws_pages.iter().chain(nonzero_extra.iter()) {
+            mem.write(p, p + 1);
+        }
+        let mut ws = WorkingSet::new();
+        ws.extend(&ws_pages);
+        let ls = LoadingSet::build(&ws, &mem, 8);
+        let nz = mem.nonzero_regions();
+        let mut h = AddressSpace::new();
+        mapper::map_faasnap_hierarchical(&mut h, total, &nz, &ls, FileId(1), FileId(2));
+        let mut fl = AddressSpace::new();
+        mapper::map_faasnap_flat(&mut fl, total, &nz, &ls, FileId(1), FileId(2));
+        for p in 0..total {
+            prop_assert_eq!(h.resolve(p), fl.resolve(p), "page {} differs", p);
+        }
+    }
+
+    /// The guest-memory zero/non-zero scan partitions the address space.
+    #[test]
+    fn region_scan_partitions(pages in arb_pages(2000)) {
+        let mut mem = GuestMemory::new(2048);
+        for &p in &pages {
+            mem.write(p, 1);
+        }
+        let nz = mem.nonzero_regions();
+        let z = mem.zero_regions();
+        let mut covered = vec![0u8; 2048];
+        for r in nz.iter().chain(z.iter()) {
+            for p in r.iter() {
+                covered[p as usize] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+        for r in &nz {
+            for p in r.iter() {
+                prop_assert!(mem.is_nonzero(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-strategy restore correctness.
+//!
+//! The load-bearing invariant of the whole system (DESIGN.md): every
+//! restore strategy must give the guest exactly the snapshot's bytes —
+//! the strategies may only differ in *when and how* data moves, never in
+//! what the guest observes. Since the runtime verifies each fault against
+//! the mapping (offset preservation for the memory file, recorded layout
+//! for the loading-set file, zero content for anonymous mappings), simply
+//! completing a run under `verify_mappings` is already a strong check;
+//! these tests additionally require the final guest memory to be
+//! *identical* across all strategies.
+
+use faasnap::strategy::{FaasnapConfig, RestoreStrategy};
+use faasnap_daemon::platform::Platform;
+use sim_storage::profiles::DiskProfile;
+
+fn all_strategies() -> Vec<RestoreStrategy> {
+    vec![
+        RestoreStrategy::Warm,
+        RestoreStrategy::Vanilla,
+        RestoreStrategy::Cached,
+        RestoreStrategy::Reap,
+        RestoreStrategy::faasnap(),
+        RestoreStrategy::FaaSnap(FaasnapConfig::concurrent_paging_only()),
+        RestoreStrategy::FaaSnap(FaasnapConfig::per_region()),
+    ]
+}
+
+fn final_checksums(name: &str, test_b: bool) -> Vec<(String, u64)> {
+    let mut p = Platform::new(DiskProfile::nvme_c5d(), 0xC0FFEE);
+    let f = faas_workloads::by_name(name).unwrap();
+    p.register(f.clone());
+    p.record(name, "t", &f.input_a()).unwrap();
+    let input = if test_b { f.input_b() } else { f.input_a() };
+    all_strategies()
+        .into_iter()
+        .map(|s| {
+            let out = p.invoke(name, "t", &input, s).unwrap();
+            (s.label().to_string(), out.final_memory.checksum())
+        })
+        .collect()
+}
+
+#[test]
+fn json_final_memory_identical_across_strategies() {
+    let sums = final_checksums("json", true);
+    let first = sums[0].1;
+    for (label, sum) in &sums {
+        assert_eq!(*sum, first, "{label} diverged from Warm");
+    }
+}
+
+#[test]
+fn image_final_memory_identical_across_strategies() {
+    let sums = final_checksums("image", true);
+    let first = sums[0].1;
+    for (label, sum) in &sums {
+        assert_eq!(*sum, first, "{label} diverged from Warm");
+    }
+}
+
+#[test]
+fn hello_world_same_input_identical() {
+    let sums = final_checksums("hello-world", false);
+    let first = sums[0].1;
+    for (label, sum) in &sums {
+        assert_eq!(*sum, first, "{label} diverged");
+    }
+}
+
+#[test]
+fn faasnap_mapping_verification_active() {
+    // verify_mappings is on for every non-warm strategy; a FaaSnap run
+    // over a function with anonymous, cold, and loading-set populations
+    // exercises all three verification arms without panicking.
+    let mut p = Platform::new(DiskProfile::nvme_c5d(), 0xC0FFEE);
+    let f = faas_workloads::by_name("chameleon").unwrap();
+    p.register(f.clone());
+    p.record("chameleon", "t", &f.input_a()).unwrap();
+    let out = p
+        .invoke("chameleon", "t", &f.input_b(), RestoreStrategy::faasnap())
+        .unwrap();
+    assert!(out.report.anon_faults > 0, "anonymous arm exercised");
+    assert!(out.report.minor_faults + out.report.major_faults > 0, "file arms exercised");
+    assert!(!out.report.degraded);
+}
+
+#[test]
+fn writes_overwrite_snapshot_state() {
+    // A page written by the test invocation must hold the new token, not
+    // the snapshot's, under every strategy.
+    let mut p = Platform::new(DiskProfile::nvme_c5d(), 0xC0FFEE);
+    let f = faas_workloads::by_name("json").unwrap();
+    p.register(f.clone());
+    p.record("json", "t", &f.input_a()).unwrap();
+    let snapshot_sum = p
+        .registry()
+        .artifacts("json", "t")
+        .unwrap()
+        .snapshot
+        .memory()
+        .checksum();
+    for s in all_strategies() {
+        let out = p.invoke("json", "t", &f.input_b(), s).unwrap();
+        assert_ne!(
+            out.final_memory.checksum(),
+            snapshot_sum,
+            "{}: invocation must mutate guest memory",
+            s.label()
+        );
+    }
+}
