@@ -1,0 +1,101 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The sandbox this repository builds in has no registry access, so the
+//! real criterion cannot be downloaded. This crate implements the small
+//! API surface the workspace's `micro` bench uses — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] — with a
+//! plain timing loop: warm up briefly, run a fixed number of timed
+//! iterations, print mean time per iteration. No statistics, plots, or
+//! regression detection.
+
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Short warm-up so one-time lazy initialization is not billed.
+        for _ in 0..self.iterations.min(3) {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_ITERS overrides the per-benchmark iteration count.
+        let iterations = std::env::var("CRITERION_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Criterion { iterations }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iterations: self.iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iterations.max(1) as f64;
+        println!(
+            "{id:<40} {:>12.3} us/iter  ({} iters)",
+            per_iter * 1e6,
+            b.iterations
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group: a function that runs each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { iterations: 5 };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        // 3 warm-up + 5 timed.
+        assert_eq!(calls, 8);
+    }
+}

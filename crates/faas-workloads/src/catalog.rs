@@ -238,7 +238,7 @@ pub fn matmul() -> FunctionParams {
         stable_read_frac: 0.0,
         input_a_kb: 0, // size parameter, not a payload
         input_b_kb: 0,
-        b_over_a: 1.1, // 2000 -> 2200
+        b_over_a: 1.1,          // 2000 -> 2200
         buffer_pages_a: 24_576, // 3 × (2000² × 8 B) = 96 MB
         buffer_scaling: BufferScaling::Quadratic,
         fixed_buffer_pages: 0,
@@ -358,7 +358,10 @@ pub fn pagerank() -> FunctionParams {
 /// All twelve functions, bound to the default 2 GB layout, in Table 2
 /// order.
 pub fn all_functions() -> Vec<Function> {
-    all_params().into_iter().map(Function::with_default_layout).collect()
+    all_params()
+        .into_iter()
+        .map(Function::with_default_layout)
+        .collect()
 }
 
 /// Parameters of all twelve functions in Table 2 order.
@@ -548,7 +551,10 @@ mod tests {
         // Figure 1: hello-world completes in ~4 ms warm; the big synthetic
         // functions run hundreds of ms.
         let hello = by_name("hello-world").unwrap();
-        let t = hello.trace(&hello.input_a()).compute_total().as_millis_f64();
+        let t = hello
+            .trace(&hello.input_a())
+            .compute_total()
+            .as_millis_f64();
         assert!((2.0..6.0).contains(&t), "hello-world warm {t:.1} ms");
         let rl = by_name("read-list").unwrap();
         let t = rl.trace(&rl.input_a()).compute_total().as_millis_f64();

@@ -29,7 +29,11 @@ impl Input {
     /// Creates an input.
     pub fn new(scale: f64, payload_kb: u64, seed: u64) -> Self {
         assert!(scale > 0.0, "input scale must be positive");
-        Input { scale, payload_kb, seed }
+        Input {
+            scale,
+            payload_kb,
+            seed,
+        }
     }
 
     /// Payload size in pages (rounded up; 0 stays 0).

@@ -131,8 +131,7 @@ impl ScatterPool {
             .windows(2)
             .filter_map(|w| {
                 let gap = w[0].gap_to(&w[1]).expect("clusters ascend");
-                (gap > 0 && gap <= max_gap)
-                    .then(|| PageRange::new(w[0].end, w[1].start))
+                (gap > 0 && gap <= max_gap).then(|| PageRange::new(w[0].end, w[1].start))
             })
             .collect()
     }
@@ -230,7 +229,13 @@ impl Layout {
         let stable_area = PageRange::with_len(runtime_area.end + 1, stable_len);
         let heap_base = stable_area.end + 1;
         assert!(heap_base < total_pages);
-        Layout { total_pages, kernel, runtime_area, stable_area, heap_base }
+        Layout {
+            total_pages,
+            kernel,
+            runtime_area,
+            stable_area,
+            heap_base,
+        }
     }
 
     /// Pages available for the heap.
@@ -341,7 +346,10 @@ mod tests {
         assert!(l.kernel.end <= l.runtime_area.start);
         assert!(l.runtime_area.end <= l.stable_area.start);
         assert!(l.stable_area.end <= l.heap_base);
-        assert!(l.heap_pages() > pages_for_bytes(540 * MIB), "heap fits mmap's 512 MB");
+        assert!(
+            l.heap_pages() > pages_for_bytes(540 * MIB),
+            "heap fits mmap's 512 MB"
+        );
         // Kernel ~160 MB.
         let kernel_mb = l.kernel.bytes() / MIB;
         assert!((120..200).contains(&kernel_mb), "kernel {kernel_mb} MB");

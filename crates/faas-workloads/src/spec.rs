@@ -113,7 +113,11 @@ impl Function {
             &params.scatter,
             params.seed,
         );
-        Function { params, layout, pool }
+        Function {
+            params,
+            layout,
+            pool,
+        }
     }
 
     /// Binds to the default 2 GB layout.
@@ -153,7 +157,11 @@ impl Function {
 
     /// An input scaled to `ratio`× input A (Figure 8), with fresh contents.
     pub fn input_scaled(&self, ratio: f64, seed: u64) -> Input {
-        Input::new(ratio, (self.params.input_a_kb as f64 * ratio).round() as u64, seed)
+        Input::new(
+            ratio,
+            (self.params.input_a_kb as f64 * ratio).round() as u64,
+            seed,
+        )
     }
 
     /// Buffer pages written for `input` (after heap clamping).
@@ -262,8 +270,7 @@ impl Function {
         }
 
         // 3. Read stable data (the 512 MB list, model weights, ...).
-        let stable_read =
-            (p.stable_pages as f64 * p.stable_read_frac).round() as u64;
+        let stable_read = (p.stable_pages as f64 * p.stable_read_frac).round() as u64;
         if stable_read > 0 {
             t.push(TraceOp::Touch {
                 range: PageRange::with_len(self.layout.stable_area.start, stable_read),
@@ -288,8 +295,8 @@ impl Function {
 
             // Oversized workloads that were clamped to the heap budget do
             // the remaining work by reusing memory: extra compute only.
-            let raw = (p.buffer_pages_a as f64 * p.buffer_scaling.factor(input.scale))
-                .round() as u64
+            let raw = (p.buffer_pages_a as f64 * p.buffer_scaling.factor(input.scale)).round()
+                as u64
                 + p.fixed_buffer_pages;
             if raw > buffers {
                 let extra = (raw - buffers) as f64 * p.per_data_page_us;
@@ -301,7 +308,9 @@ impl Function {
         let heap_used = heap_cursor - heap_start;
         let freed = (heap_used as f64 * p.freed_frac).round() as u64;
         if freed > 0 {
-            t.push(TraceOp::Free { range: PageRange::with_len(heap_start, freed) });
+            t.push(TraceOp::Free {
+                range: PageRange::with_len(heap_start, freed),
+            });
         }
 
         // 6. Serialize and send the reply.
@@ -347,7 +356,10 @@ mod tests {
                 TraceOp::Free { .. } => "free",
             })
             .collect();
-        assert_eq!(kinds, vec!["compute", "runtime", "write", "write", "free", "compute"]);
+        assert_eq!(
+            kinds,
+            vec!["compute", "runtime", "write", "write", "free", "compute"]
+        );
     }
 
     #[test]
@@ -359,7 +371,9 @@ mod tests {
             .ops
             .iter()
             .filter_map(|op| match op {
-                TraceOp::Touch { range, write: true, .. } => Some(range.len()),
+                TraceOp::Touch {
+                    range, write: true, ..
+                } => Some(range.len()),
                 _ => None,
             })
             .sum();
@@ -385,7 +399,9 @@ mod tests {
                 .ops
                 .iter()
                 .find_map(|op| match op {
-                    TraceOp::Touch { range, write: true, .. } => Some(range.start),
+                    TraceOp::Touch {
+                        range, write: true, ..
+                    } => Some(range.start),
                     _ => None,
                 })
                 .unwrap()

@@ -3,7 +3,11 @@
 use faasnap_bench::{figures, Effort};
 
 fn main() {
-    let effort = if std::env::var("FAASNAP_QUICK").is_ok() { Effort::Quick } else { Effort::Full };
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
     let out = figures::fig8_input_sweep(effort);
     println!("{out}");
 }

@@ -1,0 +1,13 @@
+//! Fleet SLO comparison across routing policies; see
+//! `faasnap_bench::figures::fig_cluster`.
+
+use faasnap_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    println!("{}", figures::fig_cluster(effort));
+}

@@ -61,7 +61,10 @@ fn bench_vma_overlay(c: &mut Criterion) {
             for i in 0..1000u64 {
                 a.map_fixed(
                     PageRange::with_len(i * 400, 16),
-                    Backing::File { file: FileId(1), offset_page: i * 16 },
+                    Backing::File {
+                        file: FileId(1),
+                        offset_page: i * 16,
+                    },
                 );
             }
             let mut n = 0u64;

@@ -3,6 +3,10 @@
 use faasnap_bench::{figures, Effort};
 
 fn main() {
-    let effort = if std::env::var("FAASNAP_QUICK").is_ok() { Effort::Quick } else { Effort::Full };
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
     println!("{}", figures::tbl_policy(effort));
 }

@@ -11,7 +11,9 @@ use faasnap_bench::runner::{ensure_recorded, platform_with, report_line, run_onc
 use sim_storage::profiles::DiskProfile;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "hello-world".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hello-world".into());
     let funcs = faas_workloads::all_functions();
     let mut p = platform_with(DiskProfile::nvme_c5d(), 0xDEB6, &funcs);
     let f = faas_workloads::by_name(&name).unwrap();
@@ -24,7 +26,11 @@ fn main() {
     let a = p.registry().artifacts(&name, "d").unwrap();
     println!(
         "{name}: ws={} pages, reap_ws={} pages, ls: {} regions {} file pages (unmerged {})",
-        a.ws.len(), a.reap_ws.len(), a.ls.region_count(), a.ls.file_pages(), a.ls.unmerged_region_count()
+        a.ws.len(),
+        a.reap_ws.len(),
+        a.ls.region_count(),
+        a.ls.file_pages(),
+        a.ls.unmerged_region_count()
     );
     println!("record: {}", report_line(&a.record_report));
     for sys in [
@@ -37,7 +43,12 @@ fn main() {
         let out = run_once(&mut p, &name, "d", &test_input, sys);
         println!("{:>12}: {}", sys.label(), report_line(&out.report));
         let d = &p.host().disks[0];
-        println!("              disk: {} reqs ({} seq), {} pages", d.stats().requests, d.stats().sequential_requests, d.stats().pages);
+        println!(
+            "              disk: {} reqs ({} seq), {} pages",
+            d.stats().requests,
+            d.stats().sequential_requests,
+            d.stats().pages
+        );
         p.host_mut().disks[0].reset_stats();
     }
 }

@@ -32,7 +32,9 @@ fn load_config(arg: &str) -> ExperimentConfig {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "test-2inputs".into());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "test-2inputs".into());
     let config = load_config(&arg);
     println!("config:\n{}\n", config.to_json());
 
@@ -52,8 +54,11 @@ fn main() {
         &headers,
     );
 
-    let ratios: Vec<f64> =
-        if config.input_ratios.is_empty() { vec![f64::NAN] } else { config.input_ratios.clone() };
+    let ratios: Vec<f64> = if config.input_ratios.is_empty() {
+        vec![f64::NAN]
+    } else {
+        config.input_ratios.clone()
+    };
     for f in &functions {
         ensure_recorded(&mut platform, f.name(), "cfg", &f.input_a());
         for &ratio in &ratios {
@@ -64,7 +69,11 @@ fn main() {
             };
             let mut row = vec![
                 f.name().to_string(),
-                if ratio.is_nan() { "B".into() } else { format!("{ratio}") },
+                if ratio.is_nan() {
+                    "B".into()
+                } else {
+                    format!("{ratio}")
+                },
             ];
             for &strategy in &strategies {
                 let cell = measure_total(

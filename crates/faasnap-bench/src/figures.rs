@@ -63,9 +63,16 @@ pub fn fig1_breakdown(effort: Effort) -> TextTable {
         let f = faas_workloads::by_name(name).unwrap();
         let record_input = f.input_a();
         ensure_recorded(&mut p, name, "f1", &record_input);
-        let test_input =
-            if diff_input { record_input.reseeded(0xD1FF) } else { record_input };
-        let label = if diff_input { format!("{name}-diff") } else { name.to_string() };
+        let test_input = if diff_input {
+            record_input.reseeded(0xD1FF)
+        } else {
+            record_input
+        };
+        let label = if diff_input {
+            format!("{name}-diff")
+        } else {
+            name.to_string()
+        };
         for sys in systems {
             let mut setup = MeasuredCell::new();
             let mut invoke = MeasuredCell::new();
@@ -135,7 +142,14 @@ pub fn fig2_fault_dist(effort: Effort) -> TextTable {
 pub fn table2_workingsets(effort: Effort) -> TextTable {
     let mut t = TextTable::new(
         "Table 2: functions and working sets",
-        &["function", "description", "WS A (MB)", "WS B (MB)", "paper A", "paper B"],
+        &[
+            "function",
+            "description",
+            "WS A (MB)",
+            "WS B (MB)",
+            "paper A",
+            "paper B",
+        ],
     );
     let paper: &[(&str, f64, f64)] = &[
         ("hello-world", 11.8, 11.8),
@@ -185,8 +199,11 @@ pub fn fig6_exec_time(effort: Effort) -> Vec<TextTable> {
         );
         for name in fig6_functions(effort) {
             let f = faas_workloads::by_name(name).unwrap();
-            let (rec, test) =
-                if rec_is_a { (f.input_a(), f.input_b()) } else { (f.input_b(), f.input_a()) };
+            let (rec, test) = if rec_is_a {
+                (f.input_a(), f.input_b())
+            } else {
+                (f.input_b(), f.input_a())
+            };
             let label = if rec_is_a { "a" } else { "b" };
             ensure_recorded(&mut p, name, label, &rec);
             let mut cells = Vec::new();
@@ -240,7 +257,14 @@ pub fn fig8_input_sweep(effort: Effort) -> TextTable {
     let mut p = platform_with(DiskProfile::nvme_c5d(), 0xF168, &funcs);
     let mut t = TextTable::new(
         "Figure 8: execution time (s) vs input size ratio",
-        &["function", "ratio", "Firecracker", "REAP", "FaaSnap", "Cached"],
+        &[
+            "function",
+            "ratio",
+            "Firecracker",
+            "REAP",
+            "FaaSnap",
+            "Cached",
+        ],
     );
     let ratios: &[f64] = match effort {
         Effort::Quick => &[0.5, 2.0],
@@ -309,7 +333,13 @@ pub fn fig9_ablation(effort: Effort) -> TextTable {
     ensure_recorded(&mut p, "image", "f9", &f.input_a());
     let mut t = TextTable::new(
         "Figure 9: optimization steps (image)",
-        &["step", "invocation (ms)", "major faults", "pf time (ms)", "block requests"],
+        &[
+            "step",
+            "invocation (ms)",
+            "major faults",
+            "pf time (ms)",
+            "block requests",
+        ],
     );
     for sys in RestoreStrategy::ablation_ladder() {
         let mut inv = MeasuredCell::new();
@@ -339,14 +369,24 @@ pub fn fig9_ablation(effort: Effort) -> TextTable {
 pub fn fig10_burst(effort: Effort) -> TextTable {
     let mut t = TextTable::new(
         "Figure 10: bursty workloads, mean per-invocation time (s)",
-        &["function", "snapshots", "parallelism", "Firecracker", "REAP", "FaaSnap"],
+        &[
+            "function",
+            "snapshots",
+            "parallelism",
+            "Firecracker",
+            "REAP",
+            "FaaSnap",
+        ],
     );
     let (parallelism, names): (&[u32], Vec<&str>) = match effort {
         Effort::Quick => (&[1, 4], vec!["hello-world"]),
         Effort::Full => (&[1, 4, 16, 64], vec!["hello-world", "json"]),
     };
-    let systems =
-        [RestoreStrategy::Vanilla, RestoreStrategy::Reap, RestoreStrategy::faasnap()];
+    let systems = [
+        RestoreStrategy::Vanilla,
+        RestoreStrategy::Reap,
+        RestoreStrategy::faasnap(),
+    ];
     for name in &names {
         for (kind, kind_label) in [
             (BurstKind::SameSnapshot, "same"),
@@ -369,8 +409,7 @@ pub fn fig10_burst(effort: Effort) -> TextTable {
                         / outs.len() as f64;
                     cells.push(format!("{mean_s:.3}"));
                 }
-                let mut row =
-                    vec![name.to_string(), kind_label.into(), par.to_string()];
+                let mut row = vec![name.to_string(), kind_label.into(), par.to_string()];
                 row.extend(cells);
                 t.row(row);
             }
@@ -408,9 +447,11 @@ pub fn fig11_remote(effort: Effort) -> TextTable {
         let f = faas_workloads::by_name(name).unwrap();
         ensure_recorded(&mut p, name, "f11", &f.input_a());
         let mut row = vec![name.to_string()];
-        for sys in
-            [RestoreStrategy::Vanilla, RestoreStrategy::Reap, RestoreStrategy::faasnap()]
-        {
+        for sys in [
+            RestoreStrategy::Vanilla,
+            RestoreStrategy::Reap,
+            RestoreStrategy::faasnap(),
+        ] {
             row.push(format!(
                 "{}",
                 measure_total(&mut p, name, "f11", &f.input_b(), sys, effort.reps(3))
@@ -486,7 +527,14 @@ pub fn tbl_sensitivity(effort: Effort) -> TextTable {
     let f = faas_workloads::by_name("recognition").unwrap();
     let mut t = TextTable::new(
         "Sensitivity: group size and merge gap (recognition, FaaSnap, input B)",
-        &["knob", "value", "total (ms)", "major faults", "ls regions", "ls file (MB)"],
+        &[
+            "knob",
+            "value",
+            "total (ms)",
+            "major faults",
+            "ls regions",
+            "ls file (MB)",
+        ],
     );
     let (groups, gaps): (&[u64], &[u64]) = match effort {
         Effort::Quick => (&[1024], &[32]),
@@ -512,14 +560,32 @@ pub fn tbl_sensitivity(effort: Effort) -> TextTable {
             format!("{:.1}", out.report.total_time().as_millis_f64()),
             out.report.major_faults.to_string(),
             artifacts.ls.region_count().to_string(),
-            format!("{:.1}", artifacts.ls.file_pages() as f64 * 4096.0 / MIB as f64),
+            format!(
+                "{:.1}",
+                artifacts.ls.file_pages() as f64 * 4096.0 / MIB as f64
+            ),
         ]);
     };
     for &g in groups {
-        run_case("group size", g, RecordOptions { group_size: g, scan_threshold: g, ..Default::default() });
+        run_case(
+            "group size",
+            g,
+            RecordOptions {
+                group_size: g,
+                scan_threshold: g,
+                ..Default::default()
+            },
+        );
     }
     for &g in gaps {
-        run_case("merge gap", g, RecordOptions { merge_gap: g, ..Default::default() });
+        run_case(
+            "merge gap",
+            g,
+            RecordOptions {
+                merge_gap: g,
+                ..Default::default()
+            },
+        );
     }
     t
 }
@@ -534,22 +600,15 @@ pub fn tbl_policy(effort: Effort) -> TextTable {
     let funcs = faas_workloads::all_functions();
     let mut p = platform_with(DiskProfile::nvme_c5d(), 0xF171AC, &funcs);
     let f = faas_workloads::by_name("image").unwrap();
-    ensure_recorded(&mut p, "image", "pol", &f.input_a());
-    let warm = run_once(&mut p, "image", "pol", &f.input_b(), RestoreStrategy::Warm)
-        .report
-        .total_time();
-    let snap = run_once(&mut p, "image", "pol", &f.input_b(), RestoreStrategy::faasnap())
-        .report
-        .total_time();
-    let cold = p.host().boot.cold_start() + warm;
-    let latencies = ModeLatencies { warm, snapshot: snap, cold };
+    let latencies =
+        ModeLatencies::measure(&mut p, "image", "pol", &f.input_b()).expect("image is registered");
 
     let mut t = TextTable::new(
         format!(
             "Serving policy (image: warm {:.0} ms, FaaSnap {:.0} ms, cold {:.0} ms)",
-            warm.as_millis_f64(),
-            snap.as_millis_f64(),
-            cold.as_millis_f64()
+            latencies.warm.as_millis_f64(),
+            latencies.snapshot.as_millis_f64(),
+            latencies.cold.as_millis_f64()
         ),
         &["invocation period", "best mode"],
     );
@@ -601,13 +660,78 @@ pub fn tbl_cache_pressure(effort: Effort) -> TextTable {
         ensure_recorded(&mut p, "recognition", "cp", &f.input_a());
         p.host_mut().cache = PageCache::new(mb * 256); // MB -> pages
         let mut row = vec![format!("{mb} MB")];
-        for sys in
-            [RestoreStrategy::Vanilla, RestoreStrategy::faasnap(), RestoreStrategy::Cached]
-        {
+        for sys in [
+            RestoreStrategy::Vanilla,
+            RestoreStrategy::faasnap(),
+            RestoreStrategy::Cached,
+        ] {
             let out = run_once(&mut p, "recognition", "cp", &f.input_b(), sys);
             row.push(format!("{:.0}", out.report.total_time().as_millis_f64()));
         }
         t.row(row);
+    }
+    t
+}
+
+/// Extension: multi-host fleet SLOs. Calibrates per-workload service
+/// times on the single-host platform, then replays a Zipf-skewed
+/// open-loop tenant mix against the fleet simulator under each routing
+/// policy. Snapshot-locality routing concentrates each tenant's restores
+/// where its snapshot (and page-cache residency) already lives, so its
+/// tail latency should beat random placement.
+pub fn fig_cluster(effort: Effort) -> TextTable {
+    use faasnap_cluster::{calibrate, run_cluster, ClusterConfig, RoutePolicy, WorkloadSpec};
+    use sim_core::time::SimDuration;
+
+    let seed = 42;
+    let workloads = ["hello-world", "json", "compression", "image"];
+    let services = calibrate::calibrate_workloads(&workloads, seed).expect("calibration succeeds");
+    let (hosts, tenants, rate, horizon_s) = match effort {
+        Effort::Quick => (4, 24, 25.0, 60),
+        Effort::Full => (8, 36, 40.0, 300),
+    };
+    let mut t = TextTable::new(
+        format!("Fleet SLOs ({hosts} hosts, {tenants} tenants, {rate}/s, {horizon_s}s)"),
+        &[
+            "policy",
+            "served",
+            "shed",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "warm+hot %",
+            "cold",
+            "util %",
+        ],
+    );
+    for policy in [
+        RoutePolicy::Random,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::SnapshotLocality,
+    ] {
+        let mut cfg = ClusterConfig::demo(hosts, policy, seed);
+        cfg.workload = WorkloadSpec::zipf(tenants, &workloads, rate, 1.2);
+        cfg.horizon = SimDuration::from_secs(horizon_s);
+        cfg.services = services.clone();
+        let m = run_cluster(&cfg);
+        let mix = m.mode_mix();
+        let served = m.total_served();
+        let fast = if served == 0 {
+            0.0
+        } else {
+            100.0 * (mix[0] + mix[1]) as f64 / served as f64
+        };
+        t.row(vec![
+            policy.label().into(),
+            served.to_string(),
+            m.total_shed().to_string(),
+            format!("{:.1}", m.p(50.0)),
+            format!("{:.1}", m.p(95.0)),
+            format!("{:.1}", m.p(99.0)),
+            format!("{fast:.1}"),
+            mix[3].to_string(),
+            format!("{:.1}", 100.0 * m.mean_utilization()),
+        ]);
     }
     t
 }

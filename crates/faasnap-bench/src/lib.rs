@@ -18,6 +18,7 @@
 //! | `fig11_remote`       | Figure 11      | [`figures::fig11_remote`] |
 //! | `tbl_footprint`      | §7.3           | [`figures::tbl_footprint`] |
 //! | `tbl_merge`          | §4.6           | [`figures::tbl_merge`] |
+//! | `fig_cluster`        | fleet SLOs     | [`figures::fig_cluster`] |
 //! | `micro`              | (criterion)    | library microbenchmarks |
 //!
 //! Drivers accept an [`Effort`] so smoke tests can run the same code
@@ -69,6 +70,14 @@ mod tests {
         let t = figures::tbl_merge(Effort::Quick);
         assert_eq!(t.len(), 1);
         assert!(format!("{t}").contains("hello-world"));
+    }
+
+    #[test]
+    fn fig_cluster_driver_runs_quick() {
+        let t = figures::fig_cluster(Effort::Quick);
+        let s = format!("{t}");
+        assert!(s.contains("random"));
+        assert!(s.contains("snapshot-locality"));
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub fn platform_with(profile: DiskProfile, seed: u64, functions: &[Function]) ->
 /// `record_input` if not.
 pub fn ensure_recorded(p: &mut Platform, name: &str, label: &str, record_input: &Input) {
     if p.registry().artifacts(name, label).is_none() {
-        p.record(name, label, record_input).unwrap_or_else(|e| panic!("record {name}: {e}"));
+        p.record(name, label, record_input)
+            .unwrap_or_else(|e| panic!("record {name}: {e}"));
     }
 }
 

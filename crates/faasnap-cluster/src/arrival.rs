@@ -1,0 +1,252 @@
+//! Open-loop arrival generation: who invokes what, when.
+//!
+//! Serverless fleet traces (e.g. the Azure Functions trace used by
+//! "Serverless in the Wild" and the FaaS snapshot literature) share three
+//! properties this module reproduces deterministically: per-function
+//! arrivals are roughly Poisson at short timescales, some functions are
+//! bursty on/off, and popularity across functions is heavily skewed
+//! (a Zipf-like head of hot functions and a long cold tail).
+
+use sim_core::rng::Prng;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Index of a tenant function in a [`WorkloadSpec`].
+pub type TenantId = usize;
+
+/// One invocation request entering the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the request reaches the router.
+    pub time: SimTime,
+    /// Which tenant function it invokes.
+    pub tenant: TenantId,
+}
+
+/// How one tenant's invocations arrive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalPattern {
+    /// Poisson process with the given mean rate.
+    Poisson {
+        /// Mean invocations per second.
+        rate_per_s: f64,
+    },
+    /// On/off bursts: exponentially distributed on and off phases;
+    /// Poisson arrivals at `rate_per_s` during on phases, silence during
+    /// off phases.
+    OnOff {
+        /// Mean on-phase length in seconds.
+        on_s: f64,
+        /// Mean off-phase length in seconds.
+        off_s: f64,
+        /// Mean rate while on, invocations per second.
+        rate_per_s: f64,
+    },
+}
+
+/// One tenant function in the fleet workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// Display name, e.g. `"t03-json"`.
+    pub name: String,
+    /// Which base workload (Table 2 function) this tenant runs.
+    pub workload: String,
+    /// Arrival process.
+    pub pattern: ArrivalPattern,
+}
+
+/// The full fleet workload: a list of tenants.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkloadSpec {
+    /// Tenant functions, indexed by [`TenantId`].
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl WorkloadSpec {
+    /// Builds a Zipf-skewed multi-tenant mix: `tenants` tenant functions
+    /// whose mean rates follow a Zipf(`skew`) popularity curve scaled so
+    /// the whole fleet averages `total_rate_per_s`. Tenants cycle through
+    /// `workloads` round-robin; every fourth tenant is made bursty
+    /// (on/off) instead of Poisson, mirroring the bursty minority in
+    /// production traces.
+    pub fn zipf(tenants: usize, workloads: &[&str], total_rate_per_s: f64, skew: f64) -> Self {
+        assert!(tenants > 0 && !workloads.is_empty());
+        let weights = zipf_weights(tenants, skew);
+        let spec = WorkloadSpec {
+            tenants: (0..tenants)
+                .map(|i| {
+                    let workload = workloads[i % workloads.len()].to_string();
+                    let rate = total_rate_per_s * weights[i];
+                    let pattern = if i % 4 == 3 {
+                        // Same mean rate, concentrated into on-phases.
+                        ArrivalPattern::OnOff {
+                            on_s: 20.0,
+                            off_s: 60.0,
+                            rate_per_s: rate * 4.0,
+                        }
+                    } else {
+                        ArrivalPattern::Poisson { rate_per_s: rate }
+                    };
+                    TenantSpec {
+                        name: format!("t{i:02}-{workload}"),
+                        workload,
+                        pattern,
+                    }
+                })
+                .collect(),
+        };
+        spec
+    }
+
+    /// Generates the merged, time-sorted arrival stream over `horizon`.
+    /// Each tenant draws from an independent sub-stream forked off
+    /// `seed`, so adding a tenant does not perturb the others.
+    pub fn generate(&self, seed: u64, horizon: SimDuration) -> Vec<Arrival> {
+        let mut base = Prng::new(seed);
+        let mut all = Vec::new();
+        for (tenant, spec) in self.tenants.iter().enumerate() {
+            let mut rng = base.fork(tenant as u64 + 1);
+            let times = match spec.pattern {
+                ArrivalPattern::Poisson { rate_per_s } => {
+                    poisson_arrivals(&mut rng, rate_per_s, horizon)
+                }
+                ArrivalPattern::OnOff {
+                    on_s,
+                    off_s,
+                    rate_per_s,
+                } => on_off_arrivals(&mut rng, on_s, off_s, rate_per_s, horizon),
+            };
+            all.extend(times.into_iter().map(|time| Arrival { time, tenant }));
+        }
+        // Stable sort: simultaneous arrivals keep tenant order, so the
+        // stream is a pure function of (spec, seed).
+        all.sort_by_key(|a| a.time);
+        all
+    }
+}
+
+/// Zipf popularity weights for ranks `1..=n`, normalized to sum to 1.
+pub fn zipf_weights(n: usize, skew: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(skew)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// Exponential inter-arrival draw with the given mean (seconds).
+fn exp_s(rng: &mut Prng, mean_s: f64) -> f64 {
+    // Inverse-CDF; 1 - f64() is in (0, 1], so ln is finite.
+    -mean_s * (1.0 - rng.f64()).ln()
+}
+
+/// Poisson arrival instants in `[0, horizon)`.
+pub fn poisson_arrivals(rng: &mut Prng, rate_per_s: f64, horizon: SimDuration) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    if rate_per_s <= 0.0 {
+        return out;
+    }
+    let mut t = 0.0;
+    let end = horizon.as_secs_f64();
+    loop {
+        t += exp_s(rng, 1.0 / rate_per_s);
+        if t >= end {
+            return out;
+        }
+        out.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+    }
+}
+
+/// On/off (interrupted Poisson) arrival instants in `[0, horizon)`.
+pub fn on_off_arrivals(
+    rng: &mut Prng,
+    on_s: f64,
+    off_s: f64,
+    rate_per_s: f64,
+    horizon: SimDuration,
+) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    if rate_per_s <= 0.0 || on_s <= 0.0 {
+        return out;
+    }
+    let end = horizon.as_secs_f64();
+    let mut t = 0.0;
+    loop {
+        // On phase.
+        let on_end = t + exp_s(rng, on_s);
+        loop {
+            t += exp_s(rng, 1.0 / rate_per_s);
+            if t >= on_end.min(end) {
+                break;
+            }
+            out.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+        }
+        t = on_end;
+        if t >= end {
+            return out;
+        }
+        // Off phase.
+        t += exp_s(rng, off_s);
+        if t >= end {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_weights_normalized_and_skewed() {
+        let w = zipf_weights(20, 1.1);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[1] && w[1] > w[10]);
+        assert!(w[0] > 5.0 * w[19], "head much hotter than tail");
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let mut rng = Prng::new(7);
+        let horizon = SimDuration::from_secs(2000);
+        let times = poisson_arrivals(&mut rng, 5.0, horizon);
+        let rate = times.len() as f64 / 2000.0;
+        assert!((rate - 5.0).abs() < 0.5, "empirical rate {rate}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn on_off_is_sparser_than_rate_while_on() {
+        let mut rng = Prng::new(9);
+        let horizon = SimDuration::from_secs(5000);
+        let times = on_off_arrivals(&mut rng, 10.0, 30.0, 8.0, horizon);
+        let mean_rate = times.len() as f64 / 5000.0;
+        // Duty cycle 10/(10+30) = 0.25 → mean rate ≈ 2/s.
+        assert!(mean_rate < 4.0 && mean_rate > 0.8, "mean rate {mean_rate}");
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_sorted() {
+        let spec = WorkloadSpec::zipf(12, &["hello-world", "json"], 20.0, 1.1);
+        let a = spec.generate(42, SimDuration::from_secs(120));
+        let b = spec.generate(42, SimDuration::from_secs(120));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(!a.is_empty());
+        let c = spec.generate(43, SimDuration::from_secs(120));
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn zipf_spec_mixes_patterns_and_workloads() {
+        let spec = WorkloadSpec::zipf(8, &["hello-world", "json"], 10.0, 1.0);
+        assert_eq!(spec.tenants.len(), 8);
+        assert!(spec
+            .tenants
+            .iter()
+            .any(|t| matches!(t.pattern, ArrivalPattern::OnOff { .. })));
+        assert!(spec
+            .tenants
+            .iter()
+            .any(|t| matches!(t.pattern, ArrivalPattern::Poisson { .. })));
+        assert_eq!(spec.tenants[0].workload, "hello-world");
+        assert_eq!(spec.tenants[1].workload, "json");
+    }
+}

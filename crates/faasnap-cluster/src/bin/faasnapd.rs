@@ -2,7 +2,7 @@
 //!
 //! The real FaaSnap daemon is an HTTP service driven by a remote load
 //! balancer; this CLI exposes the same operations over the simulated
-//! host, one invocation flow per run:
+//! host — plus a fleet simulation on top of it — one flow per run:
 //!
 //! ```sh
 //! faasnapd list
@@ -11,13 +11,17 @@
 //!                            [--trace]
 //! faasnapd burst <function> --parallelism <n> [--strategy ...] [--kind same|diff]
 //! faasnapd policy <function>
+//! faasnapd cluster [--hosts 8] [--seed 42] [--policy all|random|least-loaded|snapshot-locality]
+//!                  [--tenants 36] [--rate 40] [--skew 1.2] [--horizon 300]
 //! ```
 
 use faasnap::strategy::RestoreStrategy;
+use faasnap_cluster::{calibrate, run_cluster, ClusterConfig, RoutePolicy, WorkloadSpec};
 use faasnap_daemon::config::ExperimentConfig;
 use faasnap_daemon::platform::{BurstKind, Platform};
 use faasnap_daemon::policy::{best_mode_for_period, Costs, ModeLatencies};
 use faasnap_daemon::spans::invocation_trace;
+use sim_core::json::Value;
 use sim_core::time::SimDuration;
 use sim_storage::profiles::DiskProfile;
 
@@ -36,7 +40,8 @@ impl Args {
                 let value = if matches!(name, "trace") {
                     "true".to_string()
                 } else {
-                    iter.next().unwrap_or_else(|| die(&format!("--{name} needs a value")))
+                    iter.next()
+                        .unwrap_or_else(|| die(&format!("--{name} needs a value")))
                 };
                 flags.insert(name.to_string(), value);
             } else {
@@ -47,7 +52,16 @@ impl Args {
     }
 
     fn flag(&self, name: &str, default: &str) -> String {
-        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: &str) -> T {
+        self.flag(name, default)
+            .parse()
+            .unwrap_or_else(|_| die(&format!("--{name} must be a number")))
     }
 }
 
@@ -80,12 +94,18 @@ fn main() {
         Some("invoke") => cmd_invoke(&args),
         Some("burst") => cmd_burst(&args),
         Some("policy") => cmd_policy(&args),
-        _ => die("usage: faasnapd <list|invoke|burst|policy> [args]; see --help in the source header"),
+        Some("cluster") => cmd_cluster(&args),
+        _ => die(
+            "usage: faasnapd <list|invoke|burst|policy|cluster> [args]; see --help in the source header",
+        ),
     }
 }
 
 fn cmd_list() {
-    println!("{:<14} {:<34} {:>9} {:>9}", "function", "description", "WS A", "WS B");
+    println!(
+        "{:<14} {:<34} {:>9} {:>9}",
+        "function", "description", "WS A", "WS B"
+    );
     for f in faas_workloads::all_functions() {
         let ws = |i: &faas_workloads::Input| {
             sim_core::units::format_bytes(f.trace(i).distinct_pages() * 4096)
@@ -110,8 +130,10 @@ fn function_for(args: &Args) -> faas_workloads::Function {
 
 fn input_for(args: &Args, f: &faas_workloads::Function) -> faas_workloads::Input {
     if let Some(ratio) = args.flags.get("ratio") {
-        let r: f64 = ratio.parse().unwrap_or_else(|_| die("--ratio must be a number"));
-        if !(r > 0.0) {
+        let r: f64 = ratio
+            .parse()
+            .unwrap_or_else(|_| die("--ratio must be a number"));
+        if r <= 0.0 || r.is_nan() {
             die("--ratio must be positive");
         }
         return f.input_scaled(r, 0xC11);
@@ -129,8 +151,11 @@ fn cmd_invoke(args: &Args) {
     let mut p = platform_for(&args.flag("device", "nvme"), 0xFA5D);
     let input = input_for(args, &f);
     println!("recording snapshot for {} (input A)...", f.name());
-    p.record(f.name(), "cli", &f.input_a()).unwrap_or_else(|e| die(&e));
-    let out = p.invoke(f.name(), "cli", &input, strategy).unwrap_or_else(|e| die(&e));
+    p.record(f.name(), "cli", &f.input_a())
+        .unwrap_or_else(|e| die(&e));
+    let out = p
+        .invoke(f.name(), "cli", &input, strategy)
+        .unwrap_or_else(|e| die(&e));
     let r = &out.report;
     println!(
         "{} under {}: total {} (setup {} + invoke {})",
@@ -142,8 +167,13 @@ fn cmd_invoke(args: &Args) {
     );
     println!(
         "faults: {} anon, {} minor, {} major, {} host-pte, {} uffd; fetched {} pages in {}",
-        r.anon_faults, r.minor_faults, r.major_faults, r.host_pte_faults, r.uffd_faults,
-        r.fetch_pages, r.fetch_time
+        r.anon_faults,
+        r.minor_faults,
+        r.major_faults,
+        r.host_pte_faults,
+        r.uffd_faults,
+        r.fetch_pages,
+        r.fetch_time
     );
     if args.flags.contains_key("trace") {
         println!("\n{}", invocation_trace(f.name(), r));
@@ -166,12 +196,15 @@ fn cmd_burst(args: &Args) {
         other => die(&format!("unknown burst kind {other:?} (same|diff)")),
     };
     let mut p = platform_for(&args.flag("device", "nvme"), 0xB557);
-    p.record(f.name(), "cli", &f.input_a()).unwrap_or_else(|e| die(&e));
+    p.record(f.name(), "cli", &f.input_a())
+        .unwrap_or_else(|e| die(&e));
     let outs = p
         .burst(f.name(), "cli", &f.input_b(), strategy, parallelism, kind)
         .unwrap_or_else(|e| die(&e));
-    let mut times: Vec<f64> =
-        outs.iter().map(|o| o.report.total_time().as_millis_f64()).collect();
+    let mut times: Vec<f64> = outs
+        .iter()
+        .map(|o| o.report.total_time().as_millis_f64())
+        .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     println!(
@@ -188,29 +221,22 @@ fn cmd_burst(args: &Args) {
 fn cmd_policy(args: &Args) {
     let f = function_for(args);
     let mut p = platform_for(&args.flag("device", "nvme"), 0x9011);
-    p.record(f.name(), "cli", &f.input_a()).unwrap_or_else(|e| die(&e));
-    let warm = p
-        .invoke(f.name(), "cli", &f.input_b(), RestoreStrategy::Warm)
-        .unwrap_or_else(|e| die(&e))
-        .report
-        .total_time();
-    let snap = p
-        .invoke(f.name(), "cli", &f.input_b(), RestoreStrategy::faasnap())
-        .unwrap_or_else(|e| die(&e))
-        .report
-        .total_time();
-    let cold = p.host().boot.cold_start() + warm;
-    let latencies = ModeLatencies { warm, snapshot: snap, cold };
+    let latencies =
+        ModeLatencies::measure(&mut p, f.name(), "cli", &f.input_b()).unwrap_or_else(|e| die(&e));
     println!(
         "{}: warm {}, FaaSnap snapshot {}, cold {}",
         f.name(),
-        warm,
-        snap,
-        cold
+        latencies.warm,
+        latencies.snapshot,
+        latencies.cold
     );
-    for (secs, label) in
-        [(10u64, "10s"), (60, "1min"), (600, "10min"), (3600, "1h"), (86_400, "24h")]
-    {
+    for (secs, label) in [
+        (10u64, "10s"),
+        (60, "1min"),
+        (600, "10min"),
+        (3600, "1h"),
+        (86_400, "24h"),
+    ] {
         let mode = best_mode_for_period(
             SimDuration::from_secs(secs),
             SimDuration::from_secs(7 * 86_400),
@@ -221,4 +247,68 @@ fn cmd_policy(args: &Args) {
         );
         println!("  every {label:>6}: serve via {mode:?}");
     }
+}
+
+fn cmd_cluster(args: &Args) {
+    let hosts: usize = args.num("hosts", "8");
+    let seed: u64 = args.num("seed", "42");
+    let tenants: usize = args.num("tenants", "36");
+    let rate: f64 = args.num("rate", "40");
+    let skew: f64 = args.num("skew", "1.2");
+    let horizon_s: u64 = args.num("horizon", "300");
+    if hosts == 0 || tenants == 0 {
+        die("--hosts and --tenants must be at least 1");
+    }
+    let policies: Vec<RoutePolicy> = match args.flag("policy", "all").as_str() {
+        "all" => vec![
+            RoutePolicy::Random,
+            RoutePolicy::LeastLoaded,
+            RoutePolicy::SnapshotLocality,
+        ],
+        one => vec![RoutePolicy::parse(one).unwrap_or_else(|e| die(&e))],
+    };
+
+    // Calibrate per-workload service times against the detailed
+    // single-host platform, then replay the fleet against them.
+    let workloads = ["hello-world", "json", "compression", "image"];
+    eprintln!(
+        "calibrating {} workloads on the single-host platform...",
+        workloads.len()
+    );
+    let services = calibrate::calibrate_workloads(&workloads, seed).unwrap_or_else(|e| die(&e));
+    for (name, t) in &services {
+        eprintln!(
+            "  {name}: warm {}, snap-hot {}, snap-cold {}, cold {}",
+            t.warm, t.snap_hot, t.snap_cold, t.cold
+        );
+    }
+
+    let mut runs = Vec::new();
+    let mut p99_by_policy: Vec<(String, f64)> = Vec::new();
+    for policy in policies {
+        let mut cfg = ClusterConfig::demo(hosts, policy, seed);
+        cfg.workload = WorkloadSpec::zipf(tenants, &workloads, rate, skew);
+        cfg.horizon = SimDuration::from_secs(horizon_s);
+        cfg.services = services.clone();
+        eprintln!(
+            "simulating {} on {hosts} hosts, {tenants} tenants, {rate}/s for {horizon_s}s...",
+            policy.label()
+        );
+        let m = run_cluster(&cfg);
+        p99_by_policy.push((policy.label().to_string(), m.p(99.0)));
+        runs.push(m.to_json());
+    }
+
+    let mut doc = Value::object().with("runs", Value::Array(runs));
+    if p99_by_policy.len() > 1 {
+        let mut cmp = Value::object();
+        for (label, p99) in &p99_by_policy {
+            cmp = cmp.with(
+                format!("{label}_p99_ms").as_str(),
+                (p99 * 1000.0).round() / 1000.0,
+            );
+        }
+        doc = doc.with("p99_comparison", cmp);
+    }
+    println!("{}", doc.to_string_pretty());
 }

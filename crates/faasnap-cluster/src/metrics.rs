@@ -1,0 +1,303 @@
+//! Fleet SLO metrics: latency percentiles, serving-mode mix, shedding,
+//! utilization — serialized deterministically to JSON.
+//!
+//! Numbers a provider would page on: per-function and fleet-wide
+//! p50/p95/p99 of end-to-end latency (queueing included), how
+//! invocations were served (warm / hot snapshot / cold snapshot / cold
+//! boot), how many requests were shed by backpressure, and how busy each
+//! host's slots were. Serialization goes through [`sim_core::json`],
+//! whose object writer preserves insertion order, so two runs with the
+//! same seed produce byte-identical documents (a property the tests pin).
+
+use sim_core::json::Value;
+use sim_core::stats::Summary;
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::arrival::TenantId;
+use crate::hostsim::ServeMode;
+
+/// Per-tenant serving statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TenantMetrics {
+    /// Tenant display name.
+    pub name: String,
+    /// Base workload the tenant runs.
+    pub workload: String,
+    /// Invocations served per mode: warm, hot snapshot, cold snapshot,
+    /// cold boot.
+    pub served: [u64; 4],
+    /// Requests shed for this tenant.
+    pub shed: u64,
+    /// End-to-end latency samples (ms), queueing included.
+    pub latency_ms: Summary,
+}
+
+impl TenantMetrics {
+    /// Total served invocations.
+    pub fn total_served(&self) -> u64 {
+        self.served.iter().sum()
+    }
+}
+
+/// Whole-fleet metrics for one simulated run.
+#[derive(Clone, Debug)]
+pub struct FleetMetrics {
+    /// Routing policy label.
+    pub policy: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Per-tenant stats, indexed by [`TenantId`].
+    pub tenants: Vec<TenantMetrics>,
+    /// Fleet-wide latency samples (ms).
+    pub latency_ms: Summary,
+    /// Per-host cumulative busy time.
+    pub host_busy: Vec<SimDuration>,
+    /// Per-host slot counts (denominator for utilization).
+    pub host_slots: Vec<u32>,
+}
+
+impl FleetMetrics {
+    /// Creates an empty collector.
+    pub fn new(
+        policy: &str,
+        seed: u64,
+        hosts: usize,
+        horizon: SimDuration,
+        tenants: Vec<(String, String)>,
+    ) -> Self {
+        FleetMetrics {
+            policy: policy.to_string(),
+            seed,
+            hosts,
+            horizon,
+            tenants: tenants
+                .into_iter()
+                .map(|(name, workload)| TenantMetrics {
+                    name,
+                    workload,
+                    ..TenantMetrics::default()
+                })
+                .collect(),
+            latency_ms: Summary::new(),
+            host_busy: vec![SimDuration::ZERO; hosts],
+            host_slots: vec![0; hosts],
+        }
+    }
+
+    /// Records one completed invocation.
+    pub fn record(&mut self, tenant: TenantId, mode: ServeMode, latency: SimDuration) {
+        let t = &mut self.tenants[tenant];
+        let slot = match mode {
+            ServeMode::Warm => 0,
+            ServeMode::SnapshotHot => 1,
+            ServeMode::SnapshotCold => 2,
+            ServeMode::Cold => 3,
+        };
+        t.served[slot] += 1;
+        t.latency_ms.record_ms(latency);
+        self.latency_ms.record_ms(latency);
+    }
+
+    /// Records one shed request.
+    pub fn record_shed(&mut self, tenant: TenantId) {
+        self.tenants[tenant].shed += 1;
+    }
+
+    /// Total invocations served.
+    pub fn total_served(&self) -> u64 {
+        self.tenants.iter().map(TenantMetrics::total_served).sum()
+    }
+
+    /// Total requests shed.
+    pub fn total_shed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.shed).sum()
+    }
+
+    /// Fleet-wide latency percentile in milliseconds.
+    pub fn p(&self, pct: f64) -> f64 {
+        self.latency_ms.percentile(pct)
+    }
+
+    /// Fleet-wide serving-mode counts (warm, snap-hot, snap-cold, cold).
+    pub fn mode_mix(&self) -> [u64; 4] {
+        let mut mix = [0u64; 4];
+        for t in &self.tenants {
+            for (m, c) in mix.iter_mut().zip(t.served) {
+                *m += c;
+            }
+        }
+        mix
+    }
+
+    /// Mean slot utilization across hosts in `[0, 1]`.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.hosts == 0 || self.horizon.is_zero() {
+            return 0.0;
+        }
+        let span = self.horizon.as_secs_f64();
+        let total: f64 = self
+            .host_busy
+            .iter()
+            .zip(&self.host_slots)
+            .map(|(busy, &slots)| {
+                if slots == 0 {
+                    0.0
+                } else {
+                    (busy.as_secs_f64() / (span * slots as f64)).min(1.0)
+                }
+            })
+            .sum();
+        total / self.hosts as f64
+    }
+
+    /// The full metrics document. Object keys are emitted in a fixed
+    /// order and tenants in index order, so equal runs serialize
+    /// byte-identically.
+    pub fn to_json(&self) -> Value {
+        let mix = self.mode_mix();
+        let fleet = Value::object()
+            .with("served", self.total_served())
+            .with("shed", self.total_shed())
+            .with("p50_ms", round3(self.p(50.0)))
+            .with("p95_ms", round3(self.p(95.0)))
+            .with("p99_ms", round3(self.p(99.0)))
+            .with("mean_ms", round3(self.latency_ms.mean()))
+            .with(
+                "mode_mix",
+                Value::object()
+                    .with("warm", mix[0])
+                    .with("snapshot_hot", mix[1])
+                    .with("snapshot_cold", mix[2])
+                    .with("cold", mix[3]),
+            )
+            .with("mean_utilization", round3(self.mean_utilization()));
+        let tenants: Vec<Value> = self
+            .tenants
+            .iter()
+            .filter(|t| t.total_served() > 0 || t.shed > 0)
+            .map(|t| {
+                Value::object()
+                    .with("name", t.name.as_str())
+                    .with("workload", t.workload.as_str())
+                    .with("served", t.total_served())
+                    .with("shed", t.shed)
+                    .with("warm", t.served[0])
+                    .with("snapshot_hot", t.served[1])
+                    .with("snapshot_cold", t.served[2])
+                    .with("cold", t.served[3])
+                    .with("p50_ms", round3(t.latency_ms.percentile(50.0)))
+                    .with("p99_ms", round3(t.latency_ms.percentile(99.0)))
+            })
+            .collect();
+        let hosts: Vec<Value> = self
+            .host_busy
+            .iter()
+            .zip(&self.host_slots)
+            .map(|(busy, &slots)| {
+                let util = if slots == 0 || self.horizon.is_zero() {
+                    0.0
+                } else {
+                    (busy.as_secs_f64() / (self.horizon.as_secs_f64() * slots as f64)).min(1.0)
+                };
+                Value::object()
+                    .with("busy_s", round3(busy.as_secs_f64()))
+                    .with("slots", u64::from(slots))
+                    .with("utilization", round3(util))
+            })
+            .collect();
+        Value::object()
+            .with("policy", self.policy.as_str())
+            .with("seed", self.seed)
+            .with("hosts", self.hosts)
+            .with("horizon_s", round3(self.horizon.as_secs_f64()))
+            .with("fleet", fleet)
+            .with("tenants", Value::Array(tenants))
+            .with("per_host", Value::Array(hosts))
+    }
+}
+
+/// Rounds to 3 decimals so tiny float noise cannot leak into the JSON
+/// (the values themselves are already deterministic; this keeps the
+/// documents readable).
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// A latency instant helper used by the fleet world.
+pub fn latency_between(arrived: SimTime, finished: SimTime) -> SimDuration {
+    finished.since(arrived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> FleetMetrics {
+        FleetMetrics::new(
+            "random",
+            7,
+            2,
+            SimDuration::from_secs(100),
+            vec![
+                ("t00-json".into(), "json".into()),
+                ("t01-hello".into(), "hello-world".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut m = metrics();
+        m.record(0, ServeMode::Warm, SimDuration::from_millis(40));
+        m.record(0, ServeMode::SnapshotCold, SimDuration::from_millis(120));
+        m.record(1, ServeMode::Cold, SimDuration::from_millis(2000));
+        m.record_shed(1);
+        assert_eq!(m.total_served(), 3);
+        assert_eq!(m.total_shed(), 1);
+        assert_eq!(m.mode_mix(), [1, 0, 1, 1]);
+        assert!(m.p(99.0) >= m.p(50.0));
+    }
+
+    #[test]
+    fn json_shape_and_determinism() {
+        let build = || {
+            let mut m = metrics();
+            m.host_slots = vec![4, 4];
+            m.host_busy = vec![SimDuration::from_secs(40), SimDuration::from_secs(10)];
+            m.record(0, ServeMode::Warm, SimDuration::from_millis(40));
+            m.record(1, ServeMode::Cold, SimDuration::from_millis(2000));
+            m.to_json().to_string_pretty()
+        };
+        let a = build();
+        assert_eq!(a, build(), "byte-identical across builds");
+        let v = sim_core::json::parse(&a).unwrap();
+        assert_eq!(v.get("policy").unwrap().as_str(), Some("random"));
+        assert_eq!(
+            v.get("fleet").unwrap().get("served").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(v.get("tenants").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("per_host").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut m = metrics();
+        m.host_slots = vec![2, 2];
+        m.host_busy = vec![SimDuration::from_secs(100), SimDuration::from_secs(400)];
+        let u = m.mean_utilization();
+        // Host 0: 100/(100*2) = 0.5; host 1 clamps to 1.0 → mean 0.75.
+        assert!((u - 0.75).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn idle_tenants_omitted_from_json() {
+        let m = metrics();
+        let v = m.to_json();
+        assert_eq!(v.get("tenants").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Fleet routing: which host serves an incoming invocation.
+//!
+//! All policies only consider hosts that can admit without shedding (the
+//! admission-control contract); if no host can, the request is shed at
+//! the router. On top of that base, [`RoutePolicy::SnapshotLocality`]
+//! prefers hosts whose local state makes the invocation cheap — an idle
+//! warm VM first, then a snapshot whose loading set is page-cache
+//! resident, then any registered snapshot — mirroring the
+//! snapshot-affinity placement the FaaSnap paper's fleet context implies
+//! and the REAP-line of work evaluates.
+
+use sim_core::rng::Prng;
+use sim_core::time::SimTime;
+
+use crate::arrival::TenantId;
+use crate::hostsim::HostSim;
+
+/// A placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Uniformly random among admittable hosts.
+    Random,
+    /// The admittable host with the fewest running + queued requests.
+    LeastLoaded,
+    /// Locality first (warm VM ≻ hot snapshot ≻ cold snapshot), load as
+    /// the tie-breaker.
+    SnapshotLocality,
+}
+
+impl RoutePolicy {
+    /// Stable label used in metrics JSON and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutePolicy::Random => "random",
+            RoutePolicy::LeastLoaded => "least-loaded",
+            RoutePolicy::SnapshotLocality => "snapshot-locality",
+        }
+    }
+
+    /// Parses a policy label.
+    pub fn parse(s: &str) -> Result<RoutePolicy, String> {
+        match s {
+            "random" => Ok(RoutePolicy::Random),
+            "least-loaded" => Ok(RoutePolicy::LeastLoaded),
+            "snapshot-locality" | "locality" => Ok(RoutePolicy::SnapshotLocality),
+            other => Err(format!("unknown routing policy {other:?}")),
+        }
+    }
+
+    /// Picks a host for `tenant`, or `None` to shed (no admittable
+    /// host). Deterministic given the rng state and host states.
+    pub fn pick(
+        self,
+        hosts: &[HostSim],
+        tenant: TenantId,
+        now: SimTime,
+        rng: &mut Prng,
+    ) -> Option<usize> {
+        let admittable: Vec<usize> = (0..hosts.len()).filter(|&h| hosts[h].can_admit()).collect();
+        if admittable.is_empty() {
+            return None;
+        }
+        let picked = match self {
+            RoutePolicy::Random => *rng.choose(&admittable).expect("non-empty"),
+            RoutePolicy::LeastLoaded => *admittable
+                .iter()
+                .min_by_key(|&&h| (hosts[h].load(), h))
+                .expect("non-empty"),
+            RoutePolicy::SnapshotLocality => *admittable
+                .iter()
+                .min_by_key(|&&h| (hosts[h].locality(tenant, now), hosts[h].load(), h))
+                .expect("non-empty"),
+        };
+        Some(picked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hostsim::{HostConfig, LocalityClass, ServiceTimes};
+    use sim_core::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    fn fleet(n: usize) -> Vec<HostSim> {
+        (0..n)
+            .map(|_| {
+                HostSim::new(HostConfig {
+                    slots: 2,
+                    queue_cap: 1,
+                    warm_ttl: SimDuration::from_secs(600),
+                    warm_pool_cap: 4,
+                    snapshot_budget_bytes: 1 << 30,
+                    cache_budget_bytes: 1 << 30,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn locality_prefers_snapshot_host() {
+        let mut hosts = fleet(3);
+        let st = ServiceTimes::default();
+        // Host 1 has served tenant 7: snapshot + cache resident.
+        hosts[1].start_service(7, t(0), &st);
+        hosts[1].finish(7, t(1));
+        assert_eq!(hosts[1].locality(7, t(2)), LocalityClass::WarmVm);
+        let mut rng = Prng::new(1);
+        let picked = RoutePolicy::SnapshotLocality.pick(&hosts, 7, t(2), &mut rng);
+        assert_eq!(picked, Some(1));
+        // An unknown tenant falls back to least load (host 0 by index).
+        let picked = RoutePolicy::SnapshotLocality.pick(&hosts, 9, t(2), &mut rng);
+        assert_eq!(picked, Some(0));
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let mut hosts = fleet(2);
+        let st = ServiceTimes::default();
+        hosts[0].start_service(0, t(0), &st);
+        let mut rng = Prng::new(2);
+        assert_eq!(
+            RoutePolicy::LeastLoaded.pick(&hosts, 1, t(0), &mut rng),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn all_full_sheds() {
+        let mut hosts = fleet(2);
+        let st = ServiceTimes::default();
+        for h in hosts.iter_mut() {
+            // Fill both slots and the 1-deep queue.
+            use crate::hostsim::QueuedJob;
+            for tenant in 0..3 {
+                h.admit(
+                    QueuedJob {
+                        tenant,
+                        arrived: t(0),
+                    },
+                    t(0),
+                    &st,
+                );
+            }
+            assert!(!h.can_admit());
+        }
+        let mut rng = Prng::new(3);
+        for policy in [
+            RoutePolicy::Random,
+            RoutePolicy::LeastLoaded,
+            RoutePolicy::SnapshotLocality,
+        ] {
+            assert_eq!(policy.pick(&hosts, 0, t(0), &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn random_spreads() {
+        let hosts = fleet(4);
+        let mut rng = Prng::new(4);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let h = RoutePolicy::Random.pick(&hosts, 0, t(0), &mut rng).unwrap();
+            seen[h] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all hosts eventually picked");
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in [
+            RoutePolicy::Random,
+            RoutePolicy::LeastLoaded,
+            RoutePolicy::SnapshotLocality,
+        ] {
+            assert_eq!(RoutePolicy::parse(p.label()).unwrap(), p);
+        }
+        assert!(RoutePolicy::parse("bogus").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Fleet determinism: the same seed must produce byte-identical
+//! serialized cluster metrics, for every routing policy, through the
+//! public crate API (the same path `faasnapd cluster` uses).
+
+use faasnap_cluster::{run_cluster, ClusterConfig, RoutePolicy};
+use sim_core::time::SimDuration;
+
+fn metrics_json(policy: RoutePolicy, seed: u64) -> String {
+    let mut cfg = ClusterConfig::demo(8, policy, seed);
+    cfg.horizon = SimDuration::from_secs(60);
+    run_cluster(&cfg).to_json().to_string_pretty()
+}
+
+#[test]
+fn same_seed_byte_identical_for_every_policy() {
+    for policy in [
+        RoutePolicy::Random,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::SnapshotLocality,
+    ] {
+        let a = metrics_json(policy, 42);
+        let b = metrics_json(policy, 42);
+        assert_eq!(a, b, "{} diverged across identical runs", policy.label());
+        assert!(a.contains("\"p99_ms\""), "metrics JSON carries SLO fields");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(
+        metrics_json(RoutePolicy::SnapshotLocality, 42),
+        metrics_json(RoutePolicy::SnapshotLocality, 43),
+    );
+}
+
+#[test]
+fn json_reparses_and_reports_policy() {
+    let doc = metrics_json(RoutePolicy::SnapshotLocality, 42);
+    let v = sim_core::json::parse(&doc).expect("valid JSON");
+    assert_eq!(v.get("policy").unwrap().as_str(), Some("snapshot-locality"));
+    assert_eq!(v.get("hosts").unwrap().as_u64(), Some(8));
+    let fleet = v.get("fleet").unwrap();
+    let served = fleet.get("served").unwrap().as_u64().unwrap();
+    assert!(served > 0, "fleet served invocations");
+}

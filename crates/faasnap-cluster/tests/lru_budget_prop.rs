@@ -1,0 +1,89 @@
+//! Property tests for the per-host snapshot LRU: the registry never
+//! exceeds its byte budget under any operation sequence, and a tenant
+//! whose snapshot was evicted is served cold on its next invocation.
+
+use faasnap_cluster::hostsim::{HostConfig, HostSim, LruBudget, ServeMode, ServiceTimes};
+use proptest::prelude::*;
+use sim_core::time::{SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(usize, u64),
+    Touch(usize),
+    Remove(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..16, 1u64..400).prop_map(|(t, b)| Op::Insert(t, b)),
+        (0usize..16).prop_map(Op::Touch),
+        (0usize..16).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn budget_never_exceeded(
+        budget in 50u64..600,
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut lru = LruBudget::new(budget);
+        for op in &ops {
+            match *op {
+                Op::Insert(t, b) => {
+                    for evicted in lru.insert(t, b) {
+                        // An evicted tenant is gone immediately.
+                        prop_assert!(!lru.contains(evicted), "evicted {evicted} still resident");
+                    }
+                }
+                Op::Touch(t) => lru.touch(t),
+                Op::Remove(t) => lru.remove(t),
+            }
+            prop_assert!(
+                lru.total_bytes() <= budget,
+                "resident {} bytes over budget {} after {op:?}",
+                lru.total_bytes(),
+                budget
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_forces_next_invocation_cold(
+        snapshot_budget in 1u64..6,
+        tenant_seq in proptest::collection::vec(0usize..8, 1..80),
+    ) {
+        // Budget counted in whole snapshots: each snapshot is 1 byte, so
+        // at most `snapshot_budget` tenants stay registered.
+        let mut h = HostSim::new(HostConfig {
+            slots: 1,
+            queue_cap: 0,
+            // No warm reuse: every serve decides purely on the registry.
+            warm_ttl: SimDuration::ZERO,
+            warm_pool_cap: 0,
+            snapshot_budget_bytes: snapshot_budget,
+            cache_budget_bytes: snapshot_budget,
+        });
+        let st = ServiceTimes { snapshot_bytes: 1, loading_set_bytes: 1, ..ServiceTimes::default() };
+        let mut now = SimTime::ZERO;
+        for &tenant in &tenant_seq {
+            let registered = h.snapshots().contains(tenant);
+            let (mode, service) = h.start_service(tenant, now, &st);
+            if registered {
+                prop_assert!(
+                    matches!(mode, ServeMode::SnapshotHot | ServeMode::SnapshotCold),
+                    "registered tenant {tenant} served {mode:?}"
+                );
+            } else {
+                // Not registered — either never seen or evicted — must be
+                // a full cold boot.
+                prop_assert_eq!(mode, ServeMode::Cold, "unregistered tenant {} not cold", tenant);
+            }
+            now += service;
+            h.finish(tenant, now);
+            now += SimDuration::from_millis(1);
+            prop_assert!(h.snapshots().total_bytes() <= snapshot_budget);
+            prop_assert!(h.snapshots().contains(tenant), "just-served tenant registered");
+        }
+    }
+}

@@ -5,13 +5,12 @@
 //! Figure 8 — see the paper's artifact appendix). This module mirrors
 //! that interface so experiments are declarative and serializable.
 
-use serde::{Deserialize, Serialize};
-
 use faasnap::strategy::{FaasnapConfig, RestoreStrategy};
+use sim_core::json::{self, Value};
 use sim_storage::profiles::DiskProfile;
 
 /// A declarative experiment configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentConfig {
     /// Functions to run (Table 2 names).
     pub functions: Vec<String>,
@@ -24,14 +23,32 @@ pub struct ExperimentConfig {
     /// Storage: `"nvme"` (local SSD) or `"ebs"` (remote block storage).
     pub device: String,
     /// Burst parallelism levels (Figure 10); empty for non-burst tests.
-    #[serde(default)]
+    /// Optional in the JSON form.
     pub parallelism: Vec<u32>,
     /// Test-phase input size ratios (Figure 8); empty means the standard
-    /// A→B / B→A two-input protocol.
-    #[serde(default)]
+    /// A→B / B→A two-input protocol. Optional in the JSON form.
     pub input_ratios: Vec<f64>,
     /// Deterministic seed.
     pub seed: u64,
+}
+
+/// Pulls a required field out of a parsed config object.
+fn required<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("config: missing field {key:?}"))
+}
+
+fn string_list(v: &Value, key: &str) -> Result<Vec<String>, String> {
+    required(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("config: {key} must be an array"))?
+        .iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("config: {key} entries must be strings"))
+        })
+        .collect()
 }
 
 impl ExperimentConfig {
@@ -80,7 +97,10 @@ impl ExperimentConfig {
 
     /// Parsed strategies, in order.
     pub fn restore_strategies(&self) -> Result<Vec<RestoreStrategy>, String> {
-        self.strategies.iter().map(|s| Self::parse_strategy(s)).collect()
+        self.strategies
+            .iter()
+            .map(|s| Self::parse_strategy(s))
+            .collect()
     }
 
     /// The disk profile for `device`.
@@ -94,12 +114,66 @@ impl ExperimentConfig {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        Value::object()
+            .with("functions", self.functions.clone())
+            .with("strategies", self.strategies.clone())
+            .with("repetitions", self.repetitions)
+            .with("device", self.device.as_str())
+            .with("parallelism", self.parallelism.clone())
+            .with("input_ratios", self.input_ratios.clone())
+            .with("seed", self.seed)
+            .to_string_pretty()
     }
 
-    /// Parses from JSON.
+    /// Parses from JSON. `parallelism` and `input_ratios` default to
+    /// empty when absent.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = json::parse(s).map_err(|e| e.to_string())?;
+        let repetitions = required(&v, "repetitions")?
+            .as_u64()
+            .and_then(|r| u32::try_from(r).ok())
+            .ok_or("config: repetitions must be a u32")?;
+        let device = required(&v, "device")?
+            .as_str()
+            .ok_or("config: device must be a string")?
+            .to_string();
+        let seed = required(&v, "seed")?
+            .as_u64()
+            .ok_or("config: seed must be a u64")?;
+        let parallelism = match v.get("parallelism") {
+            None => Vec::new(),
+            Some(p) => p
+                .as_array()
+                .ok_or("config: parallelism must be an array")?
+                .iter()
+                .map(|e| {
+                    e.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| "config: parallelism entries must be u32".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let input_ratios = match v.get("input_ratios") {
+            None => Vec::new(),
+            Some(p) => p
+                .as_array()
+                .ok_or("config: input_ratios must be an array")?
+                .iter()
+                .map(|e| {
+                    e.as_f64()
+                        .ok_or_else(|| "config: input_ratios entries must be numbers".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(ExperimentConfig {
+            functions: string_list(&v, "functions")?,
+            strategies: string_list(&v, "strategies")?,
+            repetitions,
+            device,
+            parallelism,
+            input_ratios,
+            seed,
+        })
     }
 }
 

@@ -107,7 +107,13 @@ mod tests {
     #[test]
     fn put_get_round_trip() {
         let mut kv = KvStore::new();
-        let cost = kv.put("input-a", KvValue { len: 101 * 1024, fingerprint: 0xA });
+        let cost = kv.put(
+            "input-a",
+            KvValue {
+                len: 101 * 1024,
+                fingerprint: 0xA,
+            },
+        );
         assert!(cost > SimDuration::from_micros(80));
         let (v, _) = kv.get("input-a").expect("stored");
         assert_eq!(v.len, 101 * 1024);
@@ -125,16 +131,40 @@ mod tests {
     #[test]
     fn larger_payloads_cost_more() {
         let mut kv = KvStore::new();
-        let small = kv.put("s", KvValue { len: 1024, fingerprint: 1 });
-        let big = kv.put("b", KvValue { len: 100 << 20, fingerprint: 2 });
+        let small = kv.put(
+            "s",
+            KvValue {
+                len: 1024,
+                fingerprint: 1,
+            },
+        );
+        let big = kv.put(
+            "b",
+            KvValue {
+                len: 100 << 20,
+                fingerprint: 2,
+            },
+        );
         assert!(big > small * 10);
     }
 
     #[test]
     fn accounting() {
         let mut kv = KvStore::new();
-        kv.put("a", KvValue { len: 10, fingerprint: 1 });
-        kv.put("b", KvValue { len: 20, fingerprint: 2 });
+        kv.put(
+            "a",
+            KvValue {
+                len: 10,
+                fingerprint: 1,
+            },
+        );
+        kv.put(
+            "b",
+            KvValue {
+                len: 20,
+                fingerprint: 2,
+            },
+        );
         assert_eq!(kv.len(), 2);
         assert_eq!(kv.stored_bytes(), 30);
         kv.delete("a");

@@ -33,5 +33,5 @@ pub use kv::{KvStore, KvValue};
 pub use metrics::{MeasuredCell, TextTable};
 pub use platform::{BurstKind, Platform};
 pub use policy::{simulate_policy, ModeLatencies, Policy, ServingMode};
-pub use spans::{invocation_trace, Span};
 pub use registry::FunctionRegistry;
+pub use spans::{invocation_trace, Span};

@@ -40,7 +40,12 @@ impl Platform {
     pub fn new(profile: DiskProfile, seed: u64) -> Self {
         let host = Host::new(profile, seed);
         let device = host.primary_device();
-        Platform { host, registry: FunctionRegistry::new(), device, kv: KvStore::new() }
+        Platform {
+            host,
+            registry: FunctionRegistry::new(),
+            device,
+            kv: KvStore::new(),
+        }
     }
 
     /// The external state store (the §5 Redis analog). Inputs staged by
@@ -82,14 +87,10 @@ impl Platform {
 
     /// Runs the record phase for `name` with `input`, storing artifacts
     /// under `label`.
-    pub fn record(
-        &mut self,
-        name: &str,
-        label: &str,
-        input: &Input,
-    ) -> Result<(), String> {
+    pub fn record(&mut self, name: &str, label: &str, input: &Input) -> Result<(), String> {
         let device = self.device;
-        self.registry.record(&mut self.host, name, label, input, device)
+        self.registry
+            .record(&mut self.host, name, label, input, device)
     }
 
     /// Test-phase invocation: drops caches (§6.1 hygiene), restores under
@@ -107,13 +108,19 @@ impl Platform {
         // output it produces.
         self.kv.put(
             format!("{name}/input"),
-            KvValue { len: input.payload_kb * 1024, fingerprint: input.seed },
+            KvValue {
+                len: input.payload_kb * 1024,
+                fingerprint: input.seed,
+            },
         );
         self.host.drop_caches();
         let outcome = faasnap::runtime::run_invocation(&mut self.host, spec);
         self.kv.put(
             format!("{name}/output"),
-            KvValue { len: input.payload_kb * 1024, fingerprint: outcome.final_memory.checksum() },
+            KvValue {
+                len: input.payload_kb * 1024,
+                fingerprint: outcome.final_memory.checksum(),
+            },
         );
         Ok(outcome)
     }
@@ -223,7 +230,9 @@ mod tests {
     fn unknown_function_fails() {
         let mut p = platform();
         let input = Input::new(1.0, 0, 1);
-        assert!(p.invoke("ghost", "a", &input, RestoreStrategy::Vanilla).is_err());
+        assert!(p
+            .invoke("ghost", "a", &input, RestoreStrategy::Vanilla)
+            .is_err());
     }
 
     #[test]
@@ -245,8 +254,12 @@ mod tests {
         // Read-once lock: the total prefetch traffic should be roughly one
         // loading set, not four (some double-reads from racing faults are
         // fine).
-        let ls_pages =
-            p.registry().artifacts("hello-world", "a").unwrap().ls.file_pages();
+        let ls_pages = p
+            .registry()
+            .artifacts("hello-world", "a")
+            .unwrap()
+            .ls
+            .file_pages();
         let loader_pages = p.host().disks[0]
             .stats()
             .pages_of(sim_storage::device::IoKind::LoaderPrefetch);
@@ -274,8 +287,18 @@ mod tests {
         assert!(p.registry().artifacts("hello-world", "d.0").is_some());
         assert!(p.registry().artifacts("hello-world", "d.2").is_some());
         // Distinct memory files per instance.
-        let f0 = p.registry().artifacts("hello-world", "d.0").unwrap().snapshot.mem_file();
-        let f1 = p.registry().artifacts("hello-world", "d.1").unwrap().snapshot.mem_file();
+        let f0 = p
+            .registry()
+            .artifacts("hello-world", "d.0")
+            .unwrap()
+            .snapshot
+            .mem_file();
+        let f1 = p
+            .registry()
+            .artifacts("hello-world", "d.1")
+            .unwrap()
+            .snapshot
+            .mem_file();
         assert_ne!(f0, f1);
     }
 

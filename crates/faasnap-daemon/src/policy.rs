@@ -13,7 +13,11 @@
 //! snapshot files), so the §7.1 crossovers can be computed instead of
 //! argued.
 
+use faas_workloads::Input;
+use faasnap::strategy::RestoreStrategy;
 use sim_core::time::{SimDuration, SimTime};
+
+use crate::platform::Platform;
 
 /// How one invocation was served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +52,45 @@ impl Default for ModeLatencies {
     }
 }
 
+impl ModeLatencies {
+    /// Measures the three mode latencies for one function against the
+    /// live platform, so policy analysis runs on that function's actual
+    /// numbers instead of the `image` defaults. Records artifacts under
+    /// `label` first if none exist (using the function's input A, per the
+    /// standard record protocol); warm and snapshot latencies are each
+    /// one test-phase invocation with `input`, and the cold latency is
+    /// the host's boot-path cost plus the warm invocation.
+    pub fn measure(
+        p: &mut Platform,
+        name: &str,
+        label: &str,
+        input: &Input,
+    ) -> Result<ModeLatencies, String> {
+        if p.registry().artifacts(name, label).is_none() {
+            let rec = p
+                .registry()
+                .function(name)
+                .ok_or_else(|| format!("unknown function {name}"))?
+                .input_a();
+            p.record(name, label, &rec)?;
+        }
+        let warm = p
+            .invoke(name, label, input, RestoreStrategy::Warm)?
+            .report
+            .total_time();
+        let snapshot = p
+            .invoke(name, label, input, RestoreStrategy::faasnap())?
+            .report
+            .total_time();
+        let cold = p.host().boot.cold_start() + warm;
+        Ok(ModeLatencies {
+            warm,
+            snapshot,
+            cold,
+        })
+    }
+}
+
 /// The provider's keep-alive / snapshot configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct Policy {
@@ -73,7 +116,12 @@ pub struct Costs {
 impl Default for Costs {
     fn default() -> Self {
         // Memory ~50x more expensive than SSD storage per byte-second.
-        Costs { memory_per_gb_s: 1.0, storage_per_gb_s: 0.02, vm_memory_gb: 2.0, snapshot_gb: 2.0 }
+        Costs {
+            memory_per_gb_s: 1.0,
+            storage_per_gb_s: 0.02,
+            vm_memory_gb: 2.0,
+            snapshot_gb: 2.0,
+        }
     }
 }
 
@@ -95,7 +143,10 @@ pub fn simulate_policy(
     latencies: ModeLatencies,
     costs: Costs,
 ) -> PolicyOutcome {
-    assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
     let mut warm_until: Option<SimTime> = None;
     let mut served = (0u64, 0u64, 0u64);
     let mut total_latency = SimDuration::ZERO;
@@ -170,15 +221,32 @@ pub fn best_mode_for_period(
     let n = (horizon.as_secs_f64() / period.as_secs_f64()).max(1.0) as u64;
     let arrivals: Vec<SimTime> = (0..n).map(|i| SimTime::ZERO + period * i).collect();
     let candidates = [
-        (ServingMode::Warm, Policy { warm_ttl: Some(warm_ttl), keep_snapshot: true }),
-        (ServingMode::Snapshot, Policy { warm_ttl: None, keep_snapshot: true }),
-        (ServingMode::Cold, Policy { warm_ttl: None, keep_snapshot: false }),
+        (
+            ServingMode::Warm,
+            Policy {
+                warm_ttl: Some(warm_ttl),
+                keep_snapshot: true,
+            },
+        ),
+        (
+            ServingMode::Snapshot,
+            Policy {
+                warm_ttl: None,
+                keep_snapshot: true,
+            },
+        ),
+        (
+            ServingMode::Cold,
+            Policy {
+                warm_ttl: None,
+                keep_snapshot: false,
+            },
+        ),
     ];
     let mut best = (ServingMode::Cold, f64::INFINITY);
     for (mode, policy) in candidates {
         let out = simulate_policy(&arrivals, policy, latencies, costs);
-        let score =
-            out.resource_cost + latency_weight * out.mean_latency.as_secs_f64() * n as f64;
+        let score = out.resource_cost + latency_weight * out.mean_latency.as_secs_f64() * n as f64;
         if score < best.1 {
             best = (mode, score);
         }
@@ -191,7 +259,9 @@ mod tests {
     use super::*;
 
     fn every(period_s: u64, n: u64) -> Vec<SimTime> {
-        (0..n).map(|i| SimTime::from_nanos(i * period_s * 1_000_000_000)).collect()
+        (0..n)
+            .map(|i| SimTime::from_nanos(i * period_s * 1_000_000_000))
+            .collect()
     }
 
     #[test]
@@ -199,7 +269,10 @@ mod tests {
         let arrivals = every(10, 100); // every 10 s
         let out = simulate_policy(
             &arrivals,
-            Policy { warm_ttl: Some(SimDuration::from_secs(60)), keep_snapshot: true },
+            Policy {
+                warm_ttl: Some(SimDuration::from_secs(60)),
+                keep_snapshot: true,
+            },
             ModeLatencies::default(),
             Costs::default(),
         );
@@ -213,7 +286,10 @@ mod tests {
         let arrivals = every(3600, 10); // hourly
         let out = simulate_policy(
             &arrivals,
-            Policy { warm_ttl: Some(SimDuration::from_secs(60)), keep_snapshot: true },
+            Policy {
+                warm_ttl: Some(SimDuration::from_secs(60)),
+                keep_snapshot: true,
+            },
             ModeLatencies::default(),
             Costs::default(),
         );
@@ -225,7 +301,10 @@ mod tests {
         let arrivals = every(3600, 5);
         let out = simulate_policy(
             &arrivals,
-            Policy { warm_ttl: None, keep_snapshot: false },
+            Policy {
+                warm_ttl: None,
+                keep_snapshot: false,
+            },
             ModeLatencies::default(),
             Costs::default(),
         );
@@ -241,11 +320,9 @@ mod tests {
         let c = Costs::default();
         let horizon = SimDuration::from_secs(24 * 3600);
         let ttl = SimDuration::from_secs(600);
-        let frequent =
-            best_mode_for_period(SimDuration::from_secs(30), horizon, ttl, l, c, 1000.0);
+        let frequent = best_mode_for_period(SimDuration::from_secs(30), horizon, ttl, l, c, 1000.0);
         assert_eq!(frequent, ServingMode::Warm);
-        let hourly =
-            best_mode_for_period(SimDuration::from_secs(7200), horizon, ttl, l, c, 1000.0);
+        let hourly = best_mode_for_period(SimDuration::from_secs(7200), horizon, ttl, l, c, 1000.0);
         assert_eq!(hourly, ServingMode::Snapshot);
         // With latency nearly free, storage cost pushes rare functions cold.
         let rare = best_mode_for_period(
@@ -264,13 +341,19 @@ mod tests {
         let arrivals = every(120, 20);
         let short = simulate_policy(
             &arrivals,
-            Policy { warm_ttl: Some(SimDuration::from_secs(10)), keep_snapshot: true },
+            Policy {
+                warm_ttl: Some(SimDuration::from_secs(10)),
+                keep_snapshot: true,
+            },
             ModeLatencies::default(),
             Costs::default(),
         );
         let long = simulate_policy(
             &arrivals,
-            Policy { warm_ttl: Some(SimDuration::from_secs(130)), keep_snapshot: true },
+            Policy {
+                warm_ttl: Some(SimDuration::from_secs(130)),
+                keep_snapshot: true,
+            },
             ModeLatencies::default(),
             Costs::default(),
         );
@@ -279,12 +362,38 @@ mod tests {
     }
 
     #[test]
+    fn measured_latencies_order_sanely() {
+        use sim_storage::profiles::DiskProfile;
+        let mut p = Platform::new(DiskProfile::nvme_c5d(), 7);
+        p.register(faas_workloads::by_name("hello-world").unwrap());
+        let f = faas_workloads::by_name("hello-world").unwrap();
+        let l = ModeLatencies::measure(&mut p, "hello-world", "m", &f.input_b()).unwrap();
+        assert!(
+            l.warm < l.snapshot,
+            "warm {:?} < snapshot {:?}",
+            l.warm,
+            l.snapshot
+        );
+        assert!(
+            l.snapshot < l.cold,
+            "snapshot {:?} < cold {:?}",
+            l.snapshot,
+            l.cold
+        );
+        // Measuring records artifacts on demand.
+        assert!(p.registry().artifacts("hello-world", "m").is_some());
+    }
+
+    #[test]
     #[should_panic(expected = "sorted")]
     fn unsorted_arrivals_panic() {
         let arrivals = vec![SimTime::from_nanos(5), SimTime::from_nanos(1)];
         simulate_policy(
             &arrivals,
-            Policy { warm_ttl: None, keep_snapshot: true },
+            Policy {
+                warm_ttl: None,
+                keep_snapshot: true,
+            },
             ModeLatencies::default(),
             Costs::default(),
         );

@@ -36,7 +36,10 @@ impl FunctionRegistry {
     pub fn register(&mut self, function: Function) {
         self.entries.insert(
             function.name().to_string(),
-            FunctionEntry { function, artifacts: HashMap::new() },
+            FunctionEntry {
+                function,
+                artifacts: HashMap::new(),
+            },
         );
     }
 
@@ -60,11 +63,13 @@ impl FunctionRegistry {
         record_input: &Input,
         device: DeviceId,
     ) -> Result<(), String> {
-        let entry = self.entries.get_mut(name).ok_or_else(|| format!("unknown function {name}"))?;
+        let entry = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| format!("unknown function {name}"))?;
         let trace = entry.function.trace(record_input);
         let image = entry.function.boot_image();
-        let artifacts =
-            record_phase(host, &format!("{name}.{label}"), image, trace, device);
+        let artifacts = record_phase(host, &format!("{name}.{label}"), image, trace, device);
         entry.artifacts.insert(label.to_string(), artifacts);
         Ok(())
     }
@@ -114,7 +119,8 @@ mod tests {
         r.register(f);
         let mut host = Host::new(DiskProfile::nvme_c5d(), 1);
         let dev = host.primary_device();
-        r.record(&mut host, "hello-world", "a", &input, dev).unwrap();
+        r.record(&mut host, "hello-world", "a", &input, dev)
+            .unwrap();
         let a = r.artifacts("hello-world", "a").expect("artifacts stored");
         assert!(!a.ws.is_empty());
         assert!(r.artifacts("hello-world", "b").is_none());

@@ -30,7 +30,13 @@ pub struct Span {
 impl Span {
     /// Creates a leaf span.
     pub fn new(name: impl Into<String>, start: SimDuration, duration: SimDuration) -> Self {
-        Span { name: name.into(), start, duration, children: Vec::new(), tags: Vec::new() }
+        Span {
+            name: name.into(),
+            start,
+            duration,
+            children: Vec::new(),
+            tags: Vec::new(),
+        }
     }
 
     /// Adds a tag.
@@ -105,12 +111,14 @@ mod tests {
     use sim_mm::fault::FaultKind;
 
     fn sample_report() -> InvocationReport {
-        let mut r = InvocationReport::default();
-        r.setup_time = SimDuration::from_millis(50);
-        r.invocation_time = SimDuration::from_millis(120);
-        r.fetch_pages = 1000;
-        r.fetch_time = SimDuration::from_millis(20);
-        r.mmap_calls = 117;
+        let mut r = InvocationReport {
+            setup_time: SimDuration::from_millis(50),
+            invocation_time: SimDuration::from_millis(120),
+            fetch_pages: 1000,
+            fetch_time: SimDuration::from_millis(20),
+            mmap_calls: 117,
+            ..Default::default()
+        };
         r.record_fault(FaultKind::Minor, SimDuration::from_micros(4));
         r.record_fault(FaultKind::Major, SimDuration::from_micros(90));
         r

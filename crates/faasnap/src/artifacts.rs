@@ -19,8 +19,8 @@ use sim_vm::snapshot::Snapshot;
 use sim_vm::trace::Trace;
 
 use crate::loadingset::{LoadingSet, MERGE_GAP};
-use crate::runtime::{run_invocation, Host, InvocationSpec};
 use crate::report::InvocationReport;
+use crate::runtime::{run_invocation, Host, InvocationSpec};
 use crate::strategy::RestoreStrategy;
 use crate::wset::{ReapWorkingSet, WorkingSet, GROUP_SIZE};
 
@@ -37,7 +37,11 @@ pub struct RecordOptions {
 
 impl Default for RecordOptions {
     fn default() -> Self {
-        RecordOptions { group_size: GROUP_SIZE, scan_threshold: GROUP_SIZE, merge_gap: MERGE_GAP }
+        RecordOptions {
+            group_size: GROUP_SIZE,
+            scan_threshold: GROUP_SIZE,
+            merge_gap: MERGE_GAP,
+        }
     }
 }
 
@@ -92,7 +96,14 @@ pub fn record_phase(
     record_trace: Trace,
     device: DeviceId,
 ) -> SnapshotArtifacts {
-    record_phase_with(host, name, boot_image, record_trace, device, RecordOptions::default())
+    record_phase_with(
+        host,
+        name,
+        boot_image,
+        record_trace,
+        device,
+        RecordOptions::default(),
+    )
 }
 
 /// [`record_phase`] with explicit [`RecordOptions`] (for the group-size
@@ -122,11 +133,17 @@ pub fn record_phase_with(
     spec.record_scan_threshold = options.scan_threshold;
     let outcome = run_invocation(host, spec);
     let ws = outcome.ws.expect("record run produces a working set");
-    let reap_ws = outcome.reap_ws.expect("record run produces a REAP working set");
+    let reap_ws = outcome
+        .reap_ws
+        .expect("record run produces a REAP working set");
 
     // Warm snapshot of the post-invocation state.
-    let snapshot =
-        Snapshot::create(format!("{name}.warm"), outcome.final_memory, &mut host.fs, device);
+    let snapshot = Snapshot::create(
+        format!("{name}.warm"),
+        outcome.final_memory,
+        &mut host.fs,
+        device,
+    );
 
     // Loading set = working set ∩ non-zero pages, merged and laid out.
     let ls = LoadingSet::build(&ws, snapshot.memory(), options.merge_gap);
@@ -186,7 +203,9 @@ mod tests {
             per_page_compute: SimDuration::from_micros(1),
             token_seed: 9,
         });
-        t.push(TraceOp::Free { range: PageRange::new(1000, 1030) });
+        t.push(TraceOp::Free {
+            range: PageRange::new(1000, 1030),
+        });
         (img, t)
     }
 
@@ -215,7 +234,10 @@ mod tests {
 
         // Sanitization: freed heap pages are zero in the warm snapshot.
         for p in 1000..1030 {
-            assert!(!a.snapshot.memory().is_nonzero(p), "freed page {p} sanitized");
+            assert!(
+                !a.snapshot.memory().is_nonzero(p),
+                "freed page {p} sanitized"
+            );
         }
         // Kept heap pages are non-zero.
         for p in 1030..1040 {
@@ -269,7 +291,11 @@ mod tests {
             let (img, trace) = tiny_setup();
             let dev = h.primary_device();
             let a = record_phase(&mut h, "tiny", img, trace, dev);
-            (a.ws.pages().to_vec(), a.reap_ws.pages().to_vec(), a.snapshot.memory().checksum())
+            (
+                a.ws.pages().to_vec(),
+                a.reap_ws.pages().to_vec(),
+                a.snapshot.memory().checksum(),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -57,9 +57,8 @@ impl LoaderPlan {
                     pages: len,
                     kind: IoKind::LoaderPrefetch,
                 });
-                plan.guest_pages.push(
-                    (region.guest.start + off..region.guest.start + off + len).collect(),
-                );
+                plan.guest_pages
+                    .push((region.guest.start + off..region.guest.start + off + len).collect());
                 off += len;
             }
         }
@@ -70,8 +69,12 @@ impl LoaderPlan {
     /// Figure 9 "concurrent paging" ablation: the working set's non-zero
     /// pages from the memory file, in ascending address order.
     pub fn address_order(ws: &WorkingSet, memory: &GuestMemory, mem_file: FileId) -> LoaderPlan {
-        let mut pages: Vec<PageNum> =
-            ws.pages().iter().copied().filter(|&p| memory.is_nonzero(p)).collect();
+        let mut pages: Vec<PageNum> = ws
+            .pages()
+            .iter()
+            .copied()
+            .filter(|&p| memory.is_nonzero(p))
+            .collect();
         pages.sort_unstable();
         pages.dedup();
         Self::from_memfile_runs(pages, mem_file)
@@ -86,8 +89,11 @@ impl LoaderPlan {
         let mut start = 0;
         while start < pages.len() {
             let end = (start + group_size).min(pages.len());
-            let mut group: Vec<PageNum> =
-                pages[start..end].iter().copied().filter(|&p| memory.is_nonzero(p)).collect();
+            let mut group: Vec<PageNum> = pages[start..end]
+                .iter()
+                .copied()
+                .filter(|&p| memory.is_nonzero(p))
+                .collect();
             group.sort_unstable();
             group.dedup();
             let sub = Self::from_memfile_runs(group, mem_file);
@@ -228,8 +234,9 @@ mod tests {
         let mem = mem_with(0..100);
         let ls = LoadingSet::build(&ws, &mem, 0);
         let plan = LoaderPlan::from_loading_set(&ls, FileId(7));
-        let all_guest: Vec<u64> =
-            (0..plan.len()).flat_map(|i| plan.guest_pages(i).to_vec()).collect();
+        let all_guest: Vec<u64> = (0..plan.len())
+            .flat_map(|i| plan.guest_pages(i).to_vec())
+            .collect();
         let mut sorted = all_guest.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![10, 11, 40]);

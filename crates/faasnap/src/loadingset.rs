@@ -90,12 +90,21 @@ impl LoadingSet {
         let regions: Vec<LsRegion> = merged
             .into_iter()
             .map(|(guest, group)| {
-                let region = LsRegion { guest, file_start: file_cursor, group };
+                let region = LsRegion {
+                    guest,
+                    file_start: file_cursor,
+                    group,
+                };
                 file_cursor += guest.len();
                 region
             })
             .collect();
-        LoadingSet { regions, file_pages: file_cursor, core_pages, unmerged_regions }
+        LoadingSet {
+            regions,
+            file_pages: file_cursor,
+            core_pages,
+            unmerged_regions,
+        }
     }
 
     /// Regions in (group, address) order — the file layout order.

@@ -20,7 +20,10 @@ use crate::loadingset::LoadingSet;
 pub fn map_vanilla(aspace: &mut AddressSpace, total_pages: u64, mem_file: FileId) {
     aspace.map_fixed(
         PageRange::new(0, total_pages),
-        Backing::File { file: mem_file, offset_page: 0 },
+        Backing::File {
+            file: mem_file,
+            offset_page: 0,
+        },
     );
 }
 
@@ -52,10 +55,22 @@ pub fn map_faasnap_hierarchical(
     let before = aspace.mmap_calls();
     aspace.map_fixed(PageRange::new(0, total_pages), Backing::Anonymous);
     for r in nonzero_regions {
-        aspace.map_fixed(*r, Backing::File { file: mem_file, offset_page: r.start });
+        aspace.map_fixed(
+            *r,
+            Backing::File {
+                file: mem_file,
+                offset_page: r.start,
+            },
+        );
     }
     for r in ls.regions() {
-        aspace.map_fixed(r.guest, Backing::File { file: ls_file, offset_page: r.file_start });
+        aspace.map_fixed(
+            r.guest,
+            Backing::File {
+                file: ls_file,
+                offset_page: r.file_start,
+            },
+        );
     }
     aspace.mmap_calls() - before
 }
@@ -96,15 +111,23 @@ pub fn map_faasnap_flat(
             let run = PageRange::new(start, p);
             match owner[start as usize] {
                 0 => aspace.map_fixed(run, Backing::Anonymous),
-                1 => aspace
-                    .map_fixed(run, Backing::File { file: mem_file, offset_page: run.start }),
+                1 => aspace.map_fixed(
+                    run,
+                    Backing::File {
+                        file: mem_file,
+                        offset_page: run.start,
+                    },
+                ),
                 _ => {
                     let file_start = ls
                         .file_page_of(run.start)
                         .expect("ls region pages have file offsets");
                     aspace.map_fixed(
                         run,
-                        Backing::File { file: ls_file, offset_page: file_start },
+                        Backing::File {
+                            file: ls_file,
+                            offset_page: file_start,
+                        },
                     );
                 }
             }
@@ -136,7 +159,13 @@ mod tests {
         let mut a = AddressSpace::new();
         map_vanilla(&mut a, 1000, FileId(1));
         assert_eq!(a.mmap_calls(), 1);
-        assert_eq!(a.resolve(999), Some(Resolved::File { file: FileId(1), file_page: 999 }));
+        assert_eq!(
+            a.resolve(999),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 999
+            })
+        );
         assert!(a.covers(PageRange::new(0, 1000)));
     }
 
@@ -151,21 +180,48 @@ mod tests {
     fn hierarchical_mapping_resolves_each_set_correctly() {
         // Non-zero: [10,20) and [40,50). WS (cached during record):
         // 10..14 and 45..47. Loading set = their intersection regions.
-        let (ls, nz) = build_ls(&[10, 11, 12, 13, 45, 46], &(10..20).chain(40..50).collect::<Vec<_>>(), 100);
+        let (ls, nz) = build_ls(
+            &[10, 11, 12, 13, 45, 46],
+            &(10..20).chain(40..50).collect::<Vec<_>>(),
+            100,
+        );
         let mut a = AddressSpace::new();
-        let calls =
-            map_faasnap_hierarchical(&mut a, 100, &nz, &ls, FileId(1), FileId(2));
+        let calls = map_faasnap_hierarchical(&mut a, 100, &nz, &ls, FileId(1), FileId(2));
         assert_eq!(calls, 1 + 2 + 2);
         // Zero page -> anonymous (unused set).
         assert_eq!(a.resolve(5), Some(Resolved::Anonymous));
         // Cold set (non-zero, not in WS) -> memory file at same offset.
-        assert_eq!(a.resolve(17), Some(Resolved::File { file: FileId(1), file_page: 17 }));
-        assert_eq!(a.resolve(42), Some(Resolved::File { file: FileId(1), file_page: 42 }));
+        assert_eq!(
+            a.resolve(17),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 17
+            })
+        );
+        assert_eq!(
+            a.resolve(42),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 42
+            })
+        );
         // Loading set -> loading set file at recorded offsets.
         let f10 = ls.file_page_of(10).unwrap();
-        assert_eq!(a.resolve(10), Some(Resolved::File { file: FileId(2), file_page: f10 }));
+        assert_eq!(
+            a.resolve(10),
+            Some(Resolved::File {
+                file: FileId(2),
+                file_page: f10
+            })
+        );
         let f46 = ls.file_page_of(46).unwrap();
-        assert_eq!(a.resolve(46), Some(Resolved::File { file: FileId(2), file_page: f46 }));
+        assert_eq!(
+            a.resolve(46),
+            Some(Resolved::File {
+                file: FileId(2),
+                file_page: f46
+            })
+        );
         assert!(a.covers(PageRange::new(0, 100)));
     }
 

@@ -76,7 +76,10 @@ impl ReapHandler {
         self.busy_until = resume_at;
         self.misses += 1;
         self.total_wait += resume_at - now;
-        ReapService { resume_at, needs_io: false }
+        ReapService {
+            resume_at,
+            needs_io: false,
+        }
     }
 
     /// Begins serving a fault whose page needs a disk read. The handler is
@@ -99,8 +102,7 @@ impl ReapHandler {
         io_done: SimTime,
         costs: &FaultCosts,
     ) -> SimTime {
-        let resume_at =
-            io_done + costs.uffd_copy(&mut self.rng) + costs.uffd_resume(&mut self.rng);
+        let resume_at = io_done + costs.uffd_copy(&mut self.rng) + costs.uffd_resume(&mut self.rng);
         self.busy_until = self.busy_until.max(resume_at);
         self.misses += 1;
         self.total_wait += resume_at - fault_arrival;

@@ -101,7 +101,10 @@ pub struct UffdTracker {
 impl UffdTracker {
     /// Creates a tracker over `total_pages` guest pages.
     pub fn new(total_pages: u64) -> Self {
-        UffdTracker { ws: ReapWorkingSet::new(), seen: vec![false; total_pages as usize] }
+        UffdTracker {
+            ws: ReapWorkingSet::new(),
+            seen: vec![false; total_pages as usize],
+        }
     }
 
     /// Records a fault on `page` (deduplicated).
@@ -131,7 +134,13 @@ mod tests {
 
     fn world(total: u64) -> (AddressSpace, PageTable, PageCache) {
         let mut a = AddressSpace::new();
-        a.map_fixed(PageRange::new(0, total), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, total),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         (a, PageTable::new(total), PageCache::new(1 << 20))
     }
 

@@ -70,7 +70,10 @@ impl InvocationReport {
 
     /// Total guest page faults of all classes.
     pub fn total_faults(&self) -> u64 {
-        self.anon_faults + self.minor_faults + self.major_faults + self.host_pte_faults
+        self.anon_faults
+            + self.minor_faults
+            + self.major_faults
+            + self.host_pte_faults
             + self.uffd_faults
     }
 
@@ -110,9 +113,11 @@ mod tests {
 
     #[test]
     fn totals() {
-        let mut r = InvocationReport::default();
-        r.setup_time = SimDuration::from_millis(50);
-        r.invocation_time = SimDuration::from_millis(150);
+        let r = InvocationReport {
+            setup_time: SimDuration::from_millis(50),
+            invocation_time: SimDuration::from_millis(150),
+            ..Default::default()
+        };
         assert_eq!(r.total_time(), SimDuration::from_millis(200));
     }
 
@@ -131,9 +136,11 @@ mod tests {
 
     #[test]
     fn byte_conversions() {
-        let mut r = InvocationReport::default();
-        r.fetch_pages = 256;
-        r.guest_fault_read_pages = 2;
+        let r = InvocationReport {
+            fetch_pages: 256,
+            guest_fault_read_pages: 2,
+            ..Default::default()
+        };
         assert_eq!(r.fetch_bytes(), 1 << 20);
         assert_eq!(r.guest_fault_read_bytes(), 8192);
     }

@@ -129,7 +129,8 @@ impl Host {
     /// Adds another device (e.g. remote EBS next to the local NVMe).
     pub fn add_device(&mut self, profile: DiskProfile) -> DeviceId {
         let id = DeviceId(self.disks.len() as u32);
-        self.disks.push(Disk::new(profile, self.seed ^ 0xD15C ^ id.0 as u64));
+        self.disks
+            .push(Disk::new(profile, self.seed ^ 0xD15C ^ id.0 as u64));
         id
     }
 
@@ -154,7 +155,10 @@ impl Host {
 
     /// Derives a fresh deterministic seed.
     pub fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.seed
     }
 
@@ -257,7 +261,14 @@ enum Ev {
     /// A compute segment finished.
     ComputeDone { vm: usize },
     /// Resume the vCPU after a fixed-cost fault.
-    FaultDone { vm: usize, page: PageNum, write: bool, token: u64, kind: FaultKind, started: SimTime },
+    FaultDone {
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        kind: FaultKind,
+        started: SimTime,
+    },
     /// A guest-fault disk read finished.
     FaultIoDone {
         vm: usize,
@@ -270,9 +281,19 @@ enum Ev {
     },
     /// An async readahead read finished (no vCPU is waiting).
     /// `guest_start` is the guest page backing `io.page`.
-    AsyncReadDone { vm: usize, io: IoRequest, guest_start: PageNum },
+    AsyncReadDone {
+        vm: usize,
+        io: IoRequest,
+        guest_start: PageNum,
+    },
     /// A page-lock wait on an in-flight read finished.
-    InflightDone { vm: usize, page: PageNum, write: bool, token: u64, started: SimTime },
+    InflightDone {
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        started: SimTime,
+    },
     /// A loader chunk read finished.
     LoaderChunkDone { vm: usize, idx: usize },
     /// A REAP handler disk read finished.
@@ -285,7 +306,13 @@ enum Ev {
         started: SimTime,
     },
     /// The guest resumes after user-level fault handling.
-    ReapResume { vm: usize, page: PageNum, write: bool, token: u64, started: SimTime },
+    ReapResume {
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        started: SimTime,
+    },
     /// Record-phase RSS poll tick.
     MincorePoll { vm: usize },
 }
@@ -336,13 +363,18 @@ pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<Invoc
         let (vm, setup_time) = prepare_vm(host, spec, seed);
         // The loader starts at request arrival; the vCPU after setup.
         if !vm.loader_plan.is_empty() {
-            engine.scheduler().schedule(SimTime::ZERO, Ev::StartLoader { vm: i });
-        }
-        engine.scheduler().schedule(SimTime::ZERO + setup_time, Ev::StartVcpu { vm: i });
-        if vm.mincore_rec.is_some() {
             engine
                 .scheduler()
-                .schedule(SimTime::ZERO + MINCORE_POLL_INTERVAL, Ev::MincorePoll { vm: i });
+                .schedule(SimTime::ZERO, Ev::StartLoader { vm: i });
+        }
+        engine
+            .scheduler()
+            .schedule(SimTime::ZERO + setup_time, Ev::StartVcpu { vm: i });
+        if vm.mincore_rec.is_some() {
+            engine.scheduler().schedule(
+                SimTime::ZERO + MINCORE_POLL_INTERVAL,
+                Ev::MincorePoll { vm: i },
+            );
         }
         vms.push(vm);
     }
@@ -353,7 +385,10 @@ pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<Invoc
     let SimWorld { host, vms } = world;
     vms.into_iter()
         .map(|mut vm| {
-            assert!(vm.done_at.is_some(), "vCPU never finished — deadlocked simulation?");
+            assert!(
+                vm.done_at.is_some(),
+                "vCPU never finished — deadlocked simulation?"
+            );
             // Footprint accounting (§7.3): anonymous residency plus the
             // page-cache pages of this VM's backing files.
             vm.report.resident_pages = vm.pt.rss_pages();
@@ -431,7 +466,10 @@ fn prepare_vm(host: &mut Host, spec: InvocationSpec, seed: u64) -> (VmRun, SimDu
         RestoreStrategy::Reap => {
             mapper::map_vanilla(&mut aspace, total_pages, spec.mem_file);
             uffd.register(PageRange::new(0, total_pages));
-            let ws = spec.reap_ws.as_ref().expect("REAP needs a recorded working set");
+            let ws = spec
+                .reap_ws
+                .as_ref()
+                .expect("REAP needs a recorded working set");
             let ws_file = spec.reap_ws_file.expect("REAP needs a working-set file");
             // Blocking fetch: one sequential O_DIRECT read of the compact
             // working-set file (bypasses the page cache), then bulk
@@ -441,7 +479,12 @@ fn prepare_vm(host: &mut Host, spec: InvocationSpec, seed: u64) -> (VmRun, SimDu
             } else {
                 host.disk_of_file(ws_file).submit(
                     SimTime::ZERO,
-                    IoRequest { file: ws_file, page: 0, pages: ws.len(), kind: IoKind::ReapFetch },
+                    IoRequest {
+                        file: ws_file,
+                        page: 0,
+                        pages: ws.len(),
+                        kind: IoKind::ReapFetch,
+                    },
                 )
             };
             let fetch = ReapHandler::fetch_time(ws.len(), read_done - SimTime::ZERO);
@@ -465,10 +508,7 @@ fn prepare_vm(host: &mut Host, spec: InvocationSpec, seed: u64) -> (VmRun, SimDu
                 config.per_region_mapping = false;
                 report.degraded = true;
             }
-            if config.concurrent_paging
-                && !config.loading_set_file
-                && spec.ws.is_none()
-            {
+            if config.concurrent_paging && !config.loading_set_file && spec.ws.is_none() {
                 config.concurrent_paging = false;
                 config.per_region_mapping = false;
                 report.degraded = true;
@@ -563,7 +603,10 @@ fn build_loader_plan(spec: &InvocationSpec, config: FaasnapConfig) -> LoaderPlan
         let ls_file = spec.ls_file.expect("loading-set file required");
         return LoaderPlan::from_loading_set(ls, ls_file);
     }
-    let ws = spec.ws.as_ref().expect("ablation loaders need the working set");
+    let ws = spec
+        .ws
+        .as_ref()
+        .expect("ablation loaders need the working set");
     if config.per_region_mapping {
         LoaderPlan::group_order(ws, &spec.memory, spec.mem_file)
     } else {
@@ -589,13 +632,30 @@ impl World for SimWorld<'_> {
                 self.host.cpu.end();
                 self.drive_vcpu(vm, now, sched);
             }
-            Ev::FaultDone { vm, page, write, token, kind, started } => {
+            Ev::FaultDone {
+                vm,
+                page,
+                write,
+                token,
+                kind,
+                started,
+            } => {
                 self.finish_access(vm, page, write, token, kind, started, now);
                 self.drive_vcpu(vm, now, sched);
             }
-            Ev::FaultIoDone { vm, page, write, token, io, started, overhead } => {
+            Ev::FaultIoDone {
+                vm,
+                page,
+                write,
+                token,
+                io,
+                started,
+                overhead,
+            } => {
                 self.host.cache.insert_range(io.file, io.page, io.pages);
-                self.host.inflight.complete_window(io.file, io.page, io.pages, now);
+                self.host
+                    .inflight
+                    .complete_window(io.file, io.page, io.pages, now);
                 let v = &mut self.vms[vm];
                 v.report.guest_fault_read_pages += io.pages;
                 v.report.fault_block_requests += 1;
@@ -605,9 +665,15 @@ impl World for SimWorld<'_> {
                 sched.schedule(done, Ev::Resume { vm });
             }
             Ev::Resume { vm } => self.drive_vcpu(vm, now, sched),
-            Ev::AsyncReadDone { vm, io, guest_start } => {
+            Ev::AsyncReadDone {
+                vm,
+                io,
+                guest_start,
+            } => {
                 self.host.cache.insert_range(io.file, io.page, io.pages);
-                self.host.inflight.complete_window(io.file, io.page, io.pages, now);
+                self.host
+                    .inflight
+                    .complete_window(io.file, io.page, io.pages, now);
                 let v = &mut self.vms[vm];
                 v.report.guest_fault_read_pages += io.pages;
                 v.report.fault_block_requests += 1;
@@ -628,32 +694,66 @@ impl World for SimWorld<'_> {
                     );
                 }
             }
-            Ev::InflightDone { vm, page, write, token, started } => {
+            Ev::InflightDone {
+                vm,
+                page,
+                write,
+                token,
+                started,
+            } => {
                 self.finish_access(vm, page, write, token, FaultKind::Major, started, now);
                 self.drive_vcpu(vm, now, sched);
             }
             Ev::LoaderChunkDone { vm, idx } => {
                 let chunk = *self.vms[vm].loader_plan.chunk(idx);
-                self.host.cache.insert_range(chunk.file, chunk.page, chunk.pages);
-                self.host.inflight.complete_window(chunk.file, chunk.page, chunk.pages, now);
+                self.host
+                    .cache
+                    .insert_range(chunk.file, chunk.page, chunk.pages);
+                self.host
+                    .inflight
+                    .complete_window(chunk.file, chunk.page, chunk.pages, now);
                 let v = &mut self.vms[vm];
                 if let Some(start) = v.loader_started {
                     v.report.fetch_time = now - start;
                 }
                 self.loader_issue_next(vm, now, sched);
             }
-            Ev::ReapIoDone { vm, page, write, token, io, started } => {
+            Ev::ReapIoDone {
+                vm,
+                page,
+                write,
+                token,
+                io,
+                started,
+            } => {
                 self.host.cache.insert_range(io.file, io.page, io.pages);
-                self.host.inflight.complete_window(io.file, io.page, io.pages, now);
+                self.host
+                    .inflight
+                    .complete_window(io.file, io.page, io.pages, now);
                 let v = &mut self.vms[vm];
                 let resume_at = v
                     .reap
                     .as_mut()
                     .expect("REAP handler present")
                     .complete_with_io(started, now, &self.host.costs);
-                sched.schedule(resume_at, Ev::ReapResume { vm, page, write, token, started });
+                sched.schedule(
+                    resume_at,
+                    Ev::ReapResume {
+                        vm,
+                        page,
+                        write,
+                        token,
+                        started,
+                    },
+                );
             }
-            Ev::ReapResume { vm, page, write, token, started } => {
+            Ev::ReapResume {
+                vm,
+                page,
+                write,
+                token,
+                started,
+            } => {
                 self.finish_access(vm, page, write, token, FaultKind::Uffd, started, now);
                 self.drive_vcpu(vm, now, sched);
             }
@@ -673,6 +773,7 @@ impl World for SimWorld<'_> {
 
 impl SimWorld<'_> {
     /// Applies the completed access and updates stats.
+    #[allow(clippy::too_many_arguments)]
     fn finish_access(
         &mut self,
         vm: usize,
@@ -773,41 +874,86 @@ impl SimWorld<'_> {
             FaultOutcome::Resolved { cost, kind } => {
                 sched.schedule(
                     now + cost,
-                    Ev::FaultDone { vm, page, write, token, kind, started: now },
+                    Ev::FaultDone {
+                        vm,
+                        page,
+                        write,
+                        token,
+                        kind,
+                        started: now,
+                    },
                 );
                 true
             }
             FaultOutcome::WaitInflight { ready_at, cost } => {
                 sched.schedule(
                     ready_at + cost,
-                    Ev::InflightDone { vm, page, write, token, started: now },
+                    Ev::InflightDone {
+                        vm,
+                        page,
+                        write,
+                        token,
+                        started: now,
+                    },
                 );
                 true
             }
-            FaultOutcome::NeedsIo { io, overhead, async_io } => {
+            FaultOutcome::NeedsIo {
+                io,
+                overhead,
+                async_io,
+            } => {
                 let done = self.host.disk_of_file(io.file).submit(now, io);
-                self.host.inflight.insert_window(io.file, io.page, io.pages, done);
+                self.host
+                    .inflight
+                    .insert_window(io.file, io.page, io.pages, done);
                 sched.schedule(
                     done,
-                    Ev::FaultIoDone { vm, page, write, token, io, started: now, overhead },
+                    Ev::FaultIoDone {
+                        vm,
+                        page,
+                        write,
+                        token,
+                        io,
+                        started: now,
+                        overhead,
+                    },
                 );
                 // Linux async readahead: the next window of a sequential
                 // stream is read without blocking the faulting task.
                 if let Some(aio) = async_io {
                     let adone = self.host.disk_of_file(aio.file).submit(now, aio);
-                    self.host.inflight.insert_window(aio.file, aio.page, aio.pages, adone);
+                    self.host
+                        .inflight
+                        .insert_window(aio.file, aio.page, aio.pages, adone);
                     let guest_start = page + io.pages;
-                    sched.schedule(adone, Ev::AsyncReadDone { vm, io: aio, guest_start });
+                    sched.schedule(
+                        adone,
+                        Ev::AsyncReadDone {
+                            vm,
+                            io: aio,
+                            guest_start,
+                        },
+                    );
                 }
                 true
             }
             FaultOutcome::Userfault { file, file_page } => {
-                let handler = self.vms[vm].reap.as_mut().expect("uffd fault without handler");
+                let handler = self.vms[vm]
+                    .reap
+                    .as_mut()
+                    .expect("uffd fault without handler");
                 if self.host.cache.contains(file, file_page) {
                     let svc = handler.serve_cached(now, &self.host.costs);
                     sched.schedule(
                         svc.resume_at,
-                        Ev::ReapResume { vm, page, write, token, started: now },
+                        Ev::ReapResume {
+                            vm,
+                            page,
+                            write,
+                            token,
+                            started: now,
+                        },
                     );
                 } else {
                     let issue_at = handler.serve_uncached(now, &self.host.costs);
@@ -815,14 +961,28 @@ impl SimWorld<'_> {
                     // memory file (Figure 2's > 128 µs population: most
                     // out-of-set misses pay a full random disk read).
                     let pages = 1;
-                    let io = IoRequest { file, page: file_page, pages, kind: IoKind::ReapMiss };
+                    let io = IoRequest {
+                        file,
+                        page: file_page,
+                        pages,
+                        kind: IoKind::ReapMiss,
+                    };
                     let done = self.host.disk_of_file(file).submit(issue_at, io);
-                    self.host.inflight.insert_window(file, file_page, pages, done);
+                    self.host
+                        .inflight
+                        .insert_window(file, file_page, pages, done);
                     self.vms[vm].report.guest_fault_read_pages += pages;
                     self.vms[vm].report.fault_block_requests += 1;
                     sched.schedule(
                         done,
-                        Ev::ReapIoDone { vm, page, write, token, io, started: now },
+                        Ev::ReapIoDone {
+                            vm,
+                            page,
+                            write,
+                            token,
+                            io,
+                            started: now,
+                        },
                     );
                 }
                 true
@@ -853,7 +1013,8 @@ impl SimWorld<'_> {
         // file offset, or the readahead state is stale (crossed a VMA
         // boundary, e.g. into a different loading-set region).
         match v.aspace.resolve(guest_start) {
-            Some(Resolved::File { file: f, file_page }) if f == file && file_page == file_start => {}
+            Some(Resolved::File { file: f, file_page }) if f == file && file_page == file_start => {
+            }
             _ => return,
         }
         let room = v.aspace.contiguous_extent(guest_start, len);
@@ -869,10 +1030,24 @@ impl SimWorld<'_> {
         if pages == 0 {
             return;
         }
-        let io = IoRequest { file, page: file_start, pages, kind: IoKind::FaultRead };
+        let io = IoRequest {
+            file,
+            page: file_start,
+            pages,
+            kind: IoKind::FaultRead,
+        };
         let done = self.host.disk_of_file(file).submit(now, io);
-        self.host.inflight.insert_window(file, file_start, pages, done);
-        sched.schedule(done, Ev::AsyncReadDone { vm, io, guest_start });
+        self.host
+            .inflight
+            .insert_window(file, file_start, pages, done);
+        sched.schedule(
+            done,
+            Ev::AsyncReadDone {
+                vm,
+                io,
+                guest_start,
+            },
+        );
     }
 
     /// Advances the loader: skips chunks that are already fully cached
@@ -896,7 +1071,9 @@ impl SimWorld<'_> {
                 continue;
             }
             let done = self.host.disk_of_file(chunk.file).submit(now, chunk);
-            self.host.inflight.insert_window(chunk.file, chunk.page, chunk.pages, done);
+            self.host
+                .inflight
+                .insert_window(chunk.file, chunk.page, chunk.pages, done);
             sched.schedule(done, Ev::LoaderChunkDone { vm, idx });
             return;
         }
@@ -916,7 +1093,9 @@ fn verify_mapping(v: &VmRun, page: PageNum) {
             );
         }
         Some(Resolved::File { file, file_page }) => {
-            let ls = v.ls.as_ref().expect("non-memfile mapping implies a loading set");
+            let ls =
+                v.ls.as_ref()
+                    .expect("non-memfile mapping implies a loading set");
             assert_eq!(Some(file), v.ls_file, "unexpected backing file");
             assert_eq!(
                 ls.file_page_of(page),
@@ -954,7 +1133,9 @@ mod tests {
             mem.write(p, p * 13 + 1);
         }
         let dev = host.primary_device();
-        let f = host.fs.create("tiny.mem", FileKind::SnapshotMemory, 2048, dev);
+        let f = host
+            .fs
+            .create("tiny.mem", FileKind::SnapshotMemory, 2048, dev);
         (host, mem, f)
     }
 
@@ -1008,8 +1189,12 @@ mod tests {
         assert!(out.report.major_faults > 0);
         assert!(out.report.guest_fault_read_pages >= 100);
         // Second run without dropping caches: everything is cached.
-        let spec2 =
-            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 100, false), mem, f);
+        let spec2 = InvocationSpec::new(
+            RestoreStrategy::Vanilla,
+            touch_trace(100, 100, false),
+            mem,
+            f,
+        );
         let out2 = run_invocation(&mut host, spec2);
         assert_eq!(out2.report.major_faults, 0);
         assert_eq!(out2.report.minor_faults, 100);
@@ -1020,8 +1205,12 @@ mod tests {
     fn cached_strategy_pre_warms() {
         let (mut host, mem, f) = tiny_world();
         host.drop_caches();
-        let spec =
-            InvocationSpec::new(RestoreStrategy::Cached, touch_trace(100, 200, false), mem, f);
+        let spec = InvocationSpec::new(
+            RestoreStrategy::Cached,
+            touch_trace(100, 200, false),
+            mem,
+            f,
+        );
         let out = run_invocation(&mut host, spec);
         assert_eq!(out.report.major_faults, 0);
         assert_eq!(out.report.minor_faults, 200);
@@ -1033,10 +1222,17 @@ mod tests {
         // file-backed read under whole-file mapping.
         let (mut host, mem, f) = tiny_world();
         host.drop_caches();
-        let spec =
-            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(1000, 10, true), mem, f);
+        let spec = InvocationSpec::new(
+            RestoreStrategy::Vanilla,
+            touch_trace(1000, 10, true),
+            mem,
+            f,
+        );
         let out = run_invocation(&mut host, spec);
-        assert!(out.report.major_faults > 0, "zero-page writes still read the file");
+        assert!(
+            out.report.major_faults > 0,
+            "zero-page writes still read the file"
+        );
     }
 
     #[test]
@@ -1048,7 +1244,9 @@ mod tests {
         ws.extend(&(100..300).collect::<Vec<_>>());
         let ls = LoadingSet::build(&ws, &mem, MERGE_GAP);
         let dev = host.primary_device();
-        let ls_file = host.fs.create("tiny.ls", FileKind::LoadingSet, ls.file_pages(), dev);
+        let ls_file = host
+            .fs
+            .create("tiny.ls", FileKind::LoadingSet, ls.file_pages(), dev);
         let mut spec = InvocationSpec::new(
             RestoreStrategy::faasnap(),
             touch_trace(1000, 10, true),
@@ -1059,7 +1257,10 @@ mod tests {
         spec.ls_file = Some(ls_file);
         spec.ws = Some(ws);
         let out = run_invocation(&mut host, spec);
-        assert_eq!(out.report.anon_faults, 10, "heap writes are anonymous faults");
+        assert_eq!(
+            out.report.anon_faults, 10,
+            "heap writes are anonymous faults"
+        );
         assert_eq!(out.report.guest_fault_read_pages, 0);
         assert!(!out.report.degraded);
     }
@@ -1080,7 +1281,10 @@ mod tests {
         spec.reap_ws_file = Some(ws_file);
         let out = run_invocation(&mut host, spec);
         assert_eq!(out.report.host_pte_faults, 100, "prefetched pages");
-        assert_eq!(out.report.uffd_faults, 50, "pages outside the WS go to user space");
+        assert_eq!(
+            out.report.uffd_faults, 50,
+            "pages outside the WS go to user space"
+        );
         assert_eq!(out.report.fetch_pages, 100);
         assert!(out.report.setup_time > host.boot.snapshot_setup_base());
     }
@@ -1123,7 +1327,10 @@ mod tests {
         // 600 times thanks to sharing (in-flight waits + cache hits).
         assert_eq!(total_minors_waits, 600);
         let read_pages = host.disks[0].stats().pages_of(IoKind::FaultRead);
-        assert!(read_pages < 450, "cache sharing should dedupe reads, got {read_pages}");
+        assert!(
+            read_pages < 450,
+            "cache sharing should dedupe reads, got {read_pages}"
+        );
         assert!(total_majors > 0);
     }
 
@@ -1137,7 +1344,9 @@ mod tests {
         ws.extend(&(100..300).collect::<Vec<_>>());
         let ls = LoadingSet::build(&ws, &mem, MERGE_GAP);
         let dev = host.primary_device();
-        let ls_file = host.fs.create("tiny.ls", FileKind::LoadingSet, ls.file_pages(), dev);
+        let ls_file = host
+            .fs
+            .create("tiny.ls", FileKind::LoadingSet, ls.file_pages(), dev);
         let mut spec = InvocationSpec::new(
             RestoreStrategy::faasnap(),
             touch_trace(100, 200, false),
@@ -1148,7 +1357,10 @@ mod tests {
         spec.ls_file = Some(ls_file);
         spec.ws = Some(ws);
         let out = run_invocation(&mut host, spec);
-        assert_eq!(out.report.major_faults, 0, "loader beat the 50ms setup window");
+        assert_eq!(
+            out.report.major_faults, 0,
+            "loader beat the 50ms setup window"
+        );
         assert_eq!(out.report.minor_faults, 200);
         assert!(out.report.fetch_time > SimDuration::ZERO);
     }
@@ -1157,8 +1369,12 @@ mod tests {
     fn record_mode_produces_working_sets() {
         let (mut host, mem, f) = tiny_world();
         host.drop_caches();
-        let mut spec =
-            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 50, false), mem, f);
+        let mut spec = InvocationSpec::new(
+            RestoreStrategy::Vanilla,
+            touch_trace(100, 50, false),
+            mem,
+            f,
+        );
         spec.record = true;
         let out = run_invocation(&mut host, spec);
         let ws = out.ws.expect("working set recorded");
@@ -1170,13 +1386,16 @@ mod tests {
     #[test]
     fn guest_writes_visible_in_final_memory() {
         let (mut host, mem, f) = tiny_world();
-        let spec =
-            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 5, true), mem, f);
+        let spec = InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 5, true), mem, f);
         let out = run_invocation(&mut host, spec);
         for p in 100..105 {
             assert_eq!(out.final_memory.read(p), Trace::token_for(5, p));
         }
-        assert_eq!(out.final_memory.read(105), 105 * 13 + 1, "untouched page intact");
+        assert_eq!(
+            out.final_memory.read(105),
+            105 * 13 + 1,
+            "untouched page intact"
+        );
     }
 
     #[test]
@@ -1208,7 +1427,10 @@ mod tests {
                 mem,
                 f,
             );
-            run_invocation(&mut host, spec).report.total_time().as_nanos()
+            run_invocation(&mut host, spec)
+                .report
+                .total_time()
+                .as_nanos()
         };
         assert_eq!(run(), run());
     }
@@ -1242,7 +1464,9 @@ mod tests {
         ws.extend(&[100]);
         let ls = LoadingSet::build(&ws, &spec.memory, 0);
         let dev = host.primary_device();
-        let ls_file = host.fs.create("x.ls", FileKind::LoadingSet, 1.max(ls.file_pages()), dev);
+        let ls_file = host
+            .fs
+            .create("x.ls", FileKind::LoadingSet, 1.max(ls.file_pages()), dev);
         spec.ls = Some(ls);
         spec.ls_file = Some(ls_file);
         spec.ws = Some(ws);

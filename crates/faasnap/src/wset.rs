@@ -32,14 +32,20 @@ pub struct WorkingSet {
 impl WorkingSet {
     /// Creates an empty working set with the standard group size.
     pub fn new() -> Self {
-        WorkingSet { pages: Vec::new(), group_size: GROUP_SIZE }
+        WorkingSet {
+            pages: Vec::new(),
+            group_size: GROUP_SIZE,
+        }
     }
 
     /// Creates an empty working set with a custom group size (for the
     /// sensitivity experiments).
     pub fn with_group_size(group_size: u64) -> Self {
         assert!(group_size > 0);
-        WorkingSet { pages: Vec::new(), group_size }
+        WorkingSet {
+            pages: Vec::new(),
+            group_size,
+        }
     }
 
     /// Appends newly observed pages (one `mincore` scan's delta).
@@ -79,7 +85,10 @@ impl WorkingSet {
 
     /// `(page, group)` pairs in scan order.
     pub fn pages_with_groups(&self) -> impl Iterator<Item = (PageNum, u32)> + '_ {
-        self.pages.iter().enumerate().map(|(i, &p)| (p, (i as u64 / self.group_size) as u32))
+        self.pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, (i as u64 / self.group_size) as u32))
     }
 
     /// The set of pages, for membership tests.

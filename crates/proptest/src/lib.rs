@@ -1,0 +1,275 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The sandbox this repository builds in has no access to crates.io, so
+//! the real `proptest` cannot be downloaded. This crate implements the
+//! subset of its API that the workspace's property tests actually use —
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! integer/float range strategies, tuple strategies, `any::<T>()`,
+//! [`collection::vec`] / [`collection::btree_set`], [`prop_oneof!`], and
+//! the `prop_assert*` macros — on top of a self-contained deterministic
+//! generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the iteration index and
+//!   per-case seed so it can be replayed, but is not minimized.
+//! * **Fixed determinism.** Cases derive from a constant seed, so a test
+//!   either always passes or always fails for a given build.
+//! * **256 cases per test** (the upstream default), overridable with the
+//!   `PROPTEST_CASES` environment variable.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Deterministic per-test case generator state (splitmix64).
+    ///
+    /// Splitmix64 is a tiny, well-distributed PRNG; each test case gets
+    /// an independent stream derived from the case index so failures
+    /// name a single replayable seed.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator with the given seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E3779B97F4A7C15,
+            }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases each property runs (PROPTEST_CASES overrides).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)
+    }
+}
+
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — element strategy plus a size range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for a `BTreeSet` targeting a size in `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut set = BTreeSet::new();
+            // Duplicates are rejected; bail once it is clear the element
+            // domain is too small to ever reach the target size.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// `proptest::collection::btree_set` — distinct elements, size range.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// `proptest::prelude` — the glob import the tests use.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs property-style assertions. Maps directly onto `assert!`; real
+/// proptest routes these through its shrinking machinery instead.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn holds(x in 0u64..100, v in proptest::collection::vec(0u64..9, 1..5)) {
+///         prop_assert!(x < 100 && !v.is_empty());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                for case in 0..cases {
+                    // Stable per-(test, case) seed so a failure message
+                    // identifies exactly one replayable input.
+                    let seed = 0xFAA5_0000u64 ^ (case as u64).wrapping_mul(0x9E37_79B9);
+                    let mut rng = $crate::test_runner::TestRng::new(seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let run = move || { $body };
+                    if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest shim: {} failed at case {case}/{cases} (seed {seed:#x})",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let u = (0u8..3).generate(&mut rng);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn vec_and_set_sizes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = crate::collection::btree_set(0u64..1000, 0..10).generate(&mut rng);
+            assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn map_tuple_union() {
+        let mut rng = TestRng::new(3);
+        let doubled = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+            let (a, b, c) = (0u64..4, 5u64..9, 0u8..2).generate(&mut rng);
+            assert!(a < 4 && (5..9).contains(&b) && c < 2);
+            let u = prop_oneof![(0u64..1).prop_map(|_| 7u64), 9u64..10];
+            let v = u.generate(&mut rng);
+            assert!(v == 7 || v == 9);
+        }
+    }
+
+    #[test]
+    fn any_covers_domain() {
+        let mut rng = TestRng::new(4);
+        let mut seen_true = false;
+        let mut seen_false = false;
+        for _ in 0..100 {
+            match any::<bool>().generate(&mut rng) {
+                true => seen_true = true,
+                false => seen_false = true,
+            }
+        }
+        assert!(seen_true && seen_false);
+    }
+
+    proptest! {
+        /// The macro itself: bindings, multiple args, prop_assert forms.
+        #[test]
+        fn macro_smoke(x in 0u64..50, v in crate::collection::vec(1u64..4, 1..5)) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(v.iter().filter(|&&e| e >= 1).count(), v.len());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

@@ -93,7 +93,11 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), seq: 0, scheduled: 0 }
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled: 0,
+        }
     }
 
     /// Schedules `event` at absolute instant `at`.
@@ -101,7 +105,11 @@ impl<E> Scheduler<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled += 1;
-        self.heap.push(Reverse(Entry { time: at, seq, event }));
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
     }
 
     /// Schedules `event` at `now + delay`.
@@ -144,7 +152,11 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine with an empty queue at time zero.
     pub fn new() -> Self {
-        Engine { scheduler: Scheduler::new(), now: SimTime::ZERO, delivered: 0 }
+        Engine {
+            scheduler: Scheduler::new(),
+            now: SimTime::ZERO,
+            delivered: 0,
+        }
     }
 
     /// Current simulated time (the timestamp of the last delivered event).
@@ -180,7 +192,11 @@ impl<E> Engine<E> {
                 break;
             }
             let (time, event) = self.scheduler.pop().expect("peeked entry must pop");
-            assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+            assert!(
+                time >= self.now,
+                "event scheduled in the past: {time} < {}",
+                self.now
+            );
             self.now = time;
             self.delivered += 1;
             world.handle(time, event, &mut self.scheduler);

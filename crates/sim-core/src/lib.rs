@@ -12,6 +12,7 @@
 //! same sequence of scheduled events, a simulation replays identically.
 
 pub mod engine;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;

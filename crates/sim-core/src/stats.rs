@@ -30,8 +30,20 @@ pub struct Log2Histogram {
 
 impl Log2Histogram {
     /// Bucket edges in microseconds, matching Figure 2's x ticks.
-    pub const EDGES_US: [f64; 12] =
-        [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, f64::INFINITY];
+    pub const EDGES_US: [f64; 12] = [
+        0.5,
+        1.0,
+        2.0,
+        4.0,
+        8.0,
+        16.0,
+        32.0,
+        64.0,
+        128.0,
+        256.0,
+        512.0,
+        f64::INFINITY,
+    ];
 
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -68,10 +80,9 @@ impl Log2Histogram {
 
     /// Mean sample, or zero if empty.
     pub fn mean(&self) -> SimDuration {
-        if self.count == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(self.total_ns / self.count)
+        match self.total_ns.checked_div(self.count) {
+            Some(ns) => SimDuration::from_nanos(ns),
+            None => SimDuration::ZERO,
         }
     }
 
@@ -128,7 +139,13 @@ impl fmt::Display for Log2Histogram {
                 writeln!(f, "{label:>14} {count:>10}")?;
             }
         }
-        write!(f, "n={} mean={} total={}", self.count, self.mean(), self.total())
+        write!(
+            f,
+            "n={} mean={} total={}",
+            self.count,
+            self.mean(),
+            self.total()
+        )
     }
 }
 
@@ -142,11 +159,6 @@ impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Builds a summary from an iterator of samples.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Summary { samples: iter.into_iter().collect() }
     }
 
     /// Records one sample.
@@ -197,7 +209,10 @@ impl Summary {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -218,9 +233,23 @@ impl Summary {
     }
 }
 
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Summary {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} +/- {:.2} (n={})", self.mean(), self.stddev(), self.count())
+        write!(
+            f,
+            "{:.2} +/- {:.2} (n={})",
+            self.mean(),
+            self.stddev(),
+            self.count()
+        )
     }
 }
 

@@ -270,7 +270,10 @@ mod tests {
         assert_eq!((t - SimDuration::from_nanos(100)).as_nanos(), 0);
         assert_eq!(t.since(SimTime::from_nanos(100)), SimDuration::ZERO);
         let d = SimDuration::from_nanos(5);
-        assert_eq!(d.saturating_sub(SimDuration::from_nanos(10)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_nanos(10)),
+            SimDuration::ZERO
+        );
         assert_eq!(SimTime::MAX + SimDuration::from_nanos(1), SimTime::MAX);
     }
 

@@ -33,7 +33,10 @@ impl PageRange {
 
     /// Creates `[start, start + len)`.
     pub fn with_len(start: PageNum, len: u64) -> Self {
-        PageRange { start, end: start + len }
+        PageRange {
+            start,
+            end: start + len,
+        }
     }
 
     /// The empty range at zero.
@@ -99,7 +102,10 @@ impl PageRange {
     /// Merges two ranges into their convex hull (caller ensures the gap is
     /// acceptable, as in loading-set region merging).
     pub fn hull(&self, other: &PageRange) -> PageRange {
-        PageRange { start: self.start.min(other.start), end: self.end.max(other.end) }
+        PageRange {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 }
 
@@ -200,7 +206,11 @@ mod tests {
         let runs = runs_from_pages([1, 2, 3, 7, 8, 20]);
         assert_eq!(
             runs,
-            vec![PageRange::new(1, 4), PageRange::new(7, 9), PageRange::new(20, 21)]
+            vec![
+                PageRange::new(1, 4),
+                PageRange::new(7, 9),
+                PageRange::new(20, 21)
+            ]
         );
         assert!(runs_from_pages(std::iter::empty()).is_empty());
     }

@@ -126,7 +126,10 @@ mod tests {
     fn mean_us(mut sample: impl FnMut(&mut Prng) -> SimDuration) -> f64 {
         let mut rng = Prng::new(99);
         let n = 20_000;
-        (0..n).map(|_| sample(&mut rng).as_micros_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| sample(&mut rng).as_micros_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -136,8 +139,9 @@ mod tests {
         let mean = mean_us(|r| c.anon_fault(r));
         assert!((2.2..2.8).contains(&mean), "anon mean {mean}us");
         let mut rng = Prng::new(1);
-        let under4 =
-            (0..10_000).filter(|_| c.anon_fault(&mut rng).as_micros_f64() < 4.0).count();
+        let under4 = (0..10_000)
+            .filter(|_| c.anon_fault(&mut rng).as_micros_f64() < 4.0)
+            .count();
         assert!(under4 > 9_000, "only {under4}/10000 under 4us");
     }
 
@@ -148,8 +152,9 @@ mod tests {
         let mean = mean_us(|r| c.minor_fault(r));
         assert!((3.2..4.1).contains(&mean), "minor mean {mean}us");
         let mut rng = Prng::new(2);
-        let under8 =
-            (0..10_000).filter(|_| c.minor_fault(&mut rng).as_micros_f64() < 8.0).count();
+        let under8 = (0..10_000)
+            .filter(|_| c.minor_fault(&mut rng).as_micros_f64() < 8.0)
+            .count();
         assert!(under8 > 9_000, "only {under8}/10000 under 8us");
     }
 
@@ -158,8 +163,9 @@ mod tests {
         let c = FaultCosts::default();
         // Paper: REAP in-working-set faults under 4us.
         let mut rng = Prng::new(3);
-        let under4 =
-            (0..10_000).filter(|_| c.host_pte_fault(&mut rng).as_micros_f64() < 4.0).count();
+        let under4 = (0..10_000)
+            .filter(|_| c.host_pte_fault(&mut rng).as_micros_f64() < 4.0)
+            .count();
         assert!(under4 > 8_500, "only {under4}/10000 under 4us");
     }
 
@@ -178,6 +184,9 @@ mod tests {
         let c = FaultCosts::default();
         let anon = mean_us(|r| c.anon_fault(r));
         let minor = mean_us(|r| c.minor_fault(r));
-        assert!(anon < minor, "anon faults must be cheaper than minor faults");
+        assert!(
+            anon < minor,
+            "anon faults must be cheaper than minor faults"
+        );
     }
 }

@@ -248,7 +248,12 @@ impl FaultResolver {
             }
         }
 
-        let io = IoRequest { file, page: file_page, pages, kind: IoKind::FaultRead };
+        let io = IoRequest {
+            file,
+            page: file_page,
+            pages,
+            kind: IoKind::FaultRead,
+        };
 
         // Async readahead: only when the stream looks sequential and the
         // sync window was not clipped (a clip means we ran into cached
@@ -256,9 +261,7 @@ impl FaultResolver {
         let mut async_io = None;
         if sequential_stream && pages == len {
             let a_start = file_page + pages;
-            let room = aspace
-                .contiguous_extent(page + pages, len)
-                .min(len);
+            let room = aspace.contiguous_extent(page + pages, len).min(len);
             let mut a_pages = 0;
             for fp in a_start..a_start + room {
                 if cache.contains(file, fp) || inflight.completion_of(file, fp).is_some() {
@@ -287,7 +290,14 @@ mod tests {
 
     fn setup(
         total: u64,
-    ) -> (AddressSpace, PageTable, PageCache, UffdRegistry, InflightIo, FaultResolver) {
+    ) -> (
+        AddressSpace,
+        PageTable,
+        PageCache,
+        UffdRegistry,
+        InflightIo,
+        FaultResolver,
+    ) {
         let aspace = AddressSpace::new();
         let pt = PageTable::new(total);
         let cache = PageCache::new(1 << 20);
@@ -302,7 +312,10 @@ mod tests {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
         a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
         pt.install(5);
-        assert!(matches!(r.resolve(5, &a, &mut pt, &mut c, &u, &fl), FaultOutcome::NoFault));
+        assert!(matches!(
+            r.resolve(5, &a, &mut pt, &mut c, &u, &fl),
+            FaultOutcome::NoFault
+        ));
     }
 
     #[test]
@@ -310,7 +323,10 @@ mod tests {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
         a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
         match r.resolve(7, &a, &mut pt, &mut c, &u, &fl) {
-            FaultOutcome::Resolved { kind: FaultKind::Anon, cost } => {
+            FaultOutcome::Resolved {
+                kind: FaultKind::Anon,
+                cost,
+            } => {
                 assert!(cost.as_micros_f64() < 15.0);
             }
             other => panic!("expected anon fault, got {other:?}"),
@@ -321,10 +337,19 @@ mod tests {
     #[test]
     fn minor_fault_from_cache() {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 100),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         c.insert(FileId(1), 10);
         match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
-            FaultOutcome::Resolved { kind: FaultKind::Minor, .. } => {}
+            FaultOutcome::Resolved {
+                kind: FaultKind::Minor,
+                ..
+            } => {}
             other => panic!("expected minor fault, got {other:?}"),
         }
         assert!(!pt.faults_on(10));
@@ -333,7 +358,13 @@ mod tests {
     #[test]
     fn major_fault_plans_readahead_io() {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 100),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
             FaultOutcome::NeedsIo { io, overhead, .. } => {
                 assert_eq!(io.file, FileId(1));
@@ -351,7 +382,13 @@ mod tests {
     #[test]
     fn major_window_clamped_to_vma() {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(0, 12), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 12),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
             FaultOutcome::NeedsIo { io, .. } => assert_eq!(io.pages, 2),
             other => panic!("{other:?}"),
@@ -361,10 +398,18 @@ mod tests {
     #[test]
     fn major_window_trimmed_at_cached_page() {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 100),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         c.insert(FileId(1), 13);
         match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
-            FaultOutcome::NeedsIo { io, .. } => assert_eq!(io.pages, 3, "trim before cached page 13"),
+            FaultOutcome::NeedsIo { io, .. } => {
+                assert_eq!(io.pages, 3, "trim before cached page 13")
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -372,7 +417,13 @@ mod tests {
     #[test]
     fn file_offset_translation_in_major() {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(50, 60), Backing::File { file: FileId(2), offset_page: 7 });
+        a.map_fixed(
+            PageRange::new(50, 60),
+            Backing::File {
+                file: FileId(2),
+                offset_page: 7,
+            },
+        );
         match r.resolve(55, &a, &mut pt, &mut c, &u, &fl) {
             FaultOutcome::NeedsIo { io, .. } => {
                 assert_eq!(io.file, FileId(2));
@@ -385,7 +436,13 @@ mod tests {
     #[test]
     fn sequential_majors_grow_window() {
         let (mut a, mut pt, mut c, u, fl, mut r) = setup(1000);
-        a.map_fixed(PageRange::new(0, 1000), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 1000),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         let sizes: Vec<u64> = [0u64, 4, 12]
             .iter()
             .map(|&p| match r.resolve(p, &a, &mut pt, &mut c, &u, &fl) {
@@ -399,7 +456,13 @@ mod tests {
     #[test]
     fn uffd_fault_routed_to_user_space() {
         let (mut a, mut pt, mut c, mut u, fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 100),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         u.register(PageRange::new(0, 100));
         match r.resolve(33, &a, &mut pt, &mut c, &u, &fl) {
             FaultOutcome::Userfault { file, file_page } => {
@@ -413,11 +476,20 @@ mod tests {
     #[test]
     fn host_pte_fast_path_beats_uffd() {
         let (mut a, mut pt, mut c, mut u, fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 100),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         u.register(PageRange::new(0, 100));
         pt.set_state(20, PageState::HostPte);
         match r.resolve(20, &a, &mut pt, &mut c, &u, &fl) {
-            FaultOutcome::Resolved { kind: FaultKind::HostPte, cost } => {
+            FaultOutcome::Resolved {
+                kind: FaultKind::HostPte,
+                cost,
+            } => {
                 assert!(cost.as_micros_f64() < 10.0);
             }
             other => panic!("{other:?}"),
@@ -427,7 +499,13 @@ mod tests {
     #[test]
     fn inflight_read_blocks_instead_of_duplicating() {
         let (mut a, mut pt, mut c, u, mut fl, mut r) = setup(100);
-        a.map_fixed(PageRange::new(0, 100), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 100),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         let ready = sim_core::time::SimTime::from_nanos(50_000);
         fl.insert_window(FileId(1), 8, 8, ready);
         match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {

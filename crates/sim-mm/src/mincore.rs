@@ -26,7 +26,10 @@ pub fn mincore(
     pt: &PageTable,
     cache: &PageCache,
 ) -> Vec<bool> {
-    range.iter().map(|p| page_in_core(p, aspace, pt, cache)).collect()
+    range
+        .iter()
+        .map(|p| page_in_core(p, aspace, pt, cache))
+        .collect()
 }
 
 /// In-core test for a single page.
@@ -55,7 +58,11 @@ pub fn scan_new_pages(
     cache: &PageCache,
     already_seen: &mut [bool],
 ) -> Vec<PageNum> {
-    assert_eq!(already_seen.len() as u64, range.len(), "bitmap sized to range");
+    assert_eq!(
+        already_seen.len() as u64,
+        range.len(),
+        "bitmap sized to range"
+    );
     let mut new_pages = Vec::new();
     for (i, p) in range.iter().enumerate() {
         if !already_seen[i] && page_in_core(p, aspace, pt, cache) {
@@ -74,7 +81,13 @@ mod tests {
 
     fn world() -> (AddressSpace, PageTable, PageCache) {
         let mut a = AddressSpace::new();
-        a.map_fixed(PageRange::new(0, 50), Backing::File { file: FileId(1), offset_page: 0 });
+        a.map_fixed(
+            PageRange::new(0, 50),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
         a.map_fixed(PageRange::new(50, 100), Backing::Anonymous);
         (a, PageTable::new(100), PageCache::new(1000))
     }
@@ -94,7 +107,10 @@ mod tests {
         let (a, pt, mut c) = world();
         c.insert_range(FileId(1), 20, 8);
         let bits = mincore(PageRange::new(18, 30), &a, &pt, &c);
-        assert_eq!(bits, vec![false, false, true, true, true, true, true, true, true, true, false, false]);
+        assert_eq!(
+            bits,
+            vec![false, false, true, true, true, true, true, true, true, true, false, false]
+        );
         assert_eq!(pt.rss_pages(), 0, "guest never touched anything");
     }
 

@@ -42,7 +42,10 @@ pub struct PageTable {
 impl PageTable {
     /// Creates a table for `total_pages` guest pages, all not-present.
     pub fn new(total_pages: u64) -> Self {
-        PageTable { states: vec![PageState::NotPresent as u8; total_pages as usize], rss_pages: 0 }
+        PageTable {
+            states: vec![PageState::NotPresent as u8; total_pages as usize],
+            rss_pages: 0,
+        }
     }
 
     /// Total pages tracked.
@@ -96,7 +99,10 @@ impl PageTable {
 
     /// Number of pages in the `Mapped` state.
     pub fn mapped_pages(&self) -> u64 {
-        self.states.iter().filter(|&&s| s == PageState::Mapped as u8).count() as u64
+        self.states
+            .iter()
+            .filter(|&&s| s == PageState::Mapped as u8)
+            .count() as u64
     }
 
     /// Clears every page back to not-present (fresh restore).

@@ -52,18 +52,17 @@ impl UffdRegistry {
     /// True if faults on `page` are delivered to user space.
     pub fn covers(&self, page: PageNum) -> bool {
         // Binary search over sorted disjoint ranges.
-        match self.ranges.binary_search_by(|r| {
-            if r.end <= page {
-                std::cmp::Ordering::Less
-            } else if r.start > page {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        self.ranges
+            .binary_search_by(|r| {
+                if r.end <= page {
+                    std::cmp::Ordering::Less
+                } else if r.start > page {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// True if nothing is registered.

@@ -51,12 +51,17 @@ impl Vma {
     ///
     /// Panics if `page` is outside the VMA.
     pub fn resolve(&self, page: PageNum) -> Resolved {
-        assert!(self.range.contains(page), "page {page} outside {:?}", self.range);
+        assert!(
+            self.range.contains(page),
+            "page {page} outside {:?}",
+            self.range
+        );
         match self.backing {
             Backing::Anonymous => Resolved::Anonymous,
-            Backing::File { file, offset_page } => {
-                Resolved::File { file, file_page: offset_page + (page - self.range.start) }
-            }
+            Backing::File { file, offset_page } => Resolved::File {
+                file,
+                file_page: offset_page + (page - self.range.start),
+            },
         }
     }
 
@@ -70,7 +75,10 @@ impl Vma {
                 offset_page: offset_page + (sub.start - self.range.start),
             },
         };
-        Vma { range: sub, backing }
+        Vma {
+            range: sub,
+            backing,
+        }
     }
 }
 
@@ -122,13 +130,19 @@ impl AddressSpace {
         for key in overlapping {
             let old = self.vmas.remove(&key).expect("key just observed");
             // Left remainder.
-            let left = PageRange::new(old.range.start, range.start.max(old.range.start).min(old.range.end));
+            let left = PageRange::new(
+                old.range.start,
+                range.start.max(old.range.start).min(old.range.end),
+            );
             if !left.is_empty() {
                 let slice = old.slice(left);
                 self.vmas.insert(slice.range.start, slice);
             }
             // Right remainder.
-            let right = PageRange::new(range.end.max(old.range.start).min(old.range.end), old.range.end);
+            let right = PageRange::new(
+                range.end.max(old.range.start).min(old.range.end),
+                old.range.end,
+            );
             if !right.is_empty() {
                 let slice = old.slice(right);
                 self.vmas.insert(slice.range.start, slice);
@@ -201,7 +215,10 @@ mod tests {
     use super::*;
 
     fn file(id: u64, off: u64) -> Backing {
-        Backing::File { file: FileId(id), offset_page: off }
+        Backing::File {
+            file: FileId(id),
+            offset_page: off,
+        }
     }
 
     #[test]
@@ -218,7 +235,13 @@ mod tests {
     fn file_offset_resolution() {
         let mut a = AddressSpace::new();
         a.map_fixed(PageRange::new(10, 20), file(3, 100));
-        assert_eq!(a.resolve(15), Some(Resolved::File { file: FileId(3), file_page: 105 }));
+        assert_eq!(
+            a.resolve(15),
+            Some(Resolved::File {
+                file: FileId(3),
+                file_page: 105
+            })
+        );
     }
 
     #[test]
@@ -228,8 +251,20 @@ mod tests {
         a.map_fixed(PageRange::new(40, 60), file(1, 0));
         assert_eq!(a.vma_count(), 3);
         assert_eq!(a.resolve(39), Some(Resolved::Anonymous));
-        assert_eq!(a.resolve(40), Some(Resolved::File { file: FileId(1), file_page: 0 }));
-        assert_eq!(a.resolve(59), Some(Resolved::File { file: FileId(1), file_page: 19 }));
+        assert_eq!(
+            a.resolve(40),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 0
+            })
+        );
+        assert_eq!(
+            a.resolve(59),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 19
+            })
+        );
         assert_eq!(a.resolve(60), Some(Resolved::Anonymous));
     }
 
@@ -239,8 +274,20 @@ mod tests {
         a.map_fixed(PageRange::new(0, 100), file(1, 1000));
         a.map_fixed(PageRange::new(40, 60), Backing::Anonymous);
         // Right remainder keeps its file offset aligned.
-        assert_eq!(a.resolve(60), Some(Resolved::File { file: FileId(1), file_page: 1060 }));
-        assert_eq!(a.resolve(0), Some(Resolved::File { file: FileId(1), file_page: 1000 }));
+        assert_eq!(
+            a.resolve(60),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 1060
+            })
+        );
+        assert_eq!(
+            a.resolve(0),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 1000
+            })
+        );
     }
 
     #[test]
@@ -252,9 +299,27 @@ mod tests {
         a.map_fixed(PageRange::new(100, 500), file(1, 100)); // memory file, same offset
         a.map_fixed(PageRange::new(200, 300), file(2, 0)); // loading set file, compact
         assert_eq!(a.resolve(50), Some(Resolved::Anonymous));
-        assert_eq!(a.resolve(150), Some(Resolved::File { file: FileId(1), file_page: 150 }));
-        assert_eq!(a.resolve(250), Some(Resolved::File { file: FileId(2), file_page: 50 }));
-        assert_eq!(a.resolve(400), Some(Resolved::File { file: FileId(1), file_page: 400 }));
+        assert_eq!(
+            a.resolve(150),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 150
+            })
+        );
+        assert_eq!(
+            a.resolve(250),
+            Some(Resolved::File {
+                file: FileId(2),
+                file_page: 50
+            })
+        );
+        assert_eq!(
+            a.resolve(400),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 400
+            })
+        );
         assert_eq!(a.resolve(700), Some(Resolved::Anonymous));
         assert!(a.covers(PageRange::new(0, 1000)));
         assert_eq!(a.mmap_calls(), 3);
@@ -266,7 +331,13 @@ mod tests {
         a.map_fixed(PageRange::new(10, 20), Backing::Anonymous);
         a.map_fixed(PageRange::new(10, 20), file(1, 0));
         assert_eq!(a.vma_count(), 1);
-        assert_eq!(a.resolve(10), Some(Resolved::File { file: FileId(1), file_page: 0 }));
+        assert_eq!(
+            a.resolve(10),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 0
+            })
+        );
     }
 
     #[test]
@@ -276,10 +347,22 @@ mod tests {
         a.map_fixed(PageRange::new(10, 20), file(2, 0));
         a.map_fixed(PageRange::new(20, 30), file(3, 0));
         a.map_fixed(PageRange::new(5, 25), Backing::Anonymous);
-        assert_eq!(a.resolve(4), Some(Resolved::File { file: FileId(1), file_page: 4 }));
+        assert_eq!(
+            a.resolve(4),
+            Some(Resolved::File {
+                file: FileId(1),
+                file_page: 4
+            })
+        );
         assert_eq!(a.resolve(5), Some(Resolved::Anonymous));
         assert_eq!(a.resolve(24), Some(Resolved::Anonymous));
-        assert_eq!(a.resolve(25), Some(Resolved::File { file: FileId(3), file_page: 5 }));
+        assert_eq!(
+            a.resolve(25),
+            Some(Resolved::File {
+                file: FileId(3),
+                file_page: 5
+            })
+        );
         assert_eq!(a.vma_count(), 3);
     }
 

@@ -152,8 +152,11 @@ impl Disk {
         let sequential = self.last_extent == Some((req.file, req.page));
         self.last_extent = Some((req.file, req.page + req.pages));
 
-        let base_setup =
-            if sequential { self.profile.sequential_setup } else { self.profile.random_setup };
+        let base_setup = if sequential {
+            self.profile.sequential_setup
+        } else {
+            self.profile.random_setup
+        };
         let setup = if self.profile.latency_jitter > 0.0 {
             base_setup.mul_f64(self.rng.jitter(self.profile.latency_jitter))
         } else {
@@ -223,7 +226,12 @@ mod tests {
     use sim_core::units::MIB;
 
     fn req(file: u64, page: u64, pages: u64) -> IoRequest {
-        IoRequest { file: FileId(file), page, pages, kind: IoKind::FaultRead }
+        IoRequest {
+            file: FileId(file),
+            page,
+            pages,
+            kind: IoKind::FaultRead,
+        }
     }
 
     fn quiet_nvme() -> Disk {
@@ -279,7 +287,10 @@ mod tests {
         let t_one = one.as_millis_f64();
         let t_two = two.as_millis_f64();
         let expect_one = 64.0 * MIB as f64 / 1589e6 * 1e3;
-        assert!((t_one - expect_one).abs() < 5.0, "first {t_one}ms vs {expect_one}ms");
+        assert!(
+            (t_one - expect_one).abs() < 5.0,
+            "first {t_one}ms vs {expect_one}ms"
+        );
         assert!(t_two > 1.9 * t_one, "second must queue: {t_two} vs {t_one}");
     }
 
@@ -300,8 +311,24 @@ mod tests {
     #[test]
     fn stats_by_kind() {
         let mut d = quiet_nvme();
-        d.submit(SimTime::ZERO, IoRequest { file: FileId(0), page: 0, pages: 4, kind: IoKind::LoaderPrefetch });
-        d.submit(SimTime::ZERO, IoRequest { file: FileId(0), page: 9, pages: 2, kind: IoKind::FaultRead });
+        d.submit(
+            SimTime::ZERO,
+            IoRequest {
+                file: FileId(0),
+                page: 0,
+                pages: 4,
+                kind: IoKind::LoaderPrefetch,
+            },
+        );
+        d.submit(
+            SimTime::ZERO,
+            IoRequest {
+                file: FileId(0),
+                page: 9,
+                pages: 2,
+                kind: IoKind::FaultRead,
+            },
+        );
         assert_eq!(d.stats().requests_of(IoKind::LoaderPrefetch), 1);
         assert_eq!(d.stats().pages_of(IoKind::LoaderPrefetch), 4);
         assert_eq!(d.stats().bytes_of(IoKind::FaultRead), 2 * PAGE_SIZE);
@@ -328,7 +355,9 @@ mod tests {
     fn deterministic_with_same_seed() {
         let run = || {
             let mut d = Disk::new(DiskProfile::nvme_c5d(), 7);
-            (0..100).map(|i| d.submit(SimTime::ZERO, req(0, i * 7, 3)).as_nanos()).collect::<Vec<_>>()
+            (0..100)
+                .map(|i| d.submit(SimTime::ZERO, req(0, i * 7, 3)).as_nanos())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

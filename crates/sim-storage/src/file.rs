@@ -67,7 +67,15 @@ impl SimFs {
     ) -> FileId {
         let id = FileId(self.next_id);
         self.next_id += 1;
-        self.files.insert(id, FileMeta { name: name.into(), kind, len_pages, device });
+        self.files.insert(
+            id,
+            FileMeta {
+                name: name.into(),
+                kind,
+                len_pages,
+                device,
+            },
+        );
         id
     }
 

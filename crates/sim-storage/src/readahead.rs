@@ -42,7 +42,12 @@ impl ReadaheadState {
     /// (pages). Linux defaults to 128 KiB max readahead (32 pages).
     pub fn new(initial_pages: u64, max_pages: u64) -> Self {
         assert!(initial_pages >= 1 && max_pages >= initial_pages);
-        ReadaheadState { initial_pages, max_pages, window_pages: initial_pages, last_end: None }
+        ReadaheadState {
+            initial_pages,
+            max_pages,
+            window_pages: initial_pages,
+            last_end: None,
+        }
     }
 
     /// Computes the read window for a cache miss at `page`.
@@ -111,8 +116,8 @@ mod tests {
     fn near_sequential_within_window_still_grows() {
         let mut ra = ReadaheadState::new(8, 32);
         ra.on_miss(0); // window [0,8)
-        // A miss at page 5 (inside the previous window region) keeps the
-        // stream alive — models interleaved readers.
+                       // A miss at page 5 (inside the previous window region) keeps the
+                       // stream alive — models interleaved readers.
         let (_, l) = ra.on_miss(5);
         assert_eq!(l, 16);
     }

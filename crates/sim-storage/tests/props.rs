@@ -9,7 +9,12 @@ use sim_storage::profiles::DiskProfile;
 use sim_storage::readahead::ReadaheadState;
 
 fn req(file: u64, page: u64, pages: u64) -> IoRequest {
-    IoRequest { file: FileId(file), page, pages, kind: IoKind::FaultRead }
+    IoRequest {
+        file: FileId(file),
+        page,
+        pages,
+        kind: IoKind::FaultRead,
+    }
 }
 
 proptest! {
@@ -24,7 +29,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_done = SimTime::ZERO;
         for ((f, p, n), gap) in reqs.iter().zip(gaps.iter().cycle()) {
-            now = now + sim_core::time::SimDuration::from_nanos(*gap);
+            now += sim_core::time::SimDuration::from_nanos(*gap);
             let done = d.submit(now, req(*f, *p, *n));
             prop_assert!(done >= now, "completion precedes submission");
             prop_assert!(done >= last_done, "bus order violated");

@@ -24,7 +24,10 @@ pub struct GuestMemory {
 impl GuestMemory {
     /// Creates all-zero guest memory of `total_pages` pages.
     pub fn new(total_pages: u64) -> Self {
-        GuestMemory { total_pages, contents: HashMap::new() }
+        GuestMemory {
+            total_pages,
+            contents: HashMap::new(),
+        }
     }
 
     /// Total guest physical pages.
@@ -162,11 +165,19 @@ mod tests {
         }
         assert_eq!(
             m.nonzero_regions(),
-            vec![PageRange::new(2, 5), PageRange::new(10, 12), PageRange::new(29, 30)]
+            vec![
+                PageRange::new(2, 5),
+                PageRange::new(10, 12),
+                PageRange::new(29, 30)
+            ]
         );
         assert_eq!(
             m.zero_regions(),
-            vec![PageRange::new(0, 2), PageRange::new(5, 10), PageRange::new(12, 29)]
+            vec![
+                PageRange::new(0, 2),
+                PageRange::new(5, 10),
+                PageRange::new(12, 29)
+            ]
         );
     }
 

@@ -63,9 +63,18 @@ impl Snapshot {
             device,
         );
         // VM state (registers, device state) is small; model as 64 KiB.
-        let state_file =
-            fs.create(format!("{name}.vmstate"), FileKind::SnapshotState, 16, device);
-        Snapshot { name, mem_file, state_file, memory }
+        let state_file = fs.create(
+            format!("{name}.vmstate"),
+            FileKind::SnapshotState,
+            16,
+            device,
+        );
+        Snapshot {
+            name,
+            mem_file,
+            state_file,
+            memory,
+        }
     }
 
     /// Snapshot name.

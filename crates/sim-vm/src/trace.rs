@@ -110,12 +110,17 @@ impl Trace {
             .iter()
             .map(|op| match op {
                 TraceOp::Compute(d) => *d,
-                TraceOp::Touch { range, stride, per_page_compute, .. } => {
-                    *per_page_compute * range.len().div_ceil(*stride)
-                }
-                TraceOp::TouchList { pages, per_page_compute, .. } => {
-                    *per_page_compute * pages.len() as u64
-                }
+                TraceOp::Touch {
+                    range,
+                    stride,
+                    per_page_compute,
+                    ..
+                } => *per_page_compute * range.len().div_ceil(*stride),
+                TraceOp::TouchList {
+                    pages,
+                    per_page_compute,
+                    ..
+                } => *per_page_compute * pages.len() as u64,
                 TraceOp::Free { .. } => SimDuration::ZERO,
             })
             .sum()

@@ -59,7 +59,13 @@ pub struct Vcpu {
 impl Vcpu {
     /// Creates a vCPU positioned at the start of `trace`.
     pub fn new(trace: Trace) -> Self {
-        Vcpu { ops: trace.ops, op_idx: 0, intra: 0, pending_access: None, accesses: 0 }
+        Vcpu {
+            ops: trace.ops,
+            op_idx: 0,
+            intra: 0,
+            pending_access: None,
+            accesses: 0,
+        }
     }
 
     /// Total page accesses performed so far.
@@ -98,35 +104,60 @@ impl Vcpu {
                     self.op_idx += 1;
                     return Step::Free { range };
                 }
-                TraceOp::Touch { range, stride, write, per_page_compute, token_seed } => {
+                TraceOp::Touch {
+                    range,
+                    stride,
+                    write,
+                    per_page_compute,
+                    token_seed,
+                } => {
                     let page = range.start + self.intra * stride;
                     if page >= range.end {
                         self.op_idx += 1;
                         self.intra = 0;
                         continue;
                     }
-                    let token =
-                        if *write { Trace::token_for(*token_seed, page) } else { 0 };
+                    let token = if *write {
+                        Trace::token_for(*token_seed, page)
+                    } else {
+                        0
+                    };
                     self.intra += 1;
                     if per_page_compute.is_zero() {
                         self.accesses += 1;
-                        return Step::Access { page, write: *write, token };
+                        return Step::Access {
+                            page,
+                            write: *write,
+                            token,
+                        };
                     }
                     self.pending_access = Some((page, *write, token));
                     return Step::Compute(*per_page_compute);
                 }
-                TraceOp::TouchList { pages, write, per_page_compute, token_seed } => {
+                TraceOp::TouchList {
+                    pages,
+                    write,
+                    per_page_compute,
+                    token_seed,
+                } => {
                     let Some(&page) = pages.get(self.intra as usize) else {
                         self.op_idx += 1;
                         self.intra = 0;
                         continue;
                     };
-                    let token =
-                        if *write { Trace::token_for(*token_seed, page) } else { 0 };
+                    let token = if *write {
+                        Trace::token_for(*token_seed, page)
+                    } else {
+                        0
+                    };
                     self.intra += 1;
                     if per_page_compute.is_zero() {
                         self.accesses += 1;
-                        return Step::Access { page, write: *write, token };
+                        return Step::Access {
+                            page,
+                            write: *write,
+                            token,
+                        };
                     }
                     self.pending_access = Some((page, *write, token));
                     return Step::Compute(*per_page_compute);
@@ -236,7 +267,14 @@ mod tests {
         let steps = drain(Vcpu::new(t));
         assert_eq!(steps.len(), 5); // C A C A Done
         assert_eq!(steps[0], Step::Compute(us(3)));
-        assert!(matches!(steps[1], Step::Access { page: 0, write: true, .. }));
+        assert!(matches!(
+            steps[1],
+            Step::Access {
+                page: 0,
+                write: true,
+                ..
+            }
+        ));
         assert_eq!(steps[2], Step::Compute(us(3)));
         assert!(matches!(steps[3], Step::Access { page: 1, .. }));
     }
@@ -253,7 +291,11 @@ mod tests {
         });
         let steps = drain(Vcpu::new(t));
         match &steps[0] {
-            Step::Access { page: 7, write: true, token } => {
+            Step::Access {
+                page: 7,
+                write: true,
+                token,
+            } => {
                 assert_eq!(*token, Trace::token_for(42, 7));
             }
             other => panic!("{other:?}"),
@@ -269,7 +311,9 @@ mod tests {
             per_page_compute: SimDuration::ZERO,
             token_seed: 0,
         });
-        t.push(TraceOp::Free { range: PageRange::new(3, 6) });
+        t.push(TraceOp::Free {
+            range: PageRange::new(3, 6),
+        });
         let steps = drain(Vcpu::new(t));
         let pages: Vec<u64> = steps
             .iter()
@@ -279,7 +323,9 @@ mod tests {
             })
             .collect();
         assert_eq!(pages, vec![5, 3, 9]);
-        assert!(steps.contains(&Step::Free { range: PageRange::new(3, 6) }));
+        assert!(steps.contains(&Step::Free {
+            range: PageRange::new(3, 6)
+        }));
     }
 
     #[test]

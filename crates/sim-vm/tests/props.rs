@@ -27,8 +27,9 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
             per_page_compute: SimDuration::ZERO,
             token_seed: 0,
         }),
-        (0u64..1_900, 1u64..100)
-            .prop_map(|(s, l)| TraceOp::Free { range: PageRange::with_len(s, l.min(2_000 - s)) }),
+        (0u64..1_900, 1u64..100).prop_map(|(s, l)| TraceOp::Free {
+            range: PageRange::with_len(s, l.min(2_000 - s))
+        }),
     ];
     proptest::collection::vec(op, 0..20).prop_map(|ops| Trace { ops })
 }

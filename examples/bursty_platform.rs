@@ -25,16 +25,27 @@ fn main() {
     ] {
         for parallelism in [1u32, 4, 16, 32] {
             let mut cells = Vec::new();
-            for strategy in
-                [RestoreStrategy::Vanilla, RestoreStrategy::Reap, RestoreStrategy::faasnap()]
-            {
+            for strategy in [
+                RestoreStrategy::Vanilla,
+                RestoreStrategy::Reap,
+                RestoreStrategy::faasnap(),
+            ] {
                 // Fresh platform per cell so disk/cache state is comparable.
                 let mut platform = Platform::new(DiskProfile::nvme_c5d(), 99);
                 let json = faas_workloads::by_name("json").expect("catalog");
                 platform.register(json.clone());
-                platform.record("json", "burst", &json.input_a()).expect("record");
+                platform
+                    .record("json", "burst", &json.input_a())
+                    .expect("record");
                 let outs = platform
-                    .burst("json", "burst", &json.input_b(), strategy, parallelism, kind)
+                    .burst(
+                        "json",
+                        "burst",
+                        &json.input_b(),
+                        strategy,
+                        parallelism,
+                        kind,
+                    )
                     .expect("burst");
                 let mean_ms = outs
                     .iter()

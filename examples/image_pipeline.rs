@@ -19,11 +19,19 @@ fn main() {
     let mut platform = Platform::new(DiskProfile::nvme_c5d(), 7);
     let image = faas_workloads::by_name("image").expect("catalog function");
     platform.register(image.clone());
-    platform.record("image", "api", &image.input_a()).expect("record");
+    platform
+        .record("image", "api", &image.input_a())
+        .expect("record");
 
     let mut table = TextTable::new(
         "image API: per-request latency (ms) vs request size",
-        &["request size", "Firecracker", "REAP", "FaaSnap", "slowdown FaaSnap/warm"],
+        &[
+            "request size",
+            "Firecracker",
+            "REAP",
+            "FaaSnap",
+            "slowdown FaaSnap/warm",
+        ],
     );
 
     // A request stream: sizes drawn from a realistic spread.
@@ -31,10 +39,14 @@ fn main() {
     for (i, &ratio) in request_sizes.iter().enumerate() {
         let input = image.input_scaled(ratio, 0x1000 + i as u64);
         let mut cells = Vec::new();
-        for strategy in
-            [RestoreStrategy::Vanilla, RestoreStrategy::Reap, RestoreStrategy::faasnap()]
-        {
-            let out = platform.invoke("image", "api", &input, strategy).expect("invoke");
+        for strategy in [
+            RestoreStrategy::Vanilla,
+            RestoreStrategy::Reap,
+            RestoreStrategy::faasnap(),
+        ] {
+            let out = platform
+                .invoke("image", "api", &input, strategy)
+                .expect("invoke");
             cells.push(out.report.total_time().as_millis_f64());
         }
         let warm = platform

@@ -20,11 +20,17 @@ fn main() {
     // file, and REAP's working-set file.
     let image = faas_workloads::by_name("image").expect("catalog function");
     platform.register(image.clone());
-    platform.record("image", "demo", &image.input_a()).expect("record phase");
+    platform
+        .record("image", "demo", &image.input_a())
+        .expect("record phase");
 
     let artifacts = platform.registry().artifacts("image", "demo").unwrap();
     println!("record phase done:");
-    println!("  working set      : {} pages ({} groups)", artifacts.ws.len(), artifacts.ws.group_count());
+    println!(
+        "  working set      : {} pages ({} groups)",
+        artifacts.ws.len(),
+        artifacts.ws.group_count()
+    );
     println!(
         "  loading set      : {} regions, {} file pages ({} before merging)",
         artifacts.ls.region_count(),

@@ -17,17 +17,21 @@ fn run_platform(profile: DiskProfile, name: &str) -> Vec<f64> {
     let f = faas_workloads::by_name(name).expect("catalog");
     platform.register(f.clone());
     platform.record(name, "r", &f.input_a()).expect("record");
-    [RestoreStrategy::Vanilla, RestoreStrategy::Reap, RestoreStrategy::faasnap()]
-        .into_iter()
-        .map(|s| {
-            platform
-                .invoke(name, "r", &f.input_b(), s)
-                .expect("invoke")
-                .report
-                .total_time()
-                .as_millis_f64()
-        })
-        .collect()
+    [
+        RestoreStrategy::Vanilla,
+        RestoreStrategy::Reap,
+        RestoreStrategy::faasnap(),
+    ]
+    .into_iter()
+    .map(|s| {
+        platform
+            .invoke(name, "r", &f.input_b(), s)
+            .expect("invoke")
+            .report
+            .total_time()
+            .as_millis_f64()
+    })
+    .collect()
 }
 
 fn main() {
@@ -35,7 +39,14 @@ fn main() {
 
     let mut table = TextTable::new(
         "snapshot restore latency (ms): local NVMe vs remote EBS",
-        &["function", "FC nvme", "FC ebs", "REAP ebs", "FaaSnap ebs", "FaaSnap vs FC (ebs)"],
+        &[
+            "function",
+            "FC nvme",
+            "FC ebs",
+            "REAP ebs",
+            "FaaSnap ebs",
+            "FaaSnap vs FC (ebs)",
+        ],
     );
     for name in functions {
         let nvme = run_platform(DiskProfile::nvme_c5d(), name);
@@ -57,9 +68,16 @@ fn main() {
     let mut platform = Platform::new(DiskProfile::nvme_c5d(), 1234);
     let f = faas_workloads::by_name("image").expect("catalog");
     platform.register(f.clone());
-    platform.record("image", "tier", &f.input_a()).expect("record");
+    platform
+        .record("image", "tier", &f.input_a())
+        .expect("record");
     let ebs = platform.host_mut().add_device(DiskProfile::ebs_io2());
-    let mem_file = platform.registry().artifacts("image", "tier").unwrap().snapshot.mem_file();
+    let mem_file = platform
+        .registry()
+        .artifacts("image", "tier")
+        .unwrap()
+        .snapshot
+        .mem_file();
     platform.host_mut().fs.set_device(mem_file, ebs);
     let tiered = platform
         .invoke("image", "tier", &f.input_b(), RestoreStrategy::faasnap())

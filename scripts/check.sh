@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 verify (build + tests).
+# Everything runs offline; there are no registry dependencies.
+#
+# Usage: scripts/check.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release"
+cargo build --release
+
+echo "==> tier-1 verify: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "All checks passed."

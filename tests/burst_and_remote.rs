@@ -14,14 +14,24 @@ fn platform(seed: u64, profile: DiskProfile) -> (Platform, faas_workloads::Funct
 }
 
 fn mean_total_s(outs: &[faasnap::runtime::InvocationOutcome]) -> f64 {
-    outs.iter().map(|o| o.report.total_time().as_secs_f64()).sum::<f64>() / outs.len() as f64
+    outs.iter()
+        .map(|o| o.report.total_time().as_secs_f64())
+        .sum::<f64>()
+        / outs.len() as f64
 }
 
 #[test]
 fn same_snapshot_burst_reads_loading_set_once() {
     let (mut p, f) = platform(0xB1, DiskProfile::nvme_c5d());
     let outs = p
-        .burst("json", "t", &f.input_b(), RestoreStrategy::faasnap(), 8, BurstKind::SameSnapshot)
+        .burst(
+            "json",
+            "t",
+            &f.input_b(),
+            RestoreStrategy::faasnap(),
+            8,
+            BurstKind::SameSnapshot,
+        )
         .unwrap();
     assert_eq!(outs.len(), 8);
     let ls_pages = p.registry().artifacts("json", "t").unwrap().ls.file_pages();
@@ -38,8 +48,15 @@ fn reap_burst_bypasses_cache_and_rereads() {
     // of the working set even from the same snapshot.
     let (mut p, f) = platform(0xB2, DiskProfile::nvme_c5d());
     let n = 6u64;
-    p.burst("json", "t", &f.input_b(), RestoreStrategy::Reap, n as u32, BurstKind::SameSnapshot)
-        .unwrap();
+    p.burst(
+        "json",
+        "t",
+        &f.input_b(),
+        RestoreStrategy::Reap,
+        n as u32,
+        BurstKind::SameSnapshot,
+    )
+    .unwrap();
     let ws_pages = p.registry().artifacts("json", "t").unwrap().reap_ws.len();
     let fetch_pages = p.host().disks[0].stats().pages_of(IoKind::ReapFetch);
     assert_eq!(fetch_pages, ws_pages * n, "each VM fetches the full WS");
@@ -51,7 +68,14 @@ fn different_snapshots_slower_than_same_for_firecracker() {
     // degrades quickly" — no cache sharing across distinct memory files.
     let (mut p, f) = platform(0xB3, DiskProfile::nvme_c5d());
     let same = p
-        .burst("json", "t", &f.input_b(), RestoreStrategy::Vanilla, 16, BurstKind::SameSnapshot)
+        .burst(
+            "json",
+            "t",
+            &f.input_b(),
+            RestoreStrategy::Vanilla,
+            16,
+            BurstKind::SameSnapshot,
+        )
         .unwrap();
     let (mut p2, f2) = platform(0xB3, DiskProfile::nvme_c5d());
     let diff = p2
@@ -76,11 +100,25 @@ fn different_snapshots_slower_than_same_for_firecracker() {
 fn faasnap_beats_reap_under_bursts() {
     let (mut p, f) = platform(0xB4, DiskProfile::nvme_c5d());
     let fs = p
-        .burst("json", "t", &f.input_b(), RestoreStrategy::faasnap(), 16, BurstKind::SameSnapshot)
+        .burst(
+            "json",
+            "t",
+            &f.input_b(),
+            RestoreStrategy::faasnap(),
+            16,
+            BurstKind::SameSnapshot,
+        )
         .unwrap();
     let (mut p2, f2) = platform(0xB4, DiskProfile::nvme_c5d());
     let reap = p2
-        .burst("json", "t", &f2.input_b(), RestoreStrategy::Reap, 16, BurstKind::SameSnapshot)
+        .burst(
+            "json",
+            "t",
+            &f2.input_b(),
+            RestoreStrategy::Reap,
+            16,
+            BurstKind::SameSnapshot,
+        )
         .unwrap();
     assert!(mean_total_s(&fs) < mean_total_s(&reap));
 }
@@ -136,7 +174,10 @@ fn ebs_slower_than_nvme_but_faasnap_still_wins() {
         .report
         .total_time()
         .as_millis_f64();
-    assert!(eb_fs < eb_fc, "FaaSnap {eb_fs} < Firecracker {eb_fc} on EBS");
+    assert!(
+        eb_fs < eb_fc,
+        "FaaSnap {eb_fs} < Firecracker {eb_fc} on EBS"
+    );
     assert!(eb_fs < eb_reap, "FaaSnap {eb_fs} < REAP {eb_reap} on EBS");
 }
 
@@ -153,8 +194,12 @@ fn mixed_devices_loading_set_local_memory_remote() {
     p.register(f.clone());
     p.record("hello-world", "t", &f.input_a()).unwrap();
     let ebs = p.host_mut().add_device(DiskProfile::ebs_io2());
-    let mem_file =
-        p.registry().artifacts("hello-world", "t").unwrap().snapshot.mem_file();
+    let mem_file = p
+        .registry()
+        .artifacts("hello-world", "t")
+        .unwrap()
+        .snapshot
+        .mem_file();
     p.host_mut().fs.set_device(mem_file, ebs);
 
     let run = |p: &mut Platform| {

@@ -20,7 +20,10 @@ fn host_page_recording_supersets_fault_recording() {
     let a = p.registry().artifacts("image", "t").unwrap();
     let ws = a.ws.page_set();
     for page in a.reap_ws.pages() {
-        assert!(ws.contains(page), "fault-recorded page {page} missing from mincore WS");
+        assert!(
+            ws.contains(page),
+            "fault-recorded page {page} missing from mincore WS"
+        );
     }
     assert!(
         a.ws.len() > a.reap_ws.len(),
@@ -118,32 +121,49 @@ fn performance_ordering_holds() {
     let reap = ms(&mut p, RestoreStrategy::Reap);
     let faasnap = ms(&mut p, RestoreStrategy::faasnap());
     assert!(warm < faasnap, "warm {warm} < faasnap {faasnap}");
-    assert!(faasnap < vanilla, "faasnap {faasnap} < firecracker {vanilla}");
+    assert!(
+        faasnap < vanilla,
+        "faasnap {faasnap} < firecracker {vanilla}"
+    );
     assert!(faasnap < reap, "faasnap {faasnap} < reap {reap}");
-    assert!(faasnap < cached * 1.25, "faasnap {faasnap} ~ cached {cached}");
+    assert!(
+        faasnap < cached * 1.25,
+        "faasnap {faasnap} ~ cached {cached}"
+    );
 }
 
 #[test]
 fn fault_class_signatures_per_strategy() {
     let (mut p, f) = recorded_platform("image");
     // Cached: no majors (everything pre-cached).
-    let cached = p.invoke("image", "t", &f.input_b(), RestoreStrategy::Cached).unwrap();
+    let cached = p
+        .invoke("image", "t", &f.input_b(), RestoreStrategy::Cached)
+        .unwrap();
     assert_eq!(cached.report.major_faults, 0);
     assert_eq!(cached.report.uffd_faults, 0);
     // Vanilla: no uffd, no host-pte.
-    let vanilla = p.invoke("image", "t", &f.input_b(), RestoreStrategy::Vanilla).unwrap();
+    let vanilla = p
+        .invoke("image", "t", &f.input_b(), RestoreStrategy::Vanilla)
+        .unwrap();
     assert_eq!(vanilla.report.uffd_faults, 0);
     assert_eq!(vanilla.report.host_pte_faults, 0);
     assert!(vanilla.report.major_faults > 0);
     // REAP: host-pte for prefetched pages, uffd outside the set, no plain
     // minors/majors (everything routes through uffd or the PTE fast path).
-    let reap = p.invoke("image", "t", &f.input_b(), RestoreStrategy::Reap).unwrap();
+    let reap = p
+        .invoke("image", "t", &f.input_b(), RestoreStrategy::Reap)
+        .unwrap();
     assert!(reap.report.host_pte_faults > 0);
-    assert!(reap.report.uffd_faults > 0, "input B must fault outside REAP's WS");
+    assert!(
+        reap.report.uffd_faults > 0,
+        "input B must fault outside REAP's WS"
+    );
     assert_eq!(reap.report.major_faults, 0);
     // FaaSnap: anonymous faults (fresh buffers) + minors (prefetched) and
     // usually a few majors where the guest outruns the loader; never uffd.
-    let fs = p.invoke("image", "t", &f.input_b(), RestoreStrategy::faasnap()).unwrap();
+    let fs = p
+        .invoke("image", "t", &f.input_b(), RestoreStrategy::faasnap())
+        .unwrap();
     assert!(fs.report.anon_faults > 0);
     assert!(fs.report.minor_faults > 0);
     assert_eq!(fs.report.uffd_faults, 0);
@@ -152,7 +172,9 @@ fn fault_class_signatures_per_strategy() {
 #[test]
 fn degraded_restore_falls_back_to_vanilla() {
     let (p, f) = recorded_platform("json");
-    let mut spec = p.build_spec("json", "t", &f.input_b(), RestoreStrategy::faasnap()).unwrap();
+    let mut spec = p
+        .build_spec("json", "t", &f.input_b(), RestoreStrategy::faasnap())
+        .unwrap();
     // Simulate lost loading-set artifacts.
     spec.ls = None;
     spec.ws = None;
@@ -160,28 +182,40 @@ fn degraded_restore_falls_back_to_vanilla() {
     // Re-register the memory file on the fresh host's fs.
     let dev = host.primary_device();
     let pages = spec.memory.total_pages();
-    let mem_file = host.fs.create("json.mem", sim_storage::file::FileKind::SnapshotMemory, pages, dev);
+    let mem_file = host.fs.create(
+        "json.mem",
+        sim_storage::file::FileKind::SnapshotMemory,
+        pages,
+        dev,
+    );
     spec.mem_file = mem_file;
     let out = faasnap::runtime::run_invocation(&mut host, spec);
     assert!(out.report.degraded, "missing artifacts must flag degraded");
-    assert!(out.report.major_faults > 0, "degraded run demand-pages from disk");
+    assert!(
+        out.report.major_faults > 0,
+        "degraded run demand-pages from disk"
+    );
     assert_eq!(out.report.fetch_pages, 0, "no loader without artifacts");
 }
 
 #[test]
 fn setup_times_reflect_strategy_work() {
     let (mut p, f) = recorded_platform("read-list");
-    let warm = p.invoke("read-list", "t", &f.input_a(), RestoreStrategy::Warm).unwrap();
+    let warm = p
+        .invoke("read-list", "t", &f.input_a(), RestoreStrategy::Warm)
+        .unwrap();
     assert_eq!(warm.report.setup_time.as_nanos(), 0, "warm has no setup");
-    let vanilla =
-        p.invoke("read-list", "t", &f.input_a(), RestoreStrategy::Vanilla).unwrap();
-    let reap = p.invoke("read-list", "t", &f.input_a(), RestoreStrategy::Reap).unwrap();
+    let vanilla = p
+        .invoke("read-list", "t", &f.input_a(), RestoreStrategy::Vanilla)
+        .unwrap();
+    let reap = p
+        .invoke("read-list", "t", &f.input_a(), RestoreStrategy::Reap)
+        .unwrap();
     // REAP's setup includes the blocking 526 MB working-set fetch (§6.2:
     // "the setup step takes a long time to load and install the working
     // set" for read-list and mmap).
     assert!(
-        reap.report.setup_time.as_millis_f64()
-            > vanilla.report.setup_time.as_millis_f64() + 300.0,
+        reap.report.setup_time.as_millis_f64() > vanilla.report.setup_time.as_millis_f64() + 300.0,
         "REAP setup {} must dwarf vanilla {}",
         reap.report.setup_time,
         vanilla.report.setup_time

@@ -48,7 +48,7 @@ proptest! {
                 (None, None) => {}
                 (Some((0, _, _)), Some(Resolved::Anonymous)) => {}
                 (Some((_, f, fp)), Some(Resolved::File { file, file_page })) => {
-                    prop_assert_eq!(file, FileId(f as u64));
+                    prop_assert_eq!(file, FileId(f));
                     prop_assert_eq!(file_page, fp);
                 }
                 (expect, got) => prop_assert!(false, "page {}: {:?} vs {:?}", p, expect, got),

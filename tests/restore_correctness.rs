@@ -81,7 +81,10 @@ fn faasnap_mapping_verification_active() {
         .invoke("chameleon", "t", &f.input_b(), RestoreStrategy::faasnap())
         .unwrap();
     assert!(out.report.anon_faults > 0, "anonymous arm exercised");
-    assert!(out.report.minor_faults + out.report.major_faults > 0, "file arms exercised");
+    assert!(
+        out.report.minor_faults + out.report.major_faults > 0,
+        "file arms exercised"
+    );
     assert!(!out.report.degraded);
 }
 
