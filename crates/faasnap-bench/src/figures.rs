@@ -6,7 +6,7 @@ use faasnap_daemon::platform::BurstKind;
 use sim_core::units::MIB;
 use sim_storage::profiles::DiskProfile;
 
-use crate::runner::{ensure_recorded, measure_total, platform_with, run_once};
+use crate::runner::{dump_observability, ensure_recorded, measure_total, platform_with, run_once};
 use crate::Effort;
 
 /// The four headline systems in the paper's plotting order.
@@ -92,6 +92,7 @@ pub fn fig1_breakdown(effort: Effort) -> TextTable {
             ]);
         }
     }
+    dump_observability(&p, "fig1_breakdown");
     t
 }
 

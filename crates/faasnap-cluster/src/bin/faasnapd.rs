@@ -8,20 +8,29 @@
 //! faasnapd list
 //! faasnapd invoke <function> [--strategy faasnap|firecracker|cached|reap|warm]
 //!                            [--input a|b] [--ratio <f64>] [--device nvme|ebs]
-//!                            [--trace]
+//!                            [--trace] [--trace-out <file>] [--metrics-out <file>]
 //! faasnapd burst <function> --parallelism <n> [--strategy ...] [--kind same|diff]
 //! faasnapd policy <function>
 //! faasnapd cluster [--hosts 8] [--seed 42] [--policy all|random|least-loaded|snapshot-locality]
 //!                  [--tenants 36] [--rate 40] [--skew 1.2] [--horizon 300]
+//!                  [--smoke] [--metrics-out <file>] [--trace-out <file>]
 //! ```
+//!
+//! `--trace-out` writes a Chrome trace-event JSON file loadable in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`; `--metrics-out`
+//! writes a Prometheus text-exposition snapshot. `cluster --smoke` runs
+//! the fixed [`ClusterConfig::smoke`] fleet (no calibration), which the
+//! repository's golden tests pin byte-for-byte.
 
 use faasnap::strategy::RestoreStrategy;
 use faasnap_cluster::{calibrate, run_cluster, ClusterConfig, RoutePolicy, WorkloadSpec};
 use faasnap_daemon::config::ExperimentConfig;
+use faasnap_daemon::observe::traced_invoke;
 use faasnap_daemon::platform::{BurstKind, Platform};
 use faasnap_daemon::policy::{best_mode_for_period, Costs, ModeLatencies};
-use faasnap_daemon::spans::invocation_trace;
+use faasnap_obs::{chrome_trace_json, render_text_tree, Metrics, Tracer};
 use sim_core::json::Value;
+use sim_core::stats::Summary;
 use sim_core::time::SimDuration;
 use sim_storage::profiles::DiskProfile;
 
@@ -37,7 +46,7 @@ impl Args {
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = if matches!(name, "trace") {
+                let value = if matches!(name, "trace" | "smoke") {
                     "true".to_string()
                 } else {
                     iter.next()
@@ -70,13 +79,21 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn platform_for(device: &str, seed: u64) -> Platform {
-    let profile = match device {
+fn profile_for(device: &str) -> DiskProfile {
+    match device {
         "nvme" => DiskProfile::nvme_c5d(),
         "ebs" => DiskProfile::ebs_io2(),
         other => die(&format!("unknown device {other:?} (nvme|ebs)")),
-    };
-    let mut p = Platform::new(profile, seed);
+    }
+}
+
+fn write_artifact(path: &str, what: &str, content: &str) {
+    std::fs::write(path, content).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    eprintln!("wrote {what} to {path}");
+}
+
+fn platform_for(device: &str, seed: u64) -> Platform {
+    let mut p = Platform::new(profile_for(device), seed);
     for f in faas_workloads::all_functions() {
         p.register(f);
     }
@@ -148,15 +165,12 @@ fn input_for(args: &Args, f: &faas_workloads::Function) -> faas_workloads::Input
 fn cmd_invoke(args: &Args) {
     let f = function_for(args);
     let strategy = strategy_for(&args.flag("strategy", "faasnap"));
-    let mut p = platform_for(&args.flag("device", "nvme"), 0xFA5D);
+    let profile = profile_for(&args.flag("device", "nvme"));
     let input = input_for(args, &f);
     println!("recording snapshot for {} (input A)...", f.name());
-    p.record(f.name(), "cli", &f.input_a())
-        .unwrap_or_else(|e| die(&e));
-    let out = p
-        .invoke(f.name(), "cli", &input, strategy)
-        .unwrap_or_else(|e| die(&e));
-    let r = &out.report;
+    let run =
+        traced_invoke(f.name(), &input, strategy, profile, 0xFA5D).unwrap_or_else(|e| die(&e));
+    let r = &run.outcome.report;
     println!(
         "{} under {}: total {} (setup {} + invoke {})",
         f.name(),
@@ -176,7 +190,13 @@ fn cmd_invoke(args: &Args) {
         r.fetch_time
     );
     if args.flags.contains_key("trace") {
-        println!("\n{}", invocation_trace(f.name(), r));
+        println!("\n{}", render_text_tree(&run.tracer));
+    }
+    if let Some(path) = args.flags.get("trace-out") {
+        write_artifact(path, "Chrome trace", &chrome_trace_json(&run.tracer));
+    }
+    if let Some(path) = args.flags.get("metrics-out") {
+        write_artifact(path, "metrics", &run.metrics.render_prometheus());
     }
 }
 
@@ -201,20 +221,19 @@ fn cmd_burst(args: &Args) {
     let outs = p
         .burst(f.name(), "cli", &f.input_b(), strategy, parallelism, kind)
         .unwrap_or_else(|e| die(&e));
-    let mut times: Vec<f64> = outs
+    let times: Summary = outs
         .iter()
         .map(|o| o.report.total_time().as_millis_f64())
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    let mean = times.iter().sum::<f64>() / times.len() as f64;
     println!(
-        "{} x{} ({kind:?}, {}): mean {:.1} ms, min {:.1} ms, max {:.1} ms",
+        "{} x{} ({kind:?}, {}): mean {:.1} ms, p95 {:.1} ms, min {:.1} ms, max {:.1} ms",
         f.name(),
         parallelism,
         strategy.label(),
-        mean,
-        times.first().unwrap(),
-        times.last().unwrap(),
+        times.mean(),
+        times.p95(),
+        times.min(),
+        times.max(),
     );
 }
 
@@ -268,35 +287,71 @@ fn cmd_cluster(args: &Args) {
         one => vec![RoutePolicy::parse(one).unwrap_or_else(|e| die(&e))],
     };
 
+    let smoke = args.flags.contains_key("smoke");
     // Calibrate per-workload service times against the detailed
-    // single-host platform, then replay the fleet against them.
+    // single-host platform, then replay the fleet against them. The
+    // smoke fleet uses the built-in defaults so golden files don't
+    // depend on the (slow) calibration runs.
     let workloads = ["hello-world", "json", "compression", "image"];
-    eprintln!(
-        "calibrating {} workloads on the single-host platform...",
-        workloads.len()
-    );
-    let services = calibrate::calibrate_workloads(&workloads, seed).unwrap_or_else(|e| die(&e));
-    for (name, t) in &services {
+    let services = if smoke {
+        Vec::new()
+    } else {
         eprintln!(
-            "  {name}: warm {}, snap-hot {}, snap-cold {}, cold {}",
-            t.warm, t.snap_hot, t.snap_cold, t.cold
+            "calibrating {} workloads on the single-host platform...",
+            workloads.len()
         );
-    }
+        let services = calibrate::calibrate_workloads(&workloads, seed).unwrap_or_else(|e| die(&e));
+        for (name, t) in &services {
+            eprintln!(
+                "  {name}: warm {}, snap-hot {}, snap-cold {}, cold {}",
+                t.warm, t.snap_hot, t.snap_cold, t.cold
+            );
+        }
+        services
+    };
+
+    let obs = if args.flags.contains_key("metrics-out") {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+    let tracer = if args.flags.contains_key("trace-out") {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
 
     let mut runs = Vec::new();
     let mut p99_by_policy: Vec<(String, f64)> = Vec::new();
     for policy in policies {
-        let mut cfg = ClusterConfig::demo(hosts, policy, seed);
-        cfg.workload = WorkloadSpec::zipf(tenants, &workloads, rate, skew);
-        cfg.horizon = SimDuration::from_secs(horizon_s);
-        cfg.services = services.clone();
+        let mut cfg = if smoke {
+            ClusterConfig::smoke(policy, seed)
+        } else {
+            let mut cfg = ClusterConfig::demo(hosts, policy, seed);
+            cfg.workload = WorkloadSpec::zipf(tenants, &workloads, rate, skew);
+            cfg.horizon = SimDuration::from_secs(horizon_s);
+            cfg.services = services.clone();
+            cfg
+        };
+        cfg.obs = obs.clone();
+        cfg.tracer = tracer.clone();
         eprintln!(
-            "simulating {} on {hosts} hosts, {tenants} tenants, {rate}/s for {horizon_s}s...",
-            policy.label()
+            "simulating {} on {} hosts, {} tenants for {}...",
+            policy.label(),
+            cfg.hosts,
+            cfg.workload.tenants.len(),
+            cfg.horizon
         );
         let m = run_cluster(&cfg);
         p99_by_policy.push((policy.label().to_string(), m.p(99.0)));
         runs.push(m.to_json());
+    }
+
+    if let Some(path) = args.flags.get("metrics-out") {
+        write_artifact(path, "metrics", &obs.render_prometheus());
+    }
+    if let Some(path) = args.flags.get("trace-out") {
+        write_artifact(path, "Chrome trace", &chrome_trace_json(&tracer));
     }
 
     let mut doc = Value::object().with("runs", Value::Array(runs));

@@ -7,6 +7,7 @@
 //! snapshot-registry state transitions) happens synchronously inside the
 //! handlers, so a run is a pure function of its [`ClusterConfig`].
 
+use faasnap_obs::{Metrics, TraceContext, Tracer};
 use sim_core::engine::{Engine, Scheduler, World};
 use sim_core::rng::Prng;
 use sim_core::time::{SimDuration, SimTime};
@@ -34,6 +35,12 @@ pub struct ClusterConfig {
     /// Per-base-workload service times; tenants resolve through their
     /// `workload` name, falling back to [`ServiceTimes::default`].
     pub services: Vec<(String, ServiceTimes)>,
+    /// Trace handle: per-request `fleet/request` spans and routing
+    /// instants (disabled by default — zero cost).
+    pub tracer: Tracer,
+    /// Metrics handle: fleet counters, queue-depth gauges, and the
+    /// end-to-end latency histogram (disabled by default).
+    pub obs: Metrics,
 }
 
 impl ClusterConfig {
@@ -51,6 +58,27 @@ impl ClusterConfig {
             horizon: SimDuration::from_secs(300),
             seed,
             services: Vec::new(),
+            tracer: Tracer::disabled(),
+            obs: Metrics::disabled(),
+        }
+    }
+
+    /// A small, fully specified fleet shared by `faasnapd cluster
+    /// --smoke` and the metrics golden test: identical parameters, so a
+    /// given seed produces byte-identical metrics everywhere. Uses the
+    /// built-in default service times — no calibration run needed.
+    pub fn smoke(policy: RoutePolicy, seed: u64) -> Self {
+        let workloads = ["hello-world", "json"];
+        ClusterConfig {
+            hosts: 2,
+            host: HostConfig::default(),
+            policy,
+            workload: WorkloadSpec::zipf(6, &workloads, 10.0, 1.2),
+            horizon: SimDuration::from_secs(30),
+            seed,
+            services: Vec::new(),
+            tracer: Tracer::disabled(),
+            obs: Metrics::disabled(),
         }
     }
 
@@ -75,6 +103,7 @@ enum Ev {
         tenant: TenantId,
         mode: ServeMode,
         arrived: SimTime,
+        ctx: TraceContext,
     },
 }
 
@@ -85,6 +114,8 @@ struct FleetWorld<'a> {
     hosts: Vec<HostSim>,
     route_rng: Prng,
     metrics: FleetMetrics,
+    tracer: Tracer,
+    obs: Metrics,
 }
 
 impl FleetWorld<'_> {
@@ -99,6 +130,7 @@ impl FleetWorld<'_> {
                 tenant: job.tenant,
                 mode,
                 arrived: job.arrived,
+                ctx: job.ctx,
             },
         );
     }
@@ -111,15 +143,33 @@ impl World for FleetWorld<'_> {
         match ev {
             Ev::Arrive(i) => {
                 let tenant = self.arrivals[i].tenant;
+                let ctx = self
+                    .tracer
+                    .begin("fleet/request", "fleet", now, TraceContext::NONE);
+                self.tracer.tag(ctx, "tenant", tenant);
                 match self
                     .policy
                     .pick(&self.hosts, tenant, now, &mut self.route_rng)
                 {
-                    None => self.metrics.record_shed(tenant),
+                    None => {
+                        self.tracer.tag(ctx, "shed", true);
+                        self.tracer.end(ctx, now);
+                        self.obs
+                            .counter_inc("fleet_shed_total", &[("host", "router")]);
+                        self.metrics.record_shed(tenant);
+                    }
                     Some(host) => {
+                        self.tracer.instant(
+                            "router/route",
+                            "fleet",
+                            now,
+                            ctx,
+                            vec![("host", (host as u64).into())],
+                        );
                         let job = QueuedJob {
                             tenant,
                             arrived: now,
+                            ctx,
                         };
                         let times = self.tenant_times[tenant];
                         match self.hosts[host].admit(job, now, &times) {
@@ -132,13 +182,18 @@ impl World for FleetWorld<'_> {
                                         tenant,
                                         mode,
                                         arrived: now,
+                                        ctx,
                                     },
                                 );
                             }
                             Admission::Queued => {}
                             // The router only picks admittable hosts, but
                             // account for it defensively.
-                            Admission::Shed => self.metrics.record_shed(tenant),
+                            Admission::Shed => {
+                                self.tracer.tag(ctx, "shed", true);
+                                self.tracer.end(ctx, now);
+                                self.metrics.record_shed(tenant);
+                            }
                         }
                     }
                 }
@@ -148,7 +203,18 @@ impl World for FleetWorld<'_> {
                 tenant,
                 mode,
                 arrived,
+                ctx,
             } => {
+                self.tracer.tag(ctx, "mode", mode.label());
+                self.tracer.end(ctx, now);
+                // The log2 histogram buckets are labeled in µs; fleet
+                // latencies are ms-scale, so scale down by 1000 and name
+                // the family _ms — its bucket labels then read as ms.
+                self.obs.observe(
+                    "fleet_latency_ms",
+                    &[("policy", self.policy.label())],
+                    now.since(arrived).mul_f64(0.001),
+                );
                 self.metrics.record(tenant, mode, now.since(arrived));
                 self.hosts[host].finish(tenant, now);
                 if let Some(job) = self.hosts[host].pop_queued() {
@@ -179,7 +245,13 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
         arrivals: &arrivals,
         tenant_times: &tenant_times,
         policy: cfg.policy,
-        hosts: (0..cfg.hosts).map(|_| HostSim::new(cfg.host)).collect(),
+        hosts: (0..cfg.hosts)
+            .map(|i| {
+                let mut h = HostSim::new(cfg.host);
+                h.set_metrics(cfg.obs.clone(), i);
+                h
+            })
+            .collect(),
         // Routing randomness is independent of arrival randomness so the
         // same trace replays under every policy.
         route_rng: Prng::new(cfg.seed ^ 0x1205_7EA3_C0FF_EE00),
@@ -190,6 +262,8 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
             cfg.horizon,
             tenant_names,
         ),
+        tracer: cfg.tracer.clone(),
+        obs: cfg.obs.clone(),
     };
     let mut engine: Engine<Ev> = Engine::new();
     for (i, a) in arrivals.iter().enumerate() {

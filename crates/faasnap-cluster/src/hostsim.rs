@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use faasnap_daemon::policy::ModeLatencies;
+use faasnap_obs::{Metrics, TraceContext};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::arrival::TenantId;
@@ -145,6 +146,8 @@ pub struct QueuedJob {
     pub tenant: TenantId,
     /// When the request arrived at the router.
     pub arrived: SimTime,
+    /// The request's `fleet/request` span (NONE when tracing is off).
+    pub ctx: TraceContext,
 }
 
 /// Byte-budgeted LRU over tenant-owned artifacts (snapshots or cached
@@ -259,6 +262,8 @@ pub struct HostSim {
     cache: LruBudget,
     shed: u64,
     busy: SimDuration,
+    metrics: Metrics,
+    host_label: String,
 }
 
 impl HostSim {
@@ -273,7 +278,15 @@ impl HostSim {
             cache: LruBudget::new(cfg.cache_budget_bytes),
             shed: 0,
             busy: SimDuration::ZERO,
+            metrics: Metrics::disabled(),
+            host_label: String::from("0"),
         }
+    }
+
+    /// Attaches a metrics registry; `index` labels this host's series.
+    pub fn set_metrics(&mut self, metrics: Metrics, index: usize) {
+        self.metrics = metrics;
+        self.host_label = index.to_string();
     }
 
     /// The host's configuration.
@@ -354,9 +367,16 @@ impl HostSim {
             Admission::Started { mode, service }
         } else if self.queue.len() < self.cfg.queue_cap {
             self.queue.push_back(job);
+            self.metrics.gauge_max(
+                "fleet_queue_depth_max",
+                &[("host", &self.host_label)],
+                self.queue.len() as f64,
+            );
             Admission::Queued
         } else {
             self.shed += 1;
+            self.metrics
+                .counter_inc("fleet_shed_total", &[("host", &self.host_label)]);
             Admission::Shed
         }
     }
@@ -364,6 +384,8 @@ impl HostSim {
     /// Records a shed decision made by the router (no admittable host).
     pub fn note_shed(&mut self) {
         self.shed += 1;
+        self.metrics
+            .counter_inc("fleet_shed_total", &[("host", &self.host_label)]);
     }
 
     /// Starts serving `tenant` in a free slot: picks the serving mode
@@ -379,6 +401,8 @@ impl HostSim {
         self.purge_expired_warm(now);
         let mode = if let Some(pos) = self.warm.iter().position(|&(t, _)| t == tenant) {
             self.warm.remove(pos);
+            self.metrics
+                .counter_inc("fleet_warm_pool_hits_total", &[("host", &self.host_label)]);
             ServeMode::Warm
         } else if self.snapshots.contains(tenant) {
             self.snapshots.touch(tenant);
@@ -395,12 +419,22 @@ impl HostSim {
             // miss on this host restores instead. Evictions cascade: a
             // snapshot pushed out of the registry also loses its cache
             // residency claim.
-            for evicted in self.snapshots.insert(tenant, times.snapshot_bytes) {
-                self.cache.remove(evicted);
+            let evicted = self.snapshots.insert(tenant, times.snapshot_bytes);
+            if !evicted.is_empty() {
+                self.metrics.counter_add(
+                    "fleet_snapshot_evictions_total",
+                    &[("host", &self.host_label)],
+                    evicted.len() as u64,
+                );
+            }
+            for tenant in evicted {
+                self.cache.remove(tenant);
             }
             self.cache.insert(tenant, times.loading_set_bytes);
             ServeMode::Cold
         };
+        self.metrics
+            .counter_inc("fleet_requests_total", &[("mode", mode.label())]);
         let service = times.latency(mode);
         self.running += 1;
         self.busy += service;
@@ -511,6 +545,7 @@ mod tests {
         let job = |tenant| QueuedJob {
             tenant,
             arrived: t(0),
+            ctx: TraceContext::NONE,
         };
         assert!(matches!(
             h.admit(job(0), t(0), &st),

@@ -162,9 +162,9 @@ impl FleetMetrics {
         let fleet = Value::object()
             .with("served", self.total_served())
             .with("shed", self.total_shed())
-            .with("p50_ms", round3(self.p(50.0)))
-            .with("p95_ms", round3(self.p(95.0)))
-            .with("p99_ms", round3(self.p(99.0)))
+            .with("p50_ms", round3(self.latency_ms.p50()))
+            .with("p95_ms", round3(self.latency_ms.p95()))
+            .with("p99_ms", round3(self.latency_ms.p99()))
             .with("mean_ms", round3(self.latency_ms.mean()))
             .with(
                 "mode_mix",
@@ -189,8 +189,8 @@ impl FleetMetrics {
                     .with("snapshot_hot", t.served[1])
                     .with("snapshot_cold", t.served[2])
                     .with("cold", t.served[3])
-                    .with("p50_ms", round3(t.latency_ms.percentile(50.0)))
-                    .with("p99_ms", round3(t.latency_ms.percentile(99.0)))
+                    .with("p50_ms", round3(t.latency_ms.p50()))
+                    .with("p99_ms", round3(t.latency_ms.p99()))
             })
             .collect();
         let hosts: Vec<Value> = self

@@ -140,6 +140,7 @@ mod tests {
                     QueuedJob {
                         tenant,
                         arrived: t(0),
+                        ctx: faasnap_obs::TraceContext::NONE,
                     },
                     t(0),
                     &st,

@@ -17,21 +17,21 @@
 //!   state (§5).
 //! - [`metrics`] — repetition aggregation (mean ± stddev, as the paper
 //!   reports) and text-table rendering for experiment output.
-//! - [`spans`] — per-invocation trace spans (the artifact's Zipkin
-//!   analog).
+//! - [`observe`] — traced invocations (the artifact's Zipkin analog):
+//!   real spans emitted by the runtime, exported via `faasnap-obs`.
 
 pub mod config;
 pub mod kv;
 pub mod metrics;
+pub mod observe;
 pub mod platform;
 pub mod policy;
 pub mod registry;
-pub mod spans;
 
 pub use config::ExperimentConfig;
 pub use kv::{KvStore, KvValue};
 pub use metrics::{MeasuredCell, TextTable};
+pub use observe::{traced_invoke, TraceRun};
 pub use platform::{BurstKind, Platform};
 pub use policy::{simulate_policy, ModeLatencies, Policy, ServingMode};
 pub use registry::FunctionRegistry;
-pub use spans::{invocation_trace, Span};

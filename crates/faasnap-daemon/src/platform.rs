@@ -11,6 +11,8 @@
 use faas_workloads::{Function, Input};
 use faasnap::runtime::{run_invocations, Host, InvocationOutcome, InvocationSpec};
 use faasnap::strategy::RestoreStrategy;
+use faasnap_obs::{Metrics, TraceContext, Tracer};
+use sim_core::time::SimTime;
 use sim_storage::file::DeviceId;
 use sim_storage::profiles::DiskProfile;
 
@@ -75,6 +77,27 @@ impl Platform {
         self.device = device;
     }
 
+    /// Attaches a tracer: every later record/invoke emits causal spans
+    /// through the runtime and the fault resolver.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.host.tracer = tracer;
+    }
+
+    /// The trace handle (disabled unless [`Platform::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.host.tracer
+    }
+
+    /// Attaches a metrics registry.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.host.metrics = metrics;
+    }
+
+    /// The metrics handle.
+    pub fn metrics(&self) -> &Metrics {
+        &self.host.metrics
+    }
+
     /// Registers a function.
     pub fn register(&mut self, function: Function) {
         self.registry.register(function);
@@ -89,8 +112,22 @@ impl Platform {
     /// under `label`.
     pub fn record(&mut self, name: &str, label: &str, input: &Input) -> Result<(), String> {
         let device = self.device;
-        self.registry
-            .record(&mut self.host, name, label, input, device)
+        let tracer = self.host.tracer.clone();
+        let ctx = tracer.begin(
+            "platform/record",
+            "daemon",
+            SimTime::ZERO,
+            TraceContext::NONE,
+        );
+        tracer.tag(ctx, "function", name);
+        tracer.tag(ctx, "label", label);
+        tracer.push_parent(ctx);
+        let result = self
+            .registry
+            .record(&mut self.host, name, label, input, device);
+        tracer.pop_parent();
+        tracer.end(ctx, tracer.latest_end().unwrap_or(SimTime::ZERO));
+        result
     }
 
     /// Test-phase invocation: drops caches (§6.1 hygiene), restores under
@@ -114,7 +151,20 @@ impl Platform {
             },
         );
         self.host.drop_caches();
+        let tracer = self.host.tracer.clone();
+        let ctx = tracer.begin(
+            "platform/invoke",
+            "daemon",
+            SimTime::ZERO,
+            TraceContext::NONE,
+        );
+        tracer.tag(ctx, "function", name);
+        tracer.tag(ctx, "label", label);
+        tracer.tag(ctx, "strategy", strategy.label());
+        tracer.push_parent(ctx);
         let outcome = faasnap::runtime::run_invocation(&mut self.host, spec);
+        tracer.pop_parent();
+        tracer.end(ctx, SimTime::ZERO + outcome.report.total_time());
         self.kv.put(
             format!("{name}/output"),
             KvValue {

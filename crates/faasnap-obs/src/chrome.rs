@@ -1,0 +1,144 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the ["trace event format"] consumed by Perfetto and
+//! `chrome://tracing`: completed spans become `"ph": "X"` events with
+//! microsecond `ts`/`dur`, instants become `"ph": "i"`. All values are
+//! derived from sim-time and emitted through [`sim_core::json`]'s
+//! order-preserving writer, so two runs with the same seed serialize
+//! byte-identically — a property the golden tests pin.
+//!
+//! ["trace event format"]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use sim_core::json::Value;
+use sim_core::time::SimTime;
+
+use crate::trace::{SpanRec, TraceContext, Tracer};
+
+/// The process id used for every event (one simulated host).
+const PID: u64 = 1;
+
+fn us(t: SimTime) -> f64 {
+    t.as_micros_f64()
+}
+
+fn args_object(span_id: u64, parent: TraceContext, args: &[(&'static str, Value)]) -> Value {
+    let mut o = Value::object()
+        .with("span_id", span_id)
+        .with("parent_id", parent.id());
+    for (k, v) in args {
+        o.set(k, v.clone());
+    }
+    o
+}
+
+/// Renders one span as a Chrome `"X"` (complete) event. Open spans are
+/// exported with zero duration and an `unclosed` marker rather than
+/// dropped, so a wedged simulation still yields a loadable trace.
+fn span_event(id: u64, s: &SpanRec) -> Value {
+    let end = s.end.unwrap_or(s.start);
+    let mut args = args_object(id, s.parent, &s.args);
+    if s.end.is_none() {
+        args.set("unclosed", true);
+    }
+    Value::object()
+        .with("name", s.name)
+        .with("cat", s.cat)
+        .with("ph", "X")
+        .with("ts", us(s.start))
+        .with("dur", us(end) - us(s.start))
+        .with("pid", PID)
+        .with("tid", s.track)
+        .with("args", args)
+}
+
+/// Builds the full trace document for a tracer's buffer.
+pub fn chrome_trace(tracer: &Tracer) -> Value {
+    let mut events = vec![Value::object()
+        .with("name", "process_name")
+        .with("ph", "M")
+        .with("pid", PID)
+        .with("tid", 0u64)
+        .with("args", Value::object().with("name", "faasnap-sim"))];
+    for (i, s) in tracer.spans().iter().enumerate() {
+        events.push(span_event(i as u64 + 1, s));
+    }
+    for inst in tracer.instants() {
+        events.push(
+            Value::object()
+                .with("name", inst.name)
+                .with("cat", inst.cat)
+                .with("ph", "i")
+                .with("ts", us(inst.at))
+                .with("s", "t")
+                .with("pid", PID)
+                .with("tid", inst.track)
+                .with("args", args_object(0, inst.parent, &inst.args)),
+        );
+    }
+    Value::object()
+        .with("displayTimeUnit", "ms")
+        .with("traceEvents", Value::Array(events))
+}
+
+/// The trace document as pretty-printed JSON (deterministic bytes).
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut s = chrome_trace(tracer).to_string_pretty();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    fn sample() -> Tracer {
+        let tr = Tracer::enabled();
+        let root = tr.begin("invocation", "vm", t(0), TraceContext::NONE);
+        tr.tag(root, "strategy", "faasnap");
+        let f = tr.complete("function", "vm", t(50), SimDuration::from_micros(100), root);
+        tr.instant("reply", "vm", t(150), f, Vec::new());
+        tr.end(root, t(150));
+        tr
+    }
+
+    #[test]
+    fn document_shape() {
+        let doc = chrome_trace(&sample());
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Metadata + two spans + one instant.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("invocation"));
+        assert_eq!(events[1].get("dur").unwrap().as_f64(), Some(150.0));
+        assert_eq!(events[3].get("ph").unwrap().as_str(), Some("i"));
+        // Parent link of the child span points at span 1.
+        let args = events[2].get("args").unwrap();
+        assert_eq!(args.get("parent_id").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn output_parses_and_round_trips_deterministically() {
+        let a = chrome_trace_json(&sample());
+        let b = chrome_trace_json(&sample());
+        assert_eq!(a, b);
+        sim_core::json::parse(&a).expect("valid JSON");
+    }
+
+    #[test]
+    fn unclosed_span_marked_not_dropped() {
+        let tr = Tracer::enabled();
+        tr.begin("open", "c", t(5), TraceContext::NONE);
+        let doc = chrome_trace(&tr);
+        let ev = &doc.get("traceEvents").unwrap().as_array().unwrap()[1];
+        assert_eq!(ev.get("dur").unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            ev.get("args").unwrap().get("unclosed").cloned(),
+            Some(Value::Bool(true))
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Observability for the FaaSnap simulation.
+//!
+//! Three pieces, all deterministic and all zero-cost when disabled:
+//!
+//! * [`trace`] — causal spans and instant events over simulated time.
+//!   A [`Tracer`] handle is cloned into each layer (fault resolver,
+//!   loader, platform, fleet router); [`TraceContext`] tokens ride on
+//!   DES events so spans get real parent links and real sim-time bounds.
+//! * [`chrome`] / [`text`] — two renderers over the same recorded
+//!   buffer: Chrome trace-event JSON (loadable in Perfetto or
+//!   `chrome://tracing`) and the classic indented text tree.
+//! * [`metrics`] — a counters/gauges/histograms registry with
+//!   Prometheus text exposition, backed by
+//!   [`sim_core::stats::Log2Histogram`].
+//!
+//! Handles are `Rc`-shared rather than global: the simulation is
+//! single-threaded and deterministic, and keeping the registry on the
+//! `Host`/`Platform` keeps two concurrent simulations (e.g. in tests)
+//! fully isolated.
+
+pub mod chrome;
+pub mod metrics;
+pub mod text;
+pub mod trace;
+
+pub use chrome::{chrome_trace, chrome_trace_json};
+pub use metrics::Metrics;
+pub use text::render_text_tree;
+pub use trace::{InstantRec, SpanRec, TraceContext, Tracer};

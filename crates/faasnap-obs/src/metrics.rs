@@ -1,0 +1,350 @@
+//! A small metrics registry with Prometheus text exposition.
+//!
+//! Counters, gauges, and [`Log2Histogram`]-backed histograms, addressed
+//! by `(name, labels)`. Like [`crate::trace::Tracer`], a [`Metrics`]
+//! handle is a cheap clone sharing one registry, and the default handle
+//! is disabled (every operation a no-op). Series are stored in
+//! first-touch order — never hashed — so a deterministic simulation
+//! produces byte-identical exposition text.
+//!
+//! Histogram buckets reuse [`Log2Histogram::EDGES_US`], i.e. histogram
+//! metrics are *microsecond* latencies bucketed by powers of two, which
+//! is exactly the paper's Figure 2 presentation re-expressed as a
+//! Prometheus histogram.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use sim_core::stats::Log2Histogram;
+use sim_core::time::SimDuration;
+
+/// Label set: key/value pairs in fixed order.
+type Labels = Vec<(&'static str, String)>;
+
+#[derive(Debug)]
+struct Series<T> {
+    name: &'static str,
+    labels: Labels,
+    value: T,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Vec<Series<u64>>,
+    gauges: Vec<Series<f64>>,
+    histograms: Vec<Series<Log2Histogram>>,
+}
+
+fn find_or_insert<'a, T: Default>(
+    series: &'a mut Vec<Series<T>>,
+    name: &'static str,
+    labels: &[(&'static str, &str)],
+) -> &'a mut T {
+    let pos = series
+        .iter()
+        .position(|s| s.name == name && labels_match(&s.labels, labels));
+    let idx = match pos {
+        Some(i) => i,
+        None => {
+            series.push(Series {
+                name,
+                labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
+                value: T::default(),
+            });
+            series.len() - 1
+        }
+    };
+    &mut series[idx].value
+}
+
+fn labels_match(stored: &Labels, query: &[(&'static str, &str)]) -> bool {
+    stored.len() == query.len()
+        && stored
+            .iter()
+            .zip(query)
+            .all(|((sk, sv), (qk, qv))| sk == qk && sv == qv)
+}
+
+fn label_suffix(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Distinct family names in first-touch order.
+fn family_names<T>(series: &[Series<T>]) -> Vec<&'static str> {
+    let mut names = Vec::new();
+    for s in series {
+        if !names.contains(&s.name) {
+            names.push(s.name);
+        }
+    }
+    names
+}
+
+/// Formats an edge for a `le` label: integral edges drop the fraction,
+/// infinity becomes `+Inf`.
+fn le_label(edge: f64) -> String {
+    if edge.is_infinite() {
+        "+Inf".to_string()
+    } else if edge.fract() == 0.0 {
+        format!("{}", edge as u64)
+    } else {
+        format!("{edge}")
+    }
+}
+
+/// The metrics handle. Clones share one registry; the default handle is
+/// disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    inner: Option<Rc<RefCell<Registry>>>,
+}
+
+impl Metrics {
+    /// A disabled handle: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// An enabled handle with an empty registry.
+    pub fn enabled() -> Self {
+        Metrics {
+            inner: Some(Rc::new(RefCell::new(Registry::default()))),
+        }
+    }
+
+    /// True if this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `v` to a counter.
+    pub fn counter_add(&self, name: &'static str, labels: &[(&'static str, &str)], v: u64) {
+        if let Some(reg) = &self.inner {
+            *find_or_insert(&mut reg.borrow_mut().counters, name, labels) += v;
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn counter_inc(&self, name: &'static str, labels: &[(&'static str, &str)]) {
+        self.counter_add(name, labels, 1);
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+        if let Some(reg) = &self.inner {
+            *find_or_insert(&mut reg.borrow_mut().gauges, name, labels) = v;
+        }
+    }
+
+    /// Raises a gauge to `v` if `v` is larger (high-water marks such as
+    /// peak queue depth).
+    pub fn gauge_max(&self, name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+        if let Some(reg) = &self.inner {
+            let mut reg = reg.borrow_mut();
+            let g = find_or_insert(&mut reg.gauges, name, labels);
+            if v > *g {
+                *g = v;
+            }
+        }
+    }
+
+    /// Records a duration sample into a log2-µs histogram.
+    pub fn observe(&self, name: &'static str, labels: &[(&'static str, &str)], d: SimDuration) {
+        if let Some(reg) = &self.inner {
+            find_or_insert(&mut reg.borrow_mut().histograms, name, labels).record(d);
+        }
+    }
+
+    /// Current value of a counter, if it exists (for tests/assertions).
+    pub fn counter_value(&self, name: &str, labels: &[(&'static str, &str)]) -> Option<u64> {
+        let reg = self.inner.as_ref()?;
+        let reg = reg.borrow();
+        reg.counters
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+            .map(|s| s.value)
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    /// Families appear in first-touch order (counters, then gauges, then
+    /// histograms), each introduced by a `# TYPE` line with all of its
+    /// series grouped under it, as the exposition format requires.
+    pub fn render_prometheus(&self) -> String {
+        let Some(reg) = &self.inner else {
+            return String::new();
+        };
+        let reg = reg.borrow();
+        let mut out = String::new();
+        for name in family_names(&reg.counters) {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for s in reg.counters.iter().filter(|s| s.name == name) {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    s.name,
+                    label_suffix(&s.labels, None),
+                    s.value
+                );
+            }
+        }
+        for name in family_names(&reg.gauges) {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for s in reg.gauges.iter().filter(|s| s.name == name) {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    s.name,
+                    label_suffix(&s.labels, None),
+                    s.value
+                );
+            }
+        }
+        for name in family_names(&reg.histograms) {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for s in reg.histograms.iter().filter(|s| s.name == name) {
+                let rows = s.value.rows();
+                let mut cum = 0u64;
+                // rows[0] is the below-first-edge count; rows[i + 1] the
+                // i-th bucket. Cumulate into `le` buckets at each finite
+                // edge; the final open bucket becomes the `+Inf` row.
+                let finite = Log2Histogram::EDGES_US.len() - 1;
+                for (i, &edge) in Log2Histogram::EDGES_US[..finite].iter().enumerate() {
+                    cum += rows[i].1;
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        label_suffix(&s.labels, Some(("le", &le_label(edge)))),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    s.name,
+                    label_suffix(&s.labels, Some(("le", "+Inf"))),
+                    s.value.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    label_suffix(&s.labels, None),
+                    s.value.total().as_micros_f64()
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    s.name,
+                    label_suffix(&s.labels, None),
+                    s.value.count()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let m = Metrics::disabled();
+        m.counter_inc("c", &[]);
+        m.gauge_set("g", &[], 3.0);
+        m.observe("h", &[], SimDuration::from_micros(5));
+        assert_eq!(m.render_prometheus(), "");
+        assert_eq!(m.counter_value("c", &[]), None);
+    }
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = Metrics::enabled();
+        m.counter_inc("faults_total", &[("class", "minor")]);
+        m.counter_inc("faults_total", &[("class", "minor")]);
+        m.counter_add("faults_total", &[("class", "major")], 5);
+        assert_eq!(
+            m.counter_value("faults_total", &[("class", "minor")]),
+            Some(2)
+        );
+        assert_eq!(
+            m.counter_value("faults_total", &[("class", "major")]),
+            Some(5)
+        );
+        let text = m.render_prometheus();
+        assert_eq!(
+            text.lines().next(),
+            Some("# TYPE faults_total counter"),
+            "one TYPE line first"
+        );
+        assert!(text.contains("faults_total{class=\"minor\"} 2"));
+        assert!(text.contains("faults_total{class=\"major\"} 5"));
+        assert_eq!(text.matches("# TYPE faults_total").count(), 1);
+    }
+
+    #[test]
+    fn families_grouped_despite_interleaved_touches() {
+        let m = Metrics::enabled();
+        m.counter_inc("a_total", &[("k", "1")]);
+        m.counter_inc("b_total", &[]);
+        m.counter_inc("a_total", &[("k", "2")]);
+        let lines: Vec<String> = m.render_prometheus().lines().map(String::from).collect();
+        assert_eq!(
+            lines,
+            [
+                "# TYPE a_total counter",
+                "a_total{k=\"1\"} 1",
+                "a_total{k=\"2\"} 1",
+                "# TYPE b_total counter",
+                "b_total 1",
+            ]
+        );
+    }
+
+    #[test]
+    fn gauge_max_keeps_high_water_mark() {
+        let m = Metrics::enabled();
+        m.gauge_max("depth", &[], 3.0);
+        m.gauge_max("depth", &[], 1.0);
+        m.gauge_max("depth", &[], 7.0);
+        assert!(m.render_prometheus().contains("depth 7"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let m = Metrics::enabled();
+        m.observe("wait_us", &[], SimDuration::from_micros_f64(0.3));
+        m.observe("wait_us", &[], SimDuration::from_micros_f64(3.0));
+        m.observe("wait_us", &[], SimDuration::from_micros_f64(700.0));
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE wait_us histogram"));
+        assert!(text.contains("wait_us_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("wait_us_bucket{le=\"4\"} 2"));
+        assert!(text.contains("wait_us_bucket{le=\"512\"} 2"));
+        assert!(text.contains("wait_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("wait_us_sum 703.3"));
+        assert!(text.contains("wait_us_count 3"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic_given_same_operations() {
+        let build = || {
+            let m = Metrics::enabled();
+            m.counter_inc("a_total", &[("k", "x")]);
+            m.gauge_set("b", &[], 2.5);
+            m.observe("c_us", &[], SimDuration::from_micros(9));
+            m.render_prometheus()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,102 @@
+//! The indented text-tree renderer.
+//!
+//! Re-implements the old `faasnap-daemon::spans` display format as just
+//! another view over real recorded spans: each line is
+//! `name [start +duration] key=value ...`, children indented two spaces,
+//! in span-creation order. Unlike the old module, nothing here is
+//! reconstructed from an `InvocationReport` — the tree is exactly what
+//! the instrumented code emitted.
+
+use sim_core::json::Value;
+use sim_core::time::SimTime;
+
+use crate::trace::{SpanRec, Tracer};
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => other.to_string_compact(),
+    }
+}
+
+fn render_span(
+    spans: &[SpanRec],
+    children: &[Vec<usize>],
+    i: usize,
+    depth: usize,
+    out: &mut String,
+) {
+    let s = &spans[i];
+    let start = s.start.since(SimTime::ZERO);
+    let indent = "  ".repeat(depth);
+    out.push_str(&format!("{indent}{} [{start} ", s.name));
+    match s.end {
+        Some(end) => out.push_str(&format!("+{}]", end.since(s.start))),
+        None => out.push_str("+?]"),
+    }
+    for (k, v) in &s.args {
+        out.push_str(&format!(" {k}={}", value_text(v)));
+    }
+    out.push('\n');
+    for &c in &children[i] {
+        render_span(spans, children, c, depth + 1, out);
+    }
+}
+
+/// Renders the whole buffer as an indented tree (roots in creation
+/// order). Returns an empty string for a disabled tracer.
+pub fn render_text_tree(tracer: &Tracer) -> String {
+    let spans = tracer.spans();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent.id() {
+            0 => roots.push(i),
+            p => children[(p - 1) as usize].push(i),
+        }
+    }
+    let mut out = String::new();
+    for r in roots {
+        render_span(&spans, &children, r, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceContext;
+    use sim_core::time::SimDuration;
+
+    #[test]
+    fn renders_nesting_and_tags() {
+        let tr = Tracer::enabled();
+        let ms = |v| SimTime::ZERO + SimDuration::from_millis(v);
+        let root = tr.begin("invocation", "vm", ms(0), TraceContext::NONE);
+        tr.tag(root, "function", "image");
+        let setup = tr.complete("setup", "vm", ms(0), SimDuration::from_millis(50), root);
+        tr.tag(setup, "mmap_calls", 117u64);
+        let f = tr.begin("function", "vm", ms(50), root);
+        tr.complete("fault/major", "mm", ms(60), SimDuration::from_micros(90), f);
+        tr.end(f, ms(170));
+        tr.end(root, ms(170));
+        let text = render_text_tree(&tr);
+        assert!(text.starts_with("invocation [0ns +170"), "got: {text}");
+        assert!(text.contains("function=image"));
+        assert!(text.contains("\n  setup"));
+        assert!(text.contains("mmap_calls=117"));
+        assert!(text.contains("\n    fault/major"));
+    }
+
+    #[test]
+    fn disabled_renders_empty() {
+        assert_eq!(render_text_tree(&Tracer::disabled()), "");
+    }
+
+    #[test]
+    fn open_span_renders_question_mark() {
+        let tr = Tracer::enabled();
+        tr.begin("open", "c", SimTime::ZERO, TraceContext::NONE);
+        assert!(render_text_tree(&tr).contains("+?]"));
+    }
+}

@@ -1,0 +1,377 @@
+//! The tracing core: spans and instants over simulated time.
+//!
+//! A [`Tracer`] is a cheap cloneable handle. Every clone shares one
+//! buffer, so the daemon can hand the same handle to the host, the fault
+//! resolver, and the loader, and all of them append to a single causally
+//! linked trace. A disabled tracer (the default) carries no buffer at
+//! all: every emission is a branch on an `Option` and nothing allocates,
+//! which is what lets the hot fault path stay instrumented permanently.
+//!
+//! Spans are identified by [`TraceContext`], a `Copy` token small enough
+//! to ride on DES events: the runtime begins a span when it schedules a
+//! fault completion, carries the context on the event, and ends the span
+//! when the event fires — giving real parent links and real sim-time
+//! bounds instead of a reconstructed tree.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sim_core::json::Value;
+use sim_core::time::{SimDuration, SimTime};
+
+/// A handle to a live span (or to nothing). `0` is the null context, so
+/// the token can be embedded in events without an `Option` wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext(u64);
+
+impl TraceContext {
+    /// The null context: no span. Emissions parented here become roots;
+    /// ending it is a no-op.
+    pub const NONE: TraceContext = TraceContext(0);
+
+    /// True if this context refers to no span.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    fn from_index(i: usize) -> Self {
+        TraceContext(i as u64 + 1)
+    }
+
+    fn index(self) -> Option<usize> {
+        (self.0 > 0).then(|| (self.0 - 1) as usize)
+    }
+
+    /// Stable span identifier (1-based; 0 means none), as exported.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        TraceContext::NONE
+    }
+}
+
+/// One recorded span.
+#[derive(Clone, Debug)]
+pub struct SpanRec {
+    /// Span name (e.g. `"fault/major"`). Static so emission never
+    /// allocates for the common case.
+    pub name: &'static str,
+    /// Category (Chrome `cat` field), e.g. `"mm"`.
+    pub cat: &'static str,
+    /// Begin instant.
+    pub start: SimTime,
+    /// End instant; `None` while the span is open.
+    pub end: Option<SimTime>,
+    /// Parent span (or [`TraceContext::NONE`] for roots).
+    pub parent: TraceContext,
+    /// Display track (Chrome `tid`); children inherit it at begin time.
+    pub track: u64,
+    /// Key/value annotations.
+    pub args: Vec<(&'static str, Value)>,
+}
+
+/// One recorded instant event.
+#[derive(Clone, Debug)]
+pub struct InstantRec {
+    /// Event name.
+    pub name: &'static str,
+    /// Category.
+    pub cat: &'static str,
+    /// When it happened.
+    pub at: SimTime,
+    /// Enclosing span (or none).
+    pub parent: TraceContext,
+    /// Display track.
+    pub track: u64,
+    /// Key/value annotations.
+    pub args: Vec<(&'static str, Value)>,
+}
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    spans: Vec<SpanRec>,
+    instants: Vec<InstantRec>,
+    parent_stack: Vec<TraceContext>,
+}
+
+/// The tracing handle. Clones share one buffer; the default handle is
+/// disabled and every operation on it is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TraceBuf>>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: no buffer, zero-cost emissions.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// An enabled tracer with an empty buffer.
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TraceBuf::default()))),
+        }
+    }
+
+    /// True if this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Begins a span at `now` under `parent` (inheriting its track).
+    /// Returns [`TraceContext::NONE`] when disabled.
+    pub fn begin(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        now: SimTime,
+        parent: TraceContext,
+    ) -> TraceContext {
+        let Some(buf) = &self.inner else {
+            return TraceContext::NONE;
+        };
+        let mut b = buf.borrow_mut();
+        let track = parent
+            .index()
+            .and_then(|i| b.spans.get(i))
+            .map(|s| s.track)
+            .unwrap_or(0);
+        b.spans.push(SpanRec {
+            name,
+            cat,
+            start: now,
+            end: None,
+            parent,
+            track,
+            args: Vec::new(),
+        });
+        TraceContext::from_index(b.spans.len() - 1)
+    }
+
+    /// Ends the span at `now`. No-op for the null context or when the
+    /// span was already closed (the first end wins).
+    pub fn end(&self, ctx: TraceContext, now: SimTime) {
+        let (Some(buf), Some(i)) = (&self.inner, ctx.index()) else {
+            return;
+        };
+        let mut b = buf.borrow_mut();
+        if let Some(span) = b.spans.get_mut(i) {
+            if span.end.is_none() {
+                span.end = Some(now);
+            }
+        }
+    }
+
+    /// Records a span with known bounds in one call.
+    pub fn complete(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        start: SimTime,
+        duration: SimDuration,
+        parent: TraceContext,
+    ) -> TraceContext {
+        let ctx = self.begin(name, cat, start, parent);
+        self.end(ctx, start + duration);
+        ctx
+    }
+
+    /// Attaches a key/value annotation to a span.
+    pub fn tag(&self, ctx: TraceContext, key: &'static str, value: impl Into<Value>) {
+        let (Some(buf), Some(i)) = (&self.inner, ctx.index()) else {
+            return;
+        };
+        let mut b = buf.borrow_mut();
+        if let Some(span) = b.spans.get_mut(i) {
+            span.args.push((key, value.into()));
+        }
+    }
+
+    /// Records an instant event at `now` under `parent`.
+    pub fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        now: SimTime,
+        parent: TraceContext,
+        args: Vec<(&'static str, Value)>,
+    ) {
+        let Some(buf) = &self.inner else {
+            return;
+        };
+        let mut b = buf.borrow_mut();
+        let track = parent
+            .index()
+            .and_then(|i| b.spans.get(i))
+            .map(|s| s.track)
+            .unwrap_or(0);
+        b.instants.push(InstantRec {
+            name,
+            cat,
+            at: now,
+            parent,
+            track,
+            args,
+        });
+    }
+
+    /// Overrides a span's display track (e.g. one track per VM). Later
+    /// children inherit the new track.
+    pub fn set_track(&self, ctx: TraceContext, track: u64) {
+        let (Some(buf), Some(i)) = (&self.inner, ctx.index()) else {
+            return;
+        };
+        let mut b = buf.borrow_mut();
+        if let Some(span) = b.spans.get_mut(i) {
+            span.track = track;
+        }
+    }
+
+    /// Pushes a default parent for code that cannot thread a context
+    /// (e.g. the platform wrapping a whole invocation run).
+    pub fn push_parent(&self, ctx: TraceContext) {
+        if let Some(buf) = &self.inner {
+            buf.borrow_mut().parent_stack.push(ctx);
+        }
+    }
+
+    /// Pops the innermost default parent.
+    pub fn pop_parent(&self) {
+        if let Some(buf) = &self.inner {
+            buf.borrow_mut().parent_stack.pop();
+        }
+    }
+
+    /// The innermost default parent, or the null context.
+    pub fn current_parent(&self) -> TraceContext {
+        self.inner
+            .as_ref()
+            .and_then(|buf| buf.borrow().parent_stack.last().copied())
+            .unwrap_or(TraceContext::NONE)
+    }
+
+    /// Latest span end recorded so far. Lets a wrapper close its span at
+    /// the moment its last child finished when it has no clock of its own.
+    pub fn latest_end(&self) -> Option<SimTime> {
+        self.inner
+            .as_ref()
+            .and_then(|b| b.borrow().spans.iter().filter_map(|s| s.end).max())
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().spans.len())
+            .unwrap_or(0)
+    }
+
+    /// A copy of all spans, in creation order.
+    pub fn spans(&self) -> Vec<SpanRec> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().spans.clone())
+            .unwrap_or_default()
+    }
+
+    /// A copy of all instants, in creation order.
+    pub fn instants(&self) -> Vec<InstantRec> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().instants.clone())
+            .unwrap_or_default()
+    }
+
+    /// Distinct span names, in first-appearance order.
+    pub fn distinct_span_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for s in self.spans() {
+            if !names.contains(&s.name) {
+                names.push(s.name);
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tr = Tracer::disabled();
+        assert!(!tr.is_enabled());
+        let ctx = tr.begin("x", "c", t(0), TraceContext::NONE);
+        assert!(ctx.is_none());
+        tr.end(ctx, t(5));
+        tr.tag(ctx, "k", 1u64);
+        tr.instant("i", "c", t(1), ctx, Vec::new());
+        assert_eq!(tr.span_count(), 0);
+        assert!(tr.spans().is_empty());
+        assert!(tr.instants().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_share_buffer_across_clones() {
+        let tr = Tracer::enabled();
+        let clone = tr.clone();
+        let root = tr.begin("root", "c", t(0), TraceContext::NONE);
+        let child = clone.begin("child", "c", t(2), root);
+        clone.end(child, t(4));
+        tr.end(root, t(10));
+        let spans = tr.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[1].parent, root);
+        assert_eq!(spans[1].end, Some(t(4)));
+        assert_eq!(spans[0].end, Some(t(10)));
+    }
+
+    #[test]
+    fn first_end_wins() {
+        let tr = Tracer::enabled();
+        let s = tr.begin("s", "c", t(0), TraceContext::NONE);
+        tr.end(s, t(3));
+        tr.end(s, t(9));
+        assert_eq!(tr.spans()[0].end, Some(t(3)));
+    }
+
+    #[test]
+    fn children_inherit_track() {
+        let tr = Tracer::enabled();
+        let root = tr.begin("root", "c", t(0), TraceContext::NONE);
+        tr.set_track(root, 7);
+        let child = tr.begin("child", "c", t(1), root);
+        assert_eq!(tr.spans()[child.index().unwrap()].track, 7);
+    }
+
+    #[test]
+    fn parent_stack() {
+        let tr = Tracer::enabled();
+        assert!(tr.current_parent().is_none());
+        let outer = tr.begin("outer", "c", t(0), TraceContext::NONE);
+        tr.push_parent(outer);
+        assert_eq!(tr.current_parent(), outer);
+        tr.pop_parent();
+        assert!(tr.current_parent().is_none());
+    }
+
+    #[test]
+    fn distinct_names_in_first_appearance_order() {
+        let tr = Tracer::enabled();
+        tr.begin("a", "c", t(0), TraceContext::NONE);
+        tr.begin("b", "c", t(1), TraceContext::NONE);
+        tr.begin("a", "c", t(2), TraceContext::NONE);
+        assert_eq!(tr.distinct_span_names(), vec!["a", "b"]);
+    }
+}

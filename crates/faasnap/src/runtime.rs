@@ -17,6 +17,7 @@
 //!   blocking working-set fetch). The vCPU starts here.
 //! - `done`: the function replies; `invocation_time = done − setup_time`.
 
+use faasnap_obs::{Metrics, TraceContext, Tracer};
 use sim_core::engine::{Engine, Scheduler, World};
 use sim_core::time::{SimDuration, SimTime};
 use sim_mm::addr::{PageNum, PageRange};
@@ -105,6 +106,11 @@ pub struct Host {
     pub boot: BootModel,
     /// CPU pool.
     pub cpu: CpuPool,
+    /// Trace handle shared by every layer on this host (disabled by
+    /// default: emissions cost one `Option` branch).
+    pub tracer: Tracer,
+    /// Metrics registry shared by every layer on this host.
+    pub metrics: Metrics,
     seed: u64,
     vmgenid: u64,
 }
@@ -121,6 +127,8 @@ impl Host {
             costs: FaultCosts::default(),
             boot: BootModel::default(),
             cpu: CpuPool::new(96),
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
             seed,
             vmgenid: 0,
         }
@@ -268,6 +276,7 @@ enum Ev {
         token: u64,
         kind: FaultKind,
         started: SimTime,
+        ctx: TraceContext,
     },
     /// A guest-fault disk read finished.
     FaultIoDone {
@@ -278,6 +287,7 @@ enum Ev {
         io: IoRequest,
         started: SimTime,
         overhead: SimDuration,
+        ctx: TraceContext,
     },
     /// An async readahead read finished (no vCPU is waiting).
     /// `guest_start` is the guest page backing `io.page`.
@@ -285,6 +295,7 @@ enum Ev {
         vm: usize,
         io: IoRequest,
         guest_start: PageNum,
+        ctx: TraceContext,
     },
     /// A page-lock wait on an in-flight read finished.
     InflightDone {
@@ -293,9 +304,14 @@ enum Ev {
         write: bool,
         token: u64,
         started: SimTime,
+        ctx: TraceContext,
     },
     /// A loader chunk read finished.
-    LoaderChunkDone { vm: usize, idx: usize },
+    LoaderChunkDone {
+        vm: usize,
+        idx: usize,
+        ctx: TraceContext,
+    },
     /// A REAP handler disk read finished.
     ReapIoDone {
         vm: usize,
@@ -304,6 +320,7 @@ enum Ev {
         token: u64,
         io: IoRequest,
         started: SimTime,
+        ctx: TraceContext,
     },
     /// The guest resumes after user-level fault handling.
     ReapResume {
@@ -312,6 +329,7 @@ enum Ev {
         write: bool,
         token: u64,
         started: SimTime,
+        ctx: TraceContext,
     },
     /// Record-phase RSS poll tick.
     MincorePoll { vm: usize },
@@ -338,6 +356,13 @@ struct VmRun {
     mincore_rec: Option<MincoreRecorder>,
     uffd_track: Option<UffdTracker>,
     verify_mappings: bool,
+    /// Root span covering request arrival to reply.
+    ctx_invocation: TraceContext,
+    /// Span covering vCPU execution (opened at `StartVcpu`).
+    ctx_function: TraceContext,
+    /// Span covering the loader's concurrent prefetch, open while
+    /// chunks remain.
+    ctx_loader: Option<TraceContext>,
 }
 
 struct SimWorld<'h> {
@@ -360,7 +385,7 @@ pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<Invoc
 
     for (i, spec) in specs.into_iter().enumerate() {
         let seed = host.next_seed();
-        let (vm, setup_time) = prepare_vm(host, spec, seed);
+        let (vm, setup_time) = prepare_vm(host, spec, seed, i);
         // The loader starts at request arrival; the vCPU after setup.
         if !vm.loader_plan.is_empty() {
             engine
@@ -426,14 +451,21 @@ impl InvocationSim {
 // VM preparation (strategy-specific setup)
 // ---------------------------------------------------------------------
 
-fn prepare_vm(host: &mut Host, spec: InvocationSpec, seed: u64) -> (VmRun, SimDuration) {
+fn prepare_vm(
+    host: &mut Host,
+    spec: InvocationSpec,
+    seed: u64,
+    idx: usize,
+) -> (VmRun, SimDuration) {
     let total_pages = spec.memory.total_pages();
     let mut aspace = AddressSpace::new();
     let mut pt = PageTable::new(total_pages);
     let mut uffd = UffdRegistry::new();
     let mut kernel = GuestKernel::new();
     kernel.set_sanitize_freed(spec.sanitize);
-    let resolver = FaultResolver::new(host.costs.clone(), seed);
+    let mut resolver = FaultResolver::new(host.costs.clone(), seed);
+    resolver.set_tracer(host.tracer.clone());
+    let strategy_label = spec.strategy.label();
     let mut report = InvocationReport::default();
     let mut reap = None;
     let mut loader_plan = LoaderPlan::default();
@@ -523,6 +555,23 @@ fn prepare_vm(host: &mut Host, spec: InvocationSpec, seed: u64) -> (VmRun, SimDu
     report.mmap_calls = aspace.mmap_calls();
     report.vm_generation_id = host.next_vmgenid();
 
+    // Root span: request arrival (t = 0) to reply. One display track per
+    // VM so bursts render as parallel lanes in Perfetto.
+    let ctx_invocation = host.tracer.begin(
+        "invocation",
+        "vm",
+        SimTime::ZERO,
+        host.tracer.current_parent(),
+    );
+    host.tracer.set_track(ctx_invocation, idx as u64 + 1);
+    host.tracer.tag(ctx_invocation, "strategy", strategy_label);
+    host.tracer
+        .tag(ctx_invocation, "vm_generation_id", report.vm_generation_id);
+    let ctx_setup = host
+        .tracer
+        .complete("setup", "vm", SimTime::ZERO, setup, ctx_invocation);
+    host.tracer.tag(ctx_setup, "mmap_calls", report.mmap_calls);
+
     let vm = VmRun {
         vcpu: Vcpu::new(spec.trace),
         mem: spec.memory,
@@ -550,6 +599,9 @@ fn prepare_vm(host: &mut Host, spec: InvocationSpec, seed: u64) -> (VmRun, SimDu
         }),
         uffd_track: spec.record.then(|| UffdTracker::new(total_pages)),
         verify_mappings: spec.verify_mappings,
+        ctx_invocation,
+        ctx_function: TraceContext::NONE,
+        ctx_loader: None,
     };
     (vm, setup)
 }
@@ -623,9 +675,26 @@ impl World for SimWorld<'_> {
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
         match ev {
-            Ev::StartVcpu { vm } => self.drive_vcpu(vm, now, sched),
+            Ev::StartVcpu { vm } => {
+                let v = &mut self.vms[vm];
+                v.ctx_function = self
+                    .host
+                    .tracer
+                    .begin("function", "vm", now, v.ctx_invocation);
+                self.drive_vcpu(vm, now, sched)
+            }
             Ev::StartLoader { vm } => {
-                self.vms[vm].loader_started = Some(now);
+                let v = &mut self.vms[vm];
+                v.loader_started = Some(now);
+                let ctx =
+                    self.host
+                        .tracer
+                        .begin("loader/prefetch", "loader", now, v.ctx_invocation);
+                self.host.tracer.tag(ctx, "chunks", v.loader_plan.len());
+                self.host
+                    .tracer
+                    .tag(ctx, "pages", v.loader_plan.total_pages());
+                v.ctx_loader = Some(ctx);
                 self.loader_issue_next(vm, now, sched);
             }
             Ev::ComputeDone { vm } => {
@@ -639,8 +708,9 @@ impl World for SimWorld<'_> {
                 token,
                 kind,
                 started,
+                ctx,
             } => {
-                self.finish_access(vm, page, write, token, kind, started, now);
+                self.finish_access(vm, page, write, token, kind, started, now, ctx);
                 self.drive_vcpu(vm, now, sched);
             }
             Ev::FaultIoDone {
@@ -651,6 +721,7 @@ impl World for SimWorld<'_> {
                 io,
                 started,
                 overhead,
+                ctx,
             } => {
                 self.host.cache.insert_range(io.file, io.page, io.pages);
                 self.host
@@ -661,7 +732,7 @@ impl World for SimWorld<'_> {
                 v.report.fault_block_requests += 1;
                 // Kernel-side handling overhead on top of the disk wait.
                 let done = now + overhead;
-                self.finish_access(vm, page, write, token, FaultKind::Major, started, done);
+                self.finish_access(vm, page, write, token, FaultKind::Major, started, done, ctx);
                 sched.schedule(done, Ev::Resume { vm });
             }
             Ev::Resume { vm } => self.drive_vcpu(vm, now, sched),
@@ -669,7 +740,9 @@ impl World for SimWorld<'_> {
                 vm,
                 io,
                 guest_start,
+                ctx,
             } => {
+                self.host.tracer.end(ctx, now);
                 self.host.cache.insert_range(io.file, io.page, io.pages);
                 self.host
                     .inflight
@@ -700,11 +773,13 @@ impl World for SimWorld<'_> {
                 write,
                 token,
                 started,
+                ctx,
             } => {
-                self.finish_access(vm, page, write, token, FaultKind::Major, started, now);
+                self.finish_access(vm, page, write, token, FaultKind::Major, started, now, ctx);
                 self.drive_vcpu(vm, now, sched);
             }
-            Ev::LoaderChunkDone { vm, idx } => {
+            Ev::LoaderChunkDone { vm, idx, ctx } => {
+                self.host.tracer.end(ctx, now);
                 let chunk = *self.vms[vm].loader_plan.chunk(idx);
                 self.host
                     .cache
@@ -725,6 +800,7 @@ impl World for SimWorld<'_> {
                 token,
                 io,
                 started,
+                ctx,
             } => {
                 self.host.cache.insert_range(io.file, io.page, io.pages);
                 self.host
@@ -744,6 +820,7 @@ impl World for SimWorld<'_> {
                         write,
                         token,
                         started,
+                        ctx,
                     },
                 );
             }
@@ -753,8 +830,9 @@ impl World for SimWorld<'_> {
                 write,
                 token,
                 started,
+                ctx,
             } => {
-                self.finish_access(vm, page, write, token, FaultKind::Uffd, started, now);
+                self.finish_access(vm, page, write, token, FaultKind::Uffd, started, now, ctx);
                 self.drive_vcpu(vm, now, sched);
             }
             Ev::MincorePoll { vm } => {
@@ -783,7 +861,15 @@ impl SimWorld<'_> {
         kind: FaultKind,
         started: SimTime,
         now: SimTime,
+        ctx: TraceContext,
     ) {
+        self.host.tracer.end(ctx, now);
+        self.host
+            .metrics
+            .counter_inc("faasnap_faults_total", &[("class", kind.label())]);
+        self.host
+            .metrics
+            .observe("faasnap_fault_wait_us", &[], now - started);
         let v = &mut self.vms[vm];
         v.pt.install(page);
         v.report.record_fault(kind, now - started);
@@ -801,6 +887,11 @@ impl SimWorld<'_> {
                     let v = &mut self.vms[vm];
                     v.done_at = Some(now);
                     v.report.invocation_time = now - v.invoke_start;
+                    self.host
+                        .tracer
+                        .tag(v.ctx_function, "faults", v.report.total_faults());
+                    self.host.tracer.end(v.ctx_function, now);
+                    self.host.tracer.end(v.ctx_invocation, now);
                     // Stop the loader: prefetching past the reply only
                     // wastes disk bandwidth other VMs need.
                     v.loader_next = v.loader_plan.len();
@@ -847,13 +938,15 @@ impl SimWorld<'_> {
         sched: &mut Scheduler<Ev>,
     ) -> bool {
         let v = &mut self.vms[vm];
-        let outcome = v.resolver.resolve(
+        let (outcome, ctx) = v.resolver.resolve_traced(
             page,
             &v.aspace,
             &mut v.pt,
             &mut self.host.cache,
             &v.uffd,
             &self.host.inflight,
+            now,
+            v.ctx_function,
         );
         // Record-phase fault tracking: every first host-visible fault.
         if !matches!(outcome, FaultOutcome::NoFault) {
@@ -881,6 +974,7 @@ impl SimWorld<'_> {
                         token,
                         kind,
                         started: now,
+                        ctx,
                     },
                 );
                 true
@@ -894,6 +988,7 @@ impl SimWorld<'_> {
                         write,
                         token,
                         started: now,
+                        ctx,
                     },
                 );
                 true
@@ -917,6 +1012,7 @@ impl SimWorld<'_> {
                         io,
                         started: now,
                         overhead,
+                        ctx,
                     },
                 );
                 // Linux async readahead: the next window of a sequential
@@ -927,12 +1023,20 @@ impl SimWorld<'_> {
                         .inflight
                         .insert_window(aio.file, aio.page, aio.pages, adone);
                     let guest_start = page + io.pages;
+                    let actx = self.host.tracer.begin(
+                        "readahead/async",
+                        "mm",
+                        now,
+                        self.vms[vm].ctx_function,
+                    );
+                    self.host.tracer.tag(actx, "pages", aio.pages);
                     sched.schedule(
                         adone,
                         Ev::AsyncReadDone {
                             vm,
                             io: aio,
                             guest_start,
+                            ctx: actx,
                         },
                     );
                 }
@@ -953,6 +1057,7 @@ impl SimWorld<'_> {
                             write,
                             token,
                             started: now,
+                            ctx,
                         },
                     );
                 } else {
@@ -982,6 +1087,7 @@ impl SimWorld<'_> {
                             token,
                             io,
                             started: now,
+                            ctx,
                         },
                     );
                 }
@@ -1040,12 +1146,18 @@ impl SimWorld<'_> {
         self.host
             .inflight
             .insert_window(file, file_start, pages, done);
+        let ctx = self
+            .host
+            .tracer
+            .begin("readahead/async", "mm", now, self.vms[vm].ctx_function);
+        self.host.tracer.tag(ctx, "pages", pages);
         sched.schedule(
             done,
             Ev::AsyncReadDone {
                 vm,
                 io,
                 guest_start,
+                ctx,
             },
         );
     }
@@ -1058,7 +1170,11 @@ impl SimWorld<'_> {
             let v = &self.vms[vm];
             let idx = v.loader_next;
             if idx >= v.loader_plan.len() {
-                return; // prefetch complete
+                // Prefetch complete (or abandoned at reply): close the span.
+                if let Some(ctx) = self.vms[vm].ctx_loader.take() {
+                    self.host.tracer.end(ctx, now);
+                }
+                return;
             }
             let chunk = *v.loader_plan.chunk(idx);
             self.vms[vm].loader_next += 1;
@@ -1068,13 +1184,29 @@ impl SimWorld<'_> {
                     || self.host.inflight.completion_of(chunk.file, p).is_some()
             });
             if covered {
+                self.host
+                    .metrics
+                    .counter_inc("faasnap_prefetch_skipped_chunks_total", &[]);
                 continue;
             }
             let done = self.host.disk_of_file(chunk.file).submit(now, chunk);
             self.host
                 .inflight
                 .insert_window(chunk.file, chunk.page, chunk.pages, done);
-            sched.schedule(done, Ev::LoaderChunkDone { vm, idx });
+            let parent = self.vms[vm].ctx_loader.unwrap_or(TraceContext::NONE);
+            let ctx = self
+                .host
+                .tracer
+                .begin("loader/chunk", "loader", now, parent);
+            self.host.tracer.tag(ctx, "file_page", chunk.page);
+            self.host.tracer.tag(ctx, "pages", chunk.pages);
+            self.host
+                .metrics
+                .counter_add("faasnap_prefetch_bytes_total", &[], chunk.pages * 4096);
+            self.host
+                .metrics
+                .counter_inc("faasnap_prefetch_chunks_total", &[]);
+            sched.schedule(done, Ev::LoaderChunkDone { vm, idx, ctx });
             return;
         }
     }

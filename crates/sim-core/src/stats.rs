@@ -227,6 +227,22 @@ impl Summary {
         sorted[rank.min(sorted.len() - 1)]
     }
 
+    /// Median (nearest-rank). The shared implementation behind bench
+    /// tables and fleet metrics.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile (nearest-rank).
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile (nearest-rank).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
     /// All samples, in insertion order.
     pub fn samples(&self) -> &[f64] {
         &self.samples
@@ -325,6 +341,72 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.fraction_at_or_above(32.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_zero_and_one_sample() {
+        let zero = Log2Histogram::new();
+        assert_eq!(zero.total(), SimDuration::ZERO);
+        assert_eq!(zero.max(), SimDuration::ZERO);
+        assert!(zero.rows().iter().all(|(_, c)| *c == 0));
+
+        let mut one = Log2Histogram::new();
+        one.record(us(5.0));
+        assert_eq!(one.count(), 1);
+        assert_eq!(one.mean().as_nanos(), 5_000);
+        assert_eq!(one.max().as_nanos(), 5_000);
+        assert_eq!(one.rows()[4].1, 1, "[4,8)");
+        assert_eq!(one.fraction_at_or_above(4.0), 1.0);
+        assert_eq!(one.fraction_at_or_above(8.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Samples exactly on edges land in the bucket whose lower edge
+        // they hit (intervals are half-open [lo, hi)).
+        let mut h = Log2Histogram::new();
+        h.record(us(0.5));
+        h.record(us(256.0));
+        h.record(us(511.999));
+        h.record(us(512.0));
+        let rows = h.rows();
+        assert_eq!(rows[1].1, 1, "[0.5,1) holds 0.5");
+        assert_eq!(rows[10].1, 2, "[256,512) holds 256.0 and 511.999");
+        assert_eq!(rows[12].1, 1, ">=512 holds 512.0");
+    }
+
+    #[test]
+    fn histogram_merge_disjoint() {
+        // Merging histograms with non-overlapping buckets preserves every
+        // count, the total, and the max.
+        let mut lo = Log2Histogram::new();
+        lo.record(us(0.1));
+        lo.record(us(0.7));
+        let mut hi = Log2Histogram::new();
+        hi.record(us(100.0));
+        hi.record(us(900.0));
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 4);
+        assert_eq!(lo.rows()[0].1, 1, "lo bucket kept");
+        assert_eq!(lo.rows()[1].1, 1, "[0.5,1) kept");
+        assert_eq!(lo.rows()[8].1, 1, "[64,128) from other");
+        assert_eq!(lo.rows()[12].1, 1, "hi from other");
+        assert_eq!(lo.max().as_nanos(), 900_000);
+        assert_eq!(lo.total().as_nanos(), 1_000_800);
+        // Merging an empty histogram is the identity.
+        let snapshot = lo.rows();
+        lo.merge(&Log2Histogram::new());
+        assert_eq!(lo.rows(), snapshot);
+        assert_eq!(lo.count(), 4);
+    }
+
+    #[test]
+    fn summary_fixed_percentiles() {
+        let s = Summary::from_iter((1..=100).map(|x| x as f64));
+        assert_eq!(s.p50(), s.percentile(50.0));
+        assert_eq!(s.p95(), s.percentile(95.0));
+        assert_eq!(s.p99(), s.percentile(99.0));
+        assert!(s.p50() < s.p95() && s.p95() < s.p99());
     }
 
     #[test]

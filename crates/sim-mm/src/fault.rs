@@ -19,8 +19,9 @@
 
 use std::collections::HashMap;
 
+use faasnap_obs::{TraceContext, Tracer};
 use sim_core::rng::Prng;
-use sim_core::time::SimDuration;
+use sim_core::time::{SimDuration, SimTime};
 use sim_storage::device::{IoKind, IoRequest};
 use sim_storage::file::FileId;
 use sim_storage::readahead::ReadaheadState;
@@ -46,6 +47,30 @@ pub enum FaultKind {
     HostPte,
     /// Delivered to a user-space `userfaultfd` handler.
     Uffd,
+}
+
+impl FaultKind {
+    /// Trace span name for a fault of this class.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            FaultKind::Anon => "fault/anon",
+            FaultKind::Minor => "fault/minor",
+            FaultKind::Major => "fault/major",
+            FaultKind::HostPte => "fault/host_pte",
+            FaultKind::Uffd => "fault/uffd",
+        }
+    }
+
+    /// Metric label value (`class="..."`) for a fault of this class.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Anon => "anon",
+            FaultKind::Minor => "minor",
+            FaultKind::Major => "major",
+            FaultKind::HostPte => "host_pte",
+            FaultKind::Uffd => "uffd",
+        }
+    }
 }
 
 /// The plan for resolving one fault.
@@ -104,6 +129,8 @@ pub struct FaultResolver {
     /// Maximum readahead window in pages (Linux default 32 = 128 KiB).
     max_ra_pages: u64,
     initial_ra_pages: u64,
+    /// Trace handle; disabled by default so `resolve` stays cost-free.
+    tracer: Tracer,
 }
 
 impl FaultResolver {
@@ -115,7 +142,14 @@ impl FaultResolver {
             rng: Prng::new(seed),
             max_ra_pages: 32,
             initial_ra_pages: 4,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer so [`FaultResolver::resolve_traced`] emits
+    /// `fault/*` spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Overrides readahead window sizes (for sensitivity experiments).
@@ -209,6 +243,51 @@ impl FaultResolver {
                 }
             }
         }
+    }
+
+    /// [`FaultResolver::resolve`] plus span emission: opens a `fault/*`
+    /// span at `now` under `parent` describing the planned resolution.
+    /// The returned context is carried on the completion event and ended
+    /// by the runtime when the fault is installed; it is
+    /// [`TraceContext::NONE`] for `NoFault` or when tracing is disabled,
+    /// so untraced callers pay nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve_traced(
+        &mut self,
+        page: PageNum,
+        aspace: &AddressSpace,
+        pt: &mut PageTable,
+        cache: &mut PageCache,
+        uffd: &UffdRegistry,
+        inflight: &InflightIo,
+        now: SimTime,
+        parent: TraceContext,
+    ) -> (FaultOutcome, TraceContext) {
+        let outcome = self.resolve(page, aspace, pt, cache, uffd, inflight);
+        if !self.tracer.is_enabled() {
+            return (outcome, TraceContext::NONE);
+        }
+        let ctx = match &outcome {
+            FaultOutcome::NoFault => TraceContext::NONE,
+            FaultOutcome::Resolved { kind, .. } => {
+                self.tracer.begin(kind.span_name(), "mm", now, parent)
+            }
+            FaultOutcome::NeedsIo { io, .. } => {
+                let ctx = self.tracer.begin("fault/major", "mm", now, parent);
+                self.tracer.tag(ctx, "ra_pages", io.pages);
+                ctx
+            }
+            FaultOutcome::WaitInflight { .. } => {
+                let ctx = self.tracer.begin("fault/major", "mm", now, parent);
+                self.tracer.tag(ctx, "wait", "inflight");
+                ctx
+            }
+            FaultOutcome::Userfault { .. } => self.tracer.begin("fault/uffd", "mm", now, parent),
+        };
+        if !ctx.is_none() {
+            self.tracer.tag(ctx, "page", page);
+        }
+        (outcome, ctx)
     }
 
     /// Computes the readahead window for a major fault: starts at the

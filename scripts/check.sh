@@ -22,4 +22,20 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> trace-schema smoke: faasnapd invoke/cluster artifacts match goldens"
+# The tier-1 build above only covers the root package; make sure the
+# CLI binary is current before diffing its artifacts.
+cargo build --release -q -p faasnap-cluster --bin faasnapd
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+./target/release/faasnapd invoke hello-world \
+    --trace-out "$OBS_TMP/invoke_trace.json" \
+    --metrics-out "$OBS_TMP/invoke_metrics.prom" >/dev/null
+./target/release/faasnapd cluster --smoke --policy snapshot-locality --seed 42 \
+    --metrics-out "$OBS_TMP/cluster_metrics.prom" >/dev/null
+for artifact in invoke_trace.json invoke_metrics.prom cluster_metrics.prom; do
+    diff -u "tests/golden/$artifact" "$OBS_TMP/$artifact" \
+        || { echo "CLI $artifact drifted from tests/golden/$artifact"; exit 1; }
+done
+
 echo "All checks passed."
