@@ -8,6 +8,7 @@
 //! iterations, print mean time per iteration. No statistics, plots, or
 //! regression detection.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 /// Drives one benchmark's measurement loop.

@@ -328,7 +328,7 @@ mod tests {
         assert_eq!(a.len(), 2300);
         assert_ne!(a, b, "different variant seeds pick different pages");
         // Base pages are common to both.
-        let base: std::collections::HashSet<_> = p.pages()[..2000].iter().collect();
+        let base: std::collections::BTreeSet<_> = p.pages()[..2000].iter().collect();
         assert!(a.iter().filter(|p| base.contains(p)).count() == 2000);
     }
 

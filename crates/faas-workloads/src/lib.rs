@@ -29,6 +29,7 @@
 //! runtime-initialized guest memory the *clean snapshot* freezes
 //! (Figure 5's record phase starts from it).
 
+#![forbid(unsafe_code)]
 pub mod catalog;
 pub mod input;
 pub mod layout;

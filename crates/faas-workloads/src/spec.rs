@@ -439,9 +439,9 @@ mod tests {
         let img = hello.boot_image();
         let gaps = hello.pool().small_gaps(16);
         assert!(!gaps.is_empty());
-        let trace_pages: std::collections::HashSet<u64> = {
+        let trace_pages: std::collections::BTreeSet<u64> = {
             let t = hello.trace(&hello.input_a());
-            let mut set = std::collections::HashSet::new();
+            let mut set = std::collections::BTreeSet::new();
             for op in &t.ops {
                 if let TraceOp::TouchList { pages, .. } = op {
                     set.extend(pages.iter().copied());

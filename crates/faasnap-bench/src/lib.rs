@@ -24,6 +24,7 @@
 //! Drivers accept an [`Effort`] so smoke tests can run the same code
 //! cheaply; bench targets use [`Effort::Full`].
 
+#![forbid(unsafe_code)]
 pub mod figures;
 pub mod runner;
 

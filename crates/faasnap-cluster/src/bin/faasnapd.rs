@@ -14,6 +14,7 @@
 //! faasnapd cluster [--hosts 8] [--seed 42] [--policy all|random|least-loaded|snapshot-locality]
 //!                  [--tenants 36] [--rate 40] [--skew 1.2] [--horizon 300]
 //!                  [--smoke] [--metrics-out <file>] [--trace-out <file>]
+//! faasnapd lint [--root <dir>]
 //! ```
 //!
 //! `--trace-out` writes a Chrome trace-event JSON file loadable in
@@ -36,13 +37,13 @@ use sim_storage::profiles::DiskProfile;
 
 struct Args {
     positional: Vec<String>,
-    flags: std::collections::HashMap<String, String>,
+    flags: std::collections::BTreeMap<String, String>,
 }
 
 impl Args {
     fn parse() -> Args {
         let mut positional = Vec::new();
-        let mut flags = std::collections::HashMap::new();
+        let mut flags = std::collections::BTreeMap::new();
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
@@ -112,9 +113,32 @@ fn main() {
         Some("burst") => cmd_burst(&args),
         Some("policy") => cmd_policy(&args),
         Some("cluster") => cmd_cluster(&args),
+        Some("lint") => cmd_lint(&args),
         _ => die(
-            "usage: faasnapd <list|invoke|burst|policy|cluster> [args]; see --help in the source header",
+            "usage: faasnapd <list|invoke|burst|policy|cluster|lint> [args]; see --help in the source header",
         ),
+    }
+}
+
+fn cmd_lint(args: &Args) {
+    let root = match args.flags.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::current_dir()
+            .ok()
+            .and_then(|d| faasnap_lint::find_workspace_root(&d))
+            .unwrap_or_else(|| die("no workspace root found (pass --root)")),
+    };
+    let report = faasnap_lint::lint_workspace(&root).unwrap_or_else(|e| die(&e));
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "unwrap-budget: {} of {} non-test unwrap()/expect() call sites used",
+        report.unwrap_count, report.unwrap_budget
+    );
+    if !report.is_clean() {
+        eprintln!("faasnapd lint: {} diagnostic(s)", report.diagnostics.len());
+        std::process::exit(1);
     }
 }
 

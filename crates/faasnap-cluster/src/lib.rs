@@ -34,6 +34,7 @@
 //! Everything is deterministic: the same [`fleet::ClusterConfig`] and
 //! seed yield byte-identical serialized metrics.
 
+#![forbid(unsafe_code)]
 pub mod arrival;
 pub mod calibrate;
 pub mod fleet;

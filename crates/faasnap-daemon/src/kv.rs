@@ -10,7 +10,7 @@
 //! stage function inputs (the artifact's setup "populates Redis with
 //! input data") and collect outputs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sim_core::time::SimDuration;
 
@@ -27,7 +27,7 @@ pub struct KvValue {
 /// In-memory KV store with loopback access costs.
 #[derive(Clone, Debug)]
 pub struct KvStore {
-    map: HashMap<String, KvValue>,
+    map: BTreeMap<String, KvValue>,
     /// Per-request round trip on the loopback interface.
     rtt: SimDuration,
     /// Payload streaming bandwidth (loopback is fast but not free).
@@ -39,7 +39,7 @@ pub struct KvStore {
 impl Default for KvStore {
     fn default() -> Self {
         KvStore {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             rtt: SimDuration::from_micros(85),
             bytes_per_sec: 4_000_000_000, // ~4 GB/s loopback
             gets: 0,

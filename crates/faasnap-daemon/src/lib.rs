@@ -20,6 +20,7 @@
 //! - [`observe`] — traced invocations (the artifact's Zipkin analog):
 //!   real spans emitted by the runtime, exported via `faasnap-obs`.
 
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod kv;
 pub mod metrics;

@@ -4,7 +4,7 @@
 //! once the record phase has run — the snapshot artifacts (warm snapshot,
 //! working sets, loading-set file) used by test-phase invocations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use faas_workloads::{Function, Input};
 use faasnap::artifacts::{record_phase, SnapshotArtifacts};
@@ -17,13 +17,13 @@ pub struct FunctionEntry {
     pub function: Function,
     /// Artifacts from the most recent record phase, keyed by a label
     /// (different record inputs produce different artifacts).
-    pub artifacts: HashMap<String, SnapshotArtifacts>,
+    pub artifacts: BTreeMap<String, SnapshotArtifacts>,
 }
 
 /// The daemon's function registry.
 #[derive(Default)]
 pub struct FunctionRegistry {
-    entries: HashMap<String, FunctionEntry>,
+    entries: BTreeMap<String, FunctionEntry>,
 }
 
 impl FunctionRegistry {
@@ -38,7 +38,7 @@ impl FunctionRegistry {
             function.name().to_string(),
             FunctionEntry {
                 function,
-                artifacts: HashMap::new(),
+                artifacts: BTreeMap::new(),
             },
         );
     }

@@ -1,0 +1,65 @@
+//! Diagnostics: stable, sortable `file:line: rule-id: message` records.
+
+use std::fmt;
+
+/// One lint finding. The derived `Ord` (path, then line, then rule, then
+/// message) is the output order, so reports are byte-stable across runs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (`crates/sim-mm/src/fault.rs`).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id (`no-unordered-iteration`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(path: &str, line: u32, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic::new("crates/x/src/lib.rs", 7, "no-wallclock", "bad");
+        assert_eq!(d.to_string(), "crates/x/src/lib.rs:7: no-wallclock: bad");
+    }
+
+    #[test]
+    fn sort_order_is_path_line_rule() {
+        let mut v = [
+            Diagnostic::new("b.rs", 1, "no-threads", "m"),
+            Diagnostic::new("a.rs", 9, "no-threads", "m"),
+            Diagnostic::new("a.rs", 2, "no-wallclock", "m"),
+            Diagnostic::new("a.rs", 2, "no-os-entropy", "m"),
+        ];
+        v.sort();
+        assert_eq!(v[0].path, "a.rs");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, "no-os-entropy");
+        assert_eq!(v[3].path, "b.rs");
+    }
+}

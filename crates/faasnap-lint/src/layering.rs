@@ -1,0 +1,344 @@
+//! Architecture rules over the crate dependency DAG.
+//!
+//! The workspace has a strict layering (see DESIGN.md): the `sim-*`
+//! substrate at the bottom, `faasnap-obs` as a leaf over `sim-core`, the
+//! FaaSnap runtime crates above the substrate, and only the two harness
+//! crates (`faasnap-bench`, `faasnap-cluster`) allowed to reach the
+//! daemon. Manifests are parsed with a purpose-built reader (the
+//! workspace's `Cargo.toml`s are flat one-line-per-entry tables; no TOML
+//! library exists in the sandbox), and violations are reported at the
+//! offending dependency line.
+
+use crate::diag::Diagnostic;
+
+/// One dependency entry with the manifest line it appears on.
+#[derive(Clone, Debug)]
+pub struct Dep {
+    /// Dependency package name.
+    pub name: String,
+    /// 1-based line in the manifest.
+    pub line: u32,
+}
+
+/// A parsed crate manifest (the slice of it layering needs).
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// Package name.
+    pub name: String,
+    /// Workspace-relative manifest path, for diagnostics.
+    pub rel_path: String,
+    /// `[dependencies]` entries.
+    pub deps: Vec<Dep>,
+    /// `[dev-dependencies]` entries (kept for completeness; layering is
+    /// enforced on normal dependencies, since dev-deps never ship in the
+    /// build graph of a dependent crate).
+    pub dev_deps: Vec<Dep>,
+}
+
+/// Parses the package name and dependency tables out of a manifest.
+pub fn parse_manifest(rel_path: &str, text: &str) -> Result<Manifest, String> {
+    let mut section = String::new();
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut dev_deps = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        match section.as_str() {
+            "package" => {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        name = Some(v.trim().trim_matches('"').to_string());
+                    }
+                }
+            }
+            "dependencies" | "dev-dependencies" => {
+                let end = line
+                    .find(|c: char| c == '=' || c == '.' || c.is_whitespace())
+                    .unwrap_or(line.len());
+                let dep = line[..end].trim();
+                if !dep.is_empty() {
+                    let entry = Dep {
+                        name: dep.to_string(),
+                        line: lineno,
+                    };
+                    if section == "dependencies" {
+                        deps.push(entry);
+                    } else {
+                        dev_deps.push(entry);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(Manifest {
+        name: name.ok_or_else(|| format!("{rel_path}: no [package] name"))?,
+        rel_path: rel_path.to_string(),
+        deps,
+        dev_deps,
+    })
+}
+
+fn is_sim(name: &str) -> bool {
+    name.starts_with("sim-")
+}
+
+fn is_faasnap(name: &str) -> bool {
+    name == "faasnap" || name.starts_with("faasnap-")
+}
+
+/// Enforces the architecture over the crate DAG:
+///
+/// 1. `sim-*` crates must not depend on `faasnap*` crates — the substrate
+///    knows nothing about the system built on it. `faasnap-obs` is the
+///    one exception: it depends only on `sim-core` (rule 3), which makes
+///    it part of the substrate in all but name, and the substrate uses it
+///    to emit spans.
+/// 2. Only `faasnap-bench` and `faasnap-cluster` may depend on
+///    `faasnap-daemon` — the daemon is the top of the single-host stack.
+/// 3. `faasnap-obs` may depend only on `sim-core`.
+/// 4. `faasnap-lint` must stay zero-dependency — the judge owes nothing
+///    to the judged.
+/// 5. The graph must be acyclic (checked so synthetic graphs in tests
+///    fail loudly; cargo enforces it for the real workspace anyway).
+pub fn check_layering(manifests: &[Manifest]) -> Vec<Diagnostic> {
+    let members: Vec<&str> = manifests.iter().map(|m| m.name.as_str()).collect();
+    let mut diags = Vec::new();
+
+    for m in manifests {
+        for d in &m.deps {
+            if !members.contains(&d.name.as_str()) {
+                continue;
+            }
+            if is_sim(&m.name) && is_faasnap(&d.name) && d.name != "faasnap-obs" {
+                diags.push(Diagnostic::new(
+                    &m.rel_path,
+                    d.line,
+                    "layering",
+                    format!(
+                        "substrate crate `{}` must not depend on `{}`; only faasnap-obs may \
+                         cross upward into the substrate",
+                        m.name, d.name
+                    ),
+                ));
+            }
+            if d.name == "faasnap-daemon"
+                && !matches!(m.name.as_str(), "faasnap-bench" | "faasnap-cluster")
+            {
+                diags.push(Diagnostic::new(
+                    &m.rel_path,
+                    d.line,
+                    "layering",
+                    format!(
+                        "`{}` depends on faasnap-daemon; only faasnap-bench and \
+                         faasnap-cluster sit above the daemon",
+                        m.name
+                    ),
+                ));
+            }
+            if m.name == "faasnap-obs" && d.name != "sim-core" {
+                diags.push(Diagnostic::new(
+                    &m.rel_path,
+                    d.line,
+                    "layering",
+                    format!(
+                        "faasnap-obs may depend only on sim-core, not `{}`; it must stay \
+                         loadable by every layer",
+                        d.name
+                    ),
+                ));
+            }
+            if m.name == "faasnap-lint" {
+                diags.push(Diagnostic::new(
+                    &m.rel_path,
+                    d.line,
+                    "layering",
+                    format!(
+                        "faasnap-lint must stay zero-dependency, but depends on `{}`",
+                        d.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    diags.extend(find_cycle(manifests));
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// Reports one diagnostic if the dependency graph has a cycle.
+fn find_cycle(manifests: &[Manifest]) -> Option<Diagnostic> {
+    // Deterministic DFS over names in manifest order with an explicit
+    // three-color marking.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let index_of = |name: &str| manifests.iter().position(|m| m.name == name);
+    let mut color = vec![Color::White; manifests.len()];
+
+    fn visit(
+        i: usize,
+        manifests: &[Manifest],
+        color: &mut [Color],
+        index_of: &dyn Fn(&str) -> Option<usize>,
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        color[i] = Color::Grey;
+        stack.push(i);
+        for d in &manifests[i].deps {
+            let Some(j) = index_of(&d.name) else { continue };
+            match color[j] {
+                Color::Grey => {
+                    let pos = stack.iter().position(|&s| s == j).unwrap_or(0);
+                    let mut cycle = stack[pos..].to_vec();
+                    cycle.push(j);
+                    return Some(cycle);
+                }
+                Color::White => {
+                    if let Some(c) = visit(j, manifests, color, index_of, stack) {
+                        return Some(c);
+                    }
+                }
+                Color::Black => {}
+            }
+        }
+        stack.pop();
+        color[i] = Color::Black;
+        None
+    }
+
+    for i in 0..manifests.len() {
+        if color[i] == Color::White {
+            let mut stack = Vec::new();
+            if let Some(cycle) = visit(i, manifests, &mut color, &index_of, &mut stack) {
+                let names: Vec<&str> = cycle.iter().map(|&k| manifests[k].name.as_str()).collect();
+                let first = cycle.iter().min().map(|&k| &manifests[k])?;
+                return Some(Diagnostic::new(
+                    &first.rel_path,
+                    1,
+                    "layering",
+                    format!("dependency cycle: {}", names.join(" -> ")),
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str, deps: &[&str]) -> Manifest {
+        Manifest {
+            name: name.to_string(),
+            rel_path: format!("crates/{name}/Cargo.toml"),
+            deps: deps
+                .iter()
+                .enumerate()
+                .map(|(i, d)| Dep {
+                    name: d.to_string(),
+                    line: i as u32 + 10,
+                })
+                .collect(),
+            dev_deps: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn parse_manifest_reads_name_and_deps() {
+        let text = "[package]\nname = \"sim-mm\"\nversion.workspace = true\n\n\
+                    [dependencies]\nsim-core.workspace = true\nsim-storage = { path = \"x\" }\n\n\
+                    [dev-dependencies]\nproptest.workspace = true\n\n\
+                    [[bench]]\nname = \"not-a-package\"\n";
+        let m = parse_manifest("crates/sim-mm/Cargo.toml", text).unwrap();
+        assert_eq!(m.name, "sim-mm");
+        let deps: Vec<&str> = m.deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(deps, vec!["sim-core", "sim-storage"]);
+        assert_eq!(m.deps[0].line, 6);
+        let dev: Vec<&str> = m.dev_deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(dev, vec!["proptest"]);
+    }
+
+    #[test]
+    fn clean_graph_passes() {
+        let ms = vec![
+            m("sim-core", &[]),
+            m("faasnap-obs", &["sim-core"]),
+            m("sim-mm", &["sim-core", "faasnap-obs"]),
+            m("faasnap", &["sim-core", "sim-mm"]),
+            m("faasnap-daemon", &["faasnap"]),
+            m("faasnap-cluster", &["faasnap-daemon"]),
+            m("faasnap-bench", &["faasnap-daemon", "faasnap-cluster"]),
+            m("faasnap-lint", &[]),
+        ];
+        assert!(check_layering(&ms).is_empty());
+    }
+
+    #[test]
+    fn substrate_must_not_reach_up() {
+        let ms = vec![m("faasnap", &[]), m("sim-mm", &["faasnap"])];
+        let d = check_layering(&ms);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("substrate"));
+        assert_eq!(d[0].path, "crates/sim-mm/Cargo.toml");
+        assert_eq!(d[0].line, 10);
+    }
+
+    #[test]
+    fn only_harness_crates_reach_daemon() {
+        let ms = vec![m("faasnap-daemon", &[]), m("faasnap", &["faasnap-daemon"])];
+        let d = check_layering(&ms);
+        assert!(d.iter().any(|x| x.message.contains("above the daemon")));
+    }
+
+    #[test]
+    fn obs_depends_only_on_sim_core() {
+        let ms = vec![
+            m("sim-core", &[]),
+            m("sim-mm", &["sim-core"]),
+            m("faasnap-obs", &["sim-core", "sim-mm"]),
+        ];
+        let d = check_layering(&ms);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("only on sim-core"));
+    }
+
+    #[test]
+    fn lint_crate_must_be_zero_dependency() {
+        let ms = vec![m("sim-core", &[]), m("faasnap-lint", &["sim-core"])];
+        let d = check_layering(&ms);
+        assert!(d.iter().any(|x| x.message.contains("zero-dependency")));
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let ms = vec![
+            m("faasnap-bench", &["faasnap-daemon"]),
+            m("faasnap-daemon", &["faasnap"]),
+            m("faasnap", &["faasnap-bench"]),
+        ];
+        let d = check_layering(&ms);
+        assert!(d.iter().any(|x| x.message.contains("dependency cycle")));
+    }
+
+    #[test]
+    fn external_deps_ignored() {
+        let ms = vec![m("sim-core", &["libc", "serde"])];
+        assert!(check_layering(&ms).is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Comment- and string-aware source scanner.
+//!
+//! The rule engine matches plain text, so it must never see the inside of
+//! a comment or a string literal (`"HashMap"` in a log message is not a
+//! determinism hazard). [`scan`] walks the byte stream once and produces:
+//!
+//! * `masked_lines` — the source split into lines, with the contents of
+//!   comments, string literals (plain, raw, byte), and character literals
+//!   blanked to spaces. Braces and code structure survive, so downstream
+//!   passes can still balance `{`/`}` (used for `#[cfg(test)]` regions).
+//! * `comments` — every `//` line comment with its 1-based starting line,
+//!   for directive parsing.
+//!
+//! The scanner is a heuristic lexer, not a full Rust parser: it handles
+//! nested block comments, escapes, `r#"…"#` raw strings with any number
+//! of hashes, byte strings/chars, and the character-literal vs. lifetime
+//! ambiguity (`'a'` vs. `<'a>`). Pathological token streams a proc macro
+//! might emit are out of scope — the workspace is the input, not
+//! arbitrary Rust.
+
+/// One `//` line comment (including `///` and `//!` doc comments).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text including the leading slashes.
+    pub text: String,
+}
+
+/// Result of scanning one source file.
+#[derive(Clone, Debug)]
+pub struct Scanned {
+    /// Source lines with comment/string/char contents blanked.
+    pub masked_lines: Vec<String>,
+    /// Line comments, in file order.
+    pub comments: Vec<Comment>,
+}
+
+fn blank(masked: &mut [u8], from: usize, to: usize) {
+    for b in &mut masked[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Scans an escape-aware string literal starting at `start` (which must
+/// index a `"`); returns the index one past the closing quote and bumps
+/// `line` across embedded newlines.
+fn skip_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If a character/byte literal starts at `start` (which indexes a `'`),
+/// returns the index one past its closing quote; `None` means `start` is
+/// a lifetime tick. Character literals never span lines.
+fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let next = *bytes.get(start + 1)?;
+    if next == b'\\' {
+        // Escaped: skip the char after the backslash, then scan to the
+        // closing quote (covers \n, \', \\, \x41, \u{…}).
+        let mut i = start + 3;
+        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+            i += 1;
+        }
+        return (bytes.get(i) == Some(&b'\'')).then_some(i + 1);
+    }
+    if next == b'\'' || next == b'\n' {
+        return None; // '' is not a literal; tick at line end is a lifetime
+    }
+    // Unescaped: one char (1–4 UTF-8 bytes) then the closing quote.
+    let end = (start + 6).min(bytes.len());
+    for (i, &b) in bytes.iter().enumerate().take(end).skip(start + 2) {
+        match b {
+            b'\'' => return Some(i + 1),
+            b'\n' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Scans `source`, producing masked lines and the comment list.
+pub fn scan(source: &str) -> Scanned {
+    let bytes = source.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+                });
+                blank(&mut masked, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut masked, start, i);
+            }
+            b'"' => {
+                let end = skip_string(bytes, i, &mut line);
+                blank(&mut masked, i, end);
+                i = end;
+            }
+            b'r' | b'b' if i == 0 || !is_ident_byte(bytes[i - 1]) => {
+                // Candidate raw string (r"…", r#"…"#), byte string (b"…",
+                // br#"…"#), or byte char (b'x').
+                let mut j = i;
+                if bytes[j] == b'b' {
+                    j += 1;
+                }
+                let mut k = j;
+                if bytes.get(k) == Some(&b'r') {
+                    k += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(k + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                let is_raw = k > j && bytes.get(k + hashes) == Some(&b'"');
+                if is_raw {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    let mut p = k + hashes + 1;
+                    loop {
+                        match bytes.get(p) {
+                            None => break,
+                            Some(&b'\n') => {
+                                line += 1;
+                                p += 1;
+                            }
+                            Some(&b'"')
+                                if bytes[p + 1..].len() >= hashes
+                                    && bytes[p + 1..p + 1 + hashes].iter().all(|&h| h == b'#') =>
+                            {
+                                p += 1 + hashes;
+                                break;
+                            }
+                            Some(_) => p += 1,
+                        }
+                    }
+                    blank(&mut masked, i, p);
+                    i = p;
+                } else if bytes[i] == b'b' && bytes.get(j) == Some(&b'"') {
+                    let end = skip_string(bytes, j, &mut line);
+                    blank(&mut masked, i, end);
+                    i = end;
+                } else if bytes[i] == b'b' && bytes.get(j) == Some(&b'\'') {
+                    match char_literal_end(bytes, j) {
+                        Some(end) => {
+                            blank(&mut masked, i, end);
+                            i = end;
+                        }
+                        None => i = j + 1,
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => match char_literal_end(bytes, i) {
+                Some(end) => {
+                    blank(&mut masked, i, end);
+                    i = end;
+                }
+                None => i += 1,
+            },
+            _ => i += 1,
+        }
+    }
+
+    let masked_lines = String::from_utf8_lossy(&masked)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    Scanned {
+        masked_lines,
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        scan(src).masked_lines.join("\n")
+    }
+
+    #[test]
+    fn line_comments_blanked_and_collected() {
+        let s = scan("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!s.masked_lines[0].contains("HashMap"));
+        assert!(s.masked_lines[0].contains("let x = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[0].text.contains("HashMap here"));
+    }
+
+    #[test]
+    fn block_comments_nested() {
+        let m = masked("a /* one /* two */ HashMap */ b");
+        assert!(!m.contains("HashMap"));
+        assert!(m.starts_with('a') && m.ends_with('b'));
+    }
+
+    #[test]
+    fn strings_blanked_with_escapes() {
+        let m = masked(r#"let s = "say \"HashMap\" loudly"; let t = 1;"#);
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_blanked() {
+        let m = masked("let a = r#\"raw \"HashMap\" inside\"#; let b = b\"HashSet\"; done();");
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("HashSet"));
+        assert!(m.contains("done();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let m = masked("fn f<'a>(x: &'a str) -> char { let c = 'x'; let d = '\\n'; c }");
+        assert!(m.contains("<'a>"), "lifetime survives: {m}");
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'x'"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let s = scan("let a = \"one\ntwo\nthree\";\n// after\nlet b = 2;");
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 4);
+        assert_eq!(s.masked_lines.len(), 5);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let m = masked("let r#type = 1; let x = r#type;");
+        assert!(m.contains("r#type"));
+    }
+
+    #[test]
+    fn braces_survive_masking() {
+        let m = masked("fn f() { let s = \"{ not a brace }\"; }");
+        let opens = m.matches('{').count();
+        let closes = m.matches('}').count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! `faasnap-lint` — in-tree determinism and architecture linting.
+//!
+//! The reproduction's results are only trustworthy because every run is
+//! deterministic: the byte-pinned Perfetto/Prometheus goldens and the
+//! fleet-determinism property tests all assume no code path consults
+//! wall-clock time, OS randomness, or hash-map iteration order. This
+//! crate machine-checks those assumptions (plus the crate layering) so a
+//! future perf PR cannot silently break them.
+//!
+//! Rules:
+//!
+//! | rule id | what it flags |
+//! |---|---|
+//! | `no-wallclock` | `Instant::now` / `SystemTime` outside the criterion shim |
+//! | `no-os-entropy` | `RandomState`, `thread_rng`-style OS randomness |
+//! | `no-threads` | `thread::spawn` / `thread::sleep` |
+//! | `no-unordered-iteration` | `HashMap` / `HashSet` (unspecified order) |
+//! | `unwrap-budget` | non-test `unwrap()`/`expect(` count above [`UNWRAP_BUDGET`] |
+//! | `layering` | crate-DAG violations (see [`layering::check_layering`]) |
+//! | `missing-forbid-unsafe` | `sim-*`/`faasnap*` crate root without `#![forbid(unsafe_code)]` |
+//! | `malformed-allow` | an allow directive with no reason or unknown rule id |
+//!
+//! A finding is suppressed with a line comment holding the `faasnap-lint`
+//! marker, a colon, and `allow(rule-id, reason)` — the reason is
+//! mandatory, and the directive covers its own line plus the next one.
+//! Run via `cargo run -p faasnap-lint` or `faasnapd lint`; the repo gate
+//! (`scripts/check.sh`) fails on any diagnostic.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod layering;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+pub use diag::Diagnostic;
+pub use rules::{lint_source, FileCtx, FileLint, RULE_IDS};
+pub use walk::find_workspace_root;
+
+/// Ratchet cap on `unwrap()`/`expect(` call sites in non-test library
+/// code. The gate fails when the count exceeds this; when a cleanup PR
+/// lowers the real count, lower the cap with it so it never climbs back.
+pub const UNWRAP_BUDGET: u64 = 56;
+
+/// Result of linting the whole workspace.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// All findings, sorted and deduplicated.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Non-test `unwrap()`/`expect(` call sites found.
+    pub unwrap_count: u64,
+    /// The cap the count is checked against ([`UNWRAP_BUDGET`]).
+    pub unwrap_budget: u64,
+}
+
+impl Report {
+    /// True if the gate should pass.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// True for crates whose root must carry `#![forbid(unsafe_code)]`.
+fn requires_forbid_unsafe(crate_name: &str) -> bool {
+    crate_name.starts_with("sim-") || crate_name == "faasnap" || crate_name.starts_with("faasnap-")
+}
+
+/// Lints the workspace rooted at `root`: layering over the crate DAG,
+/// text rules over every source file, the unwrap ratchet, and the
+/// forbid-unsafe check on crate roots.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let ws = walk::discover(root)?;
+    let mut diagnostics = layering::check_layering(&ws.manifests);
+    let mut unwrap_count = 0u64;
+
+    for f in &ws.files {
+        let source = fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.rel))?;
+        let ctx = FileCtx {
+            path: &f.rel,
+            crate_name: &f.crate_name,
+            is_harness: f.is_harness,
+        };
+        let lint = lint_source(&ctx, &source);
+        unwrap_count += lint.unwrap_sites;
+        diagnostics.extend(lint.diagnostics);
+        if f.is_crate_root && requires_forbid_unsafe(&f.crate_name) && !lint.has_forbid_unsafe {
+            diagnostics.push(Diagnostic::new(
+                &f.rel,
+                1,
+                "missing-forbid-unsafe",
+                "crate root must carry #![forbid(unsafe_code)] (the workspace is unsafe-free; \
+                 keep it that way)",
+            ));
+        }
+    }
+
+    if unwrap_count > UNWRAP_BUDGET {
+        diagnostics.push(Diagnostic::new(
+            "Cargo.toml",
+            1,
+            "unwrap-budget",
+            format!(
+                "{unwrap_count} non-test unwrap()/expect() call sites exceed the budget of \
+                 {UNWRAP_BUDGET}; handle the error, or consciously raise UNWRAP_BUDGET in \
+                 crates/faasnap-lint/src/lib.rs"
+            ),
+        ));
+    }
+
+    diagnostics.sort();
+    diagnostics.dedup();
+    Ok(Report {
+        diagnostics,
+        unwrap_count,
+        unwrap_budget: UNWRAP_BUDGET,
+    })
+}

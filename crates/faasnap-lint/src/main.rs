@@ -1,0 +1,70 @@
+//! `faasnap-lint` CLI: lint the workspace, print diagnostics, exit 1 if
+//! any. `--root <dir>` overrides the workspace root (default: walk up
+//! from the current directory); `--rules` lists the rule ids.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("faasnap-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for id in faasnap_lint::RULE_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!(
+                    "faasnap-lint: unknown argument {other:?} (usage: [--root DIR] [--rules])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| faasnap_lint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("faasnap-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    match faasnap_lint::lint_workspace(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!(
+                "unwrap-budget: {} of {} non-test unwrap()/expect() call sites used",
+                report.unwrap_count, report.unwrap_budget
+            );
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("faasnap-lint: {} diagnostic(s)", report.diagnostics.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("faasnap-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Workspace discovery: crates, manifests, and the Rust sources to scan.
+//!
+//! Mirrors the workspace layout (`members = ["crates/*"]` plus the root
+//! umbrella package): each crate contributes `src/`, `tests/`, `benches/`,
+//! and `examples/`; the root package contributes the same top-level
+//! directories. Directories named `fixtures` are skipped — they hold
+//! deliberately dirty inputs for the linter's own tests — as are hidden
+//! directories and `target/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::layering::{parse_manifest, Manifest};
+
+/// One Rust source file to lint.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Owning package name.
+    pub crate_name: String,
+    /// True under `tests/`, `benches/`, or `examples/`.
+    pub is_harness: bool,
+    /// True for the crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Everything discovery found.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All sources, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// Member crate manifests (the root umbrella manifest is excluded —
+    /// it may depend on everything by design).
+    pub manifests: Vec<Manifest>,
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn collect_rs(
+    dir: &Path,
+    rel_prefix: &str,
+    crate_name: &str,
+    is_harness: bool,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel = format!("{rel_prefix}/{name}");
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, &rel, crate_name, is_harness, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(SourceFile {
+                is_crate_root: rel.ends_with("src/lib.rs"),
+                rel,
+                abs: path,
+                crate_name: crate_name.to_string(),
+                is_harness,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn collect_package(
+    root: &Path,
+    pkg_dir_rel: &str,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let base = if pkg_dir_rel.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(pkg_dir_rel)
+    };
+    for (sub, harness) in [
+        ("src", false),
+        ("tests", true),
+        ("benches", true),
+        ("examples", true),
+    ] {
+        let rel = if pkg_dir_rel.is_empty() {
+            sub.to_string()
+        } else {
+            format!("{pkg_dir_rel}/{sub}")
+        };
+        collect_rs(&base.join(sub), &rel, crate_name, harness, out)?;
+    }
+    Ok(())
+}
+
+/// Discovers the workspace rooted at `root`.
+pub fn discover(root: &Path) -> Result<Workspace, String> {
+    let root_text = fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| format!("reading {}/Cargo.toml: {e}", root.display()))?;
+    if !root_text.contains("[workspace]") {
+        return Err(format!("{} is not a workspace root", root.display()));
+    }
+    let root_pkg = parse_manifest("Cargo.toml", &root_text)?;
+
+    let mut files = Vec::new();
+    let mut manifests = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel_manifest = format!("crates/{dir_name}/Cargo.toml");
+        let text = fs::read_to_string(dir.join("Cargo.toml"))
+            .map_err(|e| format!("reading {rel_manifest}: {e}"))?;
+        let manifest = parse_manifest(&rel_manifest, &text)?;
+        collect_package(
+            root,
+            &format!("crates/{dir_name}"),
+            &manifest.name,
+            &mut files,
+        )?;
+        manifests.push(manifest);
+    }
+
+    // The root umbrella package: sources only; its manifest is exempt
+    // from layering (it re-exports the whole workspace).
+    collect_package(root, "", &root_pkg.name, &mut files)?;
+
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        manifests,
+    })
+}

@@ -1,0 +1,73 @@
+//! Directive semantics end to end: coverage of the preceding and trailing
+//! placements, the one-line reach limit, mandatory reasons, and unknown
+//! rule ids. The hazards and directives below live inside Rust string
+//! literals, so the self-scan of this very file masks them out.
+
+use faasnap_lint::{lint_source, FileCtx};
+
+fn ctx() -> FileCtx<'static> {
+    FileCtx {
+        path: "crates/sim-x/src/lib.rs",
+        crate_name: "sim-x",
+        is_harness: false,
+    }
+}
+
+fn rules_of(src: &str) -> Vec<&'static str> {
+    lint_source(&ctx(), src)
+        .diagnostics
+        .iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn trailing_directive_suppresses_its_own_line() {
+    let src = "fn f(d: std::time::Duration) {\n    \
+               std::thread::sleep(d); // faasnap-lint: allow(no-threads, trailing form)\n}\n";
+    assert!(rules_of(src).is_empty());
+}
+
+#[test]
+fn preceding_directive_suppresses_the_next_line() {
+    let src = "// faasnap-lint: allow(no-unordered-iteration, preceding form)\n\
+               use std::collections::HashMap;\n";
+    assert!(rules_of(src).is_empty());
+}
+
+#[test]
+fn directive_reach_stops_after_one_line() {
+    let src = "// faasnap-lint: allow(no-unordered-iteration, too far away)\n\
+               fn f() {}\n\
+               use std::collections::HashMap;\n";
+    assert_eq!(rules_of(src), vec!["no-unordered-iteration"]);
+}
+
+#[test]
+fn directive_only_covers_its_named_rule() {
+    let src = "// faasnap-lint: allow(no-threads, wrong rule for the line below)\n\
+               use std::collections::HashMap;\n";
+    assert_eq!(rules_of(src), vec!["no-unordered-iteration"]);
+}
+
+#[test]
+fn missing_reason_is_malformed_and_suppresses_nothing() {
+    let src = "// faasnap-lint: allow(no-wallclock)\n\
+               fn f() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(rules_of(src), vec!["malformed-allow", "no-wallclock"]);
+}
+
+#[test]
+fn unknown_rule_id_is_malformed() {
+    let src = "// faasnap-lint: allow(no-such-rule, a reason cannot rescue it)\n";
+    assert_eq!(rules_of(src), vec!["malformed-allow"]);
+}
+
+#[test]
+fn allow_exempts_unwrap_sites_from_the_budget() {
+    let covered = "// faasnap-lint: allow(unwrap-budget, provably infallible here)\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let uncovered = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(lint_source(&ctx(), covered).unwrap_sites, 0);
+    assert_eq!(lint_source(&ctx(), uncovered).unwrap_sites, 1);
+}

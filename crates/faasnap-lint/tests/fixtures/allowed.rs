@@ -1,0 +1,26 @@
+//! Fixture for directive semantics: findings suppressed in both the
+//! preceding and the trailing placement, a budget exemption, and two
+//! malformed directives that must be reported and suppress nothing.
+
+// faasnap-lint: allow(no-unordered-iteration, fixture demonstrates the preceding placement)
+use std::collections::HashMap;
+
+// faasnap-lint: allow(no-unordered-iteration, only the count escapes; order is never observed)
+fn count(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+fn sleepy(d: std::time::Duration) {
+    std::thread::sleep(d); // faasnap-lint: allow(no-threads, fixture demonstrates the trailing placement)
+}
+
+// faasnap-lint: allow(unwrap-budget, fixture demonstrates the budget exemption)
+fn exempt(x: Option<u32>) -> u32 { x.unwrap() }
+
+// faasnap-lint: allow(no-wallclock)
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// faasnap-lint: allow(no-such-rule, a reason cannot rescue an unknown id)
+fn plain() {}

@@ -1,0 +1,34 @@
+//! Fixture for the lexer: every hazard below sits in a string, a comment,
+//! an identifier-boundary trap, or a `#[cfg(test)]` region. Nothing here
+//! may produce a diagnostic, and the unwrap budget must stay at zero.
+
+const PROSE: &str = "HashMap and Instant::now are only prose here";
+const RAW: &str = r#"thread::spawn("inside a raw string, with quotes")"#;
+const BYTES: &[u8] = b"SystemTime";
+
+/* nested /* block */ comment mentioning RandomState */
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    let _c = 'h'; // a char literal, not a lifetime
+    x
+}
+
+struct MyHashMapLike;
+
+fn r#type(x: Result<u32, MyHashMapLike>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn multiline() -> &'static str {
+    "a string that spans
+     lines and mentions thread::sleep so line
+     numbers past it must still be right"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_inside_cfg_test_are_free() {
+        Some(1u32).unwrap();
+        Some(2u32).expect("still free");
+    }
+}

@@ -1,0 +1,30 @@
+//! Deliberately dirty fixture: at least one finding per text rule, plus
+//! two unwrap-budget call sites. Never compiled; the golden test feeds it
+//! to the rule engine and pins the exact diagnostics.
+
+use std::collections::{HashMap, HashSet};
+
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn modified() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
+fn background() {
+    std::thread::spawn(|| {});
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn lookup(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> u32 {
+    m.get(&0).copied().unwrap() + s.len() as u32
+}
+
+fn brittle(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}

@@ -1,0 +1,62 @@
+//! Golden test over the fixtures in `tests/fixtures/`.
+//!
+//! Each `.rs` fixture runs through the rule engine as if it were library
+//! code of a crate named `sim-fixture`; the diagnostics plus the per-file
+//! unwrap-site count are compared byte-for-byte against
+//! `tests/fixtures/expected.golden`. Regenerate after an intentional rule
+//! change with `FAASNAP_BLESS=1 cargo test -p faasnap-lint` and review
+//! the golden diff by hand.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use faasnap_lint::{lint_source, FileCtx};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn fixtures_match_golden() {
+    let dir = fixtures_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read fixtures dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .into_string()
+                .expect("utf-8 fixture name")
+        })
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no fixtures in {}", dir.display());
+
+    let mut actual = String::new();
+    for name in &names {
+        let source = std::fs::read_to_string(dir.join(name)).expect("read fixture");
+        let rel = format!("fixtures/{name}");
+        let ctx = FileCtx {
+            path: &rel,
+            crate_name: "sim-fixture",
+            is_harness: false,
+        };
+        let lint = lint_source(&ctx, &source);
+        for d in &lint.diagnostics {
+            writeln!(actual, "{d}").expect("write to string");
+        }
+        writeln!(actual, "{rel}: unwrap_sites={}", lint.unwrap_sites).expect("write to string");
+    }
+
+    let golden = dir.join("expected.golden");
+    if std::env::var_os("FAASNAP_BLESS").is_some() {
+        std::fs::write(&golden, &actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .expect("tests/fixtures/expected.golden missing; run once with FAASNAP_BLESS=1");
+    assert_eq!(
+        actual, expected,
+        "fixture diagnostics drifted; if intentional, rerun with FAASNAP_BLESS=1 and review"
+    );
+}

@@ -1,0 +1,68 @@
+//! Layering end to end on a synthetic workspace: manifests go in as TOML
+//! text, violations come out as diagnostics anchored to the offending
+//! dependency line.
+
+use faasnap_lint::layering::{check_layering, parse_manifest, Manifest};
+
+fn manifest(name: &str, deps: &[&str]) -> Manifest {
+    let mut text = format!("[package]\nname = \"{name}\"\nversion = \"0.1.0\"\n\n[dependencies]\n");
+    for d in deps {
+        text.push_str(&format!("{d}.workspace = true\n"));
+    }
+    parse_manifest(&format!("crates/{name}/Cargo.toml"), &text).expect("synthetic manifest parses")
+}
+
+#[test]
+fn real_shape_passes_and_violations_are_pinpointed() {
+    // The shape of the actual workspace, condensed.
+    let clean = vec![
+        manifest("sim-core", &[]),
+        manifest("faasnap-obs", &["sim-core"]),
+        manifest("sim-mm", &["sim-core", "faasnap-obs"]),
+        manifest("sim-vm", &["sim-core", "sim-mm"]),
+        manifest("faasnap", &["sim-core", "sim-vm"]),
+        manifest("faasnap-daemon", &["faasnap"]),
+        manifest("faasnap-cluster", &["faasnap-daemon", "faasnap-lint"]),
+        manifest("faasnap-bench", &["faasnap-daemon"]),
+        manifest("faasnap-lint", &[]),
+    ];
+    assert!(check_layering(&clean).is_empty());
+
+    // Now poison it: the substrate reaches up into the runtime. That one
+    // edge trips three rules at once — substrate-reaches-up, the daemon
+    // whitelist, and (because faasnap ultimately sits on sim-mm) a cycle.
+    let mut dirty = clean;
+    dirty[2] = manifest("sim-mm", &["sim-core", "faasnap-obs", "faasnap-daemon"]);
+    let diags = check_layering(&dirty);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "layering"));
+    assert!(diags.iter().all(|d| d.path == "crates/sim-mm/Cargo.toml"));
+    assert!(diags.iter().any(|d| d.message.contains("dependency cycle")));
+    // The two edge-level findings point at the offending dependency line:
+    // [package] header + 2 keys + blank + [dependencies] header, then the
+    // third dependency: line 8.
+    assert_eq!(diags.iter().filter(|d| d.line == 8).count(), 2);
+}
+
+#[test]
+fn obs_exception_does_not_extend_to_other_faasnap_crates() {
+    let diags = check_layering(&[
+        manifest("faasnap", &[]),
+        manifest("sim-storage", &["faasnap"]),
+    ]);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("substrate"));
+}
+
+#[test]
+fn cycle_in_synthetic_graph_is_reported_once() {
+    let diags = check_layering(&[
+        manifest("faasnap", &["faasnap-daemon"]),
+        manifest("faasnap-daemon", &["faasnap"]),
+    ]);
+    let cycles: Vec<_> = diags
+        .iter()
+        .filter(|d| d.message.contains("dependency cycle"))
+        .collect();
+    assert_eq!(cycles.len(), 1, "{diags:?}");
+}

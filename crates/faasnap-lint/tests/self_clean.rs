@@ -1,0 +1,30 @@
+//! The workspace must satisfy its own linter: zero diagnostics, and the
+//! unwrap ratchet at or under budget. This is the test-suite twin of the
+//! `scripts/check.sh` gate.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root is two levels above the crate");
+    let report = faasnap_lint::lint_workspace(root).expect("lint runs on the real workspace");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unwrap_count <= report.unwrap_budget,
+        "unwrap-budget ratchet exceeded: {} sites > budget {}",
+        report.unwrap_count,
+        report.unwrap_budget
+    );
+}

@@ -18,6 +18,7 @@
 //! `Host`/`Platform` keeps two concurrent simulations (e.g. in tests)
 //! fully isolated.
 
+#![forbid(unsafe_code)]
 pub mod chrome;
 pub mod metrics;
 pub mod text;

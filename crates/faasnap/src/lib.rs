@@ -28,6 +28,7 @@
 //!   histograms, loader fetch time/size, disk traffic) matching the
 //!   paper's measurement methodology.
 
+#![forbid(unsafe_code)]
 pub mod artifacts;
 pub mod loader;
 pub mod loadingset;

@@ -9,7 +9,7 @@
 //! numbers, then by their addresses" into a compact loading-set file,
 //! which the daemon loader then reads strictly sequentially.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use sim_mm::addr::{PageNum, PageRange};
 use sim_vm::guest_memory::GuestMemory;
@@ -147,8 +147,9 @@ impl LoadingSet {
         self.regions.iter().any(|r| r.guest.contains(page))
     }
 
-    /// The set of all guest pages covered (including merged gaps).
-    pub fn covered_pages(&self) -> HashSet<PageNum> {
+    /// The set of all guest pages covered (including merged gaps),
+    /// ordered so iteration is deterministic.
+    pub fn covered_pages(&self) -> BTreeSet<PageNum> {
         self.regions.iter().flat_map(|r| r.guest.iter()).collect()
     }
 

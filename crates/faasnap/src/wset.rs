@@ -13,7 +13,7 @@
 //! - [`ReapWorkingSet`] — REAP's: pages in first-*fault* order, recorded
 //!   via `userfaultfd`; no groups (REAP fetches the whole set up front).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use sim_mm::addr::PageNum;
 
@@ -91,8 +91,9 @@ impl WorkingSet {
             .map(|(i, &p)| (p, (i as u64 / self.group_size) as u32))
     }
 
-    /// The set of pages, for membership tests.
-    pub fn page_set(&self) -> HashSet<PageNum> {
+    /// The set of pages, for membership tests (ordered, so iterating it
+    /// is deterministic).
+    pub fn page_set(&self) -> BTreeSet<PageNum> {
         self.pages.iter().copied().collect()
     }
 
@@ -139,8 +140,9 @@ impl ReapWorkingSet {
         self.len() * sim_core::units::PAGE_SIZE
     }
 
-    /// The set of pages, for membership tests.
-    pub fn page_set(&self) -> HashSet<PageNum> {
+    /// The set of pages, for membership tests (ordered, so iterating it
+    /// is deterministic).
+    pub fn page_set(&self) -> BTreeSet<PageNum> {
         self.pages.iter().copied().collect()
     }
 }

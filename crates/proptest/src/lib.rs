@@ -18,6 +18,7 @@
 //! * **256 cases per test** (the upstream default), overridable with the
 //!   `PROPTEST_CASES` environment variable.
 
+#![forbid(unsafe_code)]
 pub mod strategy;
 
 pub mod test_runner {

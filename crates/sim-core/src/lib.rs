@@ -11,6 +11,7 @@
 //! Everything in this crate is deterministic: given the same seed and the
 //! same sequence of scheduled events, a simulation replays identically.
 
+#![forbid(unsafe_code)]
 pub mod engine;
 pub mod json;
 pub mod rng;

@@ -17,7 +17,7 @@
 //! 5. file-backed, cached → minor fault;
 //! 6. file-backed, uncached → major fault with readahead.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use faasnap_obs::{TraceContext, Tracer};
 use sim_core::rng::Prng;
@@ -124,7 +124,7 @@ pub enum FaultOutcome {
 #[derive(Clone, Debug)]
 pub struct FaultResolver {
     costs: FaultCosts,
-    readahead: HashMap<FileId, ReadaheadState>,
+    readahead: BTreeMap<FileId, ReadaheadState>,
     rng: Prng,
     /// Maximum readahead window in pages (Linux default 32 = 128 KiB).
     max_ra_pages: u64,
@@ -138,7 +138,7 @@ impl FaultResolver {
     pub fn new(costs: FaultCosts, seed: u64) -> Self {
         FaultResolver {
             costs,
-            readahead: HashMap::new(),
+            readahead: BTreeMap::new(),
             rng: Prng::new(seed),
             max_ra_pages: 32,
             initial_ra_pages: 4,

@@ -11,7 +11,7 @@
 //! instants. The DES runtime inserts a window when it submits the read and
 //! clears it on completion.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sim_core::time::SimTime;
 use sim_storage::file::FileId;
@@ -19,7 +19,7 @@ use sim_storage::file::FileId;
 /// Registry of file pages with reads currently in flight.
 #[derive(Clone, Debug, Default)]
 pub struct InflightIo {
-    pending: HashMap<(FileId, u64), SimTime>,
+    pending: BTreeMap<(FileId, u64), SimTime>,
 }
 
 impl InflightIo {

@@ -25,6 +25,7 @@
 //! - [`costs`] — calibrated fault-cost constants with the paper sentences
 //!   they come from.
 
+#![forbid(unsafe_code)]
 pub mod addr;
 pub mod costs;
 pub mod fault;

@@ -14,7 +14,7 @@
 //! compacted recency queue, plus explicit drop operations mirroring the
 //! evaluation's `drop_caches` between runs (§6.1).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use sim_storage::file::FileId;
 
@@ -26,8 +26,9 @@ type Key = (FileId, u64);
 pub struct PageCache {
     /// Maximum resident pages (host memory budget for the cache).
     capacity_pages: u64,
-    /// Page -> recency stamp of the most recent touch.
-    resident: HashMap<Key, u64>,
+    /// Page -> recency stamp of the most recent touch. Ordered so the
+    /// eviction rebuild path iterates deterministically.
+    resident: BTreeMap<Key, u64>,
     /// Recency queue: (stamp, key); stale entries skipped on eviction.
     queue: VecDeque<(u64, Key)>,
     next_stamp: u64,
@@ -44,7 +45,7 @@ impl PageCache {
         assert!(capacity_pages > 0, "page cache capacity must be positive");
         PageCache {
             capacity_pages,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             queue: VecDeque::new(),
             next_stamp: 0,
             insertions: 0,

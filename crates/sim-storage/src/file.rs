@@ -6,7 +6,7 @@
 //! only needs identity and extent so the device and page cache can account
 //! for reads.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies a simulated file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,7 +47,7 @@ pub struct FileMeta {
 /// Registry of simulated files.
 #[derive(Clone, Debug, Default)]
 pub struct SimFs {
-    files: HashMap<FileId, FileMeta>,
+    files: BTreeMap<FileId, FileMeta>,
     next_id: u64,
 }
 

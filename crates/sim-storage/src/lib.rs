@@ -18,6 +18,7 @@
 //!   readahead pulls in pages nearby the faulting page, and those pages are
 //!   visible to `mincore`.
 
+#![forbid(unsafe_code)]
 pub mod device;
 pub mod file;
 pub mod profiles;

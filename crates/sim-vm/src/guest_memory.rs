@@ -9,7 +9,7 @@
 //! file, merging consecutive zero pages into zero regions and non-zero
 //! pages into non-zero regions."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sim_mm::addr::{PageNum, PageRange};
 
@@ -17,8 +17,9 @@ use sim_mm::addr::{PageNum, PageRange};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GuestMemory {
     total_pages: u64,
-    /// Non-zero pages only; absence means the page is zero.
-    contents: HashMap<PageNum, u64>,
+    /// Non-zero pages only; absence means the page is zero. Ordered, so
+    /// every scan below iterates in address order by construction.
+    contents: BTreeMap<PageNum, u64>,
 }
 
 impl GuestMemory {
@@ -26,7 +27,7 @@ impl GuestMemory {
     pub fn new(total_pages: u64) -> Self {
         GuestMemory {
             total_pages,
-            contents: HashMap::new(),
+            contents: BTreeMap::new(),
         }
     }
 
@@ -77,11 +78,9 @@ impl GuestMemory {
         self.contents.len() as u64
     }
 
-    /// Non-zero page numbers in ascending order.
+    /// Non-zero page numbers in ascending order (the map is ordered).
     pub fn nonzero_pages(&self) -> Vec<PageNum> {
-        let mut pages: Vec<PageNum> = self.contents.keys().copied().collect();
-        pages.sort_unstable();
-        pages
+        self.contents.keys().copied().collect()
     }
 
     /// The zero/non-zero scan: maximal runs of consecutive non-zero pages,
@@ -110,11 +109,8 @@ impl GuestMemory {
     /// A stable checksum over all contents, for fast equality assertions
     /// in correctness tests.
     pub fn checksum(&self) -> u64 {
-        let mut pages = self.nonzero_pages();
-        pages.sort_unstable();
         let mut acc: u64 = 0xcbf29ce484222325;
-        for p in pages {
-            let token = self.contents[&p];
+        for (&p, &token) in &self.contents {
             acc ^= p.wrapping_mul(0x100000001b3);
             acc = acc.rotate_left(17) ^ token;
         }

@@ -20,6 +20,7 @@
 //!   invariants restores must preserve.
 //! - [`boot`] — timing model for VMM start and snapshot-load setup.
 
+#![forbid(unsafe_code)]
 pub mod boot;
 pub mod guest_kernel;
 pub mod guest_memory;

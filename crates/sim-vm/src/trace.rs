@@ -87,6 +87,7 @@ impl Trace {
 
     /// Number of *distinct* pages the trace touches.
     pub fn distinct_pages(&self) -> u64 {
+        // faasnap-lint: allow(no-unordered-iteration, only the count escapes; order is never observed)
         let mut pages = std::collections::HashSet::new();
         for op in &self.ops {
             match op {

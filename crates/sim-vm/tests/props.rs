@@ -99,7 +99,7 @@ proptest! {
     #[test]
     fn guest_memory_ops(ops in proptest::collection::vec((0u64..500, any::<u64>()), 0..200)) {
         let mut mem = GuestMemory::new(500);
-        let mut model = std::collections::HashMap::new();
+        let mut model = std::collections::BTreeMap::new();
         for (page, token) in ops {
             mem.write(page, token);
             if token == 0 {

@@ -13,6 +13,11 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> faasnap-lint: determinism & architecture rules"
+# Fails on any diagnostic; the final line reports the unwrap-budget ratchet
+# (non-test unwrap()/expect() call sites used vs. the cap in faasnap-lint).
+cargo run --release -q -p faasnap-lint
+
 echo "==> tier-1 verify: cargo build --release"
 cargo build --release
 

@@ -9,6 +9,7 @@
 //! - [`faasnap`] — the paper's contribution and its baselines.
 //! - [`faasnap_daemon`] — the platform layer.
 
+#![forbid(unsafe_code)]
 pub use faas_workloads;
 pub use faasnap;
 pub use faasnap_daemon;

@@ -104,7 +104,7 @@ proptest! {
         }
         let ls = LoadingSet::build(&ws, &mem, gap);
 
-        let proper: std::collections::HashSet<u64> = ws_pages
+        let proper: std::collections::BTreeSet<u64> = ws_pages
             .iter()
             .copied()
             .filter(|p| mem.is_nonzero(*p))
