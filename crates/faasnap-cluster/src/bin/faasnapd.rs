@@ -13,6 +13,7 @@
 //! faasnapd policy <function>
 //! faasnapd cluster [--hosts 8] [--seed 42] [--policy all|random|least-loaded|snapshot-locality]
 //!                  [--tenants 36] [--rate 40] [--skew 1.2] [--horizon 300]
+//!                  [--fault-prob 0.02] [--fault-retry-ms 3] [--degrade-prob 0.25] [--degrade-ms 25]
 //!                  [--smoke] [--metrics-out <file>] [--trace-out <file>]
 //! faasnapd lint [--root <dir>]
 //! ```
@@ -24,7 +25,9 @@
 //! repository's golden tests pin byte-for-byte.
 
 use faasnap::strategy::RestoreStrategy;
-use faasnap_cluster::{calibrate, run_cluster, ClusterConfig, RoutePolicy, WorkloadSpec};
+use faasnap_cluster::{
+    calibrate, run_cluster, ClusterConfig, FleetFaultProfile, RoutePolicy, WorkloadSpec,
+};
 use faasnap_daemon::config::ExperimentConfig;
 use faasnap_daemon::observe::traced_invoke;
 use faasnap_daemon::platform::{BurstKind, Platform};
@@ -312,6 +315,26 @@ fn cmd_cluster(args: &Args) {
     };
 
     let smoke = args.flags.contains_key("smoke");
+    // A fault profile is armed as soon as any --fault-*/--degrade-*
+    // flag appears; unspecified knobs fall back to the mild defaults.
+    let fault_profile = if ["fault-prob", "fault-retry-ms", "degrade-prob", "degrade-ms"]
+        .iter()
+        .any(|f| args.flags.contains_key(*f))
+    {
+        let prob: f64 = args.num("fault-prob", "0.02");
+        let degrade_prob: f64 = args.num("degrade-prob", "0.25");
+        if !(0.0..=1.0).contains(&prob) || !(0.0..=1.0).contains(&degrade_prob) {
+            die("--fault-prob and --degrade-prob must be in [0, 1]");
+        }
+        Some(FleetFaultProfile {
+            storage_fault_prob: prob,
+            retry_penalty: SimDuration::from_millis(args.num("fault-retry-ms", "3")),
+            degrade_prob,
+            degrade_penalty: SimDuration::from_millis(args.num("degrade-ms", "25")),
+        })
+    } else {
+        None
+    };
     // Calibrate per-workload service times against the detailed
     // single-host platform, then replay the fleet against them. The
     // smoke fleet uses the built-in defaults so golden files don't
@@ -359,6 +382,7 @@ fn cmd_cluster(args: &Args) {
         };
         cfg.obs = obs.clone();
         cfg.tracer = tracer.clone();
+        cfg.fault_profile = fault_profile;
         eprintln!(
             "simulating {} on {} hosts, {} tenants for {}...",
             policy.label(),

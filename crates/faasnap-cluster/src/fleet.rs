@@ -17,6 +17,42 @@ use crate::hostsim::{Admission, HostConfig, HostSim, QueuedJob, ServeMode, Servi
 use crate::metrics::FleetMetrics;
 use crate::router::RoutePolicy;
 
+/// Storage-fault profile for a fleet run: the aggregate, fleet-level
+/// view of the single-host fault-injection machinery. Restores that
+/// actually touch the disk (snapshot-cold restores and cold boots) hit a
+/// transient storage fault with `storage_fault_prob`; the host retries,
+/// adding `retry_penalty` to the service time. With `degrade_prob` a
+/// faulted restore additionally exhausts its prefetch retries and
+/// degrades to demand paging, paying `degrade_penalty` on top. Warm and
+/// snapshot-hot serves never consult the fault stream, so a profile of
+/// `None` draws zero extra random values and leaves runs byte-identical
+/// to a fault-free fleet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetFaultProfile {
+    /// Probability a disk-touching restore hits a transient read fault.
+    pub storage_fault_prob: f64,
+    /// Extra service time paid per faulted restore (retry + backoff).
+    pub retry_penalty: SimDuration,
+    /// Probability a faulted restore degrades (prefetch abandoned).
+    pub degrade_prob: f64,
+    /// Extra service time paid by a degraded restore (demand paging).
+    pub degrade_penalty: SimDuration,
+}
+
+impl FleetFaultProfile {
+    /// A mild profile mirroring the default single-host retry policy:
+    /// 2% of disk-touching restores fault and pay ~3 ms of retries; a
+    /// quarter of those degrade and pay another 25 ms of demand paging.
+    pub fn mild() -> Self {
+        FleetFaultProfile {
+            storage_fault_prob: 0.02,
+            retry_penalty: SimDuration::from_millis(3),
+            degrade_prob: 0.25,
+            degrade_penalty: SimDuration::from_millis(25),
+        }
+    }
+}
+
 /// Everything a fleet run depends on.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -41,6 +77,11 @@ pub struct ClusterConfig {
     /// Metrics handle: fleet counters, queue-depth gauges, and the
     /// end-to-end latency histogram (disabled by default).
     pub obs: Metrics,
+    /// Optional storage-fault profile. `None` (the default, used by
+    /// [`ClusterConfig::demo`] and [`ClusterConfig::smoke`]) runs the
+    /// fleet fault-free and byte-identical to builds without the
+    /// feature.
+    pub fault_profile: Option<FleetFaultProfile>,
 }
 
 impl ClusterConfig {
@@ -60,6 +101,7 @@ impl ClusterConfig {
             services: Vec::new(),
             tracer: Tracer::disabled(),
             obs: Metrics::disabled(),
+            fault_profile: None,
         }
     }
 
@@ -79,6 +121,7 @@ impl ClusterConfig {
             services: Vec::new(),
             tracer: Tracer::disabled(),
             obs: Metrics::disabled(),
+            fault_profile: None,
         }
     }
 
@@ -113,15 +156,53 @@ struct FleetWorld<'a> {
     policy: RoutePolicy,
     hosts: Vec<HostSim>,
     route_rng: Prng,
+    fault_profile: Option<FleetFaultProfile>,
+    fault_rng: Prng,
     metrics: FleetMetrics,
     tracer: Tracer,
     obs: Metrics,
 }
 
 impl FleetWorld<'_> {
+    /// Applies the fleet fault profile to one started invocation. Only
+    /// disk-touching restores (snapshot-cold, cold boot) consult the
+    /// fault stream; with no profile armed, no random values are drawn
+    /// and the service time passes through untouched, so fault-free
+    /// runs stay byte-identical.
+    fn faulted_service(
+        &mut self,
+        mode: ServeMode,
+        service: SimDuration,
+        ctx: TraceContext,
+    ) -> SimDuration {
+        let Some(profile) = self.fault_profile else {
+            return service;
+        };
+        if !matches!(mode, ServeMode::SnapshotCold | ServeMode::Cold) {
+            return service;
+        }
+        if !self.fault_rng.chance(profile.storage_fault_prob) {
+            return service;
+        }
+        self.metrics.storage_faults += 1;
+        self.obs
+            .counter_inc("fleet_storage_faults_total", &[("site", "restore")]);
+        self.tracer.tag(ctx, "storage_fault", true);
+        let mut service = service + profile.retry_penalty;
+        if self.fault_rng.chance(profile.degrade_prob) {
+            self.metrics.degraded_restores += 1;
+            self.obs
+                .counter_inc("fleet_degraded_restores_total", &[("site", "restore")]);
+            self.tracer.tag(ctx, "degraded", true);
+            service += profile.degrade_penalty;
+        }
+        service
+    }
+
     fn dispatch(&mut self, host: usize, job: QueuedJob, now: SimTime, sched: &mut Scheduler<Ev>) {
         let times = self.tenant_times[job.tenant];
         let (mode, service) = self.hosts[host].start_service(job.tenant, now, &times);
+        let service = self.faulted_service(mode, service, job.ctx);
         sched.schedule_after(
             now,
             service,
@@ -174,6 +255,7 @@ impl World for FleetWorld<'_> {
                         let times = self.tenant_times[tenant];
                         match self.hosts[host].admit(job, now, &times) {
                             Admission::Started { mode, service } => {
+                                let service = self.faulted_service(mode, service, ctx);
                                 sched.schedule_after(
                                     now,
                                     service,
@@ -255,6 +337,10 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
         // Routing randomness is independent of arrival randomness so the
         // same trace replays under every policy.
         route_rng: Prng::new(cfg.seed ^ 0x1205_7EA3_C0FF_EE00),
+        fault_profile: cfg.fault_profile,
+        // Fault randomness gets its own stream: arming a profile must
+        // not perturb arrivals or routing for the same seed.
+        fault_rng: Prng::new(cfg.seed ^ 0xFA17_0F1E_E75E_ED00),
         metrics: FleetMetrics::new(
             cfg.policy.label(),
             cfg.seed,

@@ -43,7 +43,7 @@ pub mod metrics;
 pub mod router;
 
 pub use arrival::{Arrival, ArrivalPattern, TenantSpec, WorkloadSpec};
-pub use fleet::{run_cluster, ClusterConfig};
+pub use fleet::{run_cluster, ClusterConfig, FleetFaultProfile};
 pub use hostsim::{HostConfig, ServiceTimes};
 pub use metrics::FleetMetrics;
 pub use router::RoutePolicy;

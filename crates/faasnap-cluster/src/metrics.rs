@@ -58,6 +58,11 @@ pub struct FleetMetrics {
     pub host_busy: Vec<SimDuration>,
     /// Per-host slot counts (denominator for utilization).
     pub host_slots: Vec<u32>,
+    /// Disk-touching restores that hit an injected storage fault (only
+    /// non-zero when a fault profile is armed).
+    pub storage_faults: u64,
+    /// Faulted restores that additionally degraded to demand paging.
+    pub degraded_restores: u64,
 }
 
 impl FleetMetrics {
@@ -85,6 +90,8 @@ impl FleetMetrics {
             latency_ms: Summary::new(),
             host_busy: vec![SimDuration::ZERO; hosts],
             host_slots: vec![0; hosts],
+            storage_faults: 0,
+            degraded_restores: 0,
         }
     }
 
@@ -174,7 +181,9 @@ impl FleetMetrics {
                     .with("snapshot_cold", mix[2])
                     .with("cold", mix[3]),
             )
-            .with("mean_utilization", round3(self.mean_utilization()));
+            .with("mean_utilization", round3(self.mean_utilization()))
+            .with("storage_faults", self.storage_faults)
+            .with("degraded_restores", self.degraded_restores);
         let tenants: Vec<Value> = self
             .tenants
             .iter()

@@ -2,12 +2,19 @@
 //! serialized cluster metrics, for every routing policy, through the
 //! public crate API (the same path `faasnapd cluster` uses).
 
-use faasnap_cluster::{run_cluster, ClusterConfig, RoutePolicy};
+use faasnap_cluster::{run_cluster, ClusterConfig, FleetFaultProfile, RoutePolicy};
 use sim_core::time::SimDuration;
 
 fn metrics_json(policy: RoutePolicy, seed: u64) -> String {
     let mut cfg = ClusterConfig::demo(8, policy, seed);
     cfg.horizon = SimDuration::from_secs(60);
+    run_cluster(&cfg).to_json().to_string_pretty()
+}
+
+fn faulted_metrics_json(policy: RoutePolicy, seed: u64, profile: FleetFaultProfile) -> String {
+    let mut cfg = ClusterConfig::demo(8, policy, seed);
+    cfg.horizon = SimDuration::from_secs(60);
+    cfg.fault_profile = Some(profile);
     run_cluster(&cfg).to_json().to_string_pretty()
 }
 
@@ -30,6 +37,70 @@ fn different_seeds_differ() {
     assert_ne!(
         metrics_json(RoutePolicy::SnapshotLocality, 42),
         metrics_json(RoutePolicy::SnapshotLocality, 43),
+    );
+}
+
+#[test]
+fn same_seed_and_fault_profile_byte_identical() {
+    let profile = FleetFaultProfile::mild();
+    for policy in [
+        RoutePolicy::Random,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::SnapshotLocality,
+    ] {
+        let a = faulted_metrics_json(policy, 42, profile);
+        let b = faulted_metrics_json(policy, 42, profile);
+        assert_eq!(
+            a,
+            b,
+            "{} diverged across identical faulted runs",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn fault_profile_counts_faults_without_perturbing_the_workload() {
+    let heavy = FleetFaultProfile {
+        storage_fault_prob: 1.0,
+        retry_penalty: SimDuration::from_millis(5),
+        degrade_prob: 1.0,
+        degrade_penalty: SimDuration::from_millis(50),
+    };
+    let clean = metrics_json(RoutePolicy::SnapshotLocality, 42);
+    let faulted = faulted_metrics_json(RoutePolicy::SnapshotLocality, 42, heavy);
+    let cv = sim_core::json::parse(&clean).expect("valid JSON");
+    let fv = sim_core::json::parse(&faulted).expect("valid JSON");
+    let fleet = |v: &sim_core::json::Value, key: &str| {
+        v.get("fleet").unwrap().get(key).unwrap().as_u64().unwrap()
+    };
+    // The fault stream is independent of arrivals and routing: demand
+    // is identical, only service times (and thus latency) shift.
+    assert_eq!(
+        fleet(&cv, "served") + fleet(&cv, "shed"),
+        fleet(&fv, "served") + fleet(&fv, "shed"),
+        "fault profile must not change the arrival stream"
+    );
+    assert_eq!(fleet(&cv, "storage_faults"), 0);
+    assert_eq!(fleet(&cv, "degraded_restores"), 0);
+    let faults = fleet(&fv, "storage_faults");
+    assert!(faults > 0, "prob-1.0 profile must fault every cold restore");
+    assert_eq!(
+        fleet(&fv, "degraded_restores"),
+        faults,
+        "degrade_prob 1.0 degrades every faulted restore"
+    );
+    let p99 = |v: &sim_core::json::Value| {
+        v.get("fleet")
+            .unwrap()
+            .get("p99_ms")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    assert!(
+        p99(&fv) >= p99(&cv),
+        "fault penalties cannot make the tail faster"
     );
 }
 

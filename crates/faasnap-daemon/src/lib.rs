@@ -33,6 +33,6 @@ pub use config::ExperimentConfig;
 pub use kv::{KvStore, KvValue};
 pub use metrics::{MeasuredCell, TextTable};
 pub use observe::{traced_invoke, TraceRun};
-pub use platform::{BurstKind, Platform};
+pub use platform::{BurstKind, InvokeError, Platform};
 pub use policy::{simulate_policy, ModeLatencies, Policy, ServingMode};
 pub use registry::FunctionRegistry;

@@ -9,15 +9,40 @@
 //! the §6.6 bursty workloads.
 
 use faas_workloads::{Function, Input};
+use faasnap::error::RestoreError;
 use faasnap::runtime::{run_invocations, Host, InvocationOutcome, InvocationSpec};
 use faasnap::strategy::RestoreStrategy;
 use faasnap_obs::{Metrics, TraceContext, Tracer};
 use sim_core::time::SimTime;
+use sim_storage::faults::FaultPlan;
 use sim_storage::file::DeviceId;
 use sim_storage::profiles::DiskProfile;
 
 use crate::kv::{KvStore, KvValue};
 use crate::registry::FunctionRegistry;
+
+/// Why an invocation produced no outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvokeError {
+    /// Registry/staging problem: unknown function or missing artifacts.
+    NotFound(String),
+    /// The restore stack failed closed (read retries exhausted under
+    /// storage faults). The fault report of the failed run is lost with
+    /// the VM; the disk's armed [`FaultPlan`] log still holds the
+    /// realized injection schedule.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvokeError::NotFound(s) => f.write_str(s),
+            InvokeError::Restore(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}
 
 /// Snapshot sharing mode of a burst (§6.6): "the burst of VMs from the
 /// same snapshot and from different snapshots".
@@ -98,6 +123,29 @@ impl Platform {
         &self.host.metrics
     }
 
+    /// Arms deterministic storage fault injection on the primary device:
+    /// later record/invoke calls run under `plan`'s schedule. The plan
+    /// stays armed (and keeps consuming its injection budget) until
+    /// [`Platform::clear_storage_faults`].
+    pub fn inject_storage_faults(&mut self, plan: FaultPlan) {
+        self.host.disks[0].set_fault_plan(plan);
+    }
+
+    /// Disarms fault injection, returning the plan (whose log holds the
+    /// realized schedule).
+    pub fn clear_storage_faults(&mut self) -> Option<FaultPlan> {
+        self.host.disks[0].clear_fault_plan()
+    }
+
+    /// The realized injection schedule so far, as stable text (empty when
+    /// no plan is armed or nothing fired). Byte-comparable across runs.
+    pub fn fault_schedule(&self) -> String {
+        self.host.disks[0]
+            .fault_plan()
+            .map(|p| p.schedule())
+            .unwrap_or_default()
+    }
+
     /// Registers a function.
     pub fn register(&mut self, function: Function) {
         self.registry.register(function);
@@ -139,7 +187,23 @@ impl Platform {
         input: &Input,
         strategy: RestoreStrategy,
     ) -> Result<InvocationOutcome, String> {
-        let spec = self.build_spec(name, label, input, strategy)?;
+        self.try_invoke(name, label, input, strategy)
+            .map_err(|e| e.to_string())
+    }
+
+    /// [`Platform::invoke`] with a typed error: restore failures under
+    /// storage faults are distinguishable from registry misses. A failed
+    /// invocation writes no output to the state store.
+    pub fn try_invoke(
+        &mut self,
+        name: &str,
+        label: &str,
+        input: &Input,
+        strategy: RestoreStrategy,
+    ) -> Result<InvocationOutcome, InvokeError> {
+        let spec = self
+            .build_spec(name, label, input, strategy)
+            .map_err(InvokeError::NotFound)?;
         // Stage the input payload in external storage (the function
         // fetches it from there at the start of its trace) and record the
         // output it produces.
@@ -162,17 +226,25 @@ impl Platform {
         tracer.tag(ctx, "label", label);
         tracer.tag(ctx, "strategy", strategy.label());
         tracer.push_parent(ctx);
-        let outcome = faasnap::runtime::run_invocation(&mut self.host, spec);
+        let result = faasnap::runtime::try_run_invocation(&mut self.host, spec);
         tracer.pop_parent();
-        tracer.end(ctx, SimTime::ZERO + outcome.report.total_time());
-        self.kv.put(
-            format!("{name}/output"),
-            KvValue {
-                len: input.payload_kb * 1024,
-                fingerprint: outcome.final_memory.checksum(),
-            },
-        );
-        Ok(outcome)
+        match result {
+            Ok(outcome) => {
+                tracer.end(ctx, SimTime::ZERO + outcome.report.total_time());
+                self.kv.put(
+                    format!("{name}/output"),
+                    KvValue {
+                        len: input.payload_kb * 1024,
+                        fingerprint: outcome.final_memory.checksum(),
+                    },
+                );
+                Ok(outcome)
+            }
+            Err(e) => {
+                tracer.end(ctx, tracer.latest_end().unwrap_or(SimTime::ZERO));
+                Err(InvokeError::Restore(e))
+            }
+        }
     }
 
     /// Builds a test-phase spec without running it.

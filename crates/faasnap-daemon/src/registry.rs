@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 
 use faas_workloads::{Function, Input};
-use faasnap::artifacts::{record_phase, SnapshotArtifacts};
+use faasnap::artifacts::{try_record_phase_with, RecordOptions, SnapshotArtifacts};
 use faasnap::runtime::Host;
 use sim_storage::file::DeviceId;
 
@@ -54,7 +54,10 @@ impl FunctionRegistry {
     }
 
     /// Runs the record phase for `name` with `record_input`, storing the
-    /// artifacts under `label`. Returns an error for unknown functions.
+    /// artifacts under `label`. Returns an error for unknown functions and
+    /// for record runs aborted by storage faults — in the latter case no
+    /// artifacts are stored under `label` (complete or cleanly absent,
+    /// never half-written).
     pub fn record(
         &mut self,
         host: &mut Host,
@@ -69,7 +72,15 @@ impl FunctionRegistry {
             .ok_or_else(|| format!("unknown function {name}"))?;
         let trace = entry.function.trace(record_input);
         let image = entry.function.boot_image();
-        let artifacts = record_phase(host, &format!("{name}.{label}"), image, trace, device);
+        let artifacts = try_record_phase_with(
+            host,
+            &format!("{name}.{label}"),
+            image,
+            trace,
+            device,
+            RecordOptions::default(),
+        )
+        .map_err(|e| format!("record {name}.{label}: {e}"))?;
         entry.artifacts.insert(label.to_string(), artifacts);
         Ok(())
     }

@@ -18,9 +18,10 @@ use sim_storage::file::{DeviceId, FileId, FileKind};
 use sim_vm::snapshot::Snapshot;
 use sim_vm::trace::Trace;
 
+use crate::error::RestoreError;
 use crate::loadingset::{LoadingSet, MERGE_GAP};
 use crate::report::InvocationReport;
-use crate::runtime::{run_invocation, Host, InvocationSpec};
+use crate::runtime::{try_run_invocation, Host, InvocationSpec};
 use crate::strategy::RestoreStrategy;
 use crate::wset::{ReapWorkingSet, WorkingSet, GROUP_SIZE};
 
@@ -116,6 +117,24 @@ pub fn record_phase_with(
     device: DeviceId,
     options: RecordOptions,
 ) -> SnapshotArtifacts {
+    match try_record_phase_with(host, name, boot_image, record_trace, device, options) {
+        Ok(artifacts) => artifacts,
+        Err(e) => panic!("record phase failed: {e}"),
+    }
+}
+
+/// Fallible record phase: a storage fault that exhausts its retry budget
+/// mid-record surfaces here as a typed error, and *no* artifacts are
+/// produced — a crashed record phase leaves artifacts cleanly absent,
+/// never half-written.
+pub fn try_record_phase_with(
+    host: &mut Host,
+    name: &str,
+    boot_image: sim_vm::guest_memory::GuestMemory,
+    record_trace: Trace,
+    device: DeviceId,
+    options: RecordOptions,
+) -> Result<SnapshotArtifacts, RestoreError> {
     // Clean snapshot of the booted, initialized guest.
     let clean = Snapshot::create(format!("{name}.clean"), boot_image, &mut host.fs, device);
 
@@ -131,11 +150,13 @@ pub fn record_phase_with(
     spec.record = true;
     spec.record_group_size = options.group_size;
     spec.record_scan_threshold = options.scan_threshold;
-    let outcome = run_invocation(host, spec);
-    let ws = outcome.ws.expect("record run produces a working set");
-    let reap_ws = outcome
-        .reap_ws
-        .expect("record run produces a REAP working set");
+    let outcome = try_run_invocation(host, spec)?;
+    let ws = outcome.ws.ok_or(RestoreError::RecordIncomplete {
+        what: "working set",
+    })?;
+    let reap_ws = outcome.reap_ws.ok_or(RestoreError::RecordIncomplete {
+        what: "REAP working set",
+    })?;
 
     // Warm snapshot of the post-invocation state.
     let snapshot = Snapshot::create(
@@ -160,7 +181,7 @@ pub fn record_phase_with(
         device,
     );
 
-    SnapshotArtifacts {
+    Ok(SnapshotArtifacts {
         snapshot,
         ws,
         ls,
@@ -168,7 +189,7 @@ pub fn record_phase_with(
         reap_ws,
         reap_ws_file,
         record_report: outcome.report,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 pub mod artifacts;
+pub mod error;
 pub mod loader;
 pub mod loadingset;
 pub mod mapper;
@@ -40,9 +41,10 @@ pub mod runtime;
 pub mod strategy;
 pub mod wset;
 
-pub use artifacts::{record_phase, SnapshotArtifacts};
+pub use artifacts::{record_phase, try_record_phase_with, SnapshotArtifacts};
+pub use error::{RestoreError, RetrySite};
 pub use loadingset::{LoadingSet, LsRegion};
-pub use report::InvocationReport;
-pub use runtime::{Host, InvocationSim};
+pub use report::{FaultReport, InvocationReport, RetryRecord};
+pub use runtime::{Host, InvocationSim, MmDelaySpec};
 pub use strategy::{FaasnapConfig, RestoreStrategy};
 pub use wset::{ReapWorkingSet, WorkingSet, GROUP_SIZE};

@@ -10,6 +10,87 @@ use sim_core::stats::Log2Histogram;
 use sim_core::time::SimDuration;
 use sim_core::units::PAGE_SIZE;
 use sim_mm::fault::FaultKind;
+use sim_storage::faults::InjectedFaultKind;
+use sim_storage::file::FileId;
+
+use crate::error::RetrySite;
+
+/// One retry of a failed read, as recorded in [`FaultReport::retry_trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// Which consumer retried.
+    pub site: RetrySite,
+    /// The file whose read failed.
+    pub file: FileId,
+    /// First file page of the failed read.
+    pub page: u64,
+    /// Attempt number being scheduled (1 = first retry).
+    pub attempt: u32,
+    /// Simulated instant the retry was scheduled, in nanoseconds.
+    pub at_ns: u64,
+}
+
+/// Per-invocation fault-injection accounting: what was injected, how the
+/// restore stack responded, and the deterministic retry trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Injected hard read errors observed by this invocation.
+    pub injected_read_errors: u64,
+    /// Injected short reads observed.
+    pub injected_short_reads: u64,
+    /// Injected latency spikes observed.
+    pub injected_latency_spikes: u64,
+    /// Injected detectable corruptions observed (handled as read errors).
+    pub injected_corruptions: u64,
+    /// Loader prefetch retries issued.
+    pub loader_retries: u64,
+    /// Guest-fault read retries issued.
+    pub guest_fault_retries: u64,
+    /// REAP read retries issued (working-set fetch + miss handler).
+    pub reap_retries: u64,
+    /// Injected fault-resolution delays (sim-mm's half of the plan).
+    pub injected_mm_delays: u64,
+    /// Total deterministic backoff the stack waited across all retries.
+    pub backoff_wait: SimDuration,
+    /// Every retry, in schedule order (byte-comparable across runs).
+    pub retry_trace: Vec<RetryRecord>,
+}
+
+impl FaultReport {
+    /// Total injections observed.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_read_errors
+            + self.injected_short_reads
+            + self.injected_latency_spikes
+            + self.injected_corruptions
+    }
+
+    /// Total retries issued.
+    pub fn retries_total(&self) -> u64 {
+        self.loader_retries + self.guest_fault_retries + self.reap_retries
+    }
+
+    /// Records one observed injection.
+    pub fn record_injection(&mut self, kind: InjectedFaultKind) {
+        match kind {
+            InjectedFaultKind::ReadError => self.injected_read_errors += 1,
+            InjectedFaultKind::ShortRead => self.injected_short_reads += 1,
+            InjectedFaultKind::LatencySpike => self.injected_latency_spikes += 1,
+            InjectedFaultKind::Corruption => self.injected_corruptions += 1,
+        }
+    }
+
+    /// Records one retry and its backoff wait.
+    pub fn record_retry(&mut self, rec: RetryRecord, wait: SimDuration) {
+        match rec.site {
+            RetrySite::Loader => self.loader_retries += 1,
+            RetrySite::GuestFault => self.guest_fault_retries += 1,
+            RetrySite::ReapMiss | RetrySite::ReapFetch => self.reap_retries += 1,
+        }
+        self.backoff_wait += wait;
+        self.retry_trace.push(rec);
+    }
+}
 
 /// Everything measured about one invocation.
 #[derive(Clone, Debug, Default)]
@@ -59,6 +140,8 @@ pub struct InvocationReport {
     /// Unique VM generation ID handed to the restored guest (§7.4): VMs
     /// cloned from one snapshot reseed their PRNGs from it.
     pub vm_generation_id: u64,
+    /// Fault-injection accounting (all zero/empty on healthy runs).
+    pub faults: FaultReport,
 }
 
 impl InvocationReport {
@@ -132,6 +215,54 @@ mod tests {
         assert_eq!(r.major_faults, 1);
         assert_eq!(r.fault_wait, SimDuration::from_micros(106));
         assert_eq!(r.fault_hist.count(), 3);
+    }
+
+    #[test]
+    fn fault_report_accounting() {
+        let mut f = FaultReport::default();
+        f.record_injection(InjectedFaultKind::ReadError);
+        f.record_injection(InjectedFaultKind::ShortRead);
+        f.record_injection(InjectedFaultKind::LatencySpike);
+        f.record_injection(InjectedFaultKind::Corruption);
+        assert_eq!(f.injected_total(), 4);
+        f.record_retry(
+            RetryRecord {
+                site: RetrySite::Loader,
+                file: FileId(1),
+                page: 0,
+                attempt: 1,
+                at_ns: 10,
+            },
+            SimDuration::from_micros(200),
+        );
+        f.record_retry(
+            RetryRecord {
+                site: RetrySite::GuestFault,
+                file: FileId(2),
+                page: 8,
+                attempt: 1,
+                at_ns: 20,
+            },
+            SimDuration::from_micros(400),
+        );
+        f.record_retry(
+            RetryRecord {
+                site: RetrySite::ReapFetch,
+                file: FileId(3),
+                page: 0,
+                attempt: 2,
+                at_ns: 30,
+            },
+            SimDuration::from_micros(800),
+        );
+        assert_eq!(f.retries_total(), 3);
+        assert_eq!(f.loader_retries, 1);
+        assert_eq!(f.guest_fault_retries, 1);
+        assert_eq!(f.reap_retries, 1);
+        assert_eq!(f.backoff_wait, SimDuration::from_micros(1400));
+        assert_eq!(f.retry_trace.len(), 3);
+        // The whole report is comparable for same-seed determinism checks.
+        assert_eq!(f, f.clone());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use faasnap_obs::{Metrics, TraceContext, Tracer};
 use sim_core::engine::{Engine, Scheduler, World};
+use sim_core::json::Value;
 use sim_core::time::{SimDuration, SimTime};
 use sim_mm::addr::{PageNum, PageRange};
 use sim_mm::costs::FaultCosts;
@@ -29,6 +30,7 @@ use sim_mm::page_table::{PageState, PageTable};
 use sim_mm::userfaultfd::UffdRegistry;
 use sim_mm::vma::{AddressSpace, Resolved};
 use sim_storage::device::{Disk, IoKind, IoRequest};
+use sim_storage::faults::{InjectedFault, InjectedFaultKind};
 use sim_storage::file::{DeviceId, FileId, SimFs};
 use sim_storage::profiles::DiskProfile;
 use sim_vm::boot::BootModel;
@@ -37,18 +39,62 @@ use sim_vm::guest_memory::GuestMemory;
 use sim_vm::trace::Trace;
 use sim_vm::vcpu::{Step, Vcpu};
 
+use crate::error::{RestoreError, RetrySite};
 use crate::loader::LoaderPlan;
 use crate::loadingset::LoadingSet;
 use crate::mapper;
 use crate::reap::ReapHandler;
 use crate::record::{MincoreRecorder, UffdTracker};
-use crate::report::InvocationReport;
+use crate::report::{InvocationReport, RetryRecord};
 use crate::strategy::{FaasnapConfig, RestoreStrategy};
 use crate::wset::{ReapWorkingSet, WorkingSet};
 
 /// Interval of the daemon's RSS poll during the record phase (§5 polls
 /// procfs; 2 ms keeps scan pacing responsive at negligible cost).
 const MINCORE_POLL_INTERVAL: SimDuration = SimDuration::from_millis(2);
+
+/// Base of the deterministic exponential backoff between read retries.
+const RETRY_BACKOFF_BASE_US: u64 = 200;
+/// Retry budget for loader prefetch reads. Exhaustion degrades (the
+/// loader is an optimization; prefetch failure is never fatal).
+const MAX_LOADER_RETRIES: u32 = 3;
+/// Retry budget for kernel demand reads on guest faults. Exhaustion
+/// fails the invocation closed: the guest never sees a partial page.
+const MAX_FAULT_RETRIES: u32 = 4;
+/// Retry budget for REAP reads (blocking working-set fetch and the
+/// user-level miss handler).
+const MAX_REAP_RETRIES: u32 = 3;
+
+/// Deterministic (sim-time) backoff before retry number `attempt + 1`.
+fn backoff(attempt: u32) -> SimDuration {
+    SimDuration::from_micros(RETRY_BACKOFF_BASE_US << attempt.min(10))
+}
+
+/// How a checked disk read ended, from its consumer's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum IoFate {
+    /// Every requested page transferred (latency spikes land here: slow
+    /// but complete).
+    Ok,
+    /// No usable data: hard read error, or a corruption that the
+    /// consumer's checksum detected and discarded.
+    Failed,
+    /// Only the first `served` pages transferred.
+    Short { served: u64 },
+}
+
+fn fate_of(fault: Option<InjectedFault>) -> IoFate {
+    match fault {
+        None => IoFate::Ok,
+        Some(f) => match f.kind {
+            InjectedFaultKind::LatencySpike => IoFate::Ok,
+            InjectedFaultKind::ReadError | InjectedFaultKind::Corruption => IoFate::Failed,
+            InjectedFaultKind::ShortRead => IoFate::Short {
+                served: f.served_pages,
+            },
+        },
+    }
+}
 
 /// Processor-sharing CPU pool: compute segments stretch when more
 /// runnable vCPUs than cores exist (the 64-way burst bottleneck of §6.6).
@@ -209,6 +255,25 @@ pub struct InvocationSpec {
     pub record_scan_threshold: u64,
     /// Verify mapping correctness at each fault (cheap; off for Warm).
     pub verify_mappings: bool,
+    /// Optional seeded fault-resolution delay injection (sim-mm's half
+    /// of the fault plan). `None` draws nothing and perturbs nothing.
+    pub mm_delay: Option<MmDelaySpec>,
+}
+
+/// Parameters for injected fault-resolution delays during one
+/// invocation: each resolved fault's handling cost is inflated by
+/// `extra` with probability `prob`, at most `budget` times, on a
+/// private stream derived from `seed`.
+#[derive(Clone, Copy, Debug)]
+pub struct MmDelaySpec {
+    /// Injector stream seed.
+    pub seed: u64,
+    /// Per-fault inflation probability.
+    pub prob: f64,
+    /// Extra handling cost per injected delay.
+    pub extra: SimDuration,
+    /// Maximum number of injections.
+    pub budget: u64,
 }
 
 impl InvocationSpec {
@@ -236,6 +301,7 @@ impl InvocationSpec {
             record_group_size: crate::wset::GROUP_SIZE,
             record_scan_threshold: crate::wset::GROUP_SIZE,
             verify_mappings: !matches!(strategy, RestoreStrategy::Warm),
+            mm_delay: None,
         }
     }
 }
@@ -278,7 +344,7 @@ enum Ev {
         started: SimTime,
         ctx: TraceContext,
     },
-    /// A guest-fault disk read finished.
+    /// A guest-fault disk read finished (perhaps unsuccessfully).
     FaultIoDone {
         vm: usize,
         page: PageNum,
@@ -287,7 +353,18 @@ enum Ev {
         io: IoRequest,
         started: SimTime,
         overhead: SimDuration,
+        attempt: u32,
+        fate: IoFate,
         ctx: TraceContext,
+    },
+    /// Re-enter fault handling for a blocked access whose read failed,
+    /// after deterministic backoff.
+    FaultRetry {
+        vm: usize,
+        page: PageNum,
+        write: bool,
+        token: u64,
+        attempt: u32,
     },
     /// An async readahead read finished (no vCPU is waiting).
     /// `guest_start` is the guest page backing `io.page`.
@@ -295,6 +372,7 @@ enum Ev {
         vm: usize,
         io: IoRequest,
         guest_start: PageNum,
+        fate: IoFate,
         ctx: TraceContext,
     },
     /// A page-lock wait on an in-flight read finished.
@@ -306,13 +384,20 @@ enum Ev {
         started: SimTime,
         ctx: TraceContext,
     },
-    /// A loader chunk read finished.
+    /// A loader read finished (perhaps unsuccessfully). `io` is the
+    /// request actually issued: the whole chunk `idx` on the first
+    /// attempt, its uncovered suffix on retries.
     LoaderChunkDone {
         vm: usize,
         idx: usize,
+        io: IoRequest,
+        attempt: u32,
+        fate: IoFate,
         ctx: TraceContext,
     },
-    /// A REAP handler disk read finished.
+    /// Re-issue the uncovered part of loader chunk `idx` after backoff.
+    LoaderRetry { vm: usize, idx: usize, attempt: u32 },
+    /// A REAP handler disk read finished (perhaps unsuccessfully).
     ReapIoDone {
         vm: usize,
         page: PageNum,
@@ -320,6 +405,8 @@ enum Ev {
         token: u64,
         io: IoRequest,
         started: SimTime,
+        attempt: u32,
+        fate: IoFate,
         ctx: TraceContext,
     },
     /// The guest resumes after user-level fault handling.
@@ -352,6 +439,10 @@ struct VmRun {
     reap: Option<ReapHandler>,
     invoke_start: SimTime,
     done_at: Option<SimTime>,
+    /// Set when the restore failed closed (retries exhausted): the vCPU
+    /// stalls and the invocation surfaces a typed error instead of a
+    /// result built on missing bytes.
+    error: Option<RestoreError>,
     report: InvocationReport,
     mincore_rec: Option<MincoreRecorder>,
     uffd_track: Option<UffdTracker>,
@@ -370,9 +461,14 @@ struct SimWorld<'h> {
     vms: Vec<VmRun>,
 }
 
-/// Runs a batch of invocations that all arrive at `t = 0` on one host
-/// (one element = the single-VM case; many = a burst).
-pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<InvocationOutcome> {
+/// Runs a batch of invocations that all arrive at `t = 0` on one host,
+/// surfacing restore failures (retry exhaustion under storage faults) as
+/// typed errors. The first failed VM's error is returned; a failed batch
+/// produces no outcomes (fail closed — no partially-restored results).
+pub fn try_run_invocations(
+    host: &mut Host,
+    specs: Vec<InvocationSpec>,
+) -> Result<Vec<InvocationOutcome>, RestoreError> {
     // Each run has its own clock starting at zero: device queues and the
     // in-flight registry (which hold absolute times) start idle.
     for disk in &mut host.disks {
@@ -410,6 +506,9 @@ pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<Invoc
     let SimWorld { host, vms } = world;
     vms.into_iter()
         .map(|mut vm| {
+            if let Some(err) = vm.error.take() {
+                return Err(err);
+            }
             assert!(
                 vm.done_at.is_some(),
                 "vCPU never finished — deadlocked simulation?"
@@ -419,14 +518,32 @@ pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<Invoc
             vm.report.resident_pages = vm.pt.rss_pages();
             vm.report.cache_pages = host.cache.resident_of(vm.mem_file)
                 + vm.ls_file.map(|f| host.cache.resident_of(f)).unwrap_or(0);
-            InvocationOutcome {
+            vm.report.faults.injected_mm_delays = vm.resolver.injected_delays();
+            Ok(InvocationOutcome {
                 report: vm.report,
                 final_memory: vm.mem,
                 ws: vm.mincore_rec.map(|r| r.finish()),
                 reap_ws: vm.uffd_track.map(|t| t.finish()),
-            }
+            })
         })
         .collect()
+}
+
+/// Runs a batch of invocations, panicking on restore failure (healthy
+/// paths never fail; only injected/real storage faults can).
+pub fn run_invocations(host: &mut Host, specs: Vec<InvocationSpec>) -> Vec<InvocationOutcome> {
+    match try_run_invocations(host, specs) {
+        Ok(outs) => outs,
+        Err(e) => panic!("invocation failed: {e}"),
+    }
+}
+
+/// Runs a single invocation, surfacing restore failures.
+pub fn try_run_invocation(
+    host: &mut Host,
+    spec: InvocationSpec,
+) -> Result<InvocationOutcome, RestoreError> {
+    Ok(try_run_invocations(host, vec![spec])?.remove(0))
 }
 
 /// Runs a single invocation.
@@ -465,6 +582,9 @@ fn prepare_vm(
     kernel.set_sanitize_freed(spec.sanitize);
     let mut resolver = FaultResolver::new(host.costs.clone(), seed);
     resolver.set_tracer(host.tracer.clone());
+    if let Some(d) = spec.mm_delay {
+        resolver.set_delay_injection(d.seed, d.prob, d.extra, d.budget);
+    }
     let strategy_label = spec.strategy.label();
     let mut report = InvocationReport::default();
     let mut reap = None;
@@ -498,34 +618,85 @@ fn prepare_vm(
         RestoreStrategy::Reap => {
             mapper::map_vanilla(&mut aspace, total_pages, spec.mem_file);
             uffd.register(PageRange::new(0, total_pages));
-            let ws = spec
-                .reap_ws
-                .as_ref()
-                .expect("REAP needs a recorded working set");
-            let ws_file = spec.reap_ws_file.expect("REAP needs a working-set file");
             // Blocking fetch: one sequential O_DIRECT read of the compact
             // working-set file (bypasses the page cache), then bulk
-            // UFFDIO_COPY installs.
-            let read_done = if ws.is_empty() {
-                SimTime::ZERO
-            } else {
-                host.disk_of_file(ws_file).submit(
-                    SimTime::ZERO,
-                    IoRequest {
-                        file: ws_file,
-                        page: 0,
-                        pages: ws.len(),
-                        kind: IoKind::ReapFetch,
-                    },
-                )
-            };
-            let fetch = ReapHandler::fetch_time(ws.len(), read_done - SimTime::ZERO);
-            for &p in ws.pages() {
-                pt.set_state(p, PageState::HostPte);
+            // UFFDIO_COPY installs. Failed reads retry with deterministic
+            // backoff; exhaustion (or missing artifacts) degrades to pure
+            // userfaultfd demand paging — slower, never incorrect.
+            let mut fetch = SimDuration::ZERO;
+            match (spec.reap_ws.as_ref(), spec.reap_ws_file) {
+                (Some(ws), Some(ws_file)) => {
+                    let mut issue = SimTime::ZERO;
+                    let mut attempt: u32 = 0;
+                    loop {
+                        let (done, fate) = if ws.is_empty() {
+                            (SimTime::ZERO, IoFate::Ok)
+                        } else {
+                            let completion = host.disk_of_file(ws_file).submit_checked(
+                                issue,
+                                IoRequest {
+                                    file: ws_file,
+                                    page: 0,
+                                    pages: ws.len(),
+                                    kind: IoKind::ReapFetch,
+                                },
+                            );
+                            if let Some(f) = completion.fault {
+                                report.faults.record_injection(f.kind);
+                                host.metrics.counter_inc(
+                                    "faasnap_fault_injected_total",
+                                    &[("kind", f.kind.label())],
+                                );
+                            }
+                            (completion.done, fate_of(completion.fault))
+                        };
+                        if fate == IoFate::Ok {
+                            fetch = ReapHandler::fetch_time(ws.len(), done - SimTime::ZERO);
+                            for &p in ws.pages() {
+                                pt.set_state(p, PageState::HostPte);
+                            }
+                            report.fetch_pages = ws.len();
+                            break;
+                        }
+                        // An O_DIRECT whole-file read is all-or-nothing:
+                        // short reads re-issue the full request too.
+                        attempt += 1;
+                        if attempt >= MAX_REAP_RETRIES {
+                            report.degraded = true;
+                            host.metrics.counter_inc(
+                                "faasnap_degraded_total",
+                                &[("mode", "reap-no-prefetch")],
+                            );
+                            fetch = done - SimTime::ZERO;
+                            break;
+                        }
+                        let wait = backoff(attempt - 1);
+                        let at = done + wait;
+                        host.metrics.counter_inc(
+                            "faasnap_retry_total",
+                            &[("site", RetrySite::ReapFetch.label())],
+                        );
+                        report.faults.record_retry(
+                            RetryRecord {
+                                site: RetrySite::ReapFetch,
+                                file: ws_file,
+                                page: 0,
+                                attempt,
+                                at_ns: at.as_nanos(),
+                            },
+                            wait,
+                        );
+                        issue = at;
+                    }
+                }
+                _ => {
+                    // No recorded working set (e.g. the record phase was
+                    // aborted): every fault goes to the handler.
+                    report.degraded = true;
+                }
             }
             setup = host.boot.snapshot_setup_base() + host.costs.mmap_calls(1) + fetch;
             report.fetch_time = fetch;
-            report.fetch_pages = ws.len();
             reap = Some(ReapHandler::new(seed ^ 0x5EA9));
         }
         RestoreStrategy::FaaSnap(mut config) => {
@@ -589,6 +760,7 @@ fn prepare_vm(
         reap,
         invoke_start: SimTime::ZERO + setup,
         done_at: None,
+        error: None,
         report,
         mincore_rec: spec.record.then(|| {
             MincoreRecorder::with_params(
@@ -616,14 +788,13 @@ fn setup_faasnap_mapping(
         mapper::map_vanilla(aspace, total_pages, spec.mem_file);
         return 1;
     }
+    // `prepare_vm` already degraded the config if the loading-set
+    // artifacts are absent, so this match only misses on caller bugs —
+    // and then the safe fallback is the no-loading-set mapping.
     let empty = LoadingSet::default();
-    let (ls, ls_file) = if config.loading_set_file {
-        (
-            spec.ls.as_ref().expect("FaaSnap full needs a loading set"),
-            spec.ls_file.expect("FaaSnap full needs a loading-set file"),
-        )
-    } else {
-        (&empty, spec.mem_file)
+    let (ls, ls_file) = match (spec.ls.as_ref(), spec.ls_file) {
+        (Some(ls), Some(ls_file)) if config.loading_set_file => (ls, ls_file),
+        _ => (&empty, spec.mem_file),
     };
     if config.hierarchical_mmap {
         mapper::map_faasnap_hierarchical(
@@ -651,14 +822,14 @@ fn build_loader_plan(spec: &InvocationSpec, config: FaasnapConfig) -> LoaderPlan
         return LoaderPlan::default();
     }
     if config.loading_set_file {
-        let ls = spec.ls.as_ref().expect("loading set required");
-        let ls_file = spec.ls_file.expect("loading-set file required");
-        return LoaderPlan::from_loading_set(ls, ls_file);
+        return match (spec.ls.as_ref(), spec.ls_file) {
+            (Some(ls), Some(ls_file)) => LoaderPlan::from_loading_set(ls, ls_file),
+            _ => LoaderPlan::default(),
+        };
     }
-    let ws = spec
-        .ws
-        .as_ref()
-        .expect("ablation loaders need the working set");
+    let Some(ws) = spec.ws.as_ref() else {
+        return LoaderPlan::default();
+    };
     if config.per_region_mapping {
         LoaderPlan::group_order(ws, &spec.memory, spec.mem_file)
     } else {
@@ -721,41 +892,146 @@ impl World for SimWorld<'_> {
                 io,
                 started,
                 overhead,
+                attempt,
+                fate,
                 ctx,
             } => {
-                self.host.cache.insert_range(io.file, io.page, io.pages);
+                if fate == IoFate::Failed {
+                    // Nothing was transferred: drop the page locks this
+                    // read held (waiters re-fault) and retry or fail.
+                    self.host
+                        .inflight
+                        .cancel_window(io.file, io.page, io.pages, now);
+                    self.host.tracer.end(ctx, now);
+                    let next = attempt + 1;
+                    if next >= MAX_FAULT_RETRIES {
+                        self.fail_vm(
+                            vm,
+                            now,
+                            RestoreError::ReadRetriesExhausted {
+                                site: RetrySite::GuestFault,
+                                file: io.file,
+                                page: io.page,
+                                attempts: next,
+                            },
+                        );
+                    } else {
+                        let wait = backoff(attempt);
+                        let at = now + overhead + wait;
+                        self.record_retry(
+                            vm,
+                            RetrySite::GuestFault,
+                            io.file,
+                            io.page,
+                            next,
+                            wait,
+                            at,
+                        );
+                        sched.schedule(
+                            at,
+                            Ev::FaultRetry {
+                                vm,
+                                page,
+                                write,
+                                token,
+                                attempt: next,
+                            },
+                        );
+                    }
+                    return;
+                }
+                let served = match fate {
+                    IoFate::Short { served } => served,
+                    _ => io.pages,
+                };
+                self.host.cache.insert_range(io.file, io.page, served);
                 self.host
                     .inflight
-                    .complete_window(io.file, io.page, io.pages, now);
+                    .complete_window(io.file, io.page, served, now);
+                if served < io.pages {
+                    // Short read: the unserved tail's page locks drop;
+                    // its waiters re-fault. The faulting page itself is
+                    // always within the served prefix (readahead starts
+                    // at it), so this access still completes.
+                    self.host.inflight.cancel_window(
+                        io.file,
+                        io.page + served,
+                        io.pages - served,
+                        now,
+                    );
+                }
                 let v = &mut self.vms[vm];
-                v.report.guest_fault_read_pages += io.pages;
+                v.report.guest_fault_read_pages += served;
                 v.report.fault_block_requests += 1;
                 // Kernel-side handling overhead on top of the disk wait.
                 let done = now + overhead;
                 self.finish_access(vm, page, write, token, FaultKind::Major, started, done, ctx);
                 sched.schedule(done, Ev::Resume { vm });
             }
+            Ev::FaultRetry {
+                vm,
+                page,
+                write,
+                token,
+                attempt,
+            } => {
+                if self.vms[vm].error.is_some() {
+                    return;
+                }
+                // Re-resolve from scratch: a concurrent read may have
+                // populated the cache meanwhile, in which case the access
+                // completes without touching the disk again.
+                if !self.handle_access(vm, page, write, token, now, sched, attempt) {
+                    self.drive_vcpu(vm, now, sched);
+                }
+            }
             Ev::Resume { vm } => self.drive_vcpu(vm, now, sched),
             Ev::AsyncReadDone {
                 vm,
                 io,
                 guest_start,
+                fate,
                 ctx,
             } => {
                 self.host.tracer.end(ctx, now);
-                self.host.cache.insert_range(io.file, io.page, io.pages);
+                if fate == IoFate::Failed {
+                    // Async readahead failures are dropped silently (as
+                    // the kernel does): no vCPU waits on this read, and
+                    // any page it covered re-faults on demand.
+                    self.host
+                        .inflight
+                        .cancel_window(io.file, io.page, io.pages, now);
+                    return;
+                }
+                let served = match fate {
+                    IoFate::Short { served } => served,
+                    _ => io.pages,
+                };
+                self.host.cache.insert_range(io.file, io.page, served);
                 self.host
                     .inflight
-                    .complete_window(io.file, io.page, io.pages, now);
+                    .complete_window(io.file, io.page, served, now);
+                if served < io.pages {
+                    self.host.inflight.cancel_window(
+                        io.file,
+                        io.page + served,
+                        io.pages - served,
+                        now,
+                    );
+                }
                 let v = &mut self.vms[vm];
-                v.report.guest_fault_read_pages += io.pages;
+                v.report.guest_fault_read_pages += served;
                 v.report.fault_block_requests += 1;
                 // Readahead marker: if the guest has consumed up to (at
                 // least) one window behind this one, it is streaming —
                 // chain the next async window to stay ahead (Linux grows
-                // and re-arms async readahead the same way).
+                // and re-arms async readahead the same way). A shortened
+                // window breaks the chain (the gap re-faults on demand).
                 let marker = guest_start.saturating_sub(io.pages);
-                if v.done_at.is_none() && v.pt.state(marker) == PageState::Mapped {
+                if served == io.pages
+                    && v.done_at.is_none()
+                    && v.pt.state(marker) == PageState::Mapped
+                {
                     self.submit_async_window(
                         vm,
                         io.file,
@@ -775,23 +1051,111 @@ impl World for SimWorld<'_> {
                 started,
                 ctx,
             } => {
+                // If the read this waiter was parked on failed, its page
+                // locks were cancelled and the cache was never populated:
+                // re-fault from scratch instead of installing a page with
+                // no backing bytes.
+                let v = &self.vms[vm];
+                let stale = match v.aspace.resolve(page) {
+                    Some(Resolved::File { file, file_page }) => {
+                        !self.host.cache.contains(file, file_page)
+                    }
+                    _ => false,
+                };
+                if stale {
+                    self.host.tracer.end(ctx, now);
+                    if !self.handle_access(vm, page, write, token, now, sched, 0) {
+                        self.drive_vcpu(vm, now, sched);
+                    }
+                    return;
+                }
                 self.finish_access(vm, page, write, token, FaultKind::Major, started, now, ctx);
                 self.drive_vcpu(vm, now, sched);
             }
-            Ev::LoaderChunkDone { vm, idx, ctx } => {
+            Ev::LoaderChunkDone {
+                vm,
+                idx,
+                io,
+                attempt,
+                fate,
+                ctx,
+            } => {
                 self.host.tracer.end(ctx, now);
-                let chunk = *self.vms[vm].loader_plan.chunk(idx);
-                self.host
-                    .cache
-                    .insert_range(chunk.file, chunk.page, chunk.pages);
-                self.host
-                    .inflight
-                    .complete_window(chunk.file, chunk.page, chunk.pages, now);
-                let v = &mut self.vms[vm];
-                if let Some(start) = v.loader_started {
-                    v.report.fetch_time = now - start;
+                match fate {
+                    IoFate::Failed => {
+                        self.host
+                            .inflight
+                            .cancel_window(io.file, io.page, io.pages, now);
+                        self.loader_retry_or_degrade(vm, idx, io, io.page, attempt, now, sched);
+                    }
+                    IoFate::Short { served } => {
+                        // Keep the served prefix; retry resumes at the
+                        // first unserved page.
+                        self.host.cache.insert_range(io.file, io.page, served);
+                        self.host
+                            .inflight
+                            .complete_window(io.file, io.page, served, now);
+                        self.host.inflight.cancel_window(
+                            io.file,
+                            io.page + served,
+                            io.pages - served,
+                            now,
+                        );
+                        self.loader_retry_or_degrade(
+                            vm,
+                            idx,
+                            io,
+                            io.page + served,
+                            attempt,
+                            now,
+                            sched,
+                        );
+                    }
+                    IoFate::Ok => {
+                        self.host.cache.insert_range(io.file, io.page, io.pages);
+                        self.host
+                            .inflight
+                            .complete_window(io.file, io.page, io.pages, now);
+                        let v = &mut self.vms[vm];
+                        if let Some(start) = v.loader_started {
+                            v.report.fetch_time = now - start;
+                        }
+                        self.loader_issue_next(vm, now, sched);
+                    }
                 }
-                self.loader_issue_next(vm, now, sched);
+            }
+            Ev::LoaderRetry { vm, idx, attempt } => {
+                let v = &self.vms[vm];
+                if v.done_at.is_some() || v.error.is_some() || v.loader_next >= v.loader_plan.len()
+                {
+                    // The invocation ended (or the loader was abandoned)
+                    // while this retry was pending: just let the loader
+                    // wind down (closes its span).
+                    self.loader_issue_next(vm, now, sched);
+                    return;
+                }
+                let chunk = *v.loader_plan.chunk(idx);
+                // Resume at the first page of the chunk still uncovered
+                // (guest faults or other VMs may have filled some of it).
+                let end = chunk.page + chunk.pages;
+                let mut p = chunk.page;
+                while p < end
+                    && (self.host.cache.contains(chunk.file, p)
+                        || self.host.inflight.completion_of(chunk.file, p).is_some())
+                {
+                    p += 1;
+                }
+                if p >= end {
+                    self.loader_issue_next(vm, now, sched);
+                    return;
+                }
+                let io = IoRequest {
+                    file: chunk.file,
+                    page: p,
+                    pages: end - p,
+                    kind: IoKind::LoaderPrefetch,
+                };
+                self.loader_submit(vm, idx, io, attempt, now, sched);
             }
             Ev::ReapIoDone {
                 vm,
@@ -800,18 +1164,63 @@ impl World for SimWorld<'_> {
                 token,
                 io,
                 started,
+                attempt,
+                fate,
                 ctx,
             } => {
+                // Single-page reads cannot come up short: a short read
+                // degrades to a hard failure at injection time.
+                if fate != IoFate::Ok {
+                    self.host
+                        .inflight
+                        .cancel_window(io.file, io.page, io.pages, now);
+                    self.host.tracer.end(ctx, now);
+                    let next = attempt + 1;
+                    if next >= MAX_REAP_RETRIES {
+                        self.fail_vm(
+                            vm,
+                            now,
+                            RestoreError::ReadRetriesExhausted {
+                                site: RetrySite::ReapMiss,
+                                file: io.file,
+                                page: io.page,
+                                attempts: next,
+                            },
+                        );
+                    } else {
+                        let wait = backoff(attempt);
+                        let at = now + wait;
+                        self.record_retry(
+                            vm,
+                            RetrySite::ReapMiss,
+                            io.file,
+                            io.page,
+                            next,
+                            wait,
+                            at,
+                        );
+                        sched.schedule(
+                            at,
+                            Ev::FaultRetry {
+                                vm,
+                                page,
+                                write,
+                                token,
+                                attempt: next,
+                            },
+                        );
+                    }
+                    return;
+                }
                 self.host.cache.insert_range(io.file, io.page, io.pages);
                 self.host
                     .inflight
                     .complete_window(io.file, io.page, io.pages, now);
                 let v = &mut self.vms[vm];
-                let resume_at = v
-                    .reap
-                    .as_mut()
-                    .expect("REAP handler present")
-                    .complete_with_io(started, now, &self.host.costs);
+                let resume_at = match v.reap.as_mut() {
+                    Some(handler) => handler.complete_with_io(started, now, &self.host.costs),
+                    None => now,
+                };
                 sched.schedule(
                     resume_at,
                     Ev::ReapResume {
@@ -837,7 +1246,7 @@ impl World for SimWorld<'_> {
             }
             Ev::MincorePoll { vm } => {
                 let v = &mut self.vms[vm];
-                if v.done_at.is_some() {
+                if v.done_at.is_some() || v.error.is_some() {
                     return;
                 }
                 if let Some(rec) = &mut v.mincore_rec {
@@ -880,6 +1289,9 @@ impl SimWorld<'_> {
 
     /// Runs the vCPU until it blocks (fault/compute) or finishes.
     fn drive_vcpu(&mut self, vm: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.vms[vm].error.is_some() {
+            return;
+        }
         loop {
             let step = self.vms[vm].vcpu.next_step();
             match step {
@@ -919,7 +1331,7 @@ impl SimWorld<'_> {
                     }
                 }
                 Step::Access { page, write, token } => {
-                    if self.handle_access(vm, page, write, token, now, sched) {
+                    if self.handle_access(vm, page, write, token, now, sched, 0) {
                         return; // blocked on a fault
                     }
                 }
@@ -927,7 +1339,9 @@ impl SimWorld<'_> {
         }
     }
 
-    /// Handles one access; returns true if the vCPU blocked.
+    /// Handles one access; returns true if the vCPU blocked. `attempt`
+    /// is nonzero when re-entering after a failed read's backoff.
+    #[allow(clippy::too_many_arguments)]
     fn handle_access(
         &mut self,
         vm: usize,
@@ -936,6 +1350,7 @@ impl SimWorld<'_> {
         token: u64,
         now: SimTime,
         sched: &mut Scheduler<Ev>,
+        attempt: u32,
     ) -> bool {
         let v = &mut self.vms[vm];
         let (outcome, ctx) = v.resolver.resolve_traced(
@@ -998,7 +1413,11 @@ impl SimWorld<'_> {
                 overhead,
                 async_io,
             } => {
-                let done = self.host.disk_of_file(io.file).submit(now, io);
+                let completion = self.host.disk_of_file(io.file).submit_checked(now, io);
+                if let Some(f) = completion.fault {
+                    self.record_injection(vm, now, f);
+                }
+                let done = completion.done;
                 self.host
                     .inflight
                     .insert_window(io.file, io.page, io.pages, done);
@@ -1012,13 +1431,19 @@ impl SimWorld<'_> {
                         io,
                         started: now,
                         overhead,
+                        attempt,
+                        fate: fate_of(completion.fault),
                         ctx,
                     },
                 );
                 // Linux async readahead: the next window of a sequential
                 // stream is read without blocking the faulting task.
                 if let Some(aio) = async_io {
-                    let adone = self.host.disk_of_file(aio.file).submit(now, aio);
+                    let acomp = self.host.disk_of_file(aio.file).submit_checked(now, aio);
+                    if let Some(f) = acomp.fault {
+                        self.record_injection(vm, now, f);
+                    }
+                    let adone = acomp.done;
                     self.host
                         .inflight
                         .insert_window(aio.file, aio.page, aio.pages, adone);
@@ -1036,6 +1461,7 @@ impl SimWorld<'_> {
                             vm,
                             io: aio,
                             guest_start,
+                            fate: fate_of(acomp.fault),
                             ctx: actx,
                         },
                     );
@@ -1072,7 +1498,11 @@ impl SimWorld<'_> {
                         pages,
                         kind: IoKind::ReapMiss,
                     };
-                    let done = self.host.disk_of_file(file).submit(issue_at, io);
+                    let completion = self.host.disk_of_file(file).submit_checked(issue_at, io);
+                    if let Some(f) = completion.fault {
+                        self.record_injection(vm, now, f);
+                    }
+                    let done = completion.done;
                     self.host
                         .inflight
                         .insert_window(file, file_page, pages, done);
@@ -1087,6 +1517,8 @@ impl SimWorld<'_> {
                             token,
                             io,
                             started: now,
+                            attempt,
+                            fate: fate_of(completion.fault),
                             ctx,
                         },
                     );
@@ -1142,21 +1574,25 @@ impl SimWorld<'_> {
             pages,
             kind: IoKind::FaultRead,
         };
-        let done = self.host.disk_of_file(file).submit(now, io);
+        let completion = self.host.disk_of_file(file).submit_checked(now, io);
+        if let Some(f) = completion.fault {
+            self.record_injection(vm, now, f);
+        }
         self.host
             .inflight
-            .insert_window(file, file_start, pages, done);
+            .insert_window(file, file_start, pages, completion.done);
         let ctx = self
             .host
             .tracer
             .begin("readahead/async", "mm", now, self.vms[vm].ctx_function);
         self.host.tracer.tag(ctx, "pages", pages);
         sched.schedule(
-            done,
+            completion.done,
             Ev::AsyncReadDone {
                 vm,
                 io,
                 guest_start,
+                fate: fate_of(completion.fault),
                 ctx,
             },
         );
@@ -1189,26 +1625,169 @@ impl SimWorld<'_> {
                     .counter_inc("faasnap_prefetch_skipped_chunks_total", &[]);
                 continue;
             }
-            let done = self.host.disk_of_file(chunk.file).submit(now, chunk);
-            self.host
-                .inflight
-                .insert_window(chunk.file, chunk.page, chunk.pages, done);
-            let parent = self.vms[vm].ctx_loader.unwrap_or(TraceContext::NONE);
-            let ctx = self
-                .host
-                .tracer
-                .begin("loader/chunk", "loader", now, parent);
-            self.host.tracer.tag(ctx, "file_page", chunk.page);
-            self.host.tracer.tag(ctx, "pages", chunk.pages);
-            self.host
-                .metrics
-                .counter_add("faasnap_prefetch_bytes_total", &[], chunk.pages * 4096);
-            self.host
-                .metrics
-                .counter_inc("faasnap_prefetch_chunks_total", &[]);
-            sched.schedule(done, Ev::LoaderChunkDone { vm, idx, ctx });
+            self.loader_submit(vm, idx, chunk, 0, now, sched);
             return;
         }
+    }
+
+    /// Issues one loader read (a whole chunk, or its uncovered suffix on
+    /// a retry) through the fault-checked path.
+    fn loader_submit(
+        &mut self,
+        vm: usize,
+        idx: usize,
+        io: IoRequest,
+        attempt: u32,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let completion = self.host.disk_of_file(io.file).submit_checked(now, io);
+        if let Some(f) = completion.fault {
+            self.record_injection(vm, now, f);
+        }
+        self.host
+            .inflight
+            .insert_window(io.file, io.page, io.pages, completion.done);
+        let parent = self.vms[vm].ctx_loader.unwrap_or(TraceContext::NONE);
+        let ctx = self
+            .host
+            .tracer
+            .begin("loader/chunk", "loader", now, parent);
+        self.host.tracer.tag(ctx, "file_page", io.page);
+        self.host.tracer.tag(ctx, "pages", io.pages);
+        self.host
+            .metrics
+            .counter_add("faasnap_prefetch_bytes_total", &[], io.pages * 4096);
+        self.host
+            .metrics
+            .counter_inc("faasnap_prefetch_chunks_total", &[]);
+        sched.schedule(
+            completion.done,
+            Ev::LoaderChunkDone {
+                vm,
+                idx,
+                io,
+                attempt,
+                fate: fate_of(completion.fault),
+                ctx,
+            },
+        );
+    }
+
+    /// After a failed loader read: schedule a backoff retry, or — once
+    /// the budget is spent — degrade. Prefetch failure is never fatal:
+    /// if the loading-set file itself is unreadable, the whole-file
+    /// memory mapping is overlaid (MAP_FIXED) so every remaining page
+    /// demand-pages from the memory file with byte-identical contents;
+    /// otherwise the loader is simply abandoned and the guest's own
+    /// faults finish the job.
+    #[allow(clippy::too_many_arguments)]
+    fn loader_retry_or_degrade(
+        &mut self,
+        vm: usize,
+        idx: usize,
+        io: IoRequest,
+        retry_page: u64,
+        attempt: u32,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let next = attempt + 1;
+        if next < MAX_LOADER_RETRIES {
+            let wait = backoff(attempt);
+            let at = now + wait;
+            self.record_retry(vm, RetrySite::Loader, io.file, retry_page, next, wait, at);
+            sched.schedule(
+                at,
+                Ev::LoaderRetry {
+                    vm,
+                    idx,
+                    attempt: next,
+                },
+            );
+            return;
+        }
+        let total = self.vms[vm].pt.total_pages();
+        let v = &mut self.vms[vm];
+        v.report.degraded = true;
+        let mode = if v.ls_file == Some(io.file) {
+            mapper::map_vanilla(&mut v.aspace, total, v.mem_file);
+            "vanilla-fallback"
+        } else {
+            "prefetch-abandoned"
+        };
+        v.loader_next = v.loader_plan.len();
+        self.host
+            .metrics
+            .counter_inc("faasnap_degraded_total", &[("mode", mode)]);
+        self.loader_issue_next(vm, now, sched);
+    }
+
+    /// Marks an invocation as failed closed: the vCPU never resumes, the
+    /// loader stops, and `try_run_invocations` surfaces the error.
+    fn fail_vm(&mut self, vm: usize, now: SimTime, err: RestoreError) {
+        if self.vms[vm].error.is_some() {
+            return;
+        }
+        let site = match &err {
+            RestoreError::ReadRetriesExhausted { site, .. } => site.label(),
+            RestoreError::RecordIncomplete { .. } => "record",
+        };
+        self.host
+            .metrics
+            .counter_inc("faasnap_restore_failed_total", &[("site", site)]);
+        let v = &mut self.vms[vm];
+        v.error = Some(err);
+        v.loader_next = v.loader_plan.len();
+        let (ctx_f, ctx_i) = (v.ctx_function, v.ctx_invocation);
+        self.host.tracer.end(ctx_f, now);
+        self.host.tracer.end(ctx_i, now);
+    }
+
+    /// Accounts one observed fault injection (report + metrics + trace).
+    /// Only ever called when an injection actually fired, so healthy runs
+    /// emit no new metric series or trace events.
+    fn record_injection(&mut self, vm: usize, now: SimTime, f: InjectedFault) {
+        self.vms[vm].report.faults.record_injection(f.kind);
+        self.host
+            .metrics
+            .counter_inc("faasnap_fault_injected_total", &[("kind", f.kind.label())]);
+        if self.host.tracer.is_enabled() {
+            self.host.tracer.instant(
+                "fault_injected",
+                "fault",
+                now,
+                self.vms[vm].ctx_invocation,
+                vec![("kind", Value::from(f.kind.label()))],
+            );
+        }
+    }
+
+    /// Accounts one scheduled retry (report + metrics).
+    #[allow(clippy::too_many_arguments)]
+    fn record_retry(
+        &mut self,
+        vm: usize,
+        site: RetrySite,
+        file: FileId,
+        page: u64,
+        attempt: u32,
+        wait: SimDuration,
+        at: SimTime,
+    ) {
+        self.host
+            .metrics
+            .counter_inc("faasnap_retry_total", &[("site", site.label())]);
+        self.vms[vm].report.faults.record_retry(
+            RetryRecord {
+                site,
+                file,
+                page,
+                attempt,
+                at_ns: at.as_nanos(),
+            },
+            wait,
+        );
     }
 }
 

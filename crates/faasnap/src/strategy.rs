@@ -68,6 +68,33 @@ impl FaasnapConfig {
         }
     }
 
+    /// Every valid configuration — the full Figure 9 ablation lattice.
+    ///
+    /// The validity rules (`loading_set_file ⇒ per_region_mapping`, and
+    /// any optimization ⇒ `concurrent_paging`) admit four optimization
+    /// rungs, each with `hierarchical_mmap` on or off: 8 configs total,
+    /// enumerated in (rung, hierarchical) order.
+    pub fn lattice() -> Vec<FaasnapConfig> {
+        let rungs = [
+            (false, false, false), // no optimizations (Vanilla-equivalent)
+            (true, false, false),  // concurrent paging
+            (true, true, false),   // + per-region mapping
+            (true, true, true),    // + loading-set file (full FaaSnap)
+        ];
+        let mut out = Vec::with_capacity(8);
+        for (concurrent_paging, per_region_mapping, loading_set_file) in rungs {
+            for hierarchical_mmap in [false, true] {
+                out.push(FaasnapConfig {
+                    concurrent_paging,
+                    per_region_mapping,
+                    loading_set_file,
+                    hierarchical_mmap,
+                });
+            }
+        }
+        out
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.loading_set_file && !self.per_region_mapping {
@@ -181,6 +208,34 @@ mod tests {
             "per-region"
         );
         assert_eq!(format!("{}", RestoreStrategy::Warm), "Warm");
+    }
+
+    #[test]
+    fn lattice_is_exactly_the_valid_configs() {
+        let lattice = FaasnapConfig::lattice();
+        assert_eq!(lattice.len(), 8);
+        // Every member validates; no duplicates.
+        for (i, c) in lattice.iter().enumerate() {
+            assert!(c.validate().is_ok(), "lattice member {i} invalid: {c:?}");
+            for other in &lattice[i + 1..] {
+                assert_ne!(c, other);
+            }
+        }
+        // Exhaustive: every valid combination of the four flags is in the
+        // lattice, every invalid one is not.
+        for bits in 0u8..16 {
+            let c = FaasnapConfig {
+                concurrent_paging: bits & 1 != 0,
+                per_region_mapping: bits & 2 != 0,
+                loading_set_file: bits & 4 != 0,
+                hierarchical_mmap: bits & 8 != 0,
+            };
+            assert_eq!(c.validate().is_ok(), lattice.contains(&c), "{c:?}");
+        }
+        // The presets are all members.
+        assert!(lattice.contains(&FaasnapConfig::full()));
+        assert!(lattice.contains(&FaasnapConfig::concurrent_paging_only()));
+        assert!(lattice.contains(&FaasnapConfig::per_region()));
     }
 
     #[test]

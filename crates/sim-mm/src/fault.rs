@@ -119,6 +119,19 @@ pub enum FaultOutcome {
     },
 }
 
+/// Seeded fault-resolution delay injection (sim-mm's half of the fault
+/// plan): each resolved fault's handling cost is inflated by `extra`
+/// with probability `prob`, up to `budget` injections. The injector owns
+/// its own rng stream so arming it never perturbs cost sampling.
+#[derive(Clone, Debug)]
+struct DelayInjection {
+    prob: f64,
+    extra: SimDuration,
+    budget: u64,
+    injected: u64,
+    rng: Prng,
+}
+
 /// Per-address-space fault resolver: owns readahead state per backing
 /// file and the RNG used for cost sampling.
 #[derive(Clone, Debug)]
@@ -131,6 +144,8 @@ pub struct FaultResolver {
     initial_ra_pages: u64,
     /// Trace handle; disabled by default so `resolve` stays cost-free.
     tracer: Tracer,
+    /// Optional injected resolution delays; absent on healthy resolvers.
+    delay: Option<DelayInjection>,
 }
 
 impl FaultResolver {
@@ -143,7 +158,43 @@ impl FaultResolver {
             max_ra_pages: 32,
             initial_ra_pages: 4,
             tracer: Tracer::disabled(),
+            delay: None,
         }
+    }
+
+    /// Arms fault-resolution delay injection: each handled fault's cost
+    /// (or major-fault overhead) is inflated by `extra` with probability
+    /// `prob`, at most `budget` times. Deterministic for a given seed.
+    pub fn set_delay_injection(&mut self, seed: u64, prob: f64, extra: SimDuration, budget: u64) {
+        self.delay = Some(DelayInjection {
+            prob,
+            extra,
+            budget,
+            injected: 0,
+            rng: Prng::new(seed ^ 0xDE1A_FA17_0000_5EED),
+        });
+    }
+
+    /// Disarms delay injection.
+    pub fn clear_delay_injection(&mut self) {
+        self.delay = None;
+    }
+
+    /// Number of delays injected so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.delay.as_ref().map_or(0, |d| d.injected)
+    }
+
+    /// Inflates a resolution cost if the injector fires. With no injector
+    /// armed this is the identity and draws nothing.
+    fn inject_delay(&mut self, cost: SimDuration) -> SimDuration {
+        if let Some(inj) = self.delay.as_mut() {
+            if inj.injected < inj.budget && inj.rng.chance(inj.prob) {
+                inj.injected += 1;
+                return cost + inj.extra;
+            }
+        }
+        cost
     }
 
     /// Attaches a tracer so [`FaultResolver::resolve_traced`] emits
@@ -187,8 +238,9 @@ impl FaultResolver {
         // host PTE exists, so no user-space event fires.
         if pt.state(page) == PageState::HostPte {
             pt.install(page);
+            let cost = self.costs.host_pte_fault(&mut self.rng);
             return FaultOutcome::Resolved {
-                cost: self.costs.host_pte_fault(&mut self.rng),
+                cost: self.inject_delay(cost),
                 kind: FaultKind::HostPte,
             };
         }
@@ -213,31 +265,35 @@ impl FaultResolver {
         match resolved {
             Resolved::Anonymous => {
                 pt.install(page);
+                let cost = self.costs.anon_fault(&mut self.rng);
                 FaultOutcome::Resolved {
-                    cost: self.costs.anon_fault(&mut self.rng),
+                    cost: self.inject_delay(cost),
                     kind: FaultKind::Anon,
                 }
             }
             Resolved::File { file, file_page } => {
                 if cache.touch(file, file_page) {
                     pt.install(page);
+                    let cost = self.costs.minor_fault(&mut self.rng);
                     FaultOutcome::Resolved {
-                        cost: self.costs.minor_fault(&mut self.rng),
+                        cost: self.inject_delay(cost),
                         kind: FaultKind::Minor,
                     }
                 } else if let Some(ready_at) = inflight.completion_of(file, file_page) {
                     // Sleep on the page lock; the read in flight will
                     // populate the cache. Install cost on wake.
+                    let cost = self.costs.minor_fault(&mut self.rng);
                     FaultOutcome::WaitInflight {
                         ready_at,
-                        cost: self.costs.minor_fault(&mut self.rng),
+                        cost: self.inject_delay(cost),
                     }
                 } else {
                     let (io, async_io) =
                         self.plan_major(page, file, file_page, aspace, cache, inflight);
+                    let overhead = self.costs.major_overhead(&mut self.rng);
                     FaultOutcome::NeedsIo {
                         io,
-                        overhead: self.costs.major_overhead(&mut self.rng),
+                        overhead: self.inject_delay(overhead),
                         async_io,
                     }
                 }
@@ -599,6 +655,50 @@ mod tests {
             r.resolve(40, &a, &mut pt, &mut c, &u, &fl),
             FaultOutcome::NeedsIo { .. }
         ));
+    }
+
+    #[test]
+    fn delay_injection_inflates_costs_deterministically() {
+        let extra = SimDuration::from_micros(250);
+        let run = |armed: bool| {
+            let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+            a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
+            if armed {
+                r.set_delay_injection(7, 1.0, extra, 2);
+            }
+            let costs: Vec<SimDuration> = (0..4)
+                .map(|p| match r.resolve(p, &a, &mut pt, &mut c, &u, &fl) {
+                    FaultOutcome::Resolved { cost, .. } => cost,
+                    other => panic!("{other:?}"),
+                })
+                .collect();
+            (costs, r.injected_delays())
+        };
+        let (clean, n0) = run(false);
+        let (injected, n1) = run(true);
+        assert_eq!(n0, 0);
+        assert_eq!(n1, 2, "budget caps injections");
+        // Cost sampling uses its own stream, so armed and clean runs draw
+        // identical base costs; the first two differ by exactly `extra`.
+        assert_eq!(injected[0], clean[0] + extra);
+        assert_eq!(injected[1], clean[1] + extra);
+        assert_eq!(injected[2], clean[2]);
+        assert_eq!(injected[3], clean[3]);
+        // Same seed twice is identical.
+        assert_eq!(run(true), run(true));
+    }
+
+    #[test]
+    fn delay_injection_zero_prob_never_fires() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
+        r.set_delay_injection(7, 0.0, SimDuration::from_micros(250), u64::MAX);
+        for p in 0..50 {
+            r.resolve(p, &a, &mut pt, &mut c, &u, &fl);
+        }
+        assert_eq!(r.injected_delays(), 0);
+        r.clear_delay_injection();
+        assert_eq!(r.injected_delays(), 0);
     }
 
     #[test]

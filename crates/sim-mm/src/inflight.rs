@@ -59,6 +59,22 @@ impl InflightIo {
         }
     }
 
+    /// Cancels a window whose read failed.
+    ///
+    /// Only entries recorded for *this* read are removed — exactly those
+    /// whose completion equals `done`, since [`InflightIo::insert_window`]
+    /// keeps the earliest completion per page: a page owned by an earlier
+    /// overlapping read keeps its (sooner) instant and its data is
+    /// unaffected by this failure. Waiters sleeping on a cancelled page
+    /// wake to find it absent and re-fault, issuing a fresh read.
+    pub fn cancel_window(&mut self, file: FileId, start: u64, len: u64, done: SimTime) {
+        for p in start..start + len {
+            if self.pending.get(&(file, p)) == Some(&done) {
+                self.pending.remove(&(file, p));
+            }
+        }
+    }
+
     /// Clears all pending entries (between simulation runs, whose clocks
     /// restart at zero).
     pub fn clear(&mut self) {
@@ -112,6 +128,21 @@ mod tests {
         io.insert_window(FileId(1), 0, 8, t(100));
         io.complete_window(FileId(1), 0, 8, t(100));
         assert!(io.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_only_the_failed_read() {
+        let mut io = InflightIo::new();
+        io.insert_window(FileId(1), 0, 8, t(300));
+        // A faster overlapping read owns pages 2..4.
+        io.insert_window(FileId(1), 2, 2, t(100));
+        io.cancel_window(FileId(1), 0, 8, t(300));
+        // The failed read's pages are gone; the fast read's survive.
+        assert_eq!(io.completion_of(FileId(1), 0), None);
+        assert_eq!(io.completion_of(FileId(1), 7), None);
+        assert_eq!(io.completion_of(FileId(1), 2), Some(t(100)));
+        assert_eq!(io.completion_of(FileId(1), 3), Some(t(100)));
+        assert_eq!(io.len(), 2);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use sim_core::rng::Prng;
 use sim_core::time::SimTime;
 use sim_core::units::PAGE_SIZE;
 
+use crate::faults::{FaultPlan, InjectedFault, InjectedFaultKind};
 use crate::file::FileId;
 use crate::profiles::DiskProfile;
 
@@ -109,6 +110,15 @@ impl IoStats {
     }
 }
 
+/// A completed submission, as seen by fault-aware callers.
+#[derive(Clone, Copy, Debug)]
+pub struct IoCompletion {
+    /// When the device reports completion (including any injected spike).
+    pub done: SimTime,
+    /// The injected fault, if the attached [`FaultPlan`] fired.
+    pub fault: Option<InjectedFault>,
+}
+
 /// A queued block device.
 #[derive(Clone, Debug)]
 pub struct Disk {
@@ -121,6 +131,10 @@ pub struct Disk {
     /// Last request's (file, end page), for sequential detection.
     last_extent: Option<(FileId, u64)>,
     stats: IoStats,
+    /// Optional injection schedule; absent on healthy devices. The plan
+    /// owns its own rng stream, so attaching one never perturbs the
+    /// latency jitter of requests it leaves alone.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Disk {
@@ -134,6 +148,7 @@ impl Disk {
             iops_gate: SimTime::ZERO,
             last_extent: None,
             stats: IoStats::default(),
+            fault_plan: None,
         }
     }
 
@@ -142,11 +157,30 @@ impl Disk {
         &self.profile
     }
 
+    /// Attaches a fault-injection plan; replaces any existing one.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Detaches the fault plan, returning it (with its injection log).
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// Submits a request at instant `now`; returns its completion time.
     ///
     /// The model: the request is admitted at
     /// `start = max(now, iops_gate)`; it pays setup latency (sequential or
     /// random, jittered), then its transfer serializes on the shared bus.
+    ///
+    /// This entry point ignores any attached [`FaultPlan`]: callers that
+    /// cannot act on a fault (snapshot write-out, cache warm-up) keep the
+    /// infallible path, and fault-aware callers use [`Disk::submit_checked`].
     pub fn submit(&mut self, now: SimTime, req: IoRequest) -> SimTime {
         assert!(req.pages > 0, "zero-length I/O request");
         let sequential = self.last_extent == Some((req.file, req.page));
@@ -190,6 +224,37 @@ impl Disk {
         completion
     }
 
+    /// Submits a request, consulting the attached [`FaultPlan`].
+    ///
+    /// With no plan attached this is exactly [`Disk::submit`] — same
+    /// timings, same rng draws, same stats. With a plan, an injected
+    /// short read transfers (and accounts) only the served prefix, a
+    /// latency spike holds the bus through the extra delay, and read
+    /// errors/corruption take the device time of the full transfer (the
+    /// data moved; it just cannot be used).
+    pub fn submit_checked(&mut self, now: SimTime, req: IoRequest) -> IoCompletion {
+        assert!(req.pages > 0, "zero-length I/O request");
+        let fault = match self.fault_plan.as_mut() {
+            Some(plan) => plan.decide(now, &req),
+            None => None,
+        };
+        let effective = match fault {
+            Some(f) if f.kind == InjectedFaultKind::ShortRead => IoRequest {
+                pages: f.served_pages,
+                ..req
+            },
+            _ => req,
+        };
+        let mut done = self.submit(now, effective);
+        if let Some(f) = fault {
+            if !f.extra_latency.is_zero() {
+                done += f.extra_latency;
+                self.bus_free = self.bus_free.max(done);
+            }
+        }
+        IoCompletion { done, fault }
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> &IoStats {
         &self.stats
@@ -223,6 +288,7 @@ impl Disk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_core::time::SimDuration;
     use sim_core::units::MIB;
 
     fn req(file: u64, page: u64, pages: u64) -> IoRequest {
@@ -349,6 +415,73 @@ mod tests {
     fn zero_length_request_panics() {
         let mut d = quiet_nvme();
         d.submit(SimTime::ZERO, req(0, 0, 0));
+    }
+
+    #[test]
+    fn submit_checked_without_plan_matches_submit() {
+        let mut a = Disk::new(DiskProfile::nvme_c5d(), 7);
+        let mut b = Disk::new(DiskProfile::nvme_c5d(), 7);
+        for i in 0..200 {
+            let r = req(0, i * 7, 3);
+            let plain = a.submit(SimTime::ZERO, r);
+            let checked = b.submit_checked(SimTime::ZERO, r);
+            assert_eq!(plain, checked.done);
+            assert!(checked.fault.is_none());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn injected_read_error_is_reported() {
+        use crate::faults::{FaultPlan, FaultRule, InjectedFaultKind};
+        let mut d = quiet_nvme();
+        let mut plan = FaultPlan::new(1);
+        plan.push_rule(FaultRule::any(InjectedFaultKind::ReadError, 1));
+        d.set_fault_plan(plan);
+        let first = d.submit_checked(SimTime::ZERO, req(0, 0, 8));
+        assert_eq!(first.fault.unwrap().kind, InjectedFaultKind::ReadError);
+        let second = d.submit_checked(first.done, req(0, 0, 8));
+        assert!(second.fault.is_none(), "rule budget exhausted");
+        let log = d.clear_fault_plan().unwrap();
+        assert_eq!(log.injected(), 1);
+    }
+
+    #[test]
+    fn short_read_transfers_only_the_prefix() {
+        use crate::faults::{FaultPlan, FaultRule, InjectedFaultKind};
+        let mut full = quiet_nvme();
+        let full_done = full.submit(SimTime::ZERO, req(0, 0, 4096));
+        let mut d = quiet_nvme();
+        let mut plan = FaultPlan::new(3);
+        plan.push_rule(FaultRule::any(InjectedFaultKind::ShortRead, 1));
+        d.set_fault_plan(plan);
+        let c = d.submit_checked(SimTime::ZERO, req(0, 0, 4096));
+        let served = c.fault.unwrap().served_pages;
+        assert!((1..4096).contains(&served));
+        assert!(c.done < full_done, "short read must finish earlier");
+        assert_eq!(d.stats().pages, served);
+    }
+
+    #[test]
+    fn latency_spike_delays_completion_and_holds_bus() {
+        use crate::faults::{FaultPlan, FaultProfile, InjectedFaultKind};
+        let mut base = quiet_nvme();
+        let clean = base.submit(SimTime::ZERO, req(0, 0, 8));
+        let spike = SimDuration::from_millis(5);
+        let mut d = quiet_nvme();
+        d.set_fault_plan(FaultPlan::with_profile(
+            1,
+            FaultProfile {
+                latency_spike_prob: 1.0,
+                spike,
+                max_injections: 1,
+                ..FaultProfile::default()
+            },
+        ));
+        let c = d.submit_checked(SimTime::ZERO, req(0, 0, 8));
+        assert_eq!(c.fault.unwrap().kind, InjectedFaultKind::LatencySpike);
+        assert_eq!(c.done, clean + spike);
+        assert!(d.queue_free_at() >= c.done, "bus held through the spike");
     }
 
     #[test]

@@ -18,13 +18,22 @@
 //!   readahead pulls in pages nearby the faulting page, and those pages are
 //!   visible to `mincore`.
 
+//! - [`faults`] — a seeded, deterministic fault-injection plan (read
+//!   errors, short reads, latency spikes, detectable corruption) that
+//!   attaches to a device; fault-aware callers submit through
+//!   [`device::Disk::submit_checked`].
+//!
 #![forbid(unsafe_code)]
 pub mod device;
+pub mod faults;
 pub mod file;
 pub mod profiles;
 pub mod readahead;
 
-pub use device::{Disk, IoKind, IoRequest, IoStats};
+pub use device::{Disk, IoCompletion, IoKind, IoRequest, IoStats};
+pub use faults::{
+    FaultPlan, FaultProfile, FaultRecord, FaultRule, InjectedFault, InjectedFaultKind,
+};
 pub use file::{DeviceId, FileId, FileKind, SimFs};
 pub use profiles::DiskProfile;
 pub use readahead::ReadaheadState;

@@ -27,6 +27,11 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> fault-injection suite: differential byte-identity under fixed seeds"
+# The fault schedules in these tests are seeded constants, so this gate
+# is deterministic: a pass today is a pass everywhere.
+cargo test --release -q --test fault_injection
+
 echo "==> trace-schema smoke: faasnapd invoke/cluster artifacts match goldens"
 # The tier-1 build above only covers the root package; make sure the
 # CLI binary is current before diffing its artifacts.

@@ -140,6 +140,85 @@ proptest! {
         }
     }
 
+    /// Working-set groups are access-order-major: `pages()` preserves
+    /// scan order, and the `i`-th recorded page lands in group
+    /// `i / group_size`, so group numbers are non-decreasing in scan
+    /// order (§4.3's prioritization signal).
+    #[test]
+    fn wset_groups_follow_access_order(
+        accesses in proptest::collection::vec(0u64..300, 1..400),
+        group_size in 1u64..65
+    ) {
+        // First-touch order with duplicates removed models one page
+        // appearing across repeated mincore scans.
+        let mut order: Vec<u64> = Vec::new();
+        for &p in &accesses {
+            if !order.contains(&p) {
+                order.push(p);
+            }
+        }
+        let mut ws = WorkingSet::with_group_size(group_size);
+        ws.extend(&order);
+        prop_assert_eq!(ws.pages(), &order[..]);
+        let mut prev_group = 0u32;
+        for (idx, (page, group)) in ws.pages_with_groups().enumerate() {
+            prop_assert_eq!(page, order[idx]);
+            prop_assert_eq!(u64::from(group), idx as u64 / group_size);
+            prop_assert_eq!(ws.group_of_index(idx as u64), group);
+            prop_assert!(group >= prev_group, "groups non-decreasing in scan order");
+            prev_group = group;
+        }
+        prop_assert_eq!(ws.group_count(), (order.len() as u64).div_ceil(group_size));
+    }
+
+    /// Merged loading-set regions respect the gap bound: region
+    /// endpoints are always *core* pages (working set ∩ non-zero), and
+    /// any interior run of non-core filler spans at most `gap` pages —
+    /// merging never bridges a hole wider than the threshold (§4.6).
+    /// With `gap = 0` this degenerates to: the loading set contains no
+    /// zero page at all.
+    #[test]
+    fn merged_regions_respect_gap_bound(
+        ws_pages in arb_pages(4000),
+        nonzero in arb_pages(4000),
+        gap in 0u64..64
+    ) {
+        let mut ws = WorkingSet::with_group_size(64);
+        ws.extend(&ws_pages);
+        let mut mem = GuestMemory::new(4096);
+        for &p in &nonzero {
+            mem.write(p, p + 1);
+        }
+        let ls = LoadingSet::build(&ws, &mem, gap);
+        let core: std::collections::BTreeSet<u64> = ws_pages
+            .iter()
+            .copied()
+            .filter(|p| mem.is_nonzero(*p))
+            .collect();
+        for r in ls.regions() {
+            prop_assert!(core.contains(&r.guest.start), "region starts on a core page");
+            prop_assert!(core.contains(&(r.guest.end - 1)), "region ends on a core page");
+            // Consecutive core pages inside a region are separated by at
+            // most `gap` filler pages.
+            let members: Vec<u64> = r.guest.iter().filter(|p| core.contains(p)).collect();
+            for w in members.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] <= gap + 1,
+                    "interior hole of {} pages exceeds gap {}",
+                    w[1] - w[0] - 1,
+                    gap
+                );
+            }
+        }
+        if gap == 0 {
+            for r in ls.regions() {
+                for p in r.guest.iter() {
+                    prop_assert!(mem.is_nonzero(p), "zero page {} in unmerged loading set", p);
+                }
+            }
+        }
+    }
+
     /// Hierarchical and flat FaaSnap mappings are observationally
     /// identical for arbitrary loading sets.
     #[test]

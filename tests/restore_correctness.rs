@@ -14,16 +14,23 @@ use faasnap::strategy::{FaasnapConfig, RestoreStrategy};
 use faasnap_daemon::platform::Platform;
 use sim_storage::profiles::DiskProfile;
 
+/// Every strategy plus the full Figure 9 ablation lattice: all valid
+/// [`FaasnapConfig`] combinations (4 feature rungs × hierarchical
+/// mmap on/off), so byte-identity is pinned for each ablation the
+/// paper measures, not only the presets.
 fn all_strategies() -> Vec<RestoreStrategy> {
-    vec![
+    let mut v = vec![
         RestoreStrategy::Warm,
         RestoreStrategy::Vanilla,
         RestoreStrategy::Cached,
         RestoreStrategy::Reap,
-        RestoreStrategy::faasnap(),
-        RestoreStrategy::FaaSnap(FaasnapConfig::concurrent_paging_only()),
-        RestoreStrategy::FaaSnap(FaasnapConfig::per_region()),
-    ]
+    ];
+    v.extend(
+        FaasnapConfig::lattice()
+            .into_iter()
+            .map(RestoreStrategy::FaaSnap),
+    );
+    v
 }
 
 fn final_checksums(name: &str, test_b: bool) -> Vec<(String, u64)> {
@@ -36,7 +43,7 @@ fn final_checksums(name: &str, test_b: bool) -> Vec<(String, u64)> {
         .into_iter()
         .map(|s| {
             let out = p.invoke(name, "t", &input, s).unwrap();
-            (s.label().to_string(), out.final_memory.checksum())
+            (format!("{s:?}"), out.final_memory.checksum())
         })
         .collect()
 }
