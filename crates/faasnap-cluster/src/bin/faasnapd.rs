@@ -13,6 +13,7 @@
 //! faasnapd policy <function>
 //! faasnapd cluster [--hosts 8] [--seed 42] [--policy all|random|least-loaded|snapshot-locality]
 //!                  [--tenants 36] [--rate 40] [--skew 1.2] [--horizon 300]
+//!                  [--snapshot-budget <bytes>] [--dedup on|off] [--chunk-bytes <bytes>]
 //!                  [--fault-prob 0.02] [--fault-retry-ms 3] [--degrade-prob 0.25] [--degrade-ms 25]
 //!                  [--smoke] [--metrics-out <file>] [--trace-out <file>]
 //! faasnapd lint [--root <dir>]
@@ -23,10 +24,20 @@
 //! writes a Prometheus text-exposition snapshot. `cluster --smoke` runs
 //! the fixed [`ClusterConfig::smoke`] fleet (no calibration), which the
 //! repository's golden tests pin byte-for-byte.
+//!
+//! Snapshot registries are store-aware: each host's registry charges its
+//! `--snapshot-budget` against *unique* chunk bytes in a
+//! content-addressed store, so snapshots sharing zero, runtime, or
+//! function-family chunks cost far less than their logical size, and
+//! eviction frees only chunks no surviving snapshot references.
+//! `--dedup off` makes every chunk tenant-unique — reproducing the old
+//! whole-file LRU accounting as an ablation baseline — and
+//! `--chunk-bytes` sets the dedup granularity (default 2 MiB).
 
 use faasnap::strategy::RestoreStrategy;
 use faasnap_cluster::{
-    calibrate, run_cluster, ClusterConfig, FleetFaultProfile, RoutePolicy, WorkloadSpec,
+    calibrate, run_cluster, ClusterConfig, FleetFaultProfile, RoutePolicy, StoreParams,
+    WorkloadSpec,
 };
 use faasnap_daemon::config::ExperimentConfig;
 use faasnap_daemon::observe::traced_invoke;
@@ -315,6 +326,22 @@ fn cmd_cluster(args: &Args) {
     };
 
     let smoke = args.flags.contains_key("smoke");
+    // Store-aware registry knobs. The defaults match HostConfig's, so
+    // the smoke fleet stays golden-pinned when no flag is passed.
+    let dedup = match args.flag("dedup", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => die(&format!("unknown --dedup {other:?} (on|off)")),
+    };
+    let chunk_bytes: u64 = args.num("chunk-bytes", "2097152");
+    if chunk_bytes == 0 {
+        die("--chunk-bytes must be nonzero");
+    }
+    let snapshot_budget: u64 = args.num(
+        "snapshot-budget",
+        &(faasnap_cluster::HostConfig::default().snapshot_budget_bytes).to_string(),
+    );
+    let store = StoreParams { dedup, chunk_bytes };
     // A fault profile is armed as soon as any --fault-*/--degrade-*
     // flag appears; unspecified knobs fall back to the mild defaults.
     let fault_profile = if ["fault-prob", "fault-retry-ms", "degrade-prob", "degrade-ms"]
@@ -383,6 +410,8 @@ fn cmd_cluster(args: &Args) {
         cfg.obs = obs.clone();
         cfg.tracer = tracer.clone();
         cfg.fault_profile = fault_profile;
+        cfg.host.store = store;
+        cfg.host.snapshot_budget_bytes = snapshot_budget;
         eprintln!(
             "simulating {} on {} hosts, {} tenants for {}...",
             policy.label(),

@@ -153,6 +153,9 @@ enum Ev {
 struct FleetWorld<'a> {
     arrivals: &'a [Arrival],
     tenant_times: &'a [ServiceTimes],
+    /// Per-tenant snapshot family (tenants of the same base workload
+    /// share base-image chunks in the hosts' snapshot stores).
+    tenant_families: &'a [u64],
     policy: RoutePolicy,
     hosts: Vec<HostSim>,
     route_rng: Prng,
@@ -201,7 +204,7 @@ impl FleetWorld<'_> {
 
     fn dispatch(&mut self, host: usize, job: QueuedJob, now: SimTime, sched: &mut Scheduler<Ev>) {
         let times = self.tenant_times[job.tenant];
-        let (mode, service) = self.hosts[host].start_service(job.tenant, now, &times);
+        let (mode, service) = self.hosts[host].start_service(job.tenant, job.family, now, &times);
         let service = self.faulted_service(mode, service, job.ctx);
         sched.schedule_after(
             now,
@@ -249,6 +252,7 @@ impl World for FleetWorld<'_> {
                         );
                         let job = QueuedJob {
                             tenant,
+                            family: self.tenant_families[tenant],
                             arrived: now,
                             ctx,
                         };
@@ -317,6 +321,24 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
         .iter()
         .map(|t| cfg.service_for(&t.workload))
         .collect();
+    // Snapshot families: tenants running the same base workload share a
+    // family, indexed by first appearance (deterministic in the spec).
+    let mut families: Vec<&str> = Vec::new();
+    let tenant_families: Vec<u64> = cfg
+        .workload
+        .tenants
+        .iter()
+        .map(|t| {
+            let w = t.workload.as_str();
+            match families.iter().position(|&f| f == w) {
+                Some(i) => i as u64,
+                None => {
+                    families.push(w);
+                    (families.len() - 1) as u64
+                }
+            }
+        })
+        .collect();
     let tenant_names: Vec<(String, String)> = cfg
         .workload
         .tenants
@@ -326,6 +348,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
     let mut world = FleetWorld {
         arrivals: &arrivals,
         tenant_times: &tenant_times,
+        tenant_families: &tenant_families,
         policy: cfg.policy,
         hosts: (0..cfg.hosts)
             .map(|i| {
@@ -362,6 +385,31 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
     for (i, h) in hosts.iter().enumerate() {
         metrics.host_busy[i] = h.busy_time();
         metrics.host_slots[i] = h.config().slots;
+        let reg = h.snapshots();
+        metrics.store_unique_bytes[i] = reg.total_bytes();
+        metrics.store_logical_bytes[i] = reg.logical_bytes();
+        metrics.snapshots_resident[i] = reg.len() as u64;
+        let label = i.to_string();
+        cfg.obs.gauge_set(
+            "fleet_store_unique_bytes",
+            &[("host", &label)],
+            reg.total_bytes() as f64,
+        );
+        cfg.obs.gauge_set(
+            "fleet_store_logical_bytes",
+            &[("host", &label)],
+            reg.logical_bytes() as f64,
+        );
+        cfg.obs.gauge_set(
+            "fleet_store_dedup_ratio",
+            &[("host", &label)],
+            reg.dedup_ratio(),
+        );
+        cfg.obs.gauge_set(
+            "fleet_snapshots_resident",
+            &[("host", &label)],
+            reg.len() as f64,
+        );
     }
     metrics
 }

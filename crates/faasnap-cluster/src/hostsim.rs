@@ -3,7 +3,9 @@
 //! Each fleet host is an abstraction of the detailed single-host
 //! simulator: it serves one invocation per concurrency slot, holds
 //! finished VMs in a TTL-governed warm pool (the §7.1 keep-alive), keeps
-//! snapshot files in an LRU registry bounded by a storage budget, and
+//! snapshots in a store-aware LRU registry ([`crate::store`]) whose
+//! storage budget charges *unique* chunk bytes — eviction frees only
+//! chunks no surviving snapshot references — and
 //! tracks which loading sets are resident in its page cache (restores on
 //! a cache-hot host skip the disk reads FaaSnap's loader would issue —
 //! the locality signal the router exploits). Service latencies come from
@@ -20,6 +22,7 @@ use faasnap_obs::{Metrics, TraceContext};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::arrival::TenantId;
+use crate::store::{StoreParams, StoreRegistry};
 
 /// How one fleet invocation was served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,10 +123,12 @@ pub struct HostConfig {
     pub warm_ttl: SimDuration,
     /// Maximum idle warm VMs resident at once.
     pub warm_pool_cap: usize,
-    /// Storage budget for the snapshot registry.
+    /// Storage budget for the snapshot registry (unique bytes).
     pub snapshot_budget_bytes: u64,
     /// Page-cache budget for loading sets.
     pub cache_budget_bytes: u64,
+    /// Snapshot-store parameters: chunk-level dedup and granularity.
+    pub store: StoreParams,
 }
 
 impl Default for HostConfig {
@@ -135,6 +140,7 @@ impl Default for HostConfig {
             warm_pool_cap: 8,
             snapshot_budget_bytes: 24 << 30,
             cache_budget_bytes: 2 << 30,
+            store: StoreParams::default(),
         }
     }
 }
@@ -144,6 +150,9 @@ impl Default for HostConfig {
 pub struct QueuedJob {
     /// The tenant function to run.
     pub tenant: TenantId,
+    /// The tenant's function family (shared snapshot provenance group —
+    /// in the fleet model, tenants running the same base workload).
+    pub family: u64,
     /// When the request arrived at the router.
     pub arrived: SimTime,
     /// The request's `fleet/request` span (NONE when tracing is off).
@@ -197,8 +206,9 @@ impl LruBudget {
     /// Marks `tenant` most recently used, without inserting.
     pub fn touch(&mut self, tenant: TenantId) {
         if let Some(pos) = self.entries.iter().position(|(t, _)| *t == tenant) {
-            let e = self.entries.remove(pos).expect("position exists");
-            self.entries.push_back(e);
+            if let Some(e) = self.entries.remove(pos) {
+                self.entries.push_back(e);
+            }
         }
     }
 
@@ -208,8 +218,9 @@ impl LruBudget {
     /// evicted immediately) rather than wedging the registry.
     pub fn insert(&mut self, tenant: TenantId, bytes: u64) -> Vec<TenantId> {
         if let Some(pos) = self.entries.iter().position(|(t, _)| *t == tenant) {
-            let (_, old) = self.entries.remove(pos).expect("position exists");
-            self.total -= old;
+            if let Some((_, old)) = self.entries.remove(pos) {
+                self.total -= old;
+            }
         }
         if bytes > self.budget {
             return vec![tenant];
@@ -218,10 +229,10 @@ impl LruBudget {
         self.total += bytes;
         let mut evicted = Vec::new();
         while self.total > self.budget {
-            let (t, b) = self
-                .entries
-                .pop_front()
-                .expect("over budget implies non-empty");
+            // Over budget implies non-empty; an empty deque just exits.
+            let Some((t, b)) = self.entries.pop_front() else {
+                break;
+            };
             self.total -= b;
             evicted.push(t);
         }
@@ -231,8 +242,9 @@ impl LruBudget {
     /// Removes `tenant` outright (e.g. deliberate invalidation).
     pub fn remove(&mut self, tenant: TenantId) {
         if let Some(pos) = self.entries.iter().position(|(t, _)| *t == tenant) {
-            let (_, b) = self.entries.remove(pos).expect("position exists");
-            self.total -= b;
+            if let Some((_, b)) = self.entries.remove(pos) {
+                self.total -= b;
+            }
         }
     }
 }
@@ -258,7 +270,7 @@ pub struct HostSim {
     queue: VecDeque<QueuedJob>,
     /// Idle warm VMs as (tenant, expiry), oldest expiry first.
     warm: Vec<(TenantId, SimTime)>,
-    snapshots: LruBudget,
+    snapshots: StoreRegistry,
     cache: LruBudget,
     shed: u64,
     busy: SimDuration,
@@ -274,7 +286,7 @@ impl HostSim {
             running: 0,
             queue: VecDeque::new(),
             warm: Vec::new(),
-            snapshots: LruBudget::new(cfg.snapshot_budget_bytes),
+            snapshots: StoreRegistry::new(cfg.snapshot_budget_bytes, cfg.store),
             cache: LruBudget::new(cfg.cache_budget_bytes),
             shed: 0,
             busy: SimDuration::ZERO,
@@ -319,8 +331,8 @@ impl HostSim {
         self.busy
     }
 
-    /// The snapshot registry (inspectable in tests).
-    pub fn snapshots(&self) -> &LruBudget {
+    /// The snapshot registry (inspectable in tests and fleet metrics).
+    pub fn snapshots(&self) -> &StoreRegistry {
         &self.snapshots
     }
 
@@ -363,7 +375,7 @@ impl HostSim {
     /// it if the pending queue has room, sheds it otherwise.
     pub fn admit(&mut self, job: QueuedJob, now: SimTime, times: &ServiceTimes) -> Admission {
         if (self.running as usize) < self.cfg.slots as usize {
-            let (mode, service) = self.start_service(job.tenant, now, times);
+            let (mode, service) = self.start_service(job.tenant, job.family, now, times);
             Admission::Started { mode, service }
         } else if self.queue.len() < self.cfg.queue_cap {
             self.queue.push_back(job);
@@ -388,12 +400,14 @@ impl HostSim {
             .counter_inc("fleet_shed_total", &[("host", &self.host_label)]);
     }
 
-    /// Starts serving `tenant` in a free slot: picks the serving mode
-    /// from local state, updates the warm pool / snapshot registry /
-    /// cache model, and returns the mode and total service time.
+    /// Starts serving `tenant` (of snapshot `family`) in a free slot:
+    /// picks the serving mode from local state, updates the warm pool /
+    /// snapshot registry / cache model, and returns the mode and total
+    /// service time.
     pub fn start_service(
         &mut self,
         tenant: TenantId,
+        family: u64,
         now: SimTime,
         times: &ServiceTimes,
     ) -> (ServeMode, SimDuration) {
@@ -419,7 +433,7 @@ impl HostSim {
             // miss on this host restores instead. Evictions cascade: a
             // snapshot pushed out of the registry also loses its cache
             // residency claim.
-            let evicted = self.snapshots.insert(tenant, times.snapshot_bytes);
+            let evicted = self.snapshots.insert(tenant, family, times.snapshot_bytes);
             if !evicted.is_empty() {
                 self.metrics.counter_add(
                     "fleet_snapshot_evictions_total",
@@ -502,6 +516,7 @@ mod tests {
             warm_pool_cap: 2,
             snapshot_budget_bytes: 100,
             cache_budget_bytes: 100,
+            store: StoreParams::default(),
         })
     }
 
@@ -517,12 +532,12 @@ mod tests {
     fn first_invocation_is_cold_then_snapshot() {
         let mut h = small_host();
         let st = times(40);
-        let (mode, _) = h.start_service(0, t(0), &st);
+        let (mode, _) = h.start_service(0, 0, t(0), &st);
         assert_eq!(mode, ServeMode::Cold);
         h.finish(0, t(100));
         // Warm VM expired (TTL 60s) by t=200; snapshot remains, and the
         // loading set is still cached.
-        let (mode, _) = h.start_service(0, t(200), &st);
+        let (mode, _) = h.start_service(0, 0, t(200), &st);
         assert_eq!(mode, ServeMode::SnapshotHot);
     }
 
@@ -530,10 +545,10 @@ mod tests {
     fn warm_hit_within_ttl() {
         let mut h = small_host();
         let st = times(40);
-        h.start_service(0, t(0), &st);
+        h.start_service(0, 0, t(0), &st);
         h.finish(0, t(10));
         assert_eq!(h.locality(0, t(20)), LocalityClass::WarmVm);
-        let (mode, d) = h.start_service(0, t(20), &st);
+        let (mode, d) = h.start_service(0, 0, t(20), &st);
         assert_eq!(mode, ServeMode::Warm);
         assert_eq!(d, st.warm);
     }
@@ -542,8 +557,9 @@ mod tests {
     fn admission_queues_then_sheds() {
         let mut h = small_host();
         let st = times(10);
-        let job = |tenant| QueuedJob {
+        let job = |tenant: TenantId| QueuedJob {
             tenant,
+            family: tenant as u64,
             arrived: t(0),
             ctx: TraceContext::NONE,
         };
@@ -567,17 +583,17 @@ mod tests {
     fn lru_eviction_forces_cold_path() {
         let mut h = small_host(); // snapshot budget 100
         let st = times(40);
-        h.start_service(0, t(0), &st); // cold, snapshot 0 resident
+        h.start_service(0, 0, t(0), &st); // cold, snapshot 0 resident
         h.finish(0, t(1));
-        h.start_service(1, t(100), &st);
+        h.start_service(1, 1, t(100), &st);
         h.finish(1, t(101));
         // Third distinct tenant pushes tenant 0 (LRU) out: 3*40 > 100.
-        h.start_service(2, t(200), &st);
+        h.start_service(2, 2, t(200), &st);
         h.finish(2, t(201));
         assert!(!h.snapshots().contains(0), "tenant 0 evicted");
         assert!(h.snapshots().contains(1) && h.snapshots().contains(2));
         // Warm VMs for 1 and 2 are gone after TTL; tenant 0 must cold-boot.
-        let (mode, _) = h.start_service(0, t(400), &st);
+        let (mode, _) = h.start_service(0, 0, t(400), &st);
         assert_eq!(mode, ServeMode::Cold);
     }
 
@@ -609,7 +625,7 @@ mod tests {
         });
         let st = times(10);
         for tenant in 0..3 {
-            h.start_service(tenant, t(0), &st);
+            h.start_service(tenant, tenant as u64, t(0), &st);
         }
         for tenant in 0..3 {
             h.finish(tenant, t(1));
@@ -617,7 +633,7 @@ mod tests {
         assert_eq!(h.warm_pool_len(), 2, "pool capped");
         assert_eq!(h.resident_vms(), 2);
         // All warm VMs expire after the 60 s TTL.
-        h.start_service(0, t(120), &st);
+        h.start_service(0, 0, t(120), &st);
         assert_eq!(h.warm_pool_len(), 0);
     }
 
@@ -625,8 +641,8 @@ mod tests {
     fn busy_time_accumulates() {
         let mut h = small_host();
         let st = times(10);
-        let (_, d1) = h.start_service(0, t(0), &st);
-        let (_, d2) = h.start_service(1, t(0), &st);
+        let (_, d1) = h.start_service(0, 0, t(0), &st);
+        let (_, d2) = h.start_service(1, 1, t(0), &st);
         assert_eq!(h.busy_time(), d1 + d2);
     }
 }

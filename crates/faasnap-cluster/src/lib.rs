@@ -19,6 +19,12 @@
 //!   registry with LRU eviction under a storage budget, and a page-cache
 //!   model that makes restores faster on hosts that recently served the
 //!   same function (the locality signal the router exploits).
+//! * [`store`] — the store-aware snapshot registry backing [`hostsim`]:
+//!   tenant snapshots become layers of content-addressed chunk
+//!   references in a [`faasnap_store::SnapshotStore`], the budget
+//!   charges unique (deduplicated) bytes, and eviction drops only
+//!   chunks no surviving snapshot references — letting far more
+//!   functions stay restorable per host under Zipf skew.
 //! * [`router`] — pluggable placement: random, least-loaded, and
 //!   snapshot-locality-aware, plus admission control and load shedding.
 //! * [`fleet`] — the discrete-event simulation tying it together on
@@ -41,9 +47,11 @@ pub mod fleet;
 pub mod hostsim;
 pub mod metrics;
 pub mod router;
+pub mod store;
 
 pub use arrival::{Arrival, ArrivalPattern, TenantSpec, WorkloadSpec};
 pub use fleet::{run_cluster, ClusterConfig, FleetFaultProfile};
 pub use hostsim::{HostConfig, ServiceTimes};
 pub use metrics::FleetMetrics;
 pub use router::RoutePolicy;
+pub use store::{snapshot_chunks, StoreParams, StoreRegistry};

@@ -63,6 +63,12 @@ pub struct FleetMetrics {
     pub storage_faults: u64,
     /// Faulted restores that additionally degraded to demand paging.
     pub degraded_restores: u64,
+    /// Per-host unique (deduplicated) snapshot-store bytes at end of run.
+    pub store_unique_bytes: Vec<u64>,
+    /// Per-host logical (pre-dedup) snapshot bytes at end of run.
+    pub store_logical_bytes: Vec<u64>,
+    /// Per-host count of resident (restorable) snapshots at end of run.
+    pub snapshots_resident: Vec<u64>,
 }
 
 impl FleetMetrics {
@@ -92,6 +98,9 @@ impl FleetMetrics {
             host_slots: vec![0; hosts],
             storage_faults: 0,
             degraded_restores: 0,
+            store_unique_bytes: vec![0; hosts],
+            store_logical_bytes: vec![0; hosts],
+            snapshots_resident: vec![0; hosts],
         }
     }
 
@@ -140,6 +149,44 @@ impl FleetMetrics {
         mix
     }
 
+    /// Fleet-wide unique (deduplicated) snapshot-store bytes.
+    pub fn store_unique_total(&self) -> u64 {
+        self.store_unique_bytes.iter().sum()
+    }
+
+    /// Fleet-wide logical (pre-dedup) snapshot bytes.
+    pub fn store_logical_total(&self) -> u64 {
+        self.store_logical_bytes.iter().sum()
+    }
+
+    /// Fleet-wide dedup ratio: logical over unique bytes (1.0 when the
+    /// stores are empty).
+    pub fn store_dedup_ratio(&self) -> f64 {
+        let unique = self.store_unique_total();
+        if unique == 0 {
+            1.0
+        } else {
+            self.store_logical_total() as f64 / unique as f64
+        }
+    }
+
+    /// Fleet-wide count of resident (restorable) snapshots.
+    pub fn snapshots_resident_total(&self) -> u64 {
+        self.snapshots_resident.iter().sum()
+    }
+
+    /// Resident snapshots per GiB of unique store bytes — the capacity
+    /// headline: how many functions stay restorable per gigabyte a host
+    /// actually spends.
+    pub fn snapshots_per_gb(&self) -> f64 {
+        let unique = self.store_unique_total();
+        if unique == 0 {
+            0.0
+        } else {
+            self.snapshots_resident_total() as f64 / (unique as f64 / (1u64 << 30) as f64)
+        }
+    }
+
     /// Mean slot utilization across hosts in `[0, 1]`.
     pub fn mean_utilization(&self) -> f64 {
         if self.hosts == 0 || self.horizon.is_zero() {
@@ -183,7 +230,16 @@ impl FleetMetrics {
             )
             .with("mean_utilization", round3(self.mean_utilization()))
             .with("storage_faults", self.storage_faults)
-            .with("degraded_restores", self.degraded_restores);
+            .with("degraded_restores", self.degraded_restores)
+            .with(
+                "store",
+                Value::object()
+                    .with("unique_bytes", self.store_unique_total())
+                    .with("logical_bytes", self.store_logical_total())
+                    .with("dedup_ratio", round3(self.store_dedup_ratio()))
+                    .with("snapshots_resident", self.snapshots_resident_total())
+                    .with("snapshots_per_gb", round3(self.snapshots_per_gb())),
+            );
         let tenants: Vec<Value> = self
             .tenants
             .iter()
@@ -206,7 +262,8 @@ impl FleetMetrics {
             .host_busy
             .iter()
             .zip(&self.host_slots)
-            .map(|(busy, &slots)| {
+            .enumerate()
+            .map(|(i, (busy, &slots))| {
                 let util = if slots == 0 || self.horizon.is_zero() {
                     0.0
                 } else {
@@ -216,6 +273,9 @@ impl FleetMetrics {
                     .with("busy_s", round3(busy.as_secs_f64()))
                     .with("slots", u64::from(slots))
                     .with("utilization", round3(util))
+                    .with("store_unique_bytes", self.store_unique_bytes[i])
+                    .with("store_logical_bytes", self.store_logical_bytes[i])
+                    .with("snapshots_resident", self.snapshots_resident[i])
             })
             .collect();
         Value::object()

@@ -57,21 +57,18 @@ impl RoutePolicy {
         rng: &mut Prng,
     ) -> Option<usize> {
         let admittable: Vec<usize> = (0..hosts.len()).filter(|&h| hosts[h].can_admit()).collect();
-        if admittable.is_empty() {
-            return None;
-        }
-        let picked = match self {
-            RoutePolicy::Random => *rng.choose(&admittable).expect("non-empty"),
-            RoutePolicy::LeastLoaded => *admittable
+        // Empty → None throughout: an exhausted fleet sheds at the router.
+        match self {
+            RoutePolicy::Random => rng.choose(&admittable).copied(),
+            RoutePolicy::LeastLoaded => admittable
                 .iter()
                 .min_by_key(|&&h| (hosts[h].load(), h))
-                .expect("non-empty"),
-            RoutePolicy::SnapshotLocality => *admittable
+                .copied(),
+            RoutePolicy::SnapshotLocality => admittable
                 .iter()
                 .min_by_key(|&&h| (hosts[h].locality(tenant, now), hosts[h].load(), h))
-                .expect("non-empty"),
-        };
-        Some(picked)
+                .copied(),
+        }
     }
 }
 
@@ -95,6 +92,7 @@ mod tests {
                     warm_pool_cap: 4,
                     snapshot_budget_bytes: 1 << 30,
                     cache_budget_bytes: 1 << 30,
+                    store: crate::store::StoreParams::default(),
                 })
             })
             .collect()
@@ -105,7 +103,7 @@ mod tests {
         let mut hosts = fleet(3);
         let st = ServiceTimes::default();
         // Host 1 has served tenant 7: snapshot + cache resident.
-        hosts[1].start_service(7, t(0), &st);
+        hosts[1].start_service(7, 7, t(0), &st);
         hosts[1].finish(7, t(1));
         assert_eq!(hosts[1].locality(7, t(2)), LocalityClass::WarmVm);
         let mut rng = Prng::new(1);
@@ -120,7 +118,7 @@ mod tests {
     fn least_loaded_balances() {
         let mut hosts = fleet(2);
         let st = ServiceTimes::default();
-        hosts[0].start_service(0, t(0), &st);
+        hosts[0].start_service(0, 0, t(0), &st);
         let mut rng = Prng::new(2);
         assert_eq!(
             RoutePolicy::LeastLoaded.pick(&hosts, 1, t(0), &mut rng),
@@ -139,6 +137,7 @@ mod tests {
                 h.admit(
                     QueuedJob {
                         tenant,
+                        family: tenant as u64,
                         arrived: t(0),
                         ctx: faasnap_obs::TraceContext::NONE,
                     },

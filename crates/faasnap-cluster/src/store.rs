@@ -1,0 +1,362 @@
+//! Store-aware snapshot registry: chunk-level dedup under a byte budget.
+//!
+//! The whole-file [`crate::hostsim::LruBudget`] registry charges every
+//! tenant its full snapshot size, so a 24 GiB budget holds ~12 distinct
+//! 2 GiB snapshots and Zipf-tail tenants thrash through cold boots. In
+//! reality most of those bytes are identical across snapshots: zero
+//! pages, the language runtime, and the function family's shared image.
+//! [`StoreRegistry`] keeps the same LRU *policy* surface but accounts
+//! residency through a content-addressed [`SnapshotStore`]: each tenant
+//! snapshot becomes one accounting layer of chunk references with
+//! synthetic provenance ([`snapshot_chunks`]), eviction drops snapshots
+//! until the store's *unique* bytes fit the budget, and chunks shared
+//! with surviving snapshots stay resident — evicting a tenant only
+//! frees what nobody else references.
+//!
+//! With `dedup: false` every chunk identity is tenant-unique, so unique
+//! bytes equal the sum of snapshot sizes and the registry reproduces
+//! whole-file LRU accounting byte-for-byte — the ablation baseline.
+//!
+//! Determinism: chunk identities come from [`ChunkHash::synthetic`]
+//! (seeded FNV/splitmix over label words, no OS entropy), and all state
+//! lives in order-preserving collections.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use faasnap_store::{ChunkHash, LayerKind, SnapshotId, SnapshotStore, StoreConfig};
+use sim_core::units::PAGE_SIZE;
+
+use crate::arrival::TenantId;
+
+/// Fleet-level snapshot-store parameters (one per host config).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoreParams {
+    /// Chunk-level dedup across tenants. `false` makes every chunk
+    /// identity tenant-unique, reproducing whole-file LRU accounting.
+    pub dedup: bool,
+    /// Chunk granularity in bytes (must be nonzero).
+    pub chunk_bytes: u64,
+}
+
+impl Default for StoreParams {
+    fn default() -> Self {
+        StoreParams {
+            dedup: true,
+            // 2 MiB: the huge-page-sized extents the restore path favors.
+            chunk_bytes: 2 << 20,
+        }
+    }
+}
+
+/// The synthetic chunk provenance of one tenant snapshot: which of its
+/// chunks are zero pages, runtime image shared fleet-wide, function
+/// family image shared by same-workload tenants, or tenant-private
+/// state. Returns `(slot, identity, bytes)` triples for
+/// [`SnapshotStore::put_layer_refs`].
+///
+/// The partition (of `n = ceil(bytes / chunk_bytes)` chunks) models the
+/// dedup structure FaaSnap snapshots exhibit: `n/5` zero chunks (one
+/// shared identity), `n/4` runtime chunks (shared by every tenant),
+/// `n/2` family chunks (shared by tenants of the same workload), and
+/// the remainder tenant-private. Private chunks come last so the
+/// partial final chunk — `bytes - (n-1)·chunk_bytes` — is always
+/// private; with dedup off the per-chunk bytes therefore sum to exactly
+/// `snapshot_bytes`, making the no-dedup registry byte-identical to the
+/// whole-file baseline.
+pub fn snapshot_chunks(
+    params: StoreParams,
+    family: u64,
+    tenant: TenantId,
+    snapshot_bytes: u64,
+) -> Vec<(u64, ChunkHash, u64)> {
+    assert!(params.chunk_bytes > 0, "chunk_bytes must be nonzero");
+    let n = snapshot_bytes.div_ceil(params.chunk_bytes);
+    let zero = n / 5;
+    let runtime = n / 4;
+    let fam = n / 2;
+    let mut out = Vec::with_capacity(n as usize);
+    for idx in 0..n {
+        let bytes = if idx == n - 1 {
+            snapshot_bytes - (n - 1) * params.chunk_bytes
+        } else {
+            params.chunk_bytes
+        };
+        let hash = if !params.dedup {
+            ChunkHash::synthetic(&[4, family, tenant as u64, idx, bytes])
+        } else if idx < zero {
+            ChunkHash::synthetic(&[0, bytes])
+        } else if idx < zero + runtime {
+            ChunkHash::synthetic(&[1, idx, bytes])
+        } else if idx < zero + runtime + fam {
+            ChunkHash::synthetic(&[2, family, idx, bytes])
+        } else {
+            ChunkHash::synthetic(&[3, family, tenant as u64, idx, bytes])
+        };
+        out.push((idx, hash, bytes));
+    }
+    out
+}
+
+/// Byte-budgeted LRU registry over store-backed tenant snapshots.
+///
+/// Mirrors the [`crate::hostsim::LruBudget`] surface (`contains` /
+/// `touch` / `insert` → evicted tenants / `remove`) but charges the
+/// budget against the store's unique bytes: inserting a snapshot whose
+/// chunks are already resident costs almost nothing, and eviction frees
+/// only chunks no surviving snapshot references.
+#[derive(Clone, Debug)]
+pub struct StoreRegistry {
+    store: SnapshotStore,
+    params: StoreParams,
+    budget: u64,
+    /// LRU order; front is the next eviction victim.
+    lru: VecDeque<TenantId>,
+    resident: BTreeMap<TenantId, SnapshotId>,
+}
+
+impl StoreRegistry {
+    /// Creates an empty registry with the given unique-byte budget.
+    pub fn new(budget: u64, params: StoreParams) -> Self {
+        let chunk_pages = (params.chunk_bytes / PAGE_SIZE).max(1);
+        StoreRegistry {
+            store: SnapshotStore::new(StoreConfig { chunk_pages }),
+            params,
+            budget,
+            lru: VecDeque::new(),
+            resident: BTreeMap::new(),
+        }
+    }
+
+    /// True if `tenant` has a resident snapshot.
+    pub fn contains(&self, tenant: TenantId) -> bool {
+        self.resident.contains_key(&tenant)
+    }
+
+    /// Unique bytes currently resident (what the budget charges).
+    pub fn total_bytes(&self) -> u64 {
+        self.store.unique_bytes()
+    }
+
+    /// Logical (pre-dedup) bytes of all resident snapshots — what the
+    /// whole-file registry would have charged.
+    pub fn logical_bytes(&self) -> u64 {
+        self.store.logical_bytes()
+    }
+
+    /// Logical over unique bytes; 1.0 when empty.
+    pub fn dedup_ratio(&self) -> f64 {
+        self.store.dedup_ratio()
+    }
+
+    /// The configured unique-byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// The store parameters this registry was built with.
+    pub fn params(&self) -> StoreParams {
+        self.params
+    }
+
+    /// Number of resident snapshots.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// The underlying store (inspectable in tests and metrics).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Marks `tenant` most recently used, without inserting.
+    pub fn touch(&mut self, tenant: TenantId) {
+        if let Some(pos) = self.lru.iter().position(|t| *t == tenant) {
+            self.lru.remove(pos);
+            self.lru.push_back(tenant);
+        }
+    }
+
+    /// Inserts (or refreshes) `tenant`'s snapshot, then evicts from the
+    /// LRU end until unique bytes fit the budget. Returns the evicted
+    /// tenants. A snapshot whose chunks alone exceed the whole budget is
+    /// rejected (returned as if evicted immediately), like the
+    /// whole-file registry's oversize rule.
+    pub fn insert(&mut self, tenant: TenantId, family: u64, snapshot_bytes: u64) -> Vec<TenantId> {
+        self.remove(tenant);
+        let chunks = snapshot_chunks(self.params, family, tenant, snapshot_bytes);
+        // The snapshot's standalone footprint: distinct identities only.
+        let mut solo: BTreeMap<ChunkHash, u64> = BTreeMap::new();
+        for &(_, hash, bytes) in &chunks {
+            solo.entry(hash).or_insert(bytes);
+        }
+        if solo.values().sum::<u64>() > self.budget {
+            return vec![tenant];
+        }
+        let layer = self.store.put_layer_refs(LayerKind::Base, chunks);
+        let id = match self.store.compose_snapshot(&[layer], snapshot_bytes) {
+            Ok(id) => id,
+            // The layer was allocated one line above; composing over it
+            // cannot fail. Refuse residency rather than panic.
+            Err(_) => return vec![tenant],
+        };
+        self.lru.push_back(tenant);
+        self.resident.insert(tenant, id);
+        let mut evicted = Vec::new();
+        // The new snapshot fits alone, so this terminates before
+        // reaching it at the back of the queue.
+        while self.store.unique_bytes() > self.budget {
+            let Some(victim) = self.lru.pop_front() else {
+                break;
+            };
+            if let Some(sid) = self.resident.remove(&victim) {
+                let _ = self.store.drop_snapshot(sid);
+            }
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Removes `tenant` outright (deliberate invalidation), freeing only
+    /// chunks no surviving snapshot references.
+    pub fn remove(&mut self, tenant: TenantId) {
+        if let Some(id) = self.resident.remove(&tenant) {
+            let _ = self.store.drop_snapshot(id);
+            if let Some(pos) = self.lru.iter().position(|t| *t == tenant) {
+                self.lru.remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn params(dedup: bool) -> StoreParams {
+        StoreParams {
+            dedup,
+            chunk_bytes: 2 * MB,
+        }
+    }
+
+    #[test]
+    fn dedup_off_reproduces_whole_file_accounting() {
+        let mut reg = StoreRegistry::new(100 * MB, params(false));
+        // Odd size: the partial final chunk must be charged exactly.
+        assert!(reg.insert(0, 0, 33 * MB + 5).is_empty());
+        assert!(reg.insert(1, 0, 40 * MB).is_empty());
+        assert_eq!(reg.total_bytes(), 73 * MB + 5);
+        assert_eq!(reg.logical_bytes(), 73 * MB + 5);
+        assert!((reg.dedup_ratio() - 1.0).abs() < 1e-12);
+        // Third snapshot busts the budget; tenant 0 is LRU.
+        assert_eq!(reg.insert(2, 0, 40 * MB), vec![0]);
+        assert!(!reg.contains(0) && reg.contains(1) && reg.contains(2));
+        assert_eq!(reg.total_bytes(), 80 * MB);
+    }
+
+    #[test]
+    fn dedup_shares_family_and_runtime_chunks() {
+        let mut reg = StoreRegistry::new(1 << 40, params(true));
+        assert!(reg.insert(0, 7, 40 * MB).is_empty());
+        let one = reg.total_bytes();
+        assert!(reg.insert(1, 7, 40 * MB).is_empty());
+        let two = reg.total_bytes();
+        // Same family: only the private ~5% of chunks is new.
+        assert!(
+            two - one < (40 * MB) / 10,
+            "second same-family snapshot added {} bytes",
+            two - one
+        );
+        assert!(reg.dedup_ratio() > 1.5, "ratio {}", reg.dedup_ratio());
+        // A different family still shares zero + runtime chunks.
+        assert!(reg.insert(2, 8, 40 * MB).is_empty());
+        let three = reg.total_bytes();
+        assert!(
+            three - two < 40 * MB,
+            "cross-family snapshot added {} bytes",
+            three - two
+        );
+        reg.store().debug_validate().expect("refcounts conserved");
+    }
+
+    #[test]
+    fn eviction_frees_only_unreferenced_chunks() {
+        let mut reg = StoreRegistry::new(1 << 40, params(true));
+        reg.insert(0, 7, 40 * MB);
+        reg.insert(1, 7, 40 * MB);
+        let both = reg.total_bytes();
+        reg.remove(0);
+        let after = reg.total_bytes();
+        // Shared zero/runtime/family chunks survive with tenant 1; only
+        // tenant 0's private chunks are freed.
+        assert!(after > both / 2, "eviction dropped shared chunks");
+        assert!(after < both, "eviction freed nothing");
+        reg.store().debug_validate().expect("refcounts conserved");
+    }
+
+    #[test]
+    fn oversized_snapshot_rejected_not_wedged() {
+        let mut reg = StoreRegistry::new(10 * MB, params(false));
+        assert_eq!(reg.insert(0, 0, 25 * MB), vec![0]);
+        assert!(reg.is_empty());
+        assert_eq!(reg.total_bytes(), 0);
+    }
+
+    #[test]
+    fn touch_changes_victim() {
+        let mut reg = StoreRegistry::new(100 * MB, params(false));
+        assert!(reg.insert(0, 0, 40 * MB).is_empty());
+        assert!(reg.insert(1, 0, 40 * MB).is_empty());
+        reg.touch(0); // 1 is now LRU
+        assert_eq!(reg.insert(2, 0, 40 * MB), vec![1]);
+        assert!(reg.contains(0) && reg.contains(2) && !reg.contains(1));
+    }
+
+    #[test]
+    fn dedup_fits_many_more_snapshots_than_whole_file() {
+        // Same budget, same Zipf-ish family mix: count resident
+        // snapshots when inserts stop evicting.
+        let budget = 200 * MB;
+        let fit = |dedup: bool| {
+            let mut reg = StoreRegistry::new(budget, params(dedup));
+            let mut resident = 0usize;
+            for tenant in 0..64 {
+                let family = (tenant % 4) as u64;
+                reg.insert(tenant, family, 40 * MB);
+                resident = resident.max(reg.len());
+            }
+            resident
+        };
+        let whole = fit(false);
+        let chunked = fit(true);
+        assert!(
+            chunked >= 5 * whole,
+            "dedup fits {chunked}, whole-file fits {whole}"
+        );
+    }
+
+    #[test]
+    fn registry_state_is_deterministic() {
+        let run = || {
+            let mut reg = StoreRegistry::new(150 * MB, params(true));
+            let mut log = Vec::new();
+            for step in 0..40u64 {
+                let tenant = (step * 7 % 11) as TenantId;
+                let family = tenant as u64 % 3;
+                log.push(reg.insert(tenant, family, (20 + step % 5) * MB));
+                if step % 9 == 0 {
+                    reg.remove((step % 11) as TenantId);
+                }
+            }
+            (log, reg.total_bytes(), reg.logical_bytes(), reg.len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -3,6 +3,7 @@
 //! whose snapshot was evicted is served cold on its next invocation.
 
 use faasnap_cluster::hostsim::{HostConfig, HostSim, LruBudget, ServeMode, ServiceTimes};
+use faasnap_cluster::store::StoreParams;
 use proptest::prelude::*;
 use sim_core::time::{SimDuration, SimTime};
 
@@ -63,12 +64,15 @@ proptest! {
             warm_pool_cap: 0,
             snapshot_budget_bytes: snapshot_budget,
             cache_budget_bytes: snapshot_budget,
+            store: StoreParams::default(),
         });
         let st = ServiceTimes { snapshot_bytes: 1, loading_set_bytes: 1, ..ServiceTimes::default() };
         let mut now = SimTime::ZERO;
         for &tenant in &tenant_seq {
             let registered = h.snapshots().contains(tenant);
-            let (mode, service) = h.start_service(tenant, now, &st);
+            // Tenant-as-family: every snapshot is one private chunk, so
+            // store accounting degenerates to the whole-file model.
+            let (mode, service) = h.start_service(tenant, tenant as u64, now, &st);
             if registered {
                 prop_assert!(
                     matches!(mode, ServeMode::SnapshotHot | ServeMode::SnapshotCold),

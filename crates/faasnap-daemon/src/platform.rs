@@ -11,8 +11,10 @@
 use faas_workloads::{Function, Input};
 use faasnap::error::RestoreError;
 use faasnap::runtime::{run_invocations, Host, InvocationOutcome, InvocationSpec};
+use faasnap::snapstore::FamilyStore;
 use faasnap::strategy::RestoreStrategy;
 use faasnap_obs::{Metrics, TraceContext, Tracer};
+use faasnap_store::StoreConfig;
 use sim_core::time::SimTime;
 use sim_storage::faults::FaultPlan;
 use sim_storage::file::DeviceId;
@@ -60,6 +62,12 @@ pub struct Platform {
     registry: FunctionRegistry,
     device: DeviceId,
     kv: KvStore,
+    /// Content-addressed snapshot store (base+delta per function family),
+    /// present once [`Platform::enable_snapshot_store`] ran. Off by
+    /// default: enabling it registers an extra file and changes nothing
+    /// else until store-backed reads are switched on too.
+    snapstore: Option<FamilyStore>,
+    store_backed_reads: bool,
 }
 
 impl Platform {
@@ -72,7 +80,30 @@ impl Platform {
             registry: FunctionRegistry::new(),
             device,
             kv: KvStore::new(),
+            snapstore: None,
+            store_backed_reads: false,
         }
+    }
+
+    /// Enables the content-addressed snapshot store: every later record
+    /// phase also ingests its memory image as a base layer (first record
+    /// of a function) or a dirty-chunk delta (subsequent labels of the
+    /// same function). Replaces any existing store.
+    pub fn enable_snapshot_store(&mut self, cfg: StoreConfig) {
+        self.snapstore = Some(FamilyStore::new(cfg, &mut self.host.fs, self.device));
+    }
+
+    /// The snapshot store, if enabled.
+    pub fn snapshot_store(&self) -> Option<&FamilyStore> {
+        self.snapstore.as_ref()
+    }
+
+    /// Routes restore reads of recorded memory files through the store's
+    /// deduplicated chunk layout (requires the store to be enabled).
+    /// Restore *correctness* is unchanged — only the physical I/O pattern
+    /// moves to the shared chunk file.
+    pub fn set_store_backed_reads(&mut self, on: bool) {
+        self.store_backed_reads = on;
     }
 
     /// The external state store (the §5 Redis analog). Inputs staged by
@@ -175,7 +206,25 @@ impl Platform {
             .record(&mut self.host, name, label, input, device);
         tracer.pop_parent();
         tracer.end(ctx, tracer.latest_end().unwrap_or(SimTime::ZERO));
-        result
+        result?;
+        // Ingest the recorded image into the snapshot store: function
+        // name = family, so the first label emits the base layer and each
+        // later label a dirty-chunk delta over it.
+        if let Some(store) = self.snapstore.as_mut() {
+            let artifacts = self
+                .registry
+                .artifacts(name, label)
+                .ok_or_else(|| format!("{name}.{label}: artifacts vanished after record"))?;
+            store
+                .record(
+                    &mut self.host.fs,
+                    name,
+                    &format!("{name}.{label}"),
+                    artifacts.snapshot.memory(),
+                )
+                .map_err(|e| format!("snapshot store ingest {name}.{label}: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Test-phase invocation: drops caches (§6.1 hygiene), restores under
@@ -204,6 +253,19 @@ impl Platform {
         let spec = self
             .build_spec(name, label, input, strategy)
             .map_err(InvokeError::NotFound)?;
+        if self.store_backed_reads {
+            if let Some(store) = self.snapstore.as_ref() {
+                // Back the logical memory file with the store's chunk
+                // layout so restore reads hit the deduplicated extents.
+                if let (Some(artifacts), Ok(layout)) = (
+                    self.registry.artifacts(name, label),
+                    store.layout(&format!("{name}.{label}")),
+                ) {
+                    self.host
+                        .map_chunked_file(artifacts.snapshot.mem_file(), layout);
+                }
+            }
+        }
         // Stage the input payload in external storage (the function
         // fetches it from there at the start of its trace) and record the
         // output it produces.
@@ -422,6 +484,63 @@ mod tests {
             .snapshot
             .mem_file();
         assert_ne!(f0, f1);
+    }
+
+    #[test]
+    fn snapshot_store_dedups_instance_records() {
+        let mut p = platform();
+        p.enable_snapshot_store(faasnap_store::StoreConfig { chunk_pages: 64 });
+        let f = faas_workloads::by_name("hello-world").unwrap();
+        p.record("hello-world", "a", &f.input_a()).unwrap();
+        let base_unique = p.snapshot_store().unwrap().unique_bytes();
+        assert!(base_unique > 0);
+        // A second instance of the same function: the delta must cost far
+        // less than a second full base.
+        p.record(
+            "hello-world",
+            "b",
+            &f.input_a().reseeded(f.input_a().seed ^ 0x77),
+        )
+        .unwrap();
+        let store = p.snapshot_store().unwrap();
+        let added = store.unique_bytes() - base_unique;
+        assert!(
+            added * 2 < base_unique,
+            "delta {added} bytes vs base {base_unique}"
+        );
+        assert!(store.dedup_ratio() > 1.0);
+        store.store().debug_validate().unwrap();
+        // The store's materialization is byte-equivalent to the recorded
+        // snapshot memory.
+        let mat = store.materialize("hello-world.b").unwrap();
+        let orig = p
+            .registry()
+            .artifacts("hello-world", "b")
+            .unwrap()
+            .snapshot
+            .memory()
+            .checksum();
+        assert_eq!(mat.checksum(), orig);
+    }
+
+    #[test]
+    fn store_backed_reads_preserve_restore_correctness() {
+        let f = faas_workloads::by_name("hello-world").unwrap();
+        let run = |store_backed: bool| {
+            let mut p = platform();
+            if store_backed {
+                p.enable_snapshot_store(faasnap_store::StoreConfig { chunk_pages: 64 });
+                p.set_store_backed_reads(true);
+            }
+            p.record("hello-world", "a", &f.input_a()).unwrap();
+            let out = p
+                .invoke("hello-world", "a", &f.input_b(), RestoreStrategy::faasnap())
+                .unwrap();
+            out.final_memory.checksum()
+        };
+        // The guest sees identical memory either way; only the physical
+        // I/O pattern differs.
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -108,7 +108,11 @@ fn is_faasnap(name: &str) -> bool {
 /// 3. `faasnap-obs` may depend only on `sim-core`.
 /// 4. `faasnap-lint` must stay zero-dependency — the judge owes nothing
 ///    to the judged.
-/// 5. The graph must be acyclic (checked so synthetic graphs in tests
+/// 5. `faasnap-store` may depend only on `sim-core`: the content-addressed
+///    chunk store is substrate-adjacent (like `faasnap-obs`), so both the
+///    storage substrate and the runtime crates can build on it without
+///    the DAG folding back on itself.
+/// 6. The graph must be acyclic (checked so synthetic graphs in tests
 ///    fail loudly; cargo enforces it for the real workspace anyway).
 pub fn check_layering(manifests: &[Manifest]) -> Vec<Diagnostic> {
     let members: Vec<&str> = manifests.iter().map(|m| m.name.as_str()).collect();
@@ -153,6 +157,18 @@ pub fn check_layering(manifests: &[Manifest]) -> Vec<Diagnostic> {
                     format!(
                         "faasnap-obs may depend only on sim-core, not `{}`; it must stay \
                          loadable by every layer",
+                        d.name
+                    ),
+                ));
+            }
+            if m.name == "faasnap-store" && d.name != "sim-core" {
+                diags.push(Diagnostic::new(
+                    &m.rel_path,
+                    d.line,
+                    "layering",
+                    format!(
+                        "faasnap-store may depend only on sim-core, not `{}`; the chunk \
+                         store must stay loadable by substrate and runtime alike",
                         d.name
                     ),
                 ));
@@ -279,10 +295,11 @@ mod tests {
         let ms = vec![
             m("sim-core", &[]),
             m("faasnap-obs", &["sim-core"]),
+            m("faasnap-store", &["sim-core"]),
             m("sim-mm", &["sim-core", "faasnap-obs"]),
-            m("faasnap", &["sim-core", "sim-mm"]),
-            m("faasnap-daemon", &["faasnap"]),
-            m("faasnap-cluster", &["faasnap-daemon"]),
+            m("faasnap", &["sim-core", "sim-mm", "faasnap-store"]),
+            m("faasnap-daemon", &["faasnap", "faasnap-store"]),
+            m("faasnap-cluster", &["faasnap-daemon", "faasnap-store"]),
             m("faasnap-bench", &["faasnap-daemon", "faasnap-cluster"]),
             m("faasnap-lint", &[]),
         ];
@@ -323,6 +340,20 @@ mod tests {
         let ms = vec![m("sim-core", &[]), m("faasnap-lint", &["sim-core"])];
         let d = check_layering(&ms);
         assert!(d.iter().any(|x| x.message.contains("zero-dependency")));
+    }
+
+    #[test]
+    fn store_depends_only_on_sim_core() {
+        let ms = vec![
+            m("sim-core", &[]),
+            m("sim-storage", &["sim-core"]),
+            m("faasnap-store", &["sim-core", "sim-storage"]),
+        ];
+        let d = check_layering(&ms);
+        assert_eq!(d.len(), 1);
+        assert!(d[0]
+            .message
+            .contains("faasnap-store may depend only on sim-core"));
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Typed errors for store operations.
+
+use std::fmt;
+
+use crate::hash::ChunkHash;
+
+/// Errors surfaced by [`crate::ChunkTable`] and [`crate::SnapshotStore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A chunk hash was referenced but is not resident in the table.
+    UnknownChunk(ChunkHash),
+    /// A layer id was referenced but is not resident in the store.
+    UnknownLayer(u64),
+    /// A snapshot id was referenced but is not resident in the store.
+    UnknownSnapshot(u64),
+    /// An internal invariant check failed (refcount/byte accounting).
+    Invariant(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownChunk(h) => write!(f, "unknown chunk {:#018x}", h.0),
+            StoreError::UnknownLayer(id) => write!(f, "unknown layer {id}"),
+            StoreError::UnknownSnapshot(id) => write!(f, "unknown snapshot {id}"),
+            StoreError::Invariant(msg) => write!(f, "store invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

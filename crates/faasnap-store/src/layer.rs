@@ -1,0 +1,51 @@
+//! Snapshot layers: a sparse map from chunk index to chunk identity.
+//!
+//! A **base** layer holds the non-zero chunks of a full memory image;
+//! absent indices resolve to zeros. A **delta** layer holds only the
+//! chunks that differ from the layers beneath it — including explicit
+//! all-zero chunks, which act as tombstones ("this chunk was dirtied back
+//! to zeros"). Resolution walks a snapshot's layers newest-first and takes
+//! the first hit.
+
+use std::collections::BTreeMap;
+
+use crate::hash::ChunkHash;
+
+/// Stable identity of a layer within one store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LayerId(pub u64);
+
+/// Whether a layer is a family base or a per-instance delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerKind {
+    Base,
+    Delta,
+}
+
+/// A sparse chunk-index → chunk-hash map.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    pub kind: LayerKind,
+    /// Chunk index (page / chunk_pages) → content identity.
+    pub chunks: BTreeMap<u64, ChunkHash>,
+}
+
+impl Layer {
+    pub fn new(kind: LayerKind) -> Layer {
+        Layer {
+            kind,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// Number of chunks this layer pins.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the layer maps no chunks (legal: a delta of an unchanged
+    /// memory image is empty).
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+}

@@ -24,6 +24,10 @@
 //!   under a strategy: vCPU, loader, disk, page cache, fault handling.
 //! - [`artifacts`] — the record phase: produces the warm snapshot, the
 //!   working set, the loading-set file, and the REAP working-set file.
+//! - [`snapstore`] — base+delta snapshot recording over the
+//!   content-addressed chunk store (`faasnap-store`): one shared base per
+//!   function family, dirty-chunk deltas per instance, and store-backed
+//!   read layouts for the restore path.
 //! - [`report`] — per-invocation metrics (setup/invocation time, fault
 //!   histograms, loader fetch time/size, disk traffic) matching the
 //!   paper's measurement methodology.
@@ -38,6 +42,7 @@ pub mod reap;
 pub mod record;
 pub mod report;
 pub mod runtime;
+pub mod snapstore;
 pub mod strategy;
 pub mod wset;
 
@@ -46,5 +51,6 @@ pub use error::{RestoreError, RetrySite};
 pub use loadingset::{LoadingSet, LsRegion};
 pub use report::{FaultReport, InvocationReport, RetryRecord};
 pub use runtime::{Host, InvocationSim, MmDelaySpec};
+pub use snapstore::{FamilyStore, NamedSnapshot};
 pub use strategy::{FaasnapConfig, RestoreStrategy};
 pub use wset::{ReapWorkingSet, WorkingSet, GROUP_SIZE};

@@ -29,7 +29,8 @@ use sim_mm::page_cache::PageCache;
 use sim_mm::page_table::{PageState, PageTable};
 use sim_mm::userfaultfd::UffdRegistry;
 use sim_mm::vma::{AddressSpace, Resolved};
-use sim_storage::device::{Disk, IoKind, IoRequest};
+use sim_storage::chunked::{merge_completions, ChunkedFile};
+use sim_storage::device::{Disk, IoCompletion, IoKind, IoRequest};
 use sim_storage::faults::{InjectedFault, InjectedFaultKind};
 use sim_storage::file::{DeviceId, FileId, SimFs};
 use sim_storage::profiles::DiskProfile;
@@ -157,6 +158,11 @@ pub struct Host {
     pub tracer: Tracer,
     /// Metrics registry shared by every layer on this host.
     pub metrics: Metrics,
+    /// Chunk-store extent maps for store-backed logical files. Reads of a
+    /// mapped file are translated chunk-by-chunk to the store's physical
+    /// layout before reaching the device; unmapped files go straight
+    /// through (the default — behavior is byte-identical when empty).
+    chunk_maps: std::collections::BTreeMap<FileId, ChunkedFile>,
     seed: u64,
     vmgenid: u64,
 }
@@ -175,6 +181,7 @@ impl Host {
             cpu: CpuPool::new(96),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            chunk_maps: std::collections::BTreeMap::new(),
             seed,
             vmgenid: 0,
         }
@@ -219,6 +226,40 @@ impl Host {
     fn disk_of_file(&mut self, file: FileId) -> &mut Disk {
         let dev = self.fs.meta(file).device;
         &mut self.disks[dev.0 as usize]
+    }
+
+    /// Backs a logical file with a chunk-store extent map: subsequent
+    /// reads of it resolve through the store's physical layout.
+    pub fn map_chunked_file(&mut self, file: FileId, map: ChunkedFile) {
+        self.chunk_maps.insert(file, map);
+    }
+
+    /// Removes a file's chunk-store backing (reads go direct again).
+    pub fn unmap_chunked_file(&mut self, file: FileId) -> Option<ChunkedFile> {
+        self.chunk_maps.remove(&file)
+    }
+
+    /// The chunk-store backing of a file, if any.
+    pub fn chunked_file(&self, file: FileId) -> Option<&ChunkedFile> {
+        self.chunk_maps.get(&file)
+    }
+
+    /// Submits a read, resolving store-backed files through their chunk
+    /// maps (per-chunk physical requests, merged completion: latest chunk
+    /// wins, first injected fault wins). Files without a map — every file
+    /// today unless [`Host::map_chunked_file`] was called — submit
+    /// directly, unchanged. The in-flight registry and page cache keep
+    /// operating on *logical* identity at every call site.
+    pub fn submit_checked(&mut self, now: SimTime, io: IoRequest) -> IoCompletion {
+        let plan = match self.chunk_maps.get(&io.file) {
+            Some(map) => map.plan(&io),
+            None => return self.disk_of_file(io.file).submit_checked(now, io),
+        };
+        let mut parts = Vec::with_capacity(plan.len());
+        for phys in plan {
+            parts.push(self.disk_of_file(phys.file).submit_checked(now, phys));
+        }
+        merge_completions(now, parts)
     }
 }
 
@@ -632,7 +673,7 @@ fn prepare_vm(
                         let (done, fate) = if ws.is_empty() {
                             (SimTime::ZERO, IoFate::Ok)
                         } else {
-                            let completion = host.disk_of_file(ws_file).submit_checked(
+                            let completion = host.submit_checked(
                                 issue,
                                 IoRequest {
                                     file: ws_file,
@@ -1413,7 +1454,7 @@ impl SimWorld<'_> {
                 overhead,
                 async_io,
             } => {
-                let completion = self.host.disk_of_file(io.file).submit_checked(now, io);
+                let completion = self.host.submit_checked(now, io);
                 if let Some(f) = completion.fault {
                     self.record_injection(vm, now, f);
                 }
@@ -1439,7 +1480,7 @@ impl SimWorld<'_> {
                 // Linux async readahead: the next window of a sequential
                 // stream is read without blocking the faulting task.
                 if let Some(aio) = async_io {
-                    let acomp = self.host.disk_of_file(aio.file).submit_checked(now, aio);
+                    let acomp = self.host.submit_checked(now, aio);
                     if let Some(f) = acomp.fault {
                         self.record_injection(vm, now, f);
                     }
@@ -1498,7 +1539,7 @@ impl SimWorld<'_> {
                         pages,
                         kind: IoKind::ReapMiss,
                     };
-                    let completion = self.host.disk_of_file(file).submit_checked(issue_at, io);
+                    let completion = self.host.submit_checked(issue_at, io);
                     if let Some(f) = completion.fault {
                         self.record_injection(vm, now, f);
                     }
@@ -1574,7 +1615,7 @@ impl SimWorld<'_> {
             pages,
             kind: IoKind::FaultRead,
         };
-        let completion = self.host.disk_of_file(file).submit_checked(now, io);
+        let completion = self.host.submit_checked(now, io);
         if let Some(f) = completion.fault {
             self.record_injection(vm, now, f);
         }
@@ -1641,7 +1682,7 @@ impl SimWorld<'_> {
         now: SimTime,
         sched: &mut Scheduler<Ev>,
     ) {
-        let completion = self.host.disk_of_file(io.file).submit_checked(now, io);
+        let completion = self.host.submit_checked(now, io);
         if let Some(f) = completion.fault {
             self.record_injection(vm, now, f);
         }

@@ -27,6 +27,9 @@ pub enum FileKind {
     WorkingSet,
     /// FaaSnap compact loading-set file.
     LoadingSet,
+    /// Content-addressed chunk-store extent file (see `chunked`): holds
+    /// deduplicated chunks that logical snapshot files resolve into.
+    ChunkStore,
     /// Guest rootfs / kernel image, or anything else.
     Other,
 }

@@ -24,12 +24,14 @@
 //!   [`device::Disk::submit_checked`].
 //!
 #![forbid(unsafe_code)]
+pub mod chunked;
 pub mod device;
 pub mod faults;
 pub mod file;
 pub mod profiles;
 pub mod readahead;
 
+pub use chunked::{merge_completions, ChunkExtent, ChunkedFile};
 pub use device::{Disk, IoCompletion, IoKind, IoRequest, IoStats};
 pub use faults::{
     FaultPlan, FaultProfile, FaultRecord, FaultRule, InjectedFault, InjectedFaultKind,

@@ -83,6 +83,12 @@ impl GuestMemory {
         self.contents.keys().copied().collect()
     }
 
+    /// The sparse page → token map itself (non-zero pages only), for
+    /// consumers that chunk or hash contents without copying.
+    pub fn tokens(&self) -> &BTreeMap<PageNum, u64> {
+        &self.contents
+    }
+
     /// The zero/non-zero scan: maximal runs of consecutive non-zero pages,
     /// in address order. The complement (within `[0, total_pages)`) is the
     /// set of zero regions.

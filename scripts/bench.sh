@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Benchmark harness: times the main CLI drivers end-to-end and emits a
+# JSON report — wall-clock per driver, fleet events/sec, and the
+# snapshot-store dedup ratio with dedup on vs off.
+#
+# Usage: scripts/bench.sh [out.json]
+#
+# Default output is BENCH_<YYYY-MM-DD>.json in the repo root. A baseline
+# (BENCH_2026-08-08.json) is committed; wall-clock numbers are
+# machine-dependent and only comparable across runs on the same machine,
+# but served counts and dedup ratios are deterministic per seed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_$(date +%F).json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "==> building release faasnapd"
+cargo build --release -q -p faasnap-cluster --bin faasnapd
+
+: > "$TMP/wall.txt"
+time_driver() {
+    local name="$1"
+    shift
+    echo "==> $name: $*"
+    local t0 t1
+    t0=$(date +%s%N)
+    "$@" > "$TMP/$name.out" 2> /dev/null
+    t1=$(date +%s%N)
+    echo "$name $(((t1 - t0) / 1000000))" >> "$TMP/wall.txt"
+}
+
+FD=./target/release/faasnapd
+time_driver invoke_hello_faasnap "$FD" invoke hello-world
+time_driver invoke_json_reap "$FD" invoke json --strategy reap
+time_driver burst_json_x8 "$FD" burst json --parallelism 8
+time_driver cluster_smoke "$FD" cluster --smoke --policy snapshot-locality --seed 42
+time_driver cluster_smoke_dedup_off "$FD" cluster --smoke --policy snapshot-locality \
+    --seed 42 --dedup off
+
+python3 - "$TMP" "$OUT" << 'EOF'
+import json, sys, datetime, pathlib
+
+tmp, out = pathlib.Path(sys.argv[1]), sys.argv[2]
+walls = dict(
+    (name, int(ms))
+    for name, ms in (line.split() for line in (tmp / "wall.txt").read_text().splitlines())
+)
+
+drivers = []
+for name, wall_ms in walls.items():
+    entry = {"name": name, "wall_ms": wall_ms}
+    if name.startswith("cluster"):
+        doc = json.loads((tmp / f"{name}.out").read_text())
+        fleet = doc["runs"][0]["fleet"]
+        served = fleet["served"]
+        entry["served"] = served
+        entry["events_per_sec"] = round(served / (wall_ms / 1000.0), 1) if wall_ms else None
+        entry["dedup_ratio"] = fleet["store"]["dedup_ratio"]
+        entry["snapshots_resident"] = fleet["store"]["snapshots_resident"]
+    drivers.append(entry)
+
+report = {"date": datetime.date.today().isoformat(), "drivers": drivers}
+pathlib.Path(out).write_text(json.dumps(report, indent=2) + "\n")
+print(f"wrote {out}")
+EOF
+
+cat "$OUT"

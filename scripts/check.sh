@@ -42,8 +42,8 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --trace-out "$OBS_TMP/invoke_trace.json" \
     --metrics-out "$OBS_TMP/invoke_metrics.prom" >/dev/null
 ./target/release/faasnapd cluster --smoke --policy snapshot-locality --seed 42 \
-    --metrics-out "$OBS_TMP/cluster_metrics.prom" >/dev/null
-for artifact in invoke_trace.json invoke_metrics.prom cluster_metrics.prom; do
+    --metrics-out "$OBS_TMP/cluster_metrics.prom" > "$OBS_TMP/cluster_fleet.json"
+for artifact in invoke_trace.json invoke_metrics.prom cluster_metrics.prom cluster_fleet.json; do
     diff -u "tests/golden/$artifact" "$OBS_TMP/$artifact" \
         || { echo "CLI $artifact drifted from tests/golden/$artifact"; exit 1; }
 done

@@ -140,7 +140,26 @@ fn cluster_metrics_match_golden() {
     let (prom, _) = smoke_metrics(42);
     assert!(prom.contains("fleet_requests_total"));
     assert!(prom.contains("fleet_latency_ms_bucket"));
+    assert!(prom.contains("fleet_store_unique_bytes"));
+    assert!(prom.contains("fleet_store_dedup_ratio"));
     check_golden("tests/golden/cluster_metrics.prom", &prom);
+}
+
+/// The fleet JSON document for the smoke config — byte-for-byte what
+/// `faasnapd cluster --smoke --policy snapshot-locality --seed 42`
+/// prints to stdout, including the snapshot-store dedup metrics.
+#[test]
+fn cluster_fleet_json_matches_golden() {
+    let cfg = ClusterConfig::smoke(RoutePolicy::SnapshotLocality, 42);
+    let m = run_cluster(&cfg);
+    let doc = sim_core::json::Value::object()
+        .with("runs", sim_core::json::Value::Array(vec![m.to_json()]));
+    let mut out = doc.to_string_pretty();
+    out.push('\n');
+    assert!(out.contains("\"store\""));
+    assert!(out.contains("\"dedup_ratio\""));
+    assert!(out.contains("\"snapshots_resident\""));
+    check_golden("tests/golden/cluster_fleet.json", &out);
 }
 
 proptest! {
