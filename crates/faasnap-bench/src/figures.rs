@@ -14,6 +14,12 @@ fn headline() -> [RestoreStrategy; 4] {
     RestoreStrategy::headline()
 }
 
+/// Looks up a workload every figure table names by construction; the
+/// tables only reference built-ins, so a miss is a typo in this file.
+fn workload(name: &str) -> faas_workloads::Function {
+    faas_workloads::by_name(name).unwrap_or_else(|| panic!("figure names unknown workload {name}"))
+}
+
 fn fig6_functions(effort: Effort) -> Vec<&'static str> {
     match effort {
         Effort::Quick => vec!["json", "image"],
@@ -60,7 +66,7 @@ pub fn fig1_breakdown(effort: Effort) -> TextTable {
         ],
     };
     for (name, diff_input) in cases {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         let record_input = f.input_a();
         ensure_recorded(&mut p, name, "f1", &record_input);
         let test_input = if diff_input {
@@ -101,7 +107,7 @@ pub fn fig1_breakdown(effort: Effort) -> TextTable {
 pub fn fig2_fault_dist(effort: Effort) -> TextTable {
     let funcs = faas_workloads::all_functions();
     let mut p = platform_with(DiskProfile::nvme_c5d(), 0xF162, &funcs);
-    let f = faas_workloads::by_name("image").unwrap();
+    let f = workload("image");
     let record = f.input_a();
     ensure_recorded(&mut p, "image", "f2", &record);
     let diff = record.reseeded(0xD1FF);
@@ -171,7 +177,7 @@ pub fn table2_workingsets(effort: Effort) -> TextTable {
         Effort::Full => paper.len(),
     };
     for (name, pa, pb) in paper.iter().take(limit) {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         let ws = |input: &faas_workloads::Input| {
             f.trace(input).distinct_pages() as f64 * 4096.0 / MIB as f64
         };
@@ -199,7 +205,7 @@ pub fn fig6_exec_time(effort: Effort) -> Vec<TextTable> {
             &["function", "Firecracker", "REAP", "FaaSnap", "Cached"],
         );
         for name in fig6_functions(effort) {
-            let f = faas_workloads::by_name(name).unwrap();
+            let f = workload(name);
             let (rec, test) = if rec_is_a {
                 (f.input_a(), f.input_b())
             } else {
@@ -236,7 +242,7 @@ pub fn fig7_synthetic(effort: Effort) -> TextTable {
         Effort::Full => vec!["hello-world", "mmap", "read-list"],
     };
     for name in names {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         let input = f.input_a();
         ensure_recorded(&mut p, name, "f7", &input);
         let mut row = vec![name.to_string()];
@@ -272,7 +278,7 @@ pub fn fig8_input_sweep(effort: Effort) -> TextTable {
         Effort::Full => &[0.25, 0.5, 1.0, 2.0, 4.0],
     };
     for name in fig6_functions(effort) {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         ensure_recorded(&mut p, name, "f8", &f.input_a());
         for &ratio in ratios {
             let test = f.input_scaled(ratio, 0xFE5 ^ (ratio * 16.0) as u64);
@@ -307,7 +313,7 @@ pub fn table3_analysis(effort: Effort) -> TextTable {
         Effort::Full => vec!["ffmpeg", "image"],
     };
     for name in names {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         ensure_recorded(&mut p, name, "t3", &f.input_a());
         for sys in [RestoreStrategy::Reap, RestoreStrategy::faasnap()] {
             let out = run_once(&mut p, name, "t3", &f.input_b(), sys);
@@ -330,7 +336,7 @@ pub fn table3_analysis(effort: Effort) -> TextTable {
 pub fn fig9_ablation(effort: Effort) -> TextTable {
     let funcs = faas_workloads::all_functions();
     let mut p = platform_with(DiskProfile::nvme_c5d(), 0xF169, &funcs);
-    let f = faas_workloads::by_name("image").unwrap();
+    let f = workload("image");
     ensure_recorded(&mut p, "image", "f9", &f.input_a());
     let mut t = TextTable::new(
         "Figure 9: optimization steps (image)",
@@ -398,7 +404,7 @@ pub fn fig10_burst(effort: Effort) -> TextTable {
                 for sys in systems {
                     let funcs = faas_workloads::all_functions();
                     let mut p = platform_with(DiskProfile::nvme_c5d(), 0xF170, &funcs);
-                    let f = faas_workloads::by_name(name).unwrap();
+                    let f = workload(name);
                     ensure_recorded(&mut p, name, "f10", &f.input_a());
                     let outs = p
                         .burst(name, "f10", &f.input_b(), sys, par, kind)
@@ -445,7 +451,7 @@ pub fn fig11_remote(effort: Effort) -> TextTable {
         ],
     };
     for name in names {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         ensure_recorded(&mut p, name, "f11", &f.input_a());
         let mut row = vec![name.to_string()];
         for sys in [
@@ -473,7 +479,7 @@ pub fn tbl_footprint(effort: Effort) -> TextTable {
     );
     let names = fig6_functions(effort);
     for name in names {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         ensure_recorded(&mut p, name, "fp", &f.input_a());
         let fc = run_once(&mut p, name, "fp", &f.input_b(), RestoreStrategy::Vanilla);
         let fs = run_once(&mut p, name, "fp", &f.input_b(), RestoreStrategy::faasnap());
@@ -503,7 +509,7 @@ pub fn tbl_merge(effort: Effort) -> TextTable {
         Effort::Full => vec!["hello-world", "json", "image", "chameleon"],
     };
     for name in names {
-        let f = faas_workloads::by_name(name).unwrap();
+        let f = workload(name);
         ensure_recorded(&mut p, name, "m", &f.input_a());
         let a = p.registry().artifacts(name, "m").unwrap();
         t.row(vec![
@@ -525,7 +531,7 @@ pub fn tbl_sensitivity(effort: Effort) -> TextTable {
     // recognition has the largest working set of the application
     // functions, so its loader genuinely races the guest — group ordering
     // and merge overhead are visible there.
-    let f = faas_workloads::by_name("recognition").unwrap();
+    let f = workload("recognition");
     let mut t = TextTable::new(
         "Sensitivity: group size and merge gap (recognition, FaaSnap, input B)",
         &[
@@ -600,7 +606,7 @@ pub fn tbl_policy(effort: Effort) -> TextTable {
     // Measure the three mode latencies for `image` on this platform.
     let funcs = faas_workloads::all_functions();
     let mut p = platform_with(DiskProfile::nvme_c5d(), 0xF171AC, &funcs);
-    let f = faas_workloads::by_name("image").unwrap();
+    let f = workload("image");
     let latencies =
         ModeLatencies::measure(&mut p, "image", "pol", &f.input_b()).expect("image is registered");
 
@@ -647,7 +653,7 @@ pub fn tbl_cache_pressure(effort: Effort) -> TextTable {
     use sim_mm::page_cache::PageCache;
 
     let funcs = faas_workloads::all_functions();
-    let f = faas_workloads::by_name("recognition").unwrap();
+    let f = workload("recognition");
     let mut t = TextTable::new(
         "Cache pressure (recognition, input B): total time (ms) vs cache budget",
         &["cache budget", "Firecracker", "FaaSnap", "Cached"],

@@ -9,21 +9,38 @@
 //! faasnapd invoke <function> [--strategy faasnap|firecracker|cached|reap|warm]
 //!                            [--input a|b] [--ratio <f64>] [--device nvme|ebs]
 //!                            [--trace] [--trace-out <file>] [--metrics-out <file>]
+//!                            [--profile-out <file>] [--self-profile-out <file>]
 //! faasnapd burst <function> --parallelism <n> [--strategy ...] [--kind same|diff]
 //! faasnapd policy <function>
 //! faasnapd cluster [--hosts 8] [--seed 42] [--policy all|random|least-loaded|snapshot-locality]
 //!                  [--tenants 36] [--rate 40] [--skew 1.2] [--horizon 300]
 //!                  [--snapshot-budget <bytes>] [--dedup on|off] [--chunk-bytes <bytes>]
 //!                  [--fault-prob 0.02] [--fault-retry-ms 3] [--degrade-prob 0.25] [--degrade-ms 25]
+//!                  [--slo-latency-ms 1000] [--slo-burn 2.0]
 //!                  [--smoke] [--metrics-out <file>] [--trace-out <file>]
+//!                  [--profile-out <file>] [--self-profile-out <file>]
 //! faasnapd lint [--root <dir>]
 //! ```
 //!
 //! `--trace-out` writes a Chrome trace-event JSON file loadable in
 //! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`; `--metrics-out`
-//! writes a Prometheus text-exposition snapshot. `cluster --smoke` runs
-//! the fixed [`ClusterConfig::smoke`] fleet (no calibration), which the
+//! writes a Prometheus text-exposition snapshot. `--profile-out` writes
+//! folded flamegraph stacks (collapse format — load in speedscope or
+//! feed to `inferno-flamegraph`) aggregated from the same spans, with a
+//! per-phase self/total sim-time table printed to stdout;
+//! `--self-profile-out` writes the engine's own work counters
+//! (event-loop deliveries, fault-resolver map operations, store chunk
+//! traffic — plus per-scope wall-ns when the `wallclock` feature of
+//! `faasnap-obs` is enabled). `cluster --smoke` runs the fixed
+//! [`ClusterConfig::smoke`] fleet (no calibration), which the
 //! repository's golden tests pin byte-for-byte.
+//!
+//! The fleet runs a burn-rate SLO monitor (latency + cold-start error
+//! budgets, long/short windows) on every invocation; it is silent on
+//! healthy runs and appends an `slo` section to the JSON document (and
+//! `fleet_slo_*` metric families) only when an alert actually fires.
+//! `--slo-latency-ms` moves the latency threshold; `--slo-burn` the
+//! burn-rate multiple both windows must exceed.
 //!
 //! Snapshot registries are store-aware: each host's registry charges its
 //! `--snapshot-budget` against *unique* chunk bytes in a
@@ -43,7 +60,10 @@ use faasnap_daemon::config::ExperimentConfig;
 use faasnap_daemon::observe::traced_invoke;
 use faasnap_daemon::platform::{BurstKind, Platform};
 use faasnap_daemon::policy::{best_mode_for_period, Costs, ModeLatencies};
-use faasnap_obs::{chrome_trace_json, render_text_tree, Metrics, Tracer};
+use faasnap_obs::{
+    chrome_trace_json, folded_stacks, render_phase_table, render_text_tree, Metrics, SelfProfile,
+    Tracer,
+};
 use sim_core::json::Value;
 use sim_core::stats::Summary;
 use sim_core::time::SimDuration;
@@ -236,6 +256,13 @@ fn cmd_invoke(args: &Args) {
     if let Some(path) = args.flags.get("metrics-out") {
         write_artifact(path, "metrics", &run.metrics.render_prometheus());
     }
+    if let Some(path) = args.flags.get("profile-out") {
+        println!("\n{}", render_phase_table(&run.tracer));
+        write_artifact(path, "folded stacks", &folded_stacks(&run.tracer));
+    }
+    if let Some(path) = args.flags.get("self-profile-out") {
+        write_artifact(path, "self-profile", &run.selfprof.render_report());
+    }
 }
 
 fn cmd_burst(args: &Args) {
@@ -389,11 +416,23 @@ fn cmd_cluster(args: &Args) {
     } else {
         Metrics::disabled()
     };
-    let tracer = if args.flags.contains_key("trace-out") {
+    // The profiler folds the same spans the trace records, so either
+    // artifact flag turns the tracer on.
+    let tracer = if args.flags.contains_key("trace-out") || args.flags.contains_key("profile-out") {
         Tracer::enabled()
     } else {
         Tracer::disabled()
     };
+    let selfprof = if args.flags.contains_key("self-profile-out") {
+        SelfProfile::enabled()
+    } else {
+        SelfProfile::disabled()
+    };
+    let slo_latency_ms: u64 = args.num("slo-latency-ms", "1000");
+    let slo_burn: f64 = args.num("slo-burn", "2.0");
+    if slo_burn <= 0.0 {
+        die("--slo-burn must be positive");
+    }
 
     let mut runs = Vec::new();
     let mut p99_by_policy: Vec<(String, f64)> = Vec::new();
@@ -409,6 +448,9 @@ fn cmd_cluster(args: &Args) {
         };
         cfg.obs = obs.clone();
         cfg.tracer = tracer.clone();
+        cfg.selfprof = selfprof.clone();
+        cfg.slo.latency_threshold = SimDuration::from_millis(slo_latency_ms);
+        cfg.slo.burn_threshold = slo_burn;
         cfg.fault_profile = fault_profile;
         cfg.host.store = store;
         cfg.host.snapshot_budget_bytes = snapshot_budget;
@@ -429,6 +471,13 @@ fn cmd_cluster(args: &Args) {
     }
     if let Some(path) = args.flags.get("trace-out") {
         write_artifact(path, "Chrome trace", &chrome_trace_json(&tracer));
+    }
+    if let Some(path) = args.flags.get("profile-out") {
+        eprintln!("{}", render_phase_table(&tracer));
+        write_artifact(path, "folded stacks", &folded_stacks(&tracer));
+    }
+    if let Some(path) = args.flags.get("self-profile-out") {
+        write_artifact(path, "self-profile", &selfprof.render_report());
     }
 
     let mut doc = Value::object().with("runs", Value::Array(runs));

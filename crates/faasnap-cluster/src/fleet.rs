@@ -7,7 +7,7 @@
 //! snapshot-registry state transitions) happens synchronously inside the
 //! handlers, so a run is a pure function of its [`ClusterConfig`].
 
-use faasnap_obs::{Metrics, TraceContext, Tracer};
+use faasnap_obs::{Metrics, SelfProfile, TraceContext, Tracer};
 use sim_core::engine::{Engine, Scheduler, World};
 use sim_core::rng::Prng;
 use sim_core::time::{SimDuration, SimTime};
@@ -16,6 +16,7 @@ use crate::arrival::{Arrival, TenantId, WorkloadSpec};
 use crate::hostsim::{Admission, HostConfig, HostSim, QueuedJob, ServeMode, ServiceTimes};
 use crate::metrics::FleetMetrics;
 use crate::router::RoutePolicy;
+use crate::slo::{SloConfig, SloMonitor};
 
 /// Storage-fault profile for a fleet run: the aggregate, fleet-level
 /// view of the single-host fault-injection machinery. Restores that
@@ -82,6 +83,14 @@ pub struct ClusterConfig {
     /// fleet fault-free and byte-identical to builds without the
     /// feature.
     pub fault_profile: Option<FleetFaultProfile>,
+    /// Engine self-profiling handle (disabled by default — zero cost).
+    /// When enabled, the run harvests router/engine/store work counters.
+    pub selfprof: SelfProfile,
+    /// Burn-rate SLO rule parameters. The monitor always runs — it is a
+    /// pure function of the event stream — but emits trace instants and
+    /// `fleet_slo_*` families only on alert transitions, so a healthy
+    /// run's artifacts are byte-identical to a monitor-free build.
+    pub slo: SloConfig,
 }
 
 impl ClusterConfig {
@@ -102,6 +111,8 @@ impl ClusterConfig {
             tracer: Tracer::disabled(),
             obs: Metrics::disabled(),
             fault_profile: None,
+            selfprof: SelfProfile::disabled(),
+            slo: SloConfig::default(),
         }
     }
 
@@ -122,6 +133,8 @@ impl ClusterConfig {
             tracer: Tracer::disabled(),
             obs: Metrics::disabled(),
             fault_profile: None,
+            selfprof: SelfProfile::disabled(),
+            slo: SloConfig::default(),
         }
     }
 
@@ -164,6 +177,8 @@ struct FleetWorld<'a> {
     metrics: FleetMetrics,
     tracer: Tracer,
     obs: Metrics,
+    selfprof: SelfProfile,
+    slo: SloMonitor,
 }
 
 impl FleetWorld<'_> {
@@ -231,6 +246,7 @@ impl World for FleetWorld<'_> {
                     .tracer
                     .begin("fleet/request", "fleet", now, TraceContext::NONE);
                 self.tracer.tag(ctx, "tenant", tenant);
+                self.selfprof.inc("router/lookups");
                 match self
                     .policy
                     .pick(&self.hosts, tenant, now, &mut self.route_rng)
@@ -293,15 +309,18 @@ impl World for FleetWorld<'_> {
             } => {
                 self.tracer.tag(ctx, "mode", mode.label());
                 self.tracer.end(ctx, now);
+                let latency = now.since(arrived);
                 // The log2 histogram buckets are labeled in µs; fleet
                 // latencies are ms-scale, so scale down by 1000 and name
                 // the family _ms — its bucket labels then read as ms.
                 self.obs.observe(
                     "fleet_latency_ms",
                     &[("policy", self.policy.label())],
-                    now.since(arrived).mul_f64(0.001),
+                    latency.mul_f64(0.001),
                 );
-                self.metrics.record(tenant, mode, now.since(arrived));
+                self.metrics.record(tenant, mode, latency);
+                self.slo
+                    .observe(now, latency, mode, &self.tracer, &self.obs);
                 self.hosts[host].finish(tenant, now);
                 if let Some(job) = self.hosts[host].pop_queued() {
                     self.dispatch(host, job, now, sched);
@@ -373,15 +392,30 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
         ),
         tracer: cfg.tracer.clone(),
         obs: cfg.obs.clone(),
+        selfprof: cfg.selfprof.clone(),
+        slo: SloMonitor::new(cfg.slo),
     };
     let mut engine: Engine<Ev> = Engine::new();
     for (i, a) in arrivals.iter().enumerate() {
         engine.scheduler().schedule(a.time, Ev::Arrive(i));
     }
-    engine.run(&mut world);
+    {
+        let _scope = cfg.selfprof.scope("fleet/engine_run");
+        engine.run(&mut world);
+    }
+    let estats = engine.stats();
+    cfg.selfprof.harvest([
+        ("engine/delivered", estats.delivered),
+        ("engine/scheduled", estats.scheduled),
+    ]);
+    cfg.selfprof.max("engine/peak_pending", estats.peak_pending);
     let FleetWorld {
-        hosts, mut metrics, ..
+        hosts,
+        mut metrics,
+        slo,
+        ..
     } = world;
+    let mut store_totals = [0u64; 4];
     for (i, h) in hosts.iter().enumerate() {
         metrics.host_busy[i] = h.busy_time();
         metrics.host_slots[i] = h.config().slots;
@@ -389,6 +423,11 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
         metrics.store_unique_bytes[i] = reg.total_bytes();
         metrics.store_logical_bytes[i] = reg.logical_bytes();
         metrics.snapshots_resident[i] = reg.len() as u64;
+        if cfg.selfprof.is_enabled() {
+            for (slot, (_, v)) in store_totals.iter_mut().zip(reg.store().stats().pairs()) {
+                *slot += v;
+            }
+        }
         let label = i.to_string();
         cfg.obs.gauge_set(
             "fleet_store_unique_bytes",
@@ -410,6 +449,28 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
             &[("host", &label)],
             reg.len() as f64,
         );
+        // Per-GB snapshot density; a host with an empty store reads 0,
+        // not inf, so fresh fleets scrape cleanly.
+        let per_gb = if reg.total_bytes() == 0 {
+            0.0
+        } else {
+            reg.len() as f64 / (reg.total_bytes() as f64 / (1u64 << 30) as f64)
+        };
+        cfg.obs
+            .gauge_set("fleet_snapshots_per_gb", &[("host", &label)], per_gb);
+    }
+    if cfg.selfprof.is_enabled() {
+        // Store stat names mirror StoreStats::pairs(), summed fleet-wide.
+        cfg.selfprof.harvest([
+            ("store/map_ops", store_totals[0]),
+            ("store/chunks_inserted", store_totals[1]),
+            ("store/bytes_materialized", store_totals[2]),
+            ("store/resolves", store_totals[3]),
+        ]);
+    }
+    if slo.any_fired() {
+        slo.emit_final_gauges(&cfg.obs);
+        metrics.slo = Some(slo.summary_json());
     }
     metrics
 }

@@ -32,6 +32,9 @@
 //! * [`metrics`] — per-function and fleet-wide SLO metrics (p50/p95/p99,
 //!   serving-mode mix, shed count, host utilization), serialized to JSON
 //!   via [`sim_core::json`].
+//! * [`slo`] — multi-window burn-rate SLO monitoring (latency and
+//!   cold-start error budgets) evaluated live on the event stream, with
+//!   a deterministic alert log.
 //! * [`calibrate`] — measures per-function [`hostsim::ServiceTimes`] from
 //!   the real single-host [`faasnap_daemon::platform::Platform`], so the
 //!   fleet model runs on latencies produced by the detailed simulator
@@ -47,6 +50,7 @@ pub mod fleet;
 pub mod hostsim;
 pub mod metrics;
 pub mod router;
+pub mod slo;
 pub mod store;
 
 pub use arrival::{Arrival, ArrivalPattern, TenantSpec, WorkloadSpec};
@@ -54,4 +58,5 @@ pub use fleet::{run_cluster, ClusterConfig, FleetFaultProfile};
 pub use hostsim::{HostConfig, ServiceTimes};
 pub use metrics::FleetMetrics;
 pub use router::RoutePolicy;
+pub use slo::{AlertEvent, SloAlert, SloConfig, SloMonitor};
 pub use store::{snapshot_chunks, StoreParams, StoreRegistry};

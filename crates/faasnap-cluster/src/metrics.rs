@@ -69,6 +69,10 @@ pub struct FleetMetrics {
     pub store_logical_bytes: Vec<u64>,
     /// Per-host count of resident (restorable) snapshots at end of run.
     pub snapshots_resident: Vec<u64>,
+    /// Burn-rate SLO alert log, present only when a rule fired during
+    /// the run — healthy runs serialize without an `slo` key, keeping
+    /// their documents byte-identical to monitor-free builds.
+    pub slo: Option<Value>,
 }
 
 impl FleetMetrics {
@@ -101,6 +105,7 @@ impl FleetMetrics {
             store_unique_bytes: vec![0; hosts],
             store_logical_bytes: vec![0; hosts],
             snapshots_resident: vec![0; hosts],
+            slo: None,
         }
     }
 
@@ -159,12 +164,14 @@ impl FleetMetrics {
         self.store_logical_bytes.iter().sum()
     }
 
-    /// Fleet-wide dedup ratio: logical over unique bytes (1.0 when the
-    /// stores are empty).
+    /// Fleet-wide dedup ratio: logical over unique bytes. Empty stores
+    /// read 0.0 — a sentinel no populated fleet can produce (dedup of
+    /// real bytes is always ≥ 1.0), so dashboards can tell "no data"
+    /// from "no dedup" without a NaN/inf guard.
     pub fn store_dedup_ratio(&self) -> f64 {
         let unique = self.store_unique_total();
         if unique == 0 {
-            1.0
+            0.0
         } else {
             self.store_logical_total() as f64 / unique as f64
         }
@@ -278,14 +285,18 @@ impl FleetMetrics {
                     .with("snapshots_resident", self.snapshots_resident[i])
             })
             .collect();
-        Value::object()
+        let mut root = Value::object()
             .with("policy", self.policy.as_str())
             .with("seed", self.seed)
             .with("hosts", self.hosts)
             .with("horizon_s", round3(self.horizon.as_secs_f64()))
             .with("fleet", fleet)
             .with("tenants", Value::Array(tenants))
-            .with("per_host", Value::Array(hosts))
+            .with("per_host", Value::Array(hosts));
+        if let Some(slo) = &self.slo {
+            root = root.with("slo", slo.clone());
+        }
+        root
     }
 }
 
@@ -368,5 +379,23 @@ mod tests {
         let m = metrics();
         let v = m.to_json();
         assert_eq!(v.get("tenants").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn empty_store_dedup_ratio_reads_zero() {
+        let m = metrics();
+        assert_eq!(m.store_dedup_ratio(), 0.0);
+        assert_eq!(m.snapshots_per_gb(), 0.0);
+        let v = m.to_json();
+        let store = v.get("fleet").unwrap().get("store").unwrap();
+        assert_eq!(store.get("dedup_ratio").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn slo_section_only_present_when_alerts_fired() {
+        let mut m = metrics();
+        assert!(m.to_json().get("slo").is_none());
+        m.slo = Some(Value::object().with("alerts", Value::Array(Vec::new())));
+        assert!(m.to_json().get("slo").is_some());
     }
 }

@@ -1,0 +1,517 @@
+//! Multi-window burn-rate SLO monitoring over the fleet event stream.
+//!
+//! Two error-budget rules, evaluated deterministically on every
+//! completed invocation:
+//!
+//! * **latency** — an invocation is *bad* when its end-to-end latency
+//!   exceeds [`SloConfig::latency_threshold`]; the budget allows
+//!   [`SloConfig::latency_objective`] of them.
+//! * **cold_start** — an invocation is *bad* when it was served by a
+//!   disk-touching restore (snapshot-cold or cold boot); the budget
+//!   allows [`SloConfig::cold_objective`] of them.
+//!
+//! Each rule uses the classic multi-window burn-rate recipe (Google SRE
+//! workbook): the *burn rate* is `bad_fraction / objective` over a
+//! window, and an alert fires only when **both** the long and the short
+//! window burn at ≥ [`SloConfig::burn_threshold`] — the long window
+//! proves budget is really being spent, the short window proves it is
+//! *still* being spent (fast resolve once the spike passes). Alerts
+//! resolve when both windows drop back below the threshold.
+//!
+//! Everything is a pure function of the simulated event stream, so
+//! alert timestamps are byte-reproducible per seed. Emission is lazy:
+//! trace instants and `fleet_slo_*` metric families appear only when a
+//! transition actually happens, so a healthy run with the monitor
+//! enabled produces byte-identical artifacts to one without it.
+
+use std::collections::VecDeque;
+
+use faasnap_obs::{Metrics, TraceContext, Tracer};
+use sim_core::json::Value;
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::hostsim::ServeMode;
+
+/// Burn-rate rule parameters. The defaults suit the smoke/demo fleets:
+/// a 1 s latency bound with a 10% budget, a 30% cold-start budget, and
+/// 10 s / 2 s windows burning at 2× budget before paging. The budget and
+/// the startup guard are sized so the compulsory one-cold-start-per-
+/// tenant spike at the beginning of every fleet run stays inside budget:
+/// those are expected warmup, not an incident.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Latency above this is an error-budget hit.
+    pub latency_threshold: SimDuration,
+    /// Allowed fraction of slow invocations.
+    pub latency_objective: f64,
+    /// Allowed fraction of disk-touching (snapshot-cold / cold) serves.
+    pub cold_objective: f64,
+    /// Long evaluation window (is budget really being spent?).
+    pub long_window: SimDuration,
+    /// Short evaluation window (is it still being spent?).
+    pub short_window: SimDuration,
+    /// Both windows must burn at ≥ this multiple of budget to fire.
+    pub burn_threshold: f64,
+    /// Minimum samples in the long window before a rule may fire —
+    /// keeps the first handful of (necessarily cold) invocations from
+    /// paging on startup.
+    pub min_samples: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            latency_threshold: SimDuration::from_secs(1),
+            latency_objective: 0.10,
+            cold_objective: 0.30,
+            long_window: SimDuration::from_secs(10),
+            short_window: SimDuration::from_secs(2),
+            burn_threshold: 2.0,
+            min_samples: 50,
+        }
+    }
+}
+
+/// A fired or resolved alert transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertEvent {
+    /// Both windows crossed the burn threshold.
+    Fire,
+    /// Both windows dropped back below it.
+    Resolve,
+}
+
+impl AlertEvent {
+    /// Stable label (`event="..."`).
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertEvent::Fire => "fire",
+            AlertEvent::Resolve => "resolve",
+        }
+    }
+}
+
+/// One alert transition in a run's deterministic alert log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloAlert {
+    /// Rule name (`"latency"` or `"cold_start"`).
+    pub rule: &'static str,
+    /// Fire or resolve.
+    pub event: AlertEvent,
+    /// Simulated instant of the transition.
+    pub at: SimTime,
+    /// Long-window burn rate at the transition.
+    pub burn_long: f64,
+    /// Short-window burn rate at the transition.
+    pub burn_short: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    at: SimTime,
+    slow: bool,
+    cold: bool,
+}
+
+/// The burn-rate evaluator. Owns a sliding sample window bounded by the
+/// long-window length and the per-rule alert state.
+#[derive(Clone, Debug)]
+pub struct SloMonitor {
+    cfg: SloConfig,
+    window: VecDeque<Sample>,
+    latency_active: bool,
+    cold_active: bool,
+    alerts: Vec<SloAlert>,
+}
+
+impl SloMonitor {
+    /// Creates a monitor with the given rule parameters.
+    pub fn new(cfg: SloConfig) -> SloMonitor {
+        SloMonitor {
+            cfg,
+            window: VecDeque::new(),
+            latency_active: false,
+            cold_active: false,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Burn rate of one predicate over the trailing `window`:
+    /// `(bad / n) / objective`. Returns `(burn, samples_in_window)`.
+    fn burn(
+        &self,
+        now: SimTime,
+        window: SimDuration,
+        objective: f64,
+        pick: impl Fn(&Sample) -> bool,
+    ) -> (f64, u64) {
+        let cutoff = now - window;
+        let mut n = 0u64;
+        let mut bad = 0u64;
+        for s in self.window.iter().rev() {
+            if s.at < cutoff {
+                break;
+            }
+            n += 1;
+            if pick(s) {
+                bad += 1;
+            }
+        }
+        if n == 0 || objective <= 0.0 {
+            return (0.0, n);
+        }
+        ((bad as f64 / n as f64) / objective, n)
+    }
+
+    /// Feeds one completed invocation and evaluates both rules, emitting
+    /// any transitions to `tracer`/`obs` (lazily — a quiet rule touches
+    /// neither).
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        latency: SimDuration,
+        mode: ServeMode,
+        tracer: &Tracer,
+        obs: &Metrics,
+    ) {
+        // Evict samples the long window can no longer see, then admit.
+        let cutoff = now - self.cfg.long_window;
+        while self.window.front().is_some_and(|s| s.at < cutoff) {
+            self.window.pop_front();
+        }
+        self.window.push_back(Sample {
+            at: now,
+            slow: latency > self.cfg.latency_threshold,
+            cold: matches!(mode, ServeMode::SnapshotCold | ServeMode::Cold),
+        });
+
+        // (rule name, error-budget objective, bad-sample predicate,
+        // currently-active flag).
+        type Rule = (&'static str, f64, fn(&Sample) -> bool, bool);
+        let rules: [Rule; 2] = [
+            (
+                "latency",
+                self.cfg.latency_objective,
+                |s: &Sample| s.slow,
+                self.latency_active,
+            ),
+            (
+                "cold_start",
+                self.cfg.cold_objective,
+                |s: &Sample| s.cold,
+                self.cold_active,
+            ),
+        ];
+        for (rule, objective, pick, active) in rules {
+            let (burn_long, n_long) = self.burn(now, self.cfg.long_window, objective, pick);
+            let (burn_short, _) = self.burn(now, self.cfg.short_window, objective, pick);
+            let thr = self.cfg.burn_threshold;
+            // Fire and stay firing only while BOTH windows burn: the
+            // short window is what lets the alert resolve quickly once
+            // the spike passes, even though the long window still
+            // remembers it.
+            let crossing = burn_long >= thr && burn_short >= thr;
+            let next = if active {
+                crossing
+            } else {
+                crossing && n_long >= self.cfg.min_samples
+            };
+            if next != active {
+                let event = if next {
+                    AlertEvent::Fire
+                } else {
+                    AlertEvent::Resolve
+                };
+                self.transition(rule, event, now, burn_long, burn_short, tracer, obs);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transition(
+        &mut self,
+        rule: &'static str,
+        event: AlertEvent,
+        at: SimTime,
+        burn_long: f64,
+        burn_short: f64,
+        tracer: &Tracer,
+        obs: &Metrics,
+    ) {
+        match rule {
+            "latency" => self.latency_active = event == AlertEvent::Fire,
+            _ => self.cold_active = event == AlertEvent::Fire,
+        }
+        self.alerts.push(SloAlert {
+            rule,
+            event,
+            at,
+            burn_long,
+            burn_short,
+        });
+        tracer.instant(
+            "slo/alert",
+            "slo",
+            at,
+            TraceContext::NONE,
+            vec![
+                ("rule", rule.into()),
+                ("event", event.label().into()),
+                ("burn_long", round3(burn_long).into()),
+                ("burn_short", round3(burn_short).into()),
+            ],
+        );
+        obs.counter_inc(
+            "fleet_slo_transitions_total",
+            &[("rule", rule), ("event", event.label())],
+        );
+    }
+
+    /// The deterministic alert log, in transition order.
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
+    /// True once any rule has ever fired.
+    pub fn any_fired(&self) -> bool {
+        !self.alerts.is_empty()
+    }
+
+    /// Rules currently in the firing state.
+    pub fn active_rules(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if self.latency_active {
+            v.push("latency");
+        }
+        if self.cold_active {
+            v.push("cold_start");
+        }
+        v
+    }
+
+    /// End-of-run gauge emission: `fleet_slo_active` per rule. Only
+    /// called when alerts fired, keeping healthy runs golden-identical.
+    pub fn emit_final_gauges(&self, obs: &Metrics) {
+        for rule in ["latency", "cold_start"] {
+            let active = self.active_rules().contains(&rule);
+            obs.gauge_set(
+                "fleet_slo_active",
+                &[("rule", rule)],
+                if active { 1.0 } else { 0.0 },
+            );
+        }
+    }
+
+    /// The alert log as a JSON value for the fleet metrics document.
+    pub fn summary_json(&self) -> Value {
+        let alerts: Vec<Value> = self
+            .alerts
+            .iter()
+            .map(|a| {
+                Value::object()
+                    .with("rule", a.rule)
+                    .with("event", a.event.label())
+                    .with("at_s", round3(a.at.as_secs_f64()))
+                    .with("burn_long", round3(a.burn_long))
+                    .with("burn_short", round3(a.burn_short))
+            })
+            .collect();
+        let active: Vec<Value> = self.active_rules().into_iter().map(Value::from).collect();
+        Value::object()
+            .with("alerts", Value::Array(alerts))
+            .with("active", Value::Array(active))
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            min_samples: 10,
+            ..SloConfig::default()
+        }
+    }
+
+    fn feed(
+        mon: &mut SloMonitor,
+        start_ms: u64,
+        count: u64,
+        step_ms: u64,
+        latency: SimDuration,
+        mode: ServeMode,
+    ) {
+        let (tr, obs) = (Tracer::disabled(), Metrics::disabled());
+        for i in 0..count {
+            let at = SimTime::from_nanos((start_ms + i * step_ms) * 1_000_000);
+            mon.observe(at, latency, mode, &tr, &obs);
+        }
+    }
+
+    #[test]
+    fn healthy_stream_never_fires() {
+        let mut mon = SloMonitor::new(cfg());
+        feed(
+            &mut mon,
+            0,
+            500,
+            50,
+            SimDuration::from_millis(30),
+            ServeMode::Warm,
+        );
+        assert!(!mon.any_fired());
+        assert!(mon.active_rules().is_empty());
+    }
+
+    #[test]
+    fn sustained_slowness_fires_then_resolves() {
+        let mut mon = SloMonitor::new(cfg());
+        // 100 warm+fast, then 50 slow (2 s > 1 s threshold), then fast
+        // again long enough for both windows to clear.
+        feed(
+            &mut mon,
+            0,
+            100,
+            50,
+            SimDuration::from_millis(30),
+            ServeMode::Warm,
+        );
+        feed(
+            &mut mon,
+            5000,
+            50,
+            50,
+            SimDuration::from_secs(2),
+            ServeMode::Warm,
+        );
+        assert!(mon.any_fired(), "slow burst must fire");
+        assert_eq!(mon.active_rules(), vec!["latency"]);
+        feed(
+            &mut mon,
+            7500,
+            400,
+            50,
+            SimDuration::from_millis(30),
+            ServeMode::Warm,
+        );
+        assert!(mon.active_rules().is_empty(), "must resolve after spike");
+        let events: Vec<AlertEvent> = mon.alerts().iter().map(|a| a.event).collect();
+        assert_eq!(events, vec![AlertEvent::Fire, AlertEvent::Resolve]);
+        let fire = &mon.alerts()[0];
+        assert_eq!(fire.rule, "latency");
+        assert!(fire.burn_long >= 2.0 && fire.burn_short >= 2.0);
+    }
+
+    #[test]
+    fn cold_storm_fires_cold_start_rule() {
+        let mut mon = SloMonitor::new(cfg());
+        feed(
+            &mut mon,
+            0,
+            60,
+            50,
+            SimDuration::from_millis(200),
+            ServeMode::Cold,
+        );
+        assert_eq!(mon.active_rules(), vec!["cold_start"]);
+        assert!(mon
+            .alerts()
+            .iter()
+            .all(|a| a.rule == "cold_start" && a.event == AlertEvent::Fire));
+    }
+
+    #[test]
+    fn min_samples_suppresses_startup_colds() {
+        let mut mon = SloMonitor::new(SloConfig {
+            min_samples: 30,
+            ..SloConfig::default()
+        });
+        // First 20 invocations all cold — below min_samples, no page.
+        feed(
+            &mut mon,
+            0,
+            20,
+            50,
+            SimDuration::from_millis(200),
+            ServeMode::Cold,
+        );
+        assert!(!mon.any_fired());
+    }
+
+    #[test]
+    fn short_spike_outside_short_window_stays_quiet() {
+        let mut mon = SloMonitor::new(cfg());
+        // A slow burst, then 3 s of fast traffic: the long window still
+        // sees the burst, but the short window is clean — no alert.
+        feed(
+            &mut mon,
+            0,
+            30,
+            10,
+            SimDuration::from_secs(2),
+            ServeMode::Warm,
+        );
+        let before = mon.alerts().len();
+        feed(
+            &mut mon,
+            2500,
+            60,
+            50,
+            SimDuration::from_millis(30),
+            ServeMode::Warm,
+        );
+        // Whatever fired during the burst must have resolved; nothing
+        // new fires from the tail.
+        assert!(mon.active_rules().is_empty());
+        assert!(mon.alerts().len() <= before + 1, "at most the resolve");
+    }
+
+    #[test]
+    fn deterministic_alert_log() {
+        let run = || {
+            let mut mon = SloMonitor::new(cfg());
+            feed(
+                &mut mon,
+                0,
+                80,
+                40,
+                SimDuration::from_millis(30),
+                ServeMode::Warm,
+            );
+            feed(
+                &mut mon,
+                3200,
+                40,
+                40,
+                SimDuration::from_secs(3),
+                ServeMode::Cold,
+            );
+            mon.summary_json().to_string_pretty()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lazy_emission_touches_nothing_when_healthy() {
+        let obs = Metrics::enabled();
+        let tr = Tracer::enabled();
+        let mut mon = SloMonitor::new(cfg());
+        for i in 0..200u64 {
+            mon.observe(
+                SimTime::from_nanos(i * 50_000_000),
+                SimDuration::from_millis(20),
+                ServeMode::Warm,
+                &tr,
+                &obs,
+            );
+        }
+        assert_eq!(obs.render_prometheus(), "", "no families touched");
+        assert_eq!(tr.spans().len(), 0);
+        assert_eq!(tr.instants().len(), 0);
+    }
+}

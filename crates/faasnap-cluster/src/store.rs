@@ -143,7 +143,8 @@ impl StoreRegistry {
         self.store.logical_bytes()
     }
 
-    /// Logical over unique bytes; 1.0 when empty.
+    /// Logical over unique bytes; 0.0 when empty (fresh registries have
+    /// no sharing to report, and 0 stays finite in JSON/Prometheus).
     pub fn dedup_ratio(&self) -> f64 {
         self.store.dedup_ratio()
     }

@@ -11,7 +11,7 @@
 use faas_workloads::Input;
 use faasnap::runtime::InvocationOutcome;
 use faasnap::strategy::RestoreStrategy;
-use faasnap_obs::{Metrics, Tracer};
+use faasnap_obs::{Metrics, SelfProfile, Tracer};
 use sim_storage::profiles::DiskProfile;
 
 use crate::platform::Platform;
@@ -27,6 +27,10 @@ pub struct TraceRun {
     /// Metrics covering the invocation (fault counts by class, prefetch
     /// traffic, fault-wait histogram).
     pub metrics: Metrics,
+    /// Engine self-profile covering the invocation (event-loop, fault
+    /// resolver, and store work counters; wall-ns under the `wallclock`
+    /// feature, zero otherwise).
+    pub selfprof: SelfProfile,
 }
 
 /// Records `function` with its input A under label `"cli"` on a fresh
@@ -52,13 +56,16 @@ pub fn traced_invoke(
 
     let tracer = Tracer::enabled();
     let metrics = Metrics::enabled();
+    let selfprof = SelfProfile::enabled();
     platform.set_tracer(tracer.clone());
     platform.set_metrics(metrics.clone());
+    platform.set_self_profile(selfprof.clone());
     let outcome = platform.invoke(function, "cli", input, strategy)?;
     Ok(TraceRun {
         outcome,
         tracer,
         metrics,
+        selfprof,
     })
 }
 

@@ -13,7 +13,7 @@ use faasnap::error::RestoreError;
 use faasnap::runtime::{run_invocations, Host, InvocationOutcome, InvocationSpec};
 use faasnap::snapstore::FamilyStore;
 use faasnap::strategy::RestoreStrategy;
-use faasnap_obs::{Metrics, TraceContext, Tracer};
+use faasnap_obs::{Metrics, SelfProfile, TraceContext, Tracer};
 use faasnap_store::StoreConfig;
 use sim_core::time::SimTime;
 use sim_storage::faults::FaultPlan;
@@ -152,6 +152,17 @@ impl Platform {
     /// The metrics handle.
     pub fn metrics(&self) -> &Metrics {
         &self.host.metrics
+    }
+
+    /// Attaches an engine self-profiler: later record/invoke calls count
+    /// event-loop, fault-resolution, and store work into it.
+    pub fn set_self_profile(&mut self, prof: SelfProfile) {
+        self.host.selfprof = prof;
+    }
+
+    /// The self-profile handle.
+    pub fn self_profile(&self) -> &SelfProfile {
+        &self.host.selfprof
     }
 
     /// Arms deterministic storage fault injection on the primary device:

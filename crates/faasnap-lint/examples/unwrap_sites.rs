@@ -1,0 +1,22 @@
+//! Dev helper: per-file unwrap-budget usage.
+fn main() {
+    let root = faasnap_lint::find_workspace_root(&std::env::current_dir().unwrap()).unwrap();
+    let ws = faasnap_lint::walk::discover(&root).unwrap();
+    let mut rows = Vec::new();
+    for f in &ws.files {
+        let src = std::fs::read_to_string(&f.abs).unwrap();
+        let ctx = faasnap_lint::FileCtx {
+            path: &f.rel,
+            crate_name: &f.crate_name,
+            is_harness: f.is_harness,
+        };
+        let lint = faasnap_lint::lint_source(&ctx, &src);
+        if lint.unwrap_sites > 0 {
+            rows.push((lint.unwrap_sites, f.rel.clone()));
+        }
+    }
+    rows.sort();
+    for (n, p) in rows {
+        println!("{n:>3} {p}");
+    }
+}

@@ -11,7 +11,7 @@
 //!
 //! | rule id | what it flags |
 //! |---|---|
-//! | `no-wallclock` | `Instant::now` / `SystemTime` outside the criterion shim |
+//! | `no-wallclock` | `Instant::now` / `SystemTime` outside the criterion shim and the faasnap-obs self-profiler |
 //! | `no-os-entropy` | `RandomState`, `thread_rng`-style OS randomness |
 //! | `no-threads` | `thread::spawn` / `thread::sleep` |
 //! | `no-unordered-iteration` | `HashMap` / `HashSet` (unspecified order) |
@@ -44,7 +44,7 @@ pub use walk::find_workspace_root;
 /// Ratchet cap on `unwrap()`/`expect(` call sites in non-test library
 /// code. The gate fails when the count exceeds this; when a cleanup PR
 /// lowers the real count, lower the cap with it so it never climbs back.
-pub const UNWRAP_BUDGET: u64 = 39;
+pub const UNWRAP_BUDGET: u64 = 22;
 
 /// Result of linting the whole workspace.
 #[derive(Clone, Debug)]

@@ -59,10 +59,13 @@ fn everywhere(_: &FileCtx) -> bool {
     true
 }
 
-/// The criterion shim is the one sanctioned wall-clock user: it measures
-/// real benchmark iterations, not simulated time.
-fn outside_criterion(ctx: &FileCtx) -> bool {
-    ctx.crate_name != "criterion"
+/// Wall-clock is sanctioned in exactly two crates: the criterion shim
+/// (measures real benchmark iterations) and faasnap-obs, whose
+/// self-profiler reads a monotonic clock behind the off-by-default
+/// `wallclock` cargo feature and never feeds timing back into the
+/// simulation. Everything else must derive time from SimTime.
+fn wallclock_sanctioned(ctx: &FileCtx) -> bool {
+    ctx.crate_name != "criterion" && ctx.crate_name != "faasnap-obs"
 }
 
 const TEXT_RULES: &[TextRule] = &[
@@ -71,7 +74,7 @@ const TEXT_RULES: &[TextRule] = &[
         patterns: &["Instant::now", "SystemTime"],
         message: "wall-clock source `{}` in deterministic code; derive time from \
                   sim_core::time::SimTime instead",
-        applies: outside_criterion,
+        applies: wallclock_sanctioned,
     },
     TextRule {
         id: "no-os-entropy",
@@ -307,6 +310,27 @@ mod tests {
         };
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         assert!(lint_source(&c, src).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn obs_selfprofiler_exempt_from_wallclock_only() {
+        let c = FileCtx {
+            path: "crates/faasnap-obs/src/selfprof.rs",
+            crate_name: "faasnap-obs",
+            is_harness: false,
+        };
+        let wall = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(lint_source(&c, wall).diagnostics.is_empty());
+        // The carve-out covers wall-clock only: entropy still fires.
+        let entropy = "fn g() { let s = RandomState::new(); }\n";
+        assert_eq!(
+            lint_source(&c, entropy)
+                .diagnostics
+                .iter()
+                .map(|d| d.rule)
+                .collect::<Vec<_>>(),
+            vec!["no-os-entropy"],
+        );
     }
 
     #[test]

@@ -21,10 +21,14 @@
 #![forbid(unsafe_code)]
 pub mod chrome;
 pub mod metrics;
+pub mod profile;
+pub mod selfprof;
 pub mod text;
 pub mod trace;
 
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use metrics::Metrics;
+pub use profile::{folded_stacks, phase_breakdown, render_phase_table, Phase, PhaseRow};
+pub use selfprof::{ScopeStat, SelfProfile};
 pub use text::render_text_tree;
 pub use trace::{InstantRec, SpanRec, TraceContext, Tracer};

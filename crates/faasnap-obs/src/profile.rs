@@ -1,0 +1,349 @@
+//! The sim-time profiler: folded flamegraph stacks and a per-phase
+//! self/total table over the recorded span tree.
+//!
+//! [`folded_stacks`] renders the classic `collapse` format — one line
+//! per distinct call stack, `root;child;leaf <self-nanoseconds>` —
+//! loadable directly in speedscope or `inferno-flamegraph`. Self time is
+//! a span's duration minus the durations of its children, so the stacks
+//! attribute every simulated nanosecond exactly once and the flamegraph
+//! widths sum to the trace's wall span. Lines are emitted in
+//! lexicographic stack order, which makes the output a pure function of
+//! the recorded spans: the repository pins it byte-for-byte in goldens.
+//!
+//! [`render_phase_table`] aggregates the same self/total accounting into
+//! the paper's latency-breakdown vocabulary: restore/setup work,
+//! guest-fault wait, loader prefetch, function compute, fleet queueing.
+//! This is the table the FaaSnap evaluation lives on (where does a
+//! restored invocation actually spend its time?), computed from real
+//! span bounds rather than reconstructed counters.
+
+use std::collections::BTreeMap;
+
+use sim_core::time::SimDuration;
+
+use crate::trace::{SpanRec, TraceContext, Tracer};
+
+/// The phase vocabulary of the latency breakdown, in display order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Snapshot restore and VM setup work (mappings, record phase).
+    Restore,
+    /// Guest execution blocked on page-fault resolution.
+    FaultWait,
+    /// Loading-set prefetch and readahead I/O.
+    LoaderPrefetch,
+    /// The function's own compute (trace execution).
+    Compute,
+    /// Fleet-level queueing and routing.
+    Queueing,
+    /// Everything else (platform wrappers, uncategorized spans).
+    Other,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Restore,
+        Phase::FaultWait,
+        Phase::LoaderPrefetch,
+        Phase::Compute,
+        Phase::Queueing,
+        Phase::Other,
+    ];
+
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Restore => "restore",
+            Phase::FaultWait => "guest-fault-wait",
+            Phase::LoaderPrefetch => "loader-prefetch",
+            Phase::Compute => "compute",
+            Phase::Queueing => "queueing",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Classifies a span by name: the span taxonomy is small and stable
+    /// (pinned by the trace goldens), so prefix rules suffice.
+    pub fn classify(span_name: &str) -> Phase {
+        if span_name == "setup" || span_name == "platform/record" {
+            Phase::Restore
+        } else if span_name.starts_with("fault/") {
+            Phase::FaultWait
+        } else if span_name.starts_with("loader/") || span_name.starts_with("readahead/") {
+            Phase::LoaderPrefetch
+        } else if span_name == "function" {
+            Phase::Compute
+        } else if span_name.starts_with("fleet/") {
+            Phase::Queueing
+        } else {
+            Phase::Other
+        }
+    }
+}
+
+/// A span's duration in nanoseconds; open spans count as zero-length
+/// (they never finished, so they own no attributable sim time).
+fn duration_ns(s: &SpanRec) -> u64 {
+    s.end.map(|e| e.since(s.start).as_nanos()).unwrap_or(0)
+}
+
+/// Per-span self time: duration minus the summed durations of direct
+/// children, clamped at zero (overlapping children cannot drive a
+/// parent's self time negative).
+fn self_times_ns(spans: &[SpanRec]) -> Vec<u64> {
+    let mut child_ns = vec![0u64; spans.len()];
+    for s in spans {
+        if let Some(p) = parent_index(s.parent) {
+            child_ns[p] += duration_ns(s);
+        }
+    }
+    spans
+        .iter()
+        .zip(&child_ns)
+        .map(|(s, &c)| duration_ns(s).saturating_sub(c))
+        .collect()
+}
+
+fn parent_index(ctx: TraceContext) -> Option<usize> {
+    match ctx.id() {
+        0 => None,
+        p => Some((p - 1) as usize),
+    }
+}
+
+/// The `name;name;...` stack path of each span (root first).
+fn stack_paths(spans: &[SpanRec]) -> Vec<String> {
+    let mut paths: Vec<String> = Vec::with_capacity(spans.len());
+    for s in spans {
+        // Spans only ever reference earlier spans as parents (contexts
+        // are handed out in creation order), so parents are resolved.
+        let path = match parent_index(s.parent) {
+            Some(p) => format!("{};{}", paths[p], s.name),
+            None => s.name.to_string(),
+        };
+        paths.push(path);
+    }
+    paths
+}
+
+/// Renders the recorded spans as folded flamegraph stacks: one line per
+/// distinct stack, `a;b;c <self-ns>`, lexicographically sorted, with a
+/// trailing newline. Zero-self-time stacks are omitted (they would draw
+/// zero-width frames). Returns an empty string for a disabled tracer or
+/// an empty buffer.
+pub fn folded_stacks(tracer: &Tracer) -> String {
+    let spans = tracer.spans();
+    let selfs = self_times_ns(&spans);
+    let paths = stack_paths(&spans);
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for (path, ns) in paths.into_iter().zip(selfs) {
+        if ns > 0 {
+            *agg.entry(path).or_insert(0) += ns;
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in agg {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the phase table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Summed self time of spans in this phase.
+    pub self_ns: u64,
+    /// Summed durations of spans in this phase (children included, so a
+    /// phase whose spans nest can exceed its self time).
+    pub total_ns: u64,
+    /// Number of spans classified into this phase.
+    pub spans: u64,
+}
+
+/// Aggregates spans into per-phase self/total sim time, indexed in
+/// [`Phase::ALL`] order.
+pub fn phase_breakdown(tracer: &Tracer) -> Vec<(Phase, PhaseRow)> {
+    let spans = tracer.spans();
+    let selfs = self_times_ns(&spans);
+    let mut rows: BTreeMap<Phase, PhaseRow> = BTreeMap::new();
+    for (s, &self_ns) in spans.iter().zip(&selfs) {
+        let row = rows.entry(Phase::classify(s.name)).or_default();
+        row.self_ns += self_ns;
+        row.total_ns += duration_ns(s);
+        row.spans += 1;
+    }
+    Phase::ALL
+        .iter()
+        .filter_map(|&p| rows.get(&p).map(|r| (p, r.clone())))
+        .collect()
+}
+
+/// Renders the per-phase table as fixed-width text: phase, self time,
+/// total time, span count, and self share of the summed self time.
+/// Deterministic: phases in fixed order, durations via [`SimDuration`]'s
+/// display, shares rounded to 0.1%.
+pub fn render_phase_table(tracer: &Tracer) -> String {
+    if !tracer.is_enabled() {
+        return String::new();
+    }
+    let rows = phase_breakdown(tracer);
+    let grand_self: u64 = rows.iter().map(|(_, r)| r.self_ns).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>12} {:>12} {:>7} {:>7}\n",
+        "phase", "self", "total", "spans", "self%"
+    ));
+    for (phase, row) in rows {
+        let share = if grand_self == 0 {
+            0.0
+        } else {
+            row.self_ns as f64 * 100.0 / grand_self as f64
+        };
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12} {:>7} {:>6.1}%\n",
+            phase.label(),
+            SimDuration::from_nanos(row.self_ns).to_string(),
+            SimDuration::from_nanos(row.total_ns).to_string(),
+            row.spans,
+            (share * 10.0).round() / 10.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_nanos(v * 1000)
+    }
+
+    /// platform/invoke (0..100µs)
+    ///   setup (0..30µs)
+    ///   function (30..100µs)
+    ///     fault/major (40..50µs)
+    ///     fault/minor (50..52µs)
+    fn sample() -> Tracer {
+        let tr = Tracer::enabled();
+        let root = tr.begin("platform/invoke", "daemon", us(0), TraceContext::NONE);
+        let setup = tr.begin("setup", "vm", us(0), root);
+        tr.end(setup, us(30));
+        let f = tr.begin("function", "vm", us(30), root);
+        let maj = tr.begin("fault/major", "mm", us(40), f);
+        tr.end(maj, us(50));
+        let min = tr.begin("fault/minor", "mm", us(50), f);
+        tr.end(min, us(52));
+        tr.end(f, us(100));
+        tr.end(root, us(100));
+        tr
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time_once() {
+        let folded = folded_stacks(&sample());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "platform/invoke;function 58000",
+                "platform/invoke;function;fault/major 10000",
+                "platform/invoke;function;fault/minor 2000",
+                "platform/invoke;setup 30000",
+            ],
+        );
+        // Self times sum to the root's wall span: every nanosecond
+        // attributed exactly once.
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn folded_stacks_merge_identical_stacks() {
+        let tr = Tracer::enabled();
+        let root = tr.begin("r", "c", us(0), TraceContext::NONE);
+        for i in 0..3u64 {
+            let c = tr.begin("leaf", "c", us(10 * i), root);
+            tr.end(c, us(10 * i + 4));
+        }
+        tr.end(root, us(100));
+        let folded = folded_stacks(&tr);
+        assert_eq!(folded, "r 88000\nr;leaf 12000\n");
+    }
+
+    #[test]
+    fn disabled_and_empty_render_empty() {
+        assert_eq!(folded_stacks(&Tracer::disabled()), "");
+        assert_eq!(folded_stacks(&Tracer::enabled()), "");
+        assert_eq!(render_phase_table(&Tracer::disabled()), "");
+        // An enabled-but-empty tracer still renders the header.
+        let header_only = render_phase_table(&Tracer::enabled());
+        assert_eq!(header_only.lines().count(), 1);
+    }
+
+    #[test]
+    fn open_spans_own_no_time() {
+        let tr = Tracer::enabled();
+        let root = tr.begin("r", "c", us(0), TraceContext::NONE);
+        tr.begin("open", "c", us(1), root);
+        tr.end(root, us(10));
+        // The open child contributes nothing; the root keeps its full span.
+        assert_eq!(folded_stacks(&tr), "r 10000\n");
+    }
+
+    #[test]
+    fn phase_classification_covers_taxonomy() {
+        assert_eq!(Phase::classify("setup"), Phase::Restore);
+        assert_eq!(Phase::classify("platform/record"), Phase::Restore);
+        assert_eq!(Phase::classify("fault/major"), Phase::FaultWait);
+        assert_eq!(Phase::classify("fault/uffd"), Phase::FaultWait);
+        assert_eq!(Phase::classify("loader/prefetch"), Phase::LoaderPrefetch);
+        assert_eq!(Phase::classify("loader/chunk"), Phase::LoaderPrefetch);
+        assert_eq!(Phase::classify("readahead/async"), Phase::LoaderPrefetch);
+        assert_eq!(Phase::classify("function"), Phase::Compute);
+        assert_eq!(Phase::classify("fleet/request"), Phase::Queueing);
+        assert_eq!(Phase::classify("platform/invoke"), Phase::Other);
+        assert_eq!(Phase::classify("invocation"), Phase::Other);
+    }
+
+    #[test]
+    fn phase_breakdown_self_vs_total() {
+        let rows = phase_breakdown(&sample());
+        let get = |p: Phase| {
+            rows.iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, r)| r.clone())
+                .unwrap()
+        };
+        let compute = get(Phase::Compute);
+        assert_eq!(compute.total_ns, 70_000, "function span 30..100µs");
+        assert_eq!(compute.self_ns, 58_000, "minus 12µs of faults");
+        let faults = get(Phase::FaultWait);
+        assert_eq!(faults.spans, 2);
+        assert_eq!(faults.self_ns, 12_000);
+        assert_eq!(faults.self_ns, faults.total_ns, "faults are leaves");
+    }
+
+    #[test]
+    fn phase_table_is_deterministic() {
+        let render = || render_phase_table(&sample());
+        let text = render();
+        assert_eq!(text, render());
+        assert!(text.starts_with("phase"));
+        assert!(text.contains("guest-fault-wait"));
+        assert!(text.contains("compute"));
+        // Fixed phase order: restore before compute before other.
+        let restore = text.find("restore").unwrap();
+        let compute = text.find("compute").unwrap();
+        let other = text.find("other").unwrap();
+        assert!(restore < compute && compute < other);
+    }
+}

@@ -1,0 +1,272 @@
+//! Engine self-profiling: where does the *simulator* spend its effort?
+//!
+//! The tracer and metrics registry measure simulated time — what the
+//! modeled system does. [`SelfProfile`] measures the simulator itself:
+//! events processed by the DES loop, map operations in fault resolution,
+//! bytes materialized by the chunk store, router lookups, and (behind
+//! the `wallclock` cargo feature) real monotonic nanoseconds per
+//! subsystem. This is the measurement substrate the raw-speed roadmap
+//! item optimizes against: first see where the wall-clock goes, then
+//! make it go away.
+//!
+//! Determinism: counters are driven entirely by simulation work, so a
+//! default build (feature off) produces byte-identical reports per seed
+//! — every `wall_ns` column reads 0. Enabling `wallclock` swaps in
+//! `std::time::Instant`, the one sanctioned monotonic-clock use in the
+//! workspace; the determinism lint carves out exactly this crate for
+//! the `no-wallclock` rule, and nothing here ever feeds timing back
+//! into the simulation, so sim results stay identical either way.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Accumulated cost of one named scope.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScopeStat {
+    /// Times the scope was entered.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds spent inside (0 without the
+    /// `wallclock` feature).
+    pub wall_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct SelfBuf {
+    counters: BTreeMap<&'static str, u64>,
+    scopes: BTreeMap<&'static str, ScopeStat>,
+}
+
+/// The self-profiling handle. Clones share one buffer, mirroring
+/// [`crate::Tracer`]/[`crate::Metrics`]: the default handle is disabled
+/// and every operation on it is a branch on an `Option`.
+#[derive(Clone, Debug, Default)]
+pub struct SelfProfile {
+    inner: Option<Rc<RefCell<SelfBuf>>>,
+}
+
+impl SelfProfile {
+    /// A disabled handle: zero-cost no-op emissions.
+    pub fn disabled() -> Self {
+        SelfProfile::default()
+    }
+
+    /// An enabled handle with an empty buffer.
+    pub fn enabled() -> Self {
+        SelfProfile {
+            inner: Some(Rc::new(RefCell::new(SelfBuf::default()))),
+        }
+    }
+
+    /// True if this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `v` to a named counter.
+    pub fn add(&self, name: &'static str, v: u64) {
+        if let Some(buf) = &self.inner {
+            *buf.borrow_mut().counters.entry(name).or_insert(0) += v;
+        }
+    }
+
+    /// Increments a named counter by one.
+    pub fn inc(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Sets a named counter to the maximum of its current value and `v`
+    /// (for high-water marks like peak queue depth).
+    pub fn max(&self, name: &'static str, v: u64) {
+        if let Some(buf) = &self.inner {
+            let mut b = buf.borrow_mut();
+            let slot = b.counters.entry(name).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+    }
+
+    /// Current value of a counter (0 if never touched or disabled).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|b| b.borrow().counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Folds a batch of `(name, value)` pairs into the counters — the
+    /// harvest path for subsystems that cannot hold a handle (sim-core
+    /// and faasnap-store sit below faasnap-obs in the crate DAG, so they
+    /// expose plain stat structs that callers feed in here).
+    pub fn harvest(&self, pairs: impl IntoIterator<Item = (&'static str, u64)>) {
+        if self.inner.is_some() {
+            for (name, v) in pairs {
+                self.add(name, v);
+            }
+        }
+    }
+
+    /// Directly accumulates `calls`/`wall_ns` into a named scope.
+    pub fn record_scope(&self, name: &'static str, calls: u64, wall_ns: u64) {
+        if let Some(buf) = &self.inner {
+            let mut b = buf.borrow_mut();
+            let s = b.scopes.entry(name).or_default();
+            s.calls += calls;
+            s.wall_ns += wall_ns;
+        }
+    }
+
+    /// Enters a named scope; the returned guard records one call (plus
+    /// elapsed wall time under the `wallclock` feature) when dropped.
+    pub fn scope(&self, name: &'static str) -> ScopeGuard {
+        ScopeGuard {
+            prof: self.clone(),
+            name,
+            #[cfg(feature = "wallclock")]
+            start: self.inner.as_ref().map(|_| std::time::Instant::now()),
+        }
+    }
+
+    /// Snapshot of all counters in name order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().counters.iter().map(|(k, v)| (*k, *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all scopes in name order.
+    pub fn scopes(&self) -> Vec<(&'static str, ScopeStat)> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().scopes.iter().map(|(k, v)| (*k, *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Renders the text report: a `== counters ==` section of
+    /// `name value` lines and a `== scopes ==` table of
+    /// `name calls wall_ns`, both in name order. Empty string when
+    /// disabled. Byte-deterministic per seed on default builds, where
+    /// every `wall_ns` is 0.
+    pub fn render_report(&self) -> String {
+        if !self.is_enabled() {
+            return String::new();
+        }
+        let mut out = String::from("== counters ==\n");
+        for (name, v) in self.counters() {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        out.push_str("== scopes ==\n");
+        for (name, s) in self.scopes() {
+            out.push_str(&format!("{name} calls={} wall_ns={}\n", s.calls, s.wall_ns));
+        }
+        out
+    }
+}
+
+/// RAII guard for [`SelfProfile::scope`].
+#[must_use = "the scope is measured when the guard drops"]
+pub struct ScopeGuard {
+    prof: SelfProfile,
+    name: &'static str,
+    #[cfg(feature = "wallclock")]
+    start: Option<std::time::Instant>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "wallclock")]
+        let ns = self
+            .start
+            .map(|s| s.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        #[cfg(not(feature = "wallclock"))]
+        let ns = 0u64;
+        self.prof.record_scope(self.name, 1, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let p = SelfProfile::disabled();
+        p.inc("a");
+        p.add("b", 10);
+        p.record_scope("s", 1, 5);
+        drop(p.scope("s"));
+        assert!(!p.is_enabled());
+        assert_eq!(p.counter("a"), 0);
+        assert!(p.counters().is_empty());
+        assert!(p.scopes().is_empty());
+        assert_eq!(p.render_report(), "");
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let p = SelfProfile::enabled();
+        p.inc("z/events");
+        p.add("a/bytes", 4096);
+        p.inc("z/events");
+        p.max("a/peak", 7);
+        p.max("a/peak", 3);
+        assert_eq!(p.counter("z/events"), 2);
+        assert_eq!(
+            p.counters(),
+            vec![("a/bytes", 4096), ("a/peak", 7), ("z/events", 2)],
+        );
+    }
+
+    #[test]
+    fn harvest_folds_pairs() {
+        let p = SelfProfile::enabled();
+        p.harvest([("engine/delivered", 100), ("engine/scheduled", 120)]);
+        p.harvest([("engine/delivered", 5)]);
+        assert_eq!(p.counter("engine/delivered"), 105);
+        assert_eq!(p.counter("engine/scheduled"), 120);
+    }
+
+    #[test]
+    fn scopes_count_calls() {
+        let p = SelfProfile::enabled();
+        for _ in 0..3 {
+            let _g = p.scope("engine/run");
+        }
+        p.record_scope("store/materialize", 2, 0);
+        let scopes = p.scopes();
+        assert_eq!(scopes.len(), 2);
+        assert_eq!(scopes[0].0, "engine/run");
+        assert_eq!(scopes[0].1.calls, 3);
+        assert_eq!(scopes[1].1.calls, 2);
+    }
+
+    #[test]
+    fn shared_buffer_across_clones() {
+        let p = SelfProfile::enabled();
+        let q = p.clone();
+        p.inc("x");
+        q.inc("x");
+        assert_eq!(p.counter("x"), 2);
+    }
+
+    #[test]
+    fn report_layout() {
+        let p = SelfProfile::enabled();
+        p.add("engine/events", 12);
+        p.record_scope("engine/run", 1, 0);
+        let r = p.render_report();
+        assert_eq!(
+            r,
+            "== counters ==\nengine/events 12\n== scopes ==\nengine/run calls=1 wall_ns=0\n",
+        );
+    }
+
+    #[cfg(not(feature = "wallclock"))]
+    #[test]
+    fn default_build_reports_zero_wall_ns() {
+        let p = SelfProfile::enabled();
+        drop(p.scope("s"));
+        assert_eq!(p.scopes()[0].1.wall_ns, 0);
+    }
+}

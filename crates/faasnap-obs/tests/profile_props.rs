@@ -1,0 +1,111 @@
+//! Property tests for the folded-stack profiler: for any span tree the
+//! collapse output is byte-identical across rebuilds of the same trace
+//! (the profiler adds no iteration-order or float nondeterminism of its
+//! own), every line parses as `stack <self-ns>`, and the self-times
+//! attribute each nanosecond of a root span exactly once.
+
+use faasnap_obs::{folded_stacks, render_phase_table, TraceContext, Tracer};
+use proptest::prelude::*;
+use sim_core::rng::Prng;
+use sim_core::time::SimTime;
+
+const NAMES: [&str; 7] = [
+    "platform/invoke",
+    "invocation",
+    "setup",
+    "function",
+    "loader/prefetch",
+    "fault/minor",
+    "fault/major",
+];
+
+/// Builds a random-but-seed-determined span tree: a walk that either
+/// opens a child of the current span or closes it, with strictly
+/// advancing sim-time so every span nests inside its parent.
+fn build_trace(seed: u64) -> Tracer {
+    let tracer = Tracer::enabled();
+    let mut rng = Prng::new(seed);
+    let mut now_ns = 0u64;
+    let mut open: Vec<TraceContext> = Vec::new();
+    let steps = 4 + rng.below(60);
+    for _ in 0..steps {
+        now_ns += 1 + rng.below(10_000);
+        let parent = open.last().copied().unwrap_or(TraceContext::NONE);
+        // Bias toward opening while shallow, closing while deep.
+        if open.is_empty() || (open.len() < 5 && rng.chance(0.6)) {
+            let name = NAMES[rng.below(NAMES.len() as u64) as usize];
+            let ctx = tracer.begin(name, "prop", SimTime::from_nanos(now_ns), parent);
+            open.push(ctx);
+        } else if let Some(ctx) = open.pop() {
+            tracer.end(ctx, SimTime::from_nanos(now_ns));
+        }
+    }
+    while let Some(ctx) = open.pop() {
+        now_ns += 1 + rng.below(10_000);
+        tracer.end(ctx, SimTime::from_nanos(now_ns));
+    }
+    tracer
+}
+
+proptest! {
+    /// Same seed, byte-identical collapse output — the property the
+    /// `--profile-out` golden relies on.
+    #[test]
+    fn folded_stacks_byte_identical(seed in 0u64..2_000) {
+        let a = folded_stacks(&build_trace(seed));
+        let b = folded_stacks(&build_trace(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Output is well-formed collapse format: `root;child;... <self-ns>`
+    /// lines, sorted, each self-time a positive integer.
+    #[test]
+    fn folded_stacks_well_formed(seed in 0u64..2_000) {
+        let folded = folded_stacks(&build_trace(seed));
+        let mut prev: Option<String> = None;
+        for line in folded.lines() {
+            let (stack, ns) = line.rsplit_once(' ').expect("stack <self-ns>");
+            prop_assert!(!stack.is_empty());
+            prop_assert!(stack.split(';').all(|f| NAMES.contains(&f)), "{stack}");
+            let ns: u64 = ns.parse().expect("integer self-ns");
+            prop_assert!(ns > 0, "zero-self stacks are omitted");
+            if let Some(p) = &prev {
+                prop_assert!(p < &line.to_string(), "sorted output");
+            }
+            prev = Some(line.to_string());
+        }
+    }
+
+    /// Conservation: summed self-times equal the summed durations of the
+    /// root spans — each nanosecond inside a root is attributed to
+    /// exactly one stack, none dropped, none double-counted.
+    #[test]
+    fn folded_self_times_conserve_root_durations(seed in 0u64..2_000) {
+        let tracer = build_trace(seed);
+        let folded_total: u64 = folded_stacks(&tracer)
+            .lines()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        let root_total: u64 = tracer
+            .spans()
+            .iter()
+            .filter(|s| s.parent == TraceContext::NONE)
+            .map(|s| s.end.expect("all spans closed").since(s.start).as_nanos())
+            .sum();
+        prop_assert_eq!(folded_total, root_total);
+    }
+
+    /// The phase table renders for any tree and its self% column sums to
+    /// ~100 for non-empty traces.
+    #[test]
+    fn phase_table_renders(seed in 0u64..500) {
+        let table = render_phase_table(&build_trace(seed));
+        prop_assert!(table.starts_with("phase"));
+        let shares: f64 = table
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit_once(' ').unwrap().1.trim_end_matches('%').parse::<f64>().unwrap())
+            .sum();
+        prop_assert!((shares - 100.0).abs() < 1.0, "self%% sums to {shares}");
+    }
+}

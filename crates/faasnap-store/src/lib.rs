@@ -31,4 +31,4 @@ pub use chunk::{ChunkEntry, ChunkTable};
 pub use error::StoreError;
 pub use hash::{mix64, mix_words, ChunkHash, HASH_SEED};
 pub use layer::{Layer, LayerId, LayerKind};
-pub use store::{SnapshotId, SnapshotStore, StoreConfig};
+pub use store::{SnapshotId, SnapshotStore, StoreConfig, StoreStats};

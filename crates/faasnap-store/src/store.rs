@@ -17,6 +17,7 @@
 //! releases its chunks — eviction therefore reclaims exactly the bytes no
 //! other resident snapshot still needs, never a shared base.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use sim_core::units::PAGE_SIZE;
@@ -51,6 +52,59 @@ impl StoreConfig {
     }
 }
 
+/// Self-statistics of one store: how much work the store did, for the
+/// faasnap-obs self-profiler. faasnap-store sits below faasnap-obs in
+/// the crate DAG, so this is a plain value snapshot harvested by callers
+/// (`SelfProfile::harvest(stats.pairs())`) rather than a profiler handle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Chunk/layer map operations (inserts, lookups, walk steps).
+    pub map_ops: u64,
+    /// Content chunks inserted (data or accounting-only references).
+    pub chunks_inserted: u64,
+    /// Bytes of chunk content read back by `materialize`.
+    pub bytes_materialized: u64,
+    /// Snapshot resolutions (`resolve` + `resolve_chunk`).
+    pub resolves: u64,
+}
+
+impl StoreStats {
+    /// The stats as `(counter-name, value)` pairs for profiler harvest.
+    pub fn pairs(&self) -> [(&'static str, u64); 4] {
+        [
+            ("store/map_ops", self.map_ops),
+            ("store/chunks_inserted", self.chunks_inserted),
+            ("store/bytes_materialized", self.bytes_materialized),
+            ("store/resolves", self.resolves),
+        ]
+    }
+}
+
+/// Interior-mutable accumulator behind [`StoreStats`]: read paths
+/// (`resolve`, `materialize`) take `&self`, so counts live in `Cell`s.
+#[derive(Clone, Debug, Default)]
+struct StatCells {
+    map_ops: Cell<u64>,
+    chunks_inserted: Cell<u64>,
+    bytes_materialized: Cell<u64>,
+    resolves: Cell<u64>,
+}
+
+impl StatCells {
+    fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            map_ops: self.map_ops.get(),
+            chunks_inserted: self.chunks_inserted.get(),
+            bytes_materialized: self.bytes_materialized.get(),
+            resolves: self.resolves.get(),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct LayerEntry {
     layer: Layer,
@@ -75,6 +129,7 @@ pub struct SnapshotStore {
     snapshots: BTreeMap<SnapshotId, SnapshotEntry>,
     next_layer: u64,
     next_snapshot: u64,
+    stats: StatCells,
 }
 
 impl SnapshotStore {
@@ -118,6 +173,8 @@ impl SnapshotStore {
             let tokens = self.chunk_tokens(pages, idx);
             let hash = self.chunks.insert_data(tokens, self.cfg.chunk_bytes());
             layer.chunks.insert(idx, hash);
+            StatCells::bump(&self.stats.chunks_inserted, 1);
+            StatCells::bump(&self.stats.map_ops, 2);
         }
         self.alloc_layer(layer)
     }
@@ -159,7 +216,9 @@ impl SnapshotStore {
             if differs {
                 let hash = self.chunks.insert_data(new_tokens, self.cfg.chunk_bytes());
                 layer.chunks.insert(idx, hash);
+                StatCells::bump(&self.stats.chunks_inserted, 1);
             }
+            StatCells::bump(&self.stats.map_ops, 2);
         }
         Ok(self.alloc_layer(layer))
     }
@@ -176,6 +235,8 @@ impl SnapshotStore {
         for (idx, hash, bytes) in slots {
             self.chunks.insert_ref(hash, bytes);
             layer.chunks.insert(idx, hash);
+            StatCells::bump(&self.stats.chunks_inserted, 1);
+            StatCells::bump(&self.stats.map_ops, 2);
         }
         self.alloc_layer(layer)
     }
@@ -244,6 +305,7 @@ impl SnapshotStore {
             .snapshots
             .get(&id)
             .ok_or(StoreError::UnknownSnapshot(id.0))?;
+        StatCells::bump(&self.stats.resolves, 1);
         let mut map = BTreeMap::new();
         for layer_id in entry.layers.iter().rev() {
             let le = self
@@ -252,6 +314,7 @@ impl SnapshotStore {
                 .ok_or(StoreError::UnknownLayer(layer_id.0))?;
             for (&idx, &hash) in &le.layer.chunks {
                 map.entry(idx).or_insert(hash);
+                StatCells::bump(&self.stats.map_ops, 1);
             }
         }
         Ok(map)
@@ -263,11 +326,13 @@ impl SnapshotStore {
             .snapshots
             .get(&id)
             .ok_or(StoreError::UnknownSnapshot(id.0))?;
+        StatCells::bump(&self.stats.resolves, 1);
         for layer_id in entry.layers.iter().rev() {
             let le = self
                 .layers
                 .get(layer_id)
                 .ok_or(StoreError::UnknownLayer(layer_id.0))?;
+            StatCells::bump(&self.stats.map_ops, 1);
             if let Some(hash) = le.layer.chunks.get(&idx) {
                 return Ok(Some(*hash));
             }
@@ -287,6 +352,7 @@ impl SnapshotStore {
                     hash.0
                 ))
             })?;
+            StatCells::bump(&self.stats.bytes_materialized, self.cfg.chunk_bytes());
             let start = idx * self.cfg.chunk_pages;
             for (off, &token) in tokens.iter().enumerate() {
                 if token != 0 {
@@ -308,14 +374,21 @@ impl SnapshotStore {
     }
 
     /// Logical / unique — how many times each physical byte is shared.
-    /// 1.0 when the store is empty.
+    /// 0.0 when the store is empty: a fresh store has no sharing to
+    /// report, and 0 keeps JSON/Prometheus output finite and unambiguous
+    /// (a populated store can never legitimately read 0).
     pub fn dedup_ratio(&self) -> f64 {
         let unique = self.unique_bytes();
         if unique == 0 {
-            1.0
+            0.0
         } else {
             self.logical_bytes() as f64 / unique as f64
         }
+    }
+
+    /// Snapshot of the store's self-statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats.snapshot()
     }
 
     /// Number of resident snapshots.
@@ -493,6 +566,36 @@ mod tests {
         s.drop_snapshot(s2).expect("drop");
         assert_eq!(s.unique_bytes(), 0);
         s.debug_validate().expect("valid");
+    }
+
+    #[test]
+    fn empty_store_dedup_ratio_is_zero() {
+        let s = SnapshotStore::new(cfg4());
+        assert_eq!(s.dedup_ratio(), 0.0);
+        let mut s = SnapshotStore::new(cfg4());
+        let base = s.put_base_layer(&pages(&[(0, 7)]));
+        let snap = s.compose_snapshot(&[base], 1000).expect("compose");
+        assert!(s.dedup_ratio() > 0.0);
+        s.drop_snapshot(snap).expect("drop");
+        assert_eq!(s.dedup_ratio(), 0.0, "emptied store reads 0 again");
+    }
+
+    #[test]
+    fn stats_count_store_work() {
+        let mut s = SnapshotStore::new(cfg4());
+        assert_eq!(s.stats(), StoreStats::default());
+        let base = s.put_base_layer(&pages(&[(1, 10), (9, 20)]));
+        let snap = s.compose_snapshot(&[base], 0).expect("compose");
+        assert_eq!(s.stats().chunks_inserted, 2);
+        s.resolve(snap).expect("resolve");
+        assert_eq!(s.stats().resolves, 1);
+        s.materialize(snap).expect("mat");
+        // materialize resolves once more and reads both chunks back.
+        assert_eq!(s.stats().resolves, 2);
+        assert_eq!(s.stats().bytes_materialized, 2 * 4 * PAGE_SIZE);
+        assert!(s.stats().map_ops > 0);
+        let pairs = s.stats().pairs();
+        assert_eq!(pairs[1], ("store/chunks_inserted", 2));
     }
 
     #[test]

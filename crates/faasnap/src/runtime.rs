@@ -17,7 +17,7 @@
 //!   blocking working-set fetch). The vCPU starts here.
 //! - `done`: the function replies; `invocation_time = done − setup_time`.
 
-use faasnap_obs::{Metrics, TraceContext, Tracer};
+use faasnap_obs::{Metrics, SelfProfile, TraceContext, Tracer};
 use sim_core::engine::{Engine, Scheduler, World};
 use sim_core::json::Value;
 use sim_core::time::{SimDuration, SimTime};
@@ -158,6 +158,9 @@ pub struct Host {
     pub tracer: Tracer,
     /// Metrics registry shared by every layer on this host.
     pub metrics: Metrics,
+    /// Self-profiling handle (simulator-effort counters) shared by every
+    /// layer on this host.
+    pub selfprof: SelfProfile,
     /// Chunk-store extent maps for store-backed logical files. Reads of a
     /// mapped file are translated chunk-by-chunk to the store's physical
     /// layout before reaching the device; unmapped files go straight
@@ -181,6 +184,7 @@ impl Host {
             cpu: CpuPool::new(96),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            selfprof: SelfProfile::disabled(),
             chunk_maps: std::collections::BTreeMap::new(),
             seed,
             vmgenid: 0,
@@ -542,9 +546,19 @@ pub fn try_run_invocations(
     }
 
     let mut world = SimWorld { host, vms };
-    engine.run(&mut world);
+    {
+        let _scope = world.host.selfprof.scope("runtime/engine_run");
+        engine.run(&mut world);
+    }
 
     let SimWorld { host, vms } = world;
+    let estats = engine.stats();
+    host.selfprof.harvest([
+        ("engine/delivered", estats.delivered),
+        ("engine/scheduled", estats.scheduled),
+    ]);
+    host.selfprof
+        .max("engine/peak_pending", estats.peak_pending);
     vms.into_iter()
         .map(|mut vm| {
             if let Some(err) = vm.error.take() {
@@ -623,6 +637,7 @@ fn prepare_vm(
     kernel.set_sanitize_freed(spec.sanitize);
     let mut resolver = FaultResolver::new(host.costs.clone(), seed);
     resolver.set_tracer(host.tracer.clone());
+    resolver.set_self_profile(host.selfprof.clone());
     if let Some(d) = spec.mm_delay {
         resolver.set_delay_injection(d.seed, d.prob, d.extra, d.budget);
     }

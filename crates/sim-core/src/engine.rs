@@ -77,11 +77,26 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Self-statistics of one engine run: how much work the simulator itself
+/// did, independent of what the simulated system did. Harvested by the
+/// faasnap-obs self-profiler (sim-core sits below it in the crate DAG, so
+/// this is a plain value type rather than a profiler handle).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events delivered to the world.
+    pub delivered: u64,
+    /// Events ever scheduled (delivered + still pending + dropped).
+    pub scheduled: u64,
+    /// High-water mark of the pending-event queue.
+    pub peak_pending: u64,
+}
+
 /// The pending-event queue, exposed to event handlers for scheduling.
 pub struct Scheduler<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     scheduled: u64,
+    peak_pending: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -97,6 +112,7 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             scheduled: 0,
+            peak_pending: 0,
         }
     }
 
@@ -110,6 +126,7 @@ impl<E> Scheduler<E> {
             seq,
             event,
         }));
+        self.peak_pending = self.peak_pending.max(self.heap.len() as u64);
     }
 
     /// Schedules `event` at `now + delay`.
@@ -125,6 +142,11 @@ impl<E> Scheduler<E> {
     /// Total number of events ever scheduled.
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
+    }
+
+    /// High-water mark of the pending-event queue.
+    pub fn peak_pending(&self) -> u64 {
+        self.peak_pending
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -174,6 +196,15 @@ impl<E> Engine<E> {
         &mut self.scheduler
     }
 
+    /// Self-statistics of the run so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            delivered: self.delivered,
+            scheduled: self.scheduler.scheduled,
+            peak_pending: self.scheduler.peak_pending,
+        }
+    }
+
     /// Runs until the event queue is empty. Returns the final clock value.
     ///
     /// # Panics
@@ -187,11 +218,14 @@ impl<E> Engine<E> {
     /// Runs until the queue is empty or the next event is later than
     /// `deadline`. Events exactly at `deadline` are delivered.
     pub fn run_until<W: World<Event = E>>(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
-        while let Some(next) = self.scheduler.peek_time() {
-            if next > deadline {
+        while self
+            .scheduler
+            .peek_time()
+            .is_some_and(|next| next <= deadline)
+        {
+            let Some((time, event)) = self.scheduler.pop() else {
                 break;
-            }
-            let (time, event) = self.scheduler.pop().expect("peeked entry must pop");
+            };
             assert!(
                 time >= self.now,
                 "event scheduled in the past: {time} < {}",
@@ -314,6 +348,22 @@ mod tests {
         let mut e = Engine::new();
         e.scheduler().schedule(SimTime::from_nanos(10), ());
         e.run(&mut Bad);
+    }
+
+    #[test]
+    fn stats_track_delivered_scheduled_peak() {
+        let mut w = Recorder::default();
+        let mut e = Engine::new();
+        // Three seeded events → peak queue depth 3; A(2) chains two more.
+        e.scheduler().schedule(SimTime::from_nanos(10), Ev::A(2));
+        e.scheduler().schedule(SimTime::from_nanos(20), Ev::B);
+        e.scheduler().schedule(SimTime::from_nanos(30), Ev::B);
+        e.run(&mut w);
+        let stats = e.stats();
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.scheduled, 5);
+        assert_eq!(stats.peak_pending, 3);
+        assert_eq!(e.scheduler().peak_pending(), 3);
     }
 
     #[test]

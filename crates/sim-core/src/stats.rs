@@ -106,6 +106,32 @@ impl Log2Histogram {
         above as f64 / self.count as f64
     }
 
+    /// Percentile estimate in microseconds from the bucket counts
+    /// (nearest-rank over the cumulative distribution). The estimate is
+    /// conservative: it reports the *upper* edge of the bucket holding
+    /// the ranked sample, so an SLO check against it can only
+    /// over-count, never under-count, slow samples. Ranks landing below
+    /// the first edge report that edge (0.5); ranks landing in the
+    /// open-ended top bucket report the largest recorded sample.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = self.lo;
+        if rank < seen {
+            return Self::EDGES_US[0];
+        }
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if rank < seen {
+                return Self::EDGES_US[i + 1];
+            }
+        }
+        self.max_ns as f64 / 1000.0
+    }
+
     /// Returns `(label, count)` rows for display, matching Figure 2's bars.
     pub fn rows(&self) -> Vec<(String, u64)> {
         let mut rows = vec![("<0.5us".to_string(), self.lo)];
@@ -222,7 +248,7 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        sorted.sort_by(f64::total_cmp);
         let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
         sorted[rank.min(sorted.len() - 1)]
     }
@@ -398,6 +424,75 @@ mod tests {
         lo.merge(&Log2Histogram::new());
         assert_eq!(lo.rows(), snapshot);
         assert_eq!(lo.count(), 4);
+    }
+
+    #[test]
+    fn histogram_percentile_at_bucket_boundaries() {
+        // Samples sitting exactly on edges: the estimate must report the
+        // upper edge of the half-open bucket each one landed in.
+        let mut h = Log2Histogram::new();
+        for _ in 0..50 {
+            h.record(us(0.5)); // [0.5, 1)
+        }
+        for _ in 0..50 {
+            h.record(us(256.0)); // [256, 512)
+        }
+        assert_eq!(h.percentile_us(0.0), 1.0, "p0 upper edge of [0.5,1)");
+        assert_eq!(h.percentile_us(25.0), 1.0);
+        assert_eq!(h.percentile_us(75.0), 512.0, "upper edge of [256,512)");
+        assert_eq!(h.percentile_us(100.0), 512.0);
+    }
+
+    #[test]
+    fn histogram_percentile_lo_hi_and_empty() {
+        assert_eq!(Log2Histogram::new().percentile_us(50.0), 0.0);
+        let mut h = Log2Histogram::new();
+        h.record(us(0.1)); // below first edge
+        assert_eq!(h.percentile_us(50.0), 0.5, "lo ranks report first edge");
+        let mut h = Log2Histogram::new();
+        h.record(us(3000.0)); // >= 512 — open-ended top bucket
+        assert_eq!(h.percentile_us(50.0), 3000.0, "hi ranks report the max");
+        // A mix: the p100 rank lands in hi and reports the true max, not
+        // an edge.
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(us(4.0));
+        }
+        h.record(us(700.0));
+        assert_eq!(h.percentile_us(50.0), 8.0);
+        assert_eq!(h.percentile_us(100.0), 700.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let mk = |samples: &[f64]| {
+            let mut h = Log2Histogram::new();
+            for &s in samples {
+                h.record(us(s));
+            }
+            h
+        };
+        let (a, b, c) = (
+            mk(&[0.2, 0.5, 3.0]),
+            mk(&[3.9, 4.0, 900.0]),
+            mk(&[64.0, 511.9, 0.6]),
+        );
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.rows(), right.rows());
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.total(), right.total());
+        assert_eq!(left.max(), right.max());
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(left.percentile_us(p), right.percentile_us(p), "p{p}");
+        }
     }
 
     #[test]

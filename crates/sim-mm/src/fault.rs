@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use faasnap_obs::{TraceContext, Tracer};
+use faasnap_obs::{SelfProfile, TraceContext, Tracer};
 use sim_core::rng::Prng;
 use sim_core::time::{SimDuration, SimTime};
 use sim_storage::device::{IoKind, IoRequest};
@@ -144,6 +144,9 @@ pub struct FaultResolver {
     initial_ra_pages: u64,
     /// Trace handle; disabled by default so `resolve` stays cost-free.
     tracer: Tracer,
+    /// Self-profiling handle (resolution/map-op counters); disabled by
+    /// default.
+    selfprof: SelfProfile,
     /// Optional injected resolution delays; absent on healthy resolvers.
     delay: Option<DelayInjection>,
 }
@@ -158,6 +161,7 @@ impl FaultResolver {
             max_ra_pages: 32,
             initial_ra_pages: 4,
             tracer: Tracer::disabled(),
+            selfprof: SelfProfile::disabled(),
             delay: None,
         }
     }
@@ -203,6 +207,12 @@ impl FaultResolver {
         self.tracer = tracer;
     }
 
+    /// Attaches a self-profiling handle so `resolve` counts resolutions
+    /// and page-table/cache map operations under `mm/*`.
+    pub fn set_self_profile(&mut self, selfprof: SelfProfile) {
+        self.selfprof = selfprof;
+    }
+
     /// Overrides readahead window sizes (for sensitivity experiments).
     pub fn with_readahead(mut self, initial: u64, max: u64) -> Self {
         self.initial_ra_pages = initial;
@@ -222,6 +232,36 @@ impl FaultResolver {
     /// `NeedsIo` and `Userfault` the runtime installs the page when the
     /// plan completes.
     pub fn resolve(
+        &mut self,
+        page: PageNum,
+        aspace: &AddressSpace,
+        pt: &mut PageTable,
+        cache: &mut PageCache,
+        uffd: &UffdRegistry,
+        inflight: &InflightIo,
+    ) -> FaultOutcome {
+        let outcome = self.plan(page, aspace, pt, cache, uffd, inflight);
+        if self.selfprof.is_enabled() {
+            self.selfprof.inc("mm/resolve_calls");
+            // Map-op estimates per outcome: a state lookup, plus the
+            // install and (for majors) the window scan over cached pages.
+            let (name, map_ops) = match &outcome {
+                FaultOutcome::NoFault => ("mm/no_fault", 1),
+                FaultOutcome::Resolved { .. } => ("mm/resolved", 2),
+                FaultOutcome::NeedsIo { io, .. } => {
+                    self.selfprof.add("mm/readahead_pages", io.pages);
+                    ("mm/io_planned", 2 + io.pages)
+                }
+                FaultOutcome::WaitInflight { .. } => ("mm/wait_inflight", 2),
+                FaultOutcome::Userfault { .. } => ("mm/userfault", 1),
+            };
+            self.selfprof.inc(name);
+            self.selfprof.add("mm/map_ops", map_ops);
+        }
+        outcome
+    }
+
+    fn plan(
         &mut self,
         page: PageNum,
         aspace: &AddressSpace,
@@ -699,6 +739,35 @@ mod tests {
         assert_eq!(r.injected_delays(), 0);
         r.clear_delay_injection();
         assert_eq!(r.injected_delays(), 0);
+    }
+
+    #[test]
+    fn self_profile_counts_resolutions() {
+        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        a.map_fixed(
+            PageRange::new(0, 100),
+            Backing::File {
+                file: FileId(1),
+                offset_page: 0,
+            },
+        );
+        let prof = SelfProfile::enabled();
+        r.set_self_profile(prof.clone());
+        // Major (plans a 4-page window), then the same page again → NoFault
+        // after install, then a cached page → minor.
+        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+            FaultOutcome::NeedsIo { .. } => pt.install(10),
+            other => panic!("{other:?}"),
+        }
+        r.resolve(10, &a, &mut pt, &mut c, &u, &fl);
+        c.insert(FileId(1), 50);
+        r.resolve(50, &a, &mut pt, &mut c, &u, &fl);
+        assert_eq!(prof.counter("mm/resolve_calls"), 3);
+        assert_eq!(prof.counter("mm/io_planned"), 1);
+        assert_eq!(prof.counter("mm/readahead_pages"), 4);
+        assert_eq!(prof.counter("mm/no_fault"), 1);
+        assert_eq!(prof.counter("mm/resolved"), 1);
+        assert_eq!(prof.counter("mm/map_ops"), 1 + 2 + (2 + 4));
     }
 
     #[test]

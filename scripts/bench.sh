@@ -3,17 +3,51 @@
 # JSON report — wall-clock per driver, fleet events/sec, and the
 # snapshot-store dedup ratio with dedup on vs off.
 #
-# Usage: scripts/bench.sh [out.json]
+# Usage:
+#   scripts/bench.sh [out.json]      measure and write a report
+#                                    (default BENCH_<YYYY-MM-DD>.json)
+#   scripts/bench.sh --compare       measure, diff against the latest
+#                                    committed BENCH_*.json, fail on a
+#                                    >15% wall-clock or events/sec
+#                                    regression, then append the new
+#                                    point to the trajectory
+#   scripts/bench.sh --selftest      verify the regression gate itself:
+#                                    a 2x injected slowdown of the run
+#                                    just measured MUST trip the compare
 #
-# Default output is BENCH_<YYYY-MM-DD>.json in the repo root. A baseline
-# (BENCH_2026-08-08.json) is committed; wall-clock numbers are
-# machine-dependent and only comparable across runs on the same machine,
-# but served counts and dedup ratios are deterministic per seed.
+# Report schema (schema_version 2): a top-level `config` records the
+# driver parameters the numbers depend on (seed, chunk size), and each
+# cluster driver carries its dedup flag. `--compare` refuses to diff
+# reports whose schema_version or config differ — cross-config deltas
+# are not regressions, they are different experiments.
+#
+# Wall-clock numbers are machine-dependent and only comparable across
+# runs on the same machine; served counts and dedup ratios are
+# deterministic per seed, and `--compare` treats a drift in those as a
+# failure too (it means behavior changed without re-blessing the
+# baseline: rerun `scripts/bench.sh` and review the new report).
+#
+# FAASNAP_BENCH_SLOW=<factor> multiplies measured wall times in the
+# generated report — the hook `--selftest` uses to prove the gate trips.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_$(date +%F).json}"
+MODE=run
+OUT=""
+for arg in "$@"; do
+    case "$arg" in
+        --compare) MODE=compare ;;
+        --selftest) MODE=selftest ;;
+        --*) echo "bench.sh: unknown flag $arg" >&2; exit 2 ;;
+        *) OUT="$arg" ;;
+    esac
+done
+OUT="${OUT:-BENCH_$(date +%F).json}"
+
+SEED=42
+CHUNK_BYTES=2097152
+
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -36,16 +70,21 @@ FD=./target/release/faasnapd
 time_driver invoke_hello_faasnap "$FD" invoke hello-world
 time_driver invoke_json_reap "$FD" invoke json --strategy reap
 time_driver burst_json_x8 "$FD" burst json --parallelism 8
-time_driver cluster_smoke "$FD" cluster --smoke --policy snapshot-locality --seed 42
+time_driver cluster_smoke "$FD" cluster --smoke --policy snapshot-locality --seed "$SEED"
 time_driver cluster_smoke_dedup_off "$FD" cluster --smoke --policy snapshot-locality \
-    --seed 42 --dedup off
+    --seed "$SEED" --dedup off
 
-python3 - "$TMP" "$OUT" << 'EOF'
-import json, sys, datetime, pathlib
+# Renders $TMP measurements into a schema v2 report at $1. Honors
+# FAASNAP_BENCH_SLOW as a wall-time multiplier (self-test hook).
+generate() {
+    python3 - "$TMP" "$1" "$SEED" "$CHUNK_BYTES" << 'EOF'
+import json, os, sys, datetime, pathlib
 
 tmp, out = pathlib.Path(sys.argv[1]), sys.argv[2]
+seed, chunk_bytes = int(sys.argv[3]), int(sys.argv[4])
+slow = float(os.environ.get("FAASNAP_BENCH_SLOW", "1"))
 walls = dict(
-    (name, int(ms))
+    (name, int(int(ms) * slow))
     for name, ms in (line.split() for line in (tmp / "wall.txt").read_text().splitlines())
 )
 
@@ -56,15 +95,109 @@ for name, wall_ms in walls.items():
         doc = json.loads((tmp / f"{name}.out").read_text())
         fleet = doc["runs"][0]["fleet"]
         served = fleet["served"]
+        entry["dedup"] = not name.endswith("_dedup_off")
         entry["served"] = served
         entry["events_per_sec"] = round(served / (wall_ms / 1000.0), 1) if wall_ms else None
         entry["dedup_ratio"] = fleet["store"]["dedup_ratio"]
         entry["snapshots_resident"] = fleet["store"]["snapshots_resident"]
     drivers.append(entry)
 
-report = {"date": datetime.date.today().isoformat(), "drivers": drivers}
+report = {
+    "schema_version": 2,
+    "date": datetime.date.today().isoformat(),
+    "config": {"seed": seed, "chunk_bytes": chunk_bytes},
+    "drivers": drivers,
+}
 pathlib.Path(out).write_text(json.dumps(report, indent=2) + "\n")
-print(f"wrote {out}")
 EOF
+}
 
-cat "$OUT"
+# compare <baseline.json> <current.json>: exit 1 on a perf regression or
+# deterministic-value drift, exit 3 on a schema/config mismatch.
+compare() {
+    python3 - "$1" "$2" << 'EOF'
+import json, sys, pathlib
+
+old = json.loads(pathlib.Path(sys.argv[1]).read_text())
+new = json.loads(pathlib.Path(sys.argv[2]).read_text())
+
+# Cross-schema diffs are different experiments, not regressions.
+if old.get("schema_version") != new.get("schema_version"):
+    print(f"bench compare: schema_version {old.get('schema_version')} vs "
+          f"{new.get('schema_version')} — refusing to diff", file=sys.stderr)
+    sys.exit(3)
+if old.get("config") != new.get("config"):
+    print(f"bench compare: config {old.get('config')} vs {new.get('config')} "
+          f"— refusing to diff", file=sys.stderr)
+    sys.exit(3)
+
+# Wall-clock gate: >15% slower, with an absolute slack so millisecond
+# noise on tiny drivers cannot trip it. The suite total gets a tighter
+# slack — aggregate noise averages out.
+RATIO, DRIVER_SLACK_MS, TOTAL_SLACK_MS = 1.15, 30, 10
+
+olds = {d["name"]: d for d in old["drivers"]}
+news = {d["name"]: d for d in new["drivers"]}
+failures = []
+for name in sorted(olds.keys() & news.keys()):
+    o, n = olds[name], news[name]
+    if o.get("dedup") != n.get("dedup"):
+        print(f"bench compare: {name}: dedup flag changed — refusing to diff",
+              file=sys.stderr)
+        sys.exit(3)
+    if n["wall_ms"] > o["wall_ms"] * RATIO + DRIVER_SLACK_MS:
+        failures.append(f"{name}: wall {o['wall_ms']} ms -> {n['wall_ms']} ms "
+                        f"(>{int((RATIO - 1) * 100)}% + {DRIVER_SLACK_MS} ms)")
+    if (o.get("events_per_sec") and n.get("events_per_sec")
+            and o["wall_ms"] >= DRIVER_SLACK_MS
+            and n["events_per_sec"] < o["events_per_sec"] / RATIO):
+        failures.append(f"{name}: events/sec {o['events_per_sec']} -> "
+                        f"{n['events_per_sec']}")
+    for det in ("served", "dedup_ratio", "snapshots_resident"):
+        if det in o and o[det] != n.get(det):
+            failures.append(f"{name}: deterministic {det} {o[det]} -> {n.get(det)} "
+                            f"(behavior changed; rerun scripts/bench.sh to re-bless)")
+
+o_total = sum(d["wall_ms"] for d in old["drivers"])
+n_total = sum(d["wall_ms"] for d in new["drivers"])
+if n_total > o_total * RATIO + TOTAL_SLACK_MS:
+    failures.append(f"suite total: {o_total} ms -> {n_total} ms")
+
+if failures:
+    print("bench compare: REGRESSION vs " + sys.argv[1], file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench compare: OK vs {sys.argv[1]} (suite {o_total} ms -> {n_total} ms)")
+EOF
+}
+
+generate "$TMP/current.json"
+
+case "$MODE" in
+    run)
+        cp "$TMP/current.json" "$OUT"
+        echo "wrote $OUT"
+        cat "$OUT"
+        ;;
+    compare)
+        BASELINE="$(ls BENCH_*.json 2> /dev/null | sort | tail -n 1 || true)"
+        if [[ -z "$BASELINE" ]]; then
+            echo "bench compare: no committed BENCH_*.json baseline" >&2
+            exit 2
+        fi
+        compare "$BASELINE" "$TMP/current.json"
+        cp "$TMP/current.json" "$OUT"
+        echo "appended trajectory point $OUT"
+        ;;
+    selftest)
+        # The gate must trip on a 2x slowdown of this very run — no
+        # dependence on how fast the committed baseline's machine was.
+        FAASNAP_BENCH_SLOW=2 generate "$TMP/slowed.json"
+        if compare "$TMP/current.json" "$TMP/slowed.json" > /dev/null 2>&1; then
+            echo "bench selftest: FAIL — 2x slowdown did not trip the gate" >&2
+            exit 1
+        fi
+        echo "bench selftest: OK — 2x slowdown trips the regression gate"
+        ;;
+esac

@@ -40,12 +40,21 @@ OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
 ./target/release/faasnapd invoke hello-world \
     --trace-out "$OBS_TMP/invoke_trace.json" \
-    --metrics-out "$OBS_TMP/invoke_metrics.prom" >/dev/null
+    --metrics-out "$OBS_TMP/invoke_metrics.prom" \
+    --profile-out "$OBS_TMP/invoke_profile.folded" >/dev/null
 ./target/release/faasnapd cluster --smoke --policy snapshot-locality --seed 42 \
     --metrics-out "$OBS_TMP/cluster_metrics.prom" > "$OBS_TMP/cluster_fleet.json"
-for artifact in invoke_trace.json invoke_metrics.prom cluster_metrics.prom cluster_fleet.json; do
+for artifact in invoke_trace.json invoke_metrics.prom invoke_profile.folded \
+    cluster_metrics.prom cluster_fleet.json; do
     diff -u "tests/golden/$artifact" "$OBS_TMP/$artifact" \
         || { echo "CLI $artifact drifted from tests/golden/$artifact"; exit 1; }
 done
+
+echo "==> bench trajectory: regression-gate self-test, then compare"
+# The self-test proves a 2x injected slowdown trips the gate; the
+# compare then diffs this machine's run against the latest committed
+# BENCH_*.json and appends the new trajectory point.
+scripts/bench.sh --selftest
+scripts/bench.sh --compare
 
 echo "All checks passed."

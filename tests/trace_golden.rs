@@ -12,7 +12,9 @@ use std::sync::OnceLock;
 use faasnap::strategy::RestoreStrategy;
 use faasnap_cluster::{run_cluster, ClusterConfig, RoutePolicy};
 use faasnap_daemon::observe::traced_invoke;
-use faasnap_obs::{chrome_trace_json, render_text_tree, Metrics, Tracer};
+use faasnap_obs::{
+    chrome_trace_json, folded_stacks, render_phase_table, render_text_tree, Metrics, Tracer,
+};
 use proptest::prelude::*;
 use sim_storage::profiles::DiskProfile;
 
@@ -125,6 +127,53 @@ fn invoke_metrics_match_golden() {
     assert!(prom.contains("faasnap_prefetch_bytes_total"));
     assert!(prom.contains("faasnap_fault_wait_us_bucket"));
     check_golden("tests/golden/invoke_metrics.prom", prom);
+}
+
+/// The folded flamegraph stacks `faasnapd invoke hello-world
+/// --profile-out` writes: collapse format, one `stack self-ns` line,
+/// lexicographically sorted — loadable in speedscope/inferno as-is.
+#[test]
+fn invoke_folded_stacks_match_golden() {
+    let run = invoke_once();
+    let folded = folded_stacks(&run.tracer);
+    for line in folded.lines() {
+        let (stack, ns) = line.rsplit_once(' ').expect("stack <self-ns>");
+        assert!(!stack.is_empty());
+        assert!(ns.parse::<u64>().is_ok(), "bad self-ns in {line:?}");
+    }
+    // Every phase the profiler attributes must come from a real span;
+    // restore + prefetch + faults all show up for the FaaSnap strategy.
+    assert!(folded.contains(";setup "));
+    assert!(folded.contains("loader/prefetch;loader/chunk "));
+    assert!(folded.contains(";fault/minor "));
+    check_golden("tests/golden/invoke_profile.folded", &folded);
+}
+
+/// The per-phase self/total table printed alongside `--profile-out`.
+#[test]
+fn invoke_phase_table_matches_golden() {
+    let run = invoke_once();
+    let table = render_phase_table(&run.tracer);
+    assert!(table.contains("restore"));
+    assert!(table.contains("guest-fault-wait"));
+    assert!(table.contains("loader-prefetch"));
+    assert!(table.contains("compute"));
+    check_golden("tests/golden/invoke_phases.txt", &table);
+}
+
+/// The engine self-profile report `--self-profile-out` writes. The
+/// counters are pure functions of the simulated run; wall-ns reads zero
+/// in default builds (the `wallclock` feature is off), so the report is
+/// golden-pinnable.
+#[test]
+#[cfg_attr(feature = "obs-wallclock", ignore = "wall-ns nonzero under wallclock")]
+fn invoke_self_profile_matches_golden() {
+    let run = invoke_once();
+    let report = run.selfprof.render_report();
+    assert!(report.contains("engine/delivered"));
+    assert!(report.contains("mm/resolve_calls"));
+    assert!(report.contains("mm/map_ops"));
+    check_golden("tests/golden/invoke_selfprof.txt", &report);
 }
 
 fn smoke_metrics(seed: u64) -> (String, String) {
