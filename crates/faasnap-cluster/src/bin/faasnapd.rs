@@ -17,7 +17,8 @@
 //!                  [--snapshot-budget <bytes>] [--dedup on|off] [--chunk-bytes <bytes>]
 //!                  [--fault-prob 0.02] [--fault-retry-ms 3] [--degrade-prob 0.25] [--degrade-ms 25]
 //!                  [--slo-latency-ms 1000] [--slo-burn 2.0]
-//!                  [--smoke] [--metrics-out <file>] [--trace-out <file>]
+//!                  [--smoke] [--mega] [--repeat <n>]
+//!                  [--metrics-out <file>] [--trace-out <file>]
 //!                  [--profile-out <file>] [--self-profile-out <file>]
 //! faasnapd lint [--root <dir>]
 //! ```
@@ -33,7 +34,12 @@
 //! traffic — plus per-scope wall-ns when the `wallclock` feature of
 //! `faasnap-obs` is enabled). `cluster --smoke` runs the fixed
 //! [`ClusterConfig::smoke`] fleet (no calibration), which the
-//! repository's golden tests pin byte-for-byte.
+//! repository's golden tests pin byte-for-byte. `cluster --mega` runs
+//! the fixed trace-scale [`ClusterConfig::mega`] fleet (≥10⁶
+//! invocations, 1000 hosts, no calibration) and emits only the fleet
+//! aggregates. `--repeat <n>` reruns the identical fleet n times in
+//! one process — asserting byte-identical metrics — so benchmarks can
+//! divide wall time by n and factor out the process-startup floor.
 //!
 //! The fleet runs a burn-rate SLO monitor (latency + cold-start error
 //! budgets, long/short windows) on every invocation; it is silent on
@@ -81,7 +87,7 @@ impl Args {
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = if matches!(name, "trace" | "smoke") {
+                let value = if matches!(name, "trace" | "smoke" | "mega") {
                     "true".to_string()
                 } else {
                     iter.next()
@@ -353,6 +359,20 @@ fn cmd_cluster(args: &Args) {
     };
 
     let smoke = args.flags.contains_key("smoke");
+    // The trace-scale fixed fleet (ClusterConfig::mega): ≥10⁶
+    // invocations on 1000 hosts, built-in service times (no
+    // calibration), single policy unless --policy all is explicit.
+    let mega = args.flags.contains_key("mega");
+    if smoke && mega {
+        die("--smoke and --mega are mutually exclusive");
+    }
+    // In-process repetition for microbenchmarks: run the identical
+    // fleet K times (asserting byte-identical metrics) so per-run wall
+    // time can be measured without the process startup floor.
+    let repeat: u32 = args.num("repeat", "1");
+    if repeat == 0 {
+        die("--repeat must be at least 1");
+    }
     // Store-aware registry knobs. The defaults match HostConfig's, so
     // the smoke fleet stays golden-pinned when no flag is passed.
     let dedup = match args.flag("dedup", "on").as_str() {
@@ -394,7 +414,7 @@ fn cmd_cluster(args: &Args) {
     // smoke fleet uses the built-in defaults so golden files don't
     // depend on the (slow) calibration runs.
     let workloads = ["hello-world", "json", "compression", "image"];
-    let services = if smoke {
+    let services = if smoke || mega {
         Vec::new()
     } else {
         eprintln!(
@@ -439,6 +459,8 @@ fn cmd_cluster(args: &Args) {
     for policy in policies {
         let mut cfg = if smoke {
             ClusterConfig::smoke(policy, seed)
+        } else if mega {
+            ClusterConfig::mega(policy, seed)
         } else {
             let mut cfg = ClusterConfig::demo(hosts, policy, seed);
             cfg.workload = WorkloadSpec::zipf(tenants, &workloads, rate, skew);
@@ -461,9 +483,35 @@ fn cmd_cluster(args: &Args) {
             cfg.workload.tenants.len(),
             cfg.horizon
         );
-        let m = run_cluster(&cfg);
+        let mut m = run_cluster(&cfg);
+        if repeat > 1 {
+            // Deterministic by construction; the assert makes a
+            // nondeterminism regression fail the benchmark loudly
+            // instead of averaging it away.
+            let first = m.to_json().to_string_pretty();
+            for _ in 1..repeat {
+                m = run_cluster(&cfg);
+                if m.to_json().to_string_pretty() != first {
+                    die("--repeat runs diverged: fleet sim is nondeterministic");
+                }
+            }
+        }
         p99_by_policy.push((policy.label().to_string(), m.p(99.0)));
-        runs.push(m.to_json());
+        let mut run = m.to_json();
+        if mega {
+            // 4000 tenant rows and 1000 host rows dwarf the fleet
+            // aggregates; the mega driver only consumes the latter.
+            run = Value::object()
+                .with("policy", run.get("policy").cloned().unwrap_or(Value::Null))
+                .with("seed", seed)
+                .with("hosts", cfg.hosts as u64)
+                .with(
+                    "horizon_s",
+                    run.get("horizon_s").cloned().unwrap_or(Value::Null),
+                )
+                .with("fleet", run.get("fleet").cloned().unwrap_or(Value::Null));
+        }
+        runs.push(run);
     }
 
     if let Some(path) = args.flags.get("metrics-out") {

@@ -16,6 +16,7 @@ use crate::arrival::{Arrival, TenantId, WorkloadSpec};
 use crate::hostsim::{Admission, HostConfig, HostSim, QueuedJob, ServeMode, ServiceTimes};
 use crate::metrics::FleetMetrics;
 use crate::router::RoutePolicy;
+use crate::routeridx::RouterIndex;
 use crate::slo::{SloConfig, SloMonitor};
 
 /// Storage-fault profile for a fleet run: the aggregate, fleet-level
@@ -138,6 +139,30 @@ impl ClusterConfig {
         }
     }
 
+    /// The trace-scale fleet behind `faasnapd cluster --mega` and the
+    /// `cluster_mega` bench driver: ≥10⁶ invocations across 1000 hosts
+    /// (≈4000 req/s aggregate over a 300 s horizon from 4000 Zipf-skewed
+    /// tenants). Like [`ClusterConfig::smoke`] it uses the built-in
+    /// default service times, so no calibration run is needed and a
+    /// given seed is byte-deterministic.
+    pub fn mega(policy: RoutePolicy, seed: u64) -> Self {
+        let workloads = ["hello-world", "json", "compression", "image"];
+        ClusterConfig {
+            hosts: 1000,
+            host: HostConfig::default(),
+            policy,
+            workload: WorkloadSpec::zipf(4000, &workloads, 4000.0, 1.2),
+            horizon: SimDuration::from_secs(300),
+            seed,
+            services: Vec::new(),
+            tracer: Tracer::disabled(),
+            obs: Metrics::disabled(),
+            fault_profile: None,
+            selfprof: SelfProfile::disabled(),
+            slo: SloConfig::default(),
+        }
+    }
+
     /// Service times for a base workload name.
     pub fn service_for(&self, workload: &str) -> ServiceTimes {
         self.services
@@ -171,6 +196,9 @@ struct FleetWorld<'a> {
     tenant_families: &'a [u64],
     policy: RoutePolicy,
     hosts: Vec<HostSim>,
+    /// Incrementally-maintained routing index: `pick` answers from
+    /// precomputed structures instead of scanning every host.
+    index: RouterIndex,
     route_rng: Prng,
     fault_profile: Option<FleetFaultProfile>,
     fault_rng: Prng,
@@ -248,8 +276,8 @@ impl World for FleetWorld<'_> {
                 self.tracer.tag(ctx, "tenant", tenant);
                 self.selfprof.inc("router/lookups");
                 match self
-                    .policy
-                    .pick(&self.hosts, tenant, now, &mut self.route_rng)
+                    .index
+                    .pick(self.policy, &self.hosts, tenant, now, &mut self.route_rng)
                 {
                     None => {
                         self.tracer.tag(ctx, "shed", true);
@@ -364,6 +392,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
         .iter()
         .map(|t| (t.name.clone(), t.workload.clone()))
         .collect();
+    let index = RouterIndex::enabled(cfg.hosts);
     let mut world = FleetWorld {
         arrivals: &arrivals,
         tenant_times: &tenant_times,
@@ -373,9 +402,11 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
             .map(|i| {
                 let mut h = HostSim::new(cfg.host);
                 h.set_metrics(cfg.obs.clone(), i);
+                h.attach_index(index.clone(), i);
                 h
             })
             .collect(),
+        index,
         // Routing randomness is independent of arrival randomness so the
         // same trace replays under every policy.
         route_rng: Prng::new(cfg.seed ^ 0x1205_7EA3_C0FF_EE00),

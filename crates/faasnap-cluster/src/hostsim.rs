@@ -22,6 +22,7 @@ use faasnap_obs::{Metrics, TraceContext};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::arrival::TenantId;
+use crate::routeridx::RouterIndex;
 use crate::store::{StoreParams, StoreRegistry};
 
 /// How one fleet invocation was served.
@@ -276,6 +277,10 @@ pub struct HostSim {
     busy: SimDuration,
     metrics: Metrics,
     host_label: String,
+    /// Shared router index (disabled by default — zero cost); the host
+    /// pushes load/warm/snapshot/cache deltas so the router never scans.
+    index: RouterIndex,
+    host_id: usize,
 }
 
 impl HostSim {
@@ -292,6 +297,8 @@ impl HostSim {
             busy: SimDuration::ZERO,
             metrics: Metrics::disabled(),
             host_label: String::from("0"),
+            index: RouterIndex::disabled(),
+            host_id: 0,
         }
     }
 
@@ -299,6 +306,35 @@ impl HostSim {
     pub fn set_metrics(&mut self, metrics: Metrics, index: usize) {
         self.metrics = metrics;
         self.host_label = index.to_string();
+    }
+
+    /// Attaches a shared [`RouterIndex`]; `host_id` is this host's slot
+    /// in it. Attach to a *fresh* host (before it serves traffic): the
+    /// index picks up the current load and admission headroom here, and
+    /// tracks warm/snapshot/cache state incrementally from then on.
+    pub fn attach_index(&mut self, index: RouterIndex, host_id: usize) {
+        self.index = index;
+        self.host_id = host_id;
+        self.sync_index_load();
+    }
+
+    /// Pushes the current load signal and admission headroom.
+    fn sync_index_load(&mut self) {
+        self.index
+            .set_host(self.host_id, self.load(), self.can_admit());
+    }
+
+    /// Reconciles `tenant`'s snapshot and cache residency after registry
+    /// or cache mutations (idempotent, so eviction cascades just re-sync
+    /// every affected tenant).
+    fn sync_index_tenant(&self, tenant: TenantId) {
+        if !self.index.is_enabled() {
+            return;
+        }
+        self.index
+            .set_snapshot(self.host_id, tenant, self.snapshots.contains(tenant));
+        self.index
+            .set_cached(self.host_id, tenant, self.cache.contains(tenant));
     }
 
     /// The host's configuration.
@@ -379,6 +415,7 @@ impl HostSim {
             Admission::Started { mode, service }
         } else if self.queue.len() < self.cfg.queue_cap {
             self.queue.push_back(job);
+            self.sync_index_load();
             self.metrics.gauge_max(
                 "fleet_queue_depth_max",
                 &[("host", &self.host_label)],
@@ -414,15 +451,21 @@ impl HostSim {
         debug_assert!((self.running as usize) < self.cfg.slots as usize);
         self.purge_expired_warm(now);
         let mode = if let Some(pos) = self.warm.iter().position(|&(t, _)| t == tenant) {
-            self.warm.remove(pos);
+            let (_, expiry) = self.warm.remove(pos);
+            self.index.warm_remove(self.host_id, tenant, expiry);
             self.metrics
                 .counter_inc("fleet_warm_pool_hits_total", &[("host", &self.host_label)]);
             ServeMode::Warm
         } else if self.snapshots.contains(tenant) {
             self.snapshots.touch(tenant);
             let hot = self.cache.contains(tenant);
-            // Restoring (hot or cold) leaves the loading set resident.
-            self.cache.insert(tenant, times.loading_set_bytes);
+            // Restoring (hot or cold) leaves the loading set resident;
+            // whoever the insert pushed out loses cache residency.
+            let cache_evicted = self.cache.insert(tenant, times.loading_set_bytes);
+            for t in cache_evicted {
+                self.sync_index_tenant(t);
+            }
+            self.sync_index_tenant(tenant);
             if hot {
                 ServeMode::SnapshotHot
             } else {
@@ -441,10 +484,15 @@ impl HostSim {
                     evicted.len() as u64,
                 );
             }
-            for tenant in evicted {
-                self.cache.remove(tenant);
+            for &t in &evicted {
+                self.cache.remove(t);
+                self.sync_index_tenant(t);
             }
-            self.cache.insert(tenant, times.loading_set_bytes);
+            let cache_evicted = self.cache.insert(tenant, times.loading_set_bytes);
+            for t in cache_evicted {
+                self.sync_index_tenant(t);
+            }
+            self.sync_index_tenant(tenant);
             ServeMode::Cold
         };
         self.metrics
@@ -452,6 +500,7 @@ impl HostSim {
         let service = times.latency(mode);
         self.running += 1;
         self.busy += service;
+        self.sync_index_load();
         (mode, service)
     }
 
@@ -462,25 +511,35 @@ impl HostSim {
         self.running -= 1;
         self.purge_expired_warm(now);
         let expiry = now + self.cfg.warm_ttl;
-        if self.cfg.warm_pool_cap == 0 {
-            return;
+        if self.cfg.warm_pool_cap != 0 {
+            if self.warm.len() >= self.cfg.warm_pool_cap {
+                // Evict the warm VM closest to expiry.
+                let (t, e) = self.warm.remove(0);
+                self.index.warm_remove(self.host_id, t, e);
+            }
+            // Keep the pool sorted by expiry (oldest first).
+            let pos = self.warm.partition_point(|&(_, e)| e <= expiry);
+            self.warm.insert(pos, (tenant, expiry));
+            self.index.warm_add(self.host_id, tenant, expiry);
         }
-        if self.warm.len() >= self.cfg.warm_pool_cap {
-            // Evict the warm VM closest to expiry.
-            self.warm.remove(0);
-        }
-        // Keep the pool sorted by expiry (oldest first).
-        let pos = self.warm.partition_point(|&(_, e)| e <= expiry);
-        self.warm.insert(pos, (tenant, expiry));
+        self.sync_index_load();
     }
 
     /// Pops the next queued request, if any (the caller starts it).
     pub fn pop_queued(&mut self) -> Option<QueuedJob> {
-        self.queue.pop_front()
+        let job = self.queue.pop_front();
+        if job.is_some() {
+            self.sync_index_load();
+        }
+        job
     }
 
     fn purge_expired_warm(&mut self, now: SimTime) {
-        self.warm.retain(|&(_, expiry)| expiry >= now);
+        // The pool is sorted by expiry, so the expired VMs are a prefix.
+        while self.warm.first().is_some_and(|&(_, e)| e < now) {
+            let (t, e) = self.warm.remove(0);
+            self.index.warm_remove(self.host_id, t, e);
+        }
     }
 }
 

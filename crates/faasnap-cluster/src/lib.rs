@@ -27,6 +27,10 @@
 //!   functions stay restorable per host under Zipf skew.
 //! * [`router`] — pluggable placement: random, least-loaded, and
 //!   snapshot-locality-aware, plus admission control and load shedding.
+//! * [`routeridx`] — incrementally-maintained routing indices (Fenwick
+//!   select for random, a segment tree for least-loaded, per-tenant
+//!   locality lists) answering the same queries without per-request
+//!   scans — byte-identical placements at fleet scale.
 //! * [`fleet`] — the discrete-event simulation tying it together on
 //!   [`sim_core::engine::Engine`].
 //! * [`metrics`] — per-function and fleet-wide SLO metrics (p50/p95/p99,
@@ -50,6 +54,7 @@ pub mod fleet;
 pub mod hostsim;
 pub mod metrics;
 pub mod router;
+pub mod routeridx;
 pub mod slo;
 pub mod store;
 
@@ -58,5 +63,6 @@ pub use fleet::{run_cluster, ClusterConfig, FleetFaultProfile};
 pub use hostsim::{HostConfig, ServiceTimes};
 pub use metrics::FleetMetrics;
 pub use router::RoutePolicy;
+pub use routeridx::RouterIndex;
 pub use slo::{AlertEvent, SloAlert, SloConfig, SloMonitor};
 pub use store::{snapshot_chunks, StoreParams, StoreRegistry};

@@ -113,12 +113,39 @@ struct Sample {
     cold: bool,
 }
 
+/// Rolling `[samples, slow, cold]` totals over a window.
+type WindowCounts = [u64; 3];
+
+fn counts_add(c: &mut WindowCounts, s: &Sample) {
+    c[0] += 1;
+    c[1] += u64::from(s.slow);
+    c[2] += u64::from(s.cold);
+}
+
+fn counts_sub(c: &mut WindowCounts, s: &Sample) {
+    c[0] -= 1;
+    c[1] -= u64::from(s.slow);
+    c[2] -= u64::from(s.cold);
+}
+
 /// The burn-rate evaluator. Owns a sliding sample window bounded by the
-/// long-window length and the per-rule alert state.
+/// long-window length and the per-rule alert state. Window populations
+/// are maintained as rolling counters — O(1) amortized per observation
+/// — computing the same integer tallies a rescan of the window would,
+/// so burn rates (and therefore alert transitions) are bit-identical to
+/// the scanning evaluator this replaced. Requires nondecreasing `now`,
+/// which the event engine guarantees.
 #[derive(Clone, Debug)]
 pub struct SloMonitor {
     cfg: SloConfig,
     window: VecDeque<Sample>,
+    /// Totals over the long window — after eviction, the whole deque.
+    long_counts: WindowCounts,
+    /// Deque entries older than the short cutoff (a prefix, since
+    /// samples arrive in time order) …
+    short_skip: usize,
+    /// … and totals over the short-window suffix behind them.
+    short_counts: WindowCounts,
     latency_active: bool,
     cold_active: bool,
     alerts: Vec<SloAlert>,
@@ -130,33 +157,20 @@ impl SloMonitor {
         SloMonitor {
             cfg,
             window: VecDeque::new(),
+            long_counts: [0; 3],
+            short_skip: 0,
+            short_counts: [0; 3],
             latency_active: false,
             cold_active: false,
             alerts: Vec::new(),
         }
     }
 
-    /// Burn rate of one predicate over the trailing `window`:
+    /// Burn rate of one predicate's rolling counts:
     /// `(bad / n) / objective`. Returns `(burn, samples_in_window)`.
-    fn burn(
-        &self,
-        now: SimTime,
-        window: SimDuration,
-        objective: f64,
-        pick: impl Fn(&Sample) -> bool,
-    ) -> (f64, u64) {
-        let cutoff = now - window;
-        let mut n = 0u64;
-        let mut bad = 0u64;
-        for s in self.window.iter().rev() {
-            if s.at < cutoff {
-                break;
-            }
-            n += 1;
-            if pick(s) {
-                bad += 1;
-            }
-        }
+    fn burn(counts: &WindowCounts, objective: f64, bad_idx: usize) -> (f64, u64) {
+        let n = counts[0];
+        let bad = counts[bad_idx];
         if n == 0 || objective <= 0.0 {
             return (0.0, n);
         }
@@ -176,35 +190,51 @@ impl SloMonitor {
     ) {
         // Evict samples the long window can no longer see, then admit.
         let cutoff = now - self.cfg.long_window;
-        while self.window.front().is_some_and(|s| s.at < cutoff) {
+        while let Some(s) = self.window.front().copied() {
+            if s.at >= cutoff {
+                break;
+            }
             self.window.pop_front();
+            counts_sub(&mut self.long_counts, &s);
+            if self.short_skip > 0 {
+                // Already aged out of the short window; just realign.
+                self.short_skip -= 1;
+            } else {
+                counts_sub(&mut self.short_counts, &s);
+            }
         }
-        self.window.push_back(Sample {
+        let sample = Sample {
             at: now,
             slow: latency > self.cfg.latency_threshold,
             cold: matches!(mode, ServeMode::SnapshotCold | ServeMode::Cold),
-        });
+        };
+        self.window.push_back(sample);
+        counts_add(&mut self.long_counts, &sample);
+        counts_add(&mut self.short_counts, &sample);
+        // Advance the short-window boundary past newly-aged samples.
+        let cutoff_short = now - self.cfg.short_window;
+        while let Some(s) = self.window.get(self.short_skip).copied() {
+            if s.at >= cutoff_short {
+                break;
+            }
+            counts_sub(&mut self.short_counts, &s);
+            self.short_skip += 1;
+        }
 
-        // (rule name, error-budget objective, bad-sample predicate,
-        // currently-active flag).
-        type Rule = (&'static str, f64, fn(&Sample) -> bool, bool);
-        let rules: [Rule; 2] = [
+        // (rule name, error-budget objective, index of the bad-sample
+        // tally in the window counts, currently-active flag).
+        let rules: [(&'static str, f64, usize, bool); 2] = [
             (
                 "latency",
                 self.cfg.latency_objective,
-                |s: &Sample| s.slow,
+                1,
                 self.latency_active,
             ),
-            (
-                "cold_start",
-                self.cfg.cold_objective,
-                |s: &Sample| s.cold,
-                self.cold_active,
-            ),
+            ("cold_start", self.cfg.cold_objective, 2, self.cold_active),
         ];
-        for (rule, objective, pick, active) in rules {
-            let (burn_long, n_long) = self.burn(now, self.cfg.long_window, objective, pick);
-            let (burn_short, _) = self.burn(now, self.cfg.short_window, objective, pick);
+        for (rule, objective, bad_idx, active) in rules {
+            let (burn_long, n_long) = Self::burn(&self.long_counts, objective, bad_idx);
+            let (burn_short, _) = Self::burn(&self.short_counts, objective, bad_idx);
             let thr = self.cfg.burn_threshold;
             // Fire and stay firing only while BOTH windows burn: the
             // short window is what lets the alert resolve quickly once

@@ -21,9 +21,10 @@
 //! (seeded FNV/splitmix over label words, no OS entropy), and all state
 //! lives in order-preserving collections.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use faasnap_store::{ChunkHash, LayerKind, SnapshotId, SnapshotStore, StoreConfig};
+use sim_core::detmap::DetMap;
 use sim_core::units::PAGE_SIZE;
 
 use crate::arrival::TenantId;
@@ -111,7 +112,7 @@ pub struct StoreRegistry {
     budget: u64,
     /// LRU order; front is the next eviction victim.
     lru: VecDeque<TenantId>,
-    resident: BTreeMap<TenantId, SnapshotId>,
+    resident: DetMap<TenantId, SnapshotId>,
 }
 
 impl StoreRegistry {
@@ -123,7 +124,7 @@ impl StoreRegistry {
             params,
             budget,
             lru: VecDeque::new(),
-            resident: BTreeMap::new(),
+            resident: DetMap::new(),
         }
     }
 
@@ -191,9 +192,9 @@ impl StoreRegistry {
         self.remove(tenant);
         let chunks = snapshot_chunks(self.params, family, tenant, snapshot_bytes);
         // The snapshot's standalone footprint: distinct identities only.
-        let mut solo: BTreeMap<ChunkHash, u64> = BTreeMap::new();
+        let mut solo: DetMap<ChunkHash, u64> = DetMap::new();
         for &(_, hash, bytes) in &chunks {
-            solo.entry(hash).or_insert(bytes);
+            solo.or_insert_with(hash, || bytes);
         }
         if solo.values().sum::<u64>() > self.budget {
             return vec![tenant];

@@ -96,11 +96,15 @@ const TEXT_RULES: &[TextRule] = &[
                   sleeps in simulated time only",
         applies: everywhere,
     },
+    // sim_core::detmap::DetMap / DetSet are the sanctioned hash
+    // containers: seeded hashing, insertion-ordered iteration, so they
+    // replay byte-identically and never match this rule.
     TextRule {
         id: "no-unordered-iteration",
         patterns: &["HashMap", "HashSet"],
         message: "`{}` has unspecified iteration order, the classic determinism leak; use \
-                  BTreeMap/BTreeSet or sort before iterating",
+                  sim_core::detmap::DetMap/DetSet (seeded, insertion-ordered), \
+                  BTreeMap/BTreeSet, or sort before iterating",
         applies: everywhere,
     },
 ];
@@ -330,6 +334,20 @@ mod tests {
                 .map(|d| d.rule)
                 .collect::<Vec<_>>(),
             vec!["no-os-entropy"],
+        );
+    }
+
+    #[test]
+    fn detmap_and_detset_are_sanctioned() {
+        // The deterministic hash containers must not trip the rule the
+        // way HashMap/HashSet do — no per-site allow needed.
+        let src = "use sim_core::detmap::{DetMap, DetSet};\n\
+                   fn f() { let m: DetMap<u32, u32> = DetMap::new(); let _ = m.len(); }\n\
+                   fn g() { let s: DetSet<u32> = DetSet::new(); let _ = s.len(); }\n";
+        assert!(rules_of(src).is_empty());
+        assert_eq!(
+            rules_of("let m = HashMap::new();\n"),
+            vec!["no-unordered-iteration"]
         );
     }
 

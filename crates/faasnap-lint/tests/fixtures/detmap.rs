@@ -1,0 +1,29 @@
+//! Fixture for the sanctioned deterministic hash containers: DetMap and
+//! DetSet iterate in insertion order under seeded hashing, so the
+//! `no-unordered-iteration` rule must stay silent on them — no per-site
+//! allow directives required. The only mentions of the banned types
+//! live in prose, which the lexer masks.
+
+use sim_core::detmap::{DetMap, DetSet};
+
+/// Replaces a HashMap (banned) with a DetMap (sanctioned).
+pub fn tally(keys: &[u32]) -> DetMap<u32, u64> {
+    let mut counts: DetMap<u32, u64> = DetMap::new();
+    for &k in keys {
+        *counts.or_insert_with(k, || 0) += 1;
+    }
+    counts
+}
+
+/// Iteration order is insertion order, so collecting is deterministic.
+pub fn distinct(keys: &[u32]) -> Vec<u32> {
+    let mut seen: DetSet<u32> = DetSet::new();
+    for &k in keys {
+        seen.insert(k);
+    }
+    seen.iter().copied().collect()
+}
+
+/// Identifier-boundary check: these are not the banned names.
+pub struct DetMapHashMapAdapter;
+pub struct HashSetLikeDetSet;

@@ -165,7 +165,7 @@ pub struct Host {
     /// mapped file are translated chunk-by-chunk to the store's physical
     /// layout before reaching the device; unmapped files go straight
     /// through (the default — behavior is byte-identical when empty).
-    chunk_maps: std::collections::BTreeMap<FileId, ChunkedFile>,
+    chunk_maps: sim_core::detmap::DetMap<FileId, ChunkedFile>,
     seed: u64,
     vmgenid: u64,
 }
@@ -185,7 +185,7 @@ impl Host {
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
             selfprof: SelfProfile::disabled(),
-            chunk_maps: std::collections::BTreeMap::new(),
+            chunk_maps: sim_core::detmap::DetMap::new(),
             seed,
             vmgenid: 0,
         }

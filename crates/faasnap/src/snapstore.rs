@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 
 use faasnap_store::{ChunkHash, LayerId, SnapshotId, SnapshotStore, StoreConfig, StoreError};
+use sim_core::detmap::DetMap;
 use sim_core::units::PAGE_SIZE;
 use sim_storage::chunked::{ChunkExtent, ChunkedFile};
 use sim_storage::file::{DeviceId, FileId, FileKind, SimFs};
@@ -64,7 +65,7 @@ pub struct FamilyStore {
     /// Chunk → physical slot. Append-only: a slot, once assigned, is
     /// never reused, so every layout ever handed out stays valid and the
     /// placement is a pure function of insertion order (deterministic).
-    placements: BTreeMap<ChunkHash, u64>,
+    placements: DetMap<ChunkHash, u64>,
     next_slot: u64,
 }
 
@@ -78,7 +79,7 @@ impl FamilyStore {
             store_file,
             bases: BTreeMap::new(),
             named: BTreeMap::new(),
-            placements: BTreeMap::new(),
+            placements: DetMap::new(),
             next_slot: 0,
         }
     }
@@ -128,7 +129,7 @@ impl FamilyStore {
         let chunk_pages = self.store.config().chunk_pages;
         for hash in self.store.resolve(id)?.into_values() {
             let next = &mut self.next_slot;
-            self.placements.entry(hash).or_insert_with(|| {
+            self.placements.or_insert_with(hash, || {
                 let slot = *next;
                 *next += 1;
                 slot

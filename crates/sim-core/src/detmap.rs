@@ -1,0 +1,663 @@
+//! Deterministic insertion-ordered hash containers.
+//!
+//! [`DetMap`] is an open-addressing hash map whose *observable* behavior —
+//! iteration order, lookup results, and therefore every simulation artifact
+//! derived from it — is independent of the hash seed: iteration yields
+//! entries in insertion order (like `indexmap`), never in bucket order. The
+//! seed only perturbs the private probe sequence, so two maps built by the
+//! same operation sequence are observationally identical even with
+//! different seeds.
+//!
+//! This is the sanctioned replacement for `BTreeMap` on simulation hot
+//! paths: `O(1)` expected lookup/insert/remove instead of `O(log n)`
+//! pointer-chasing, with none of `std::collections::HashMap`'s
+//! `RandomState` nondeterminism (the `no-unordered-iteration` lint bans
+//! that outright). Zero external dependencies.
+//!
+//! Design:
+//! - `entries`: insertion-ordered `Vec<Option<(K, V)>>`; removal leaves a
+//!   `None` hole so earlier indices stay stable. Holes are compacted away
+//!   once they outnumber live entries.
+//! - `index`: power-of-two open-addressing table of `u32` entry indices
+//!   with linear probing and tombstones, rebuilt on growth/compaction.
+//! - hashing: a seeded FNV-style byte hasher finished with a splitmix64
+//!   mix; `usize` writes are widened to `u64` so layouts agree across
+//!   platforms.
+
+use std::hash::{Hash, Hasher};
+
+const EMPTY: u32 = u32::MAX;
+const TOMB: u32 = u32::MAX - 1;
+/// Largest entry index representable in the index table.
+const MAX_ENTRY: u32 = u32::MAX - 2;
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(SPLITMIX_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded deterministic hasher: FNV-1a over bytes, splitmix64 finish.
+struct DetHasher {
+    state: u64,
+}
+
+impl DetHasher {
+    fn with_seed(seed: u64) -> Self {
+        DetHasher {
+            state: splitmix64(seed),
+        }
+    }
+}
+
+impl Hasher for DetHasher {
+    fn finish(&self) -> u64 {
+        splitmix64(self.state)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(u64::from(n));
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state ^ n).wrapping_mul(SPLITMIX_GAMMA) ^ (self.state >> 29);
+    }
+    fn write_u128(&mut self, n: u128) {
+        self.write_u64(n as u64);
+        self.write_u64((n >> 64) as u64);
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+    fn write_i8(&mut self, n: i8) {
+        self.write_u64(n as u8 as u64);
+    }
+    fn write_i16(&mut self, n: i16) {
+        self.write_u64(n as u16 as u64);
+    }
+    fn write_i32(&mut self, n: i32) {
+        self.write_u64(n as u32 as u64);
+    }
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+    fn write_i128(&mut self, n: i128) {
+        self.write_u128(n as u128);
+    }
+    fn write_isize(&mut self, n: isize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// A seeded, insertion-ordered, deterministic hash map.
+///
+/// Iteration order is the order keys were (most recently) inserted;
+/// overwriting an existing key keeps its original position, while
+/// remove + reinsert moves it to the back. All observable behavior is
+/// independent of the seed.
+#[derive(Clone)]
+pub struct DetMap<K, V> {
+    /// Insertion-ordered entries; `None` marks a removed slot.
+    entries: Vec<Option<(K, V)>>,
+    /// Open-addressing table over `entries` indices (`EMPTY` / `TOMB`).
+    index: Vec<u32>,
+    /// Number of live (`Some`) entries.
+    live: usize,
+    /// Index slots that are not `EMPTY` (live + tombstones).
+    used: usize,
+    seed: u64,
+}
+
+impl<K, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for DetMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K, V> DetMap<K, V> {
+    /// Creates an empty map with the default seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x0DE7_0DE7_0DE7_0DE7)
+    }
+
+    /// Creates an empty map with an explicit probe seed. The seed never
+    /// affects observable behavior — only the private probe sequence.
+    pub fn with_seed(seed: u64) -> Self {
+        DetMap {
+            entries: Vec::new(),
+            index: Vec::new(),
+            live: 0,
+            used: 0,
+            seed,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the map holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Removes every entry, keeping allocations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.iter_mut().for_each(|s| *s = EMPTY);
+        self.live = 0;
+        self.used = 0;
+    }
+
+    /// Live entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Live entries in insertion order, values mutable.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.entries
+            .iter_mut()
+            .filter_map(|e| e.as_mut().map(|(k, v)| (&*k, v)))
+    }
+
+    /// Live keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Live values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    fn hash_of(&self, key: &K) -> u64
+    where
+        K: Hash,
+    {
+        let mut h = DetHasher::with_seed(self.seed);
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    /// Probes for `key`; returns its `entries` index if present.
+    fn find(&self, key: &K) -> Option<usize>
+    where
+        K: Hash + Eq,
+    {
+        if self.live == 0 || self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = (self.hash_of(key) as usize) & mask;
+        loop {
+            match self.index[i] {
+                EMPTY => return None,
+                TOMB => {}
+                e => {
+                    if let Some((k, _)) = &self.entries[e as usize] {
+                        if k == key {
+                            return Some(e as usize);
+                        }
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool
+    where
+        K: Hash + Eq,
+    {
+        self.find(key).is_some()
+    }
+
+    /// The value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V>
+    where
+        K: Hash + Eq,
+    {
+        let i = self.find(key)?;
+        self.entries[i].as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V>
+    where
+        K: Hash + Eq,
+    {
+        let i = self.find(key)?;
+        self.entries[i].as_mut().map(|(_, v)| v)
+    }
+
+    /// Inserts `key → value`; returns the previous value if the key was
+    /// present (keeping its original insertion position, like `indexmap`).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V>
+    where
+        K: Hash + Eq,
+    {
+        if let Some(i) = self.find(&key) {
+            if let Some((_, v)) = &mut self.entries[i] {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.push_new(key, value);
+        None
+    }
+
+    /// The value for `key`, inserting `default()` at the back first if
+    /// absent (the `entry(k).or_insert_with(f)` pattern).
+    pub fn or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V
+    where
+        K: Hash + Eq,
+    {
+        let i = match self.find(&key) {
+            Some(i) => i,
+            None => {
+                self.push_new(key, default());
+                self.entries.len() - 1
+            }
+        };
+        match &mut self.entries[i] {
+            Some((_, v)) => v,
+            None => panic!("detmap: index points at a removed entry"),
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        K: Hash + Eq,
+    {
+        if self.live == 0 || self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = (self.hash_of(key) as usize) & mask;
+        loop {
+            match self.index[i] {
+                EMPTY => return None,
+                TOMB => {}
+                e => {
+                    let hit = matches!(&self.entries[e as usize], Some((k, _)) if k == key);
+                    if hit {
+                        self.index[i] = TOMB;
+                        self.live -= 1;
+                        let out = self.entries[e as usize].take().map(|(_, v)| v);
+                        self.maybe_compact();
+                        return out;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Keeps only entries for which `f` returns true, preserving insertion
+    /// order of the survivors.
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool)
+    where
+        K: Hash + Eq,
+    {
+        let mut removed = 0usize;
+        for e in self.entries.iter_mut() {
+            let drop_it = match e {
+                Some((k, v)) => !f(k, v),
+                None => false,
+            };
+            if drop_it {
+                *e = None;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.live -= removed;
+            self.rebuild_index();
+            self.maybe_compact();
+        }
+    }
+
+    /// Appends a key known to be absent.
+    fn push_new(&mut self, key: K, value: V)
+    where
+        K: Hash + Eq,
+    {
+        self.reserve_one();
+        debug_assert!(self.entries.len() < MAX_ENTRY as usize);
+        let mask = self.index.len() - 1;
+        let mut i = (self.hash_of(&key) as usize) & mask;
+        loop {
+            match self.index[i] {
+                EMPTY => {
+                    self.index[i] = self.entries.len() as u32;
+                    self.used += 1;
+                    break;
+                }
+                TOMB => {
+                    self.index[i] = self.entries.len() as u32;
+                    break;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+        self.entries.push(Some((key, value)));
+        self.live += 1;
+    }
+
+    /// Ensures the index table has room for one more entry at < 3/4 load
+    /// (counting tombstones), growing or cleaning as needed.
+    fn reserve_one(&mut self)
+    where
+        K: Hash + Eq,
+    {
+        let cap = self.index.len();
+        if cap == 0 {
+            self.index = vec![EMPTY; 8];
+            return;
+        }
+        if (self.used + 1) * 4 > cap * 3 {
+            self.compact_entries();
+            self.rebuild_index_with(((self.live + 1) * 2).next_power_of_two().max(8));
+        }
+    }
+
+    /// Drops `None` holes once they outnumber live entries.
+    fn maybe_compact(&mut self)
+    where
+        K: Hash + Eq,
+    {
+        if self.entries.len() >= 16 && self.entries.len() >= 2 * self.live {
+            self.compact_entries();
+            self.rebuild_index();
+        }
+    }
+
+    fn compact_entries(&mut self) {
+        if self.entries.len() != self.live {
+            self.entries.retain(|e| e.is_some());
+        }
+    }
+
+    /// Rebuilds the index table at its current capacity (entries holes
+    /// allowed: only live entries are indexed).
+    fn rebuild_index(&mut self)
+    where
+        K: Hash + Eq,
+    {
+        let cap = self.index.len().max(8);
+        self.rebuild_index_with(cap);
+    }
+
+    fn rebuild_index_with(&mut self, cap: usize)
+    where
+        K: Hash + Eq,
+    {
+        debug_assert!(cap.is_power_of_two() && cap * 3 >= self.live * 4);
+        self.index.clear();
+        self.index.resize(cap, EMPTY);
+        self.used = self.live;
+        let mask = cap - 1;
+        for (pos, entry) in self.entries.iter().enumerate() {
+            let Some((k, _)) = entry else { continue };
+            let mut h = DetHasher::with_seed(self.seed);
+            k.hash(&mut h);
+            let mut i = (h.finish() as usize) & mask;
+            while self.index[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.index[i] = pos as u32;
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut m = DetMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A seeded, insertion-ordered, deterministic hash set.
+#[derive(Clone)]
+pub struct DetSet<T> {
+    map: DetMap<T, ()>,
+}
+
+impl<T> Default for DetSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for DetSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<T> DetSet<T> {
+    /// Creates an empty set with the default seed.
+    pub fn new() -> Self {
+        DetSet { map: DetMap::new() }
+    }
+
+    /// Creates an empty set with an explicit probe seed.
+    pub fn with_seed(seed: u64) -> Self {
+        DetSet {
+            map: DetMap::with_seed(seed),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes every element, keeping allocations.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.map.keys()
+    }
+
+    /// Whether `value` is present.
+    pub fn contains(&self, value: &T) -> bool
+    where
+        T: Hash + Eq,
+    {
+        self.map.contains_key(value)
+    }
+
+    /// Inserts `value`; returns true if it was newly added.
+    pub fn insert(&mut self, value: T) -> bool
+    where
+        T: Hash + Eq,
+    {
+        if self.map.contains_key(&value) {
+            return false;
+        }
+        self.map.insert(value, ());
+        true
+    }
+
+    /// Removes `value`; returns true if it was present.
+    pub fn remove(&mut self, value: &T) -> bool
+    where
+        T: Hash + Eq,
+    {
+        self.map.remove(value).is_some()
+    }
+
+    /// Keeps only elements for which `f` returns true.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool)
+    where
+        T: Hash + Eq,
+    {
+        self.map.retain(|k, _| f(k));
+    }
+}
+
+impl<T: Hash + Eq> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = DetSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = DetMap::new();
+        assert_eq!(m.insert("a", 1), None);
+        assert_eq!(m.insert("b", 2), None);
+        assert_eq!(m.insert("a", 10), Some(1));
+        assert_eq!(m.get(&"a"), Some(&10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(&"a"), Some(10));
+        assert_eq!(m.remove(&"a"), None);
+        assert_eq!(m.get(&"a"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_insertion_order() {
+        let mut m = DetMap::new();
+        for k in [5u64, 3, 9, 1, 7] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u64> = m.keys().copied().collect();
+        assert_eq!(keys, vec![5, 3, 9, 1, 7]);
+        // Overwrite keeps position; remove + reinsert moves to the back.
+        m.insert(3, 33);
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![5, 3, 9, 1, 7]);
+        m.remove(&5);
+        m.insert(5, 55);
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![3, 9, 1, 7, 5]);
+    }
+
+    #[test]
+    fn observable_behavior_is_seed_independent() {
+        let mut a = DetMap::with_seed(1);
+        let mut b = DetMap::with_seed(0xDEAD_BEEF);
+        for k in 0u64..200 {
+            a.insert(k * 7 % 131, k);
+            b.insert(k * 7 % 131, k);
+        }
+        for k in (0u64..200).step_by(3) {
+            a.remove(&(k * 7 % 131));
+            b.remove(&(k * 7 % 131));
+        }
+        let va: Vec<(u64, u64)> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        let vb: Vec<(u64, u64)> = b.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn growth_and_compaction_preserve_content() {
+        let mut m = DetMap::new();
+        for k in 0u64..1000 {
+            m.insert(k, k);
+        }
+        for k in 0u64..900 {
+            assert_eq!(m.remove(&k), Some(k));
+        }
+        assert_eq!(m.len(), 100);
+        for k in 900u64..1000 {
+            assert_eq!(m.get(&k), Some(&k));
+        }
+        assert_eq!(m.keys().copied().collect::<Vec<_>>().len(), 100);
+        // Entries vec was compacted below the tombstone threshold.
+        assert!(m.entries.len() <= 2 * m.live.max(8));
+    }
+
+    #[test]
+    fn retain_preserves_order() {
+        let mut m: DetMap<u64, u64> = (0..50u64).map(|k| (k, k)).collect();
+        m.retain(|k, _| k % 2 == 0);
+        let keys: Vec<u64> = m.keys().copied().collect();
+        assert_eq!(keys, (0..50).filter(|k| k % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(m.len(), 25);
+        assert!(m.contains_key(&4) && !m.contains_key(&5));
+    }
+
+    #[test]
+    fn or_insert_with_inserts_once() {
+        let mut m = DetMap::new();
+        *m.or_insert_with(7u64, || 1) += 1;
+        *m.or_insert_with(7u64, || 100) += 1;
+        assert_eq!(m.get(&7), Some(&3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut s = DetSet::new();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+        assert!(s.contains(&"x"));
+        assert!(s.remove(&"x"));
+        assert!(!s.remove(&"x"));
+        assert!(s.is_empty());
+        let s2: DetSet<u32> = [3, 1, 2, 1].into_iter().collect();
+        assert_eq!(s2.iter().copied().collect::<Vec<_>>(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn tombstone_heavy_workload_terminates() {
+        // Insert/remove cycles at a fixed small size: tombstones must be
+        // cleaned, probes must terminate, content must stay correct.
+        let mut m = DetMap::new();
+        for round in 0u64..2000 {
+            m.insert(round % 5, round);
+            if round % 2 == 1 {
+                m.remove(&((round + 2) % 5));
+            }
+        }
+        assert!(m.len() <= 5);
+        for (k, _) in m.iter() {
+            assert!(*k < 5);
+        }
+    }
+}

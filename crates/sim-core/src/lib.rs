@@ -12,6 +12,7 @@
 //! same sequence of scheduled events, a simulation replays identically.
 
 #![forbid(unsafe_code)]
+pub mod detmap;
 pub mod engine;
 pub mod json;
 pub mod rng;
@@ -19,6 +20,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use detmap::{DetMap, DetSet};
 pub use engine::{Engine, Scheduler};
 pub use rng::Prng;
 pub use stats::{Log2Histogram, Summary};

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use sim_core::detmap::DetMap;
 use sim_core::engine::{Engine, Scheduler, World};
 use sim_core::rng::Prng;
 use sim_core::stats::{Log2Histogram, Summary};
@@ -20,7 +21,95 @@ impl World for Recorder {
     }
 }
 
+/// Child events spawned mid-run get ids from here up, so they never
+/// collide with initial-event ids and never spawn again themselves.
+const CHILD_BASE: u32 = 1 << 20;
+
+/// World for the wheel-vs-reference differential: handling an initial
+/// event schedules its children at `now + delay`, exercising in-horizon
+/// wheel inserts, past-horizon overflow, and refill on advance.
+struct Spawner {
+    spawns: Vec<Vec<u64>>,
+    next_child: u32,
+    seen: Vec<(u64, u32)>,
+}
+
+impl World for Spawner {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+        self.seen.push((now.as_nanos(), ev));
+        if let Some(delays) = self.spawns.get(ev as usize) {
+            for &d in delays {
+                let id = CHILD_BASE + self.next_child;
+                self.next_child += 1;
+                s.schedule(now + SimDuration::from_nanos(d), id);
+            }
+        }
+    }
+}
+
+/// Oracle for the engine: a plain vector popped by min `(time, seq)`,
+/// with seq assigned in schedule order — the DES contract, spelled out
+/// with no slab, wheel, or overflow heap anywhere near it.
+fn reference_run(initial: &[u64], spawns: &[Vec<u64>]) -> Vec<(u64, u32)> {
+    let mut pending: Vec<(u64, u64, u32)> = Vec::new();
+    let mut seq = 0u64;
+    for (i, &t) in initial.iter().enumerate() {
+        pending.push((t, seq, i as u32));
+        seq += 1;
+    }
+    let mut next_child = 0u32;
+    let mut seen = Vec::new();
+    while !pending.is_empty() {
+        let pos = pending
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(t, s, _))| (t, s))
+            .map(|(p, _)| p)
+            .unwrap_or(0);
+        let (t, _, ev) = pending.swap_remove(pos);
+        seen.push((t, ev));
+        if let Some(delays) = spawns.get(ev as usize) {
+            for &d in delays {
+                pending.push((t + d, seq, CHILD_BASE + next_child));
+                seq += 1;
+                next_child += 1;
+            }
+        }
+    }
+    seen
+}
+
+/// A timestamp either clustered tightly (forcing ties and dense wheel
+/// buckets) or spread far past the wheel horizon (forcing overflow).
+fn horizon_time() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..200, 0u64..200_000_000]
+}
+
 proptest! {
+    /// Differential: the slab + time-wheel engine delivers the exact
+    /// `(time, event)` sequence of the naive sorted-vector oracle, for
+    /// schedules that mix same-tick ties, in-horizon delays, and
+    /// past-horizon delays scheduled mid-run. Sequence equality also
+    /// proves slab reuse never aliases a live event: every id arrives
+    /// exactly once, carrying its own timestamp.
+    #[test]
+    fn wheel_matches_sorted_reference(
+        initial in proptest::collection::vec(horizon_time(), 1..40),
+        spawns in proptest::collection::vec(
+            proptest::collection::vec(horizon_time(), 0..3), 1..40),
+    ) {
+        let mut w = Spawner { spawns: spawns.clone(), next_child: 0, seen: Vec::new() };
+        let mut e: Engine<u32> = Engine::new();
+        for (i, &t) in initial.iter().enumerate() {
+            e.scheduler().schedule(SimTime::from_nanos(t), i as u32);
+        }
+        e.run(&mut w);
+        let expect = reference_run(&initial, &spawns);
+        prop_assert_eq!(&w.seen, &expect);
+        prop_assert_eq!(e.delivered(), expect.len() as u64);
+    }
+
     /// Events are always delivered in non-decreasing time order, with
     /// FIFO tie-breaking by insertion order.
     #[test]
@@ -92,5 +181,89 @@ proptest! {
         prop_assert_eq!(da + db, db + da);
         let t = SimTime::from_nanos(a);
         prop_assert_eq!((t + db) - t, db);
+    }
+}
+
+/// One mutation against a `DetMap<u8, u16>` and its oracle.
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, u16),
+    OrInsert(u8, u16),
+    Remove(u8),
+    RetainBelow(u8),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MapOp::OrInsert(k, v)),
+        any::<u8>().prop_map(MapOp::Remove),
+        any::<u8>().prop_map(MapOp::RetainBelow),
+    ]
+}
+
+/// Applies `op` to the oracle: a vector of `(key, value)` pairs in
+/// insertion order, where re-inserting an existing key updates it in
+/// place and removing then re-inserting moves it to the back.
+fn apply_to_model(model: &mut Vec<(u8, u16)>, op: &MapOp) {
+    match *op {
+        MapOp::Insert(k, v) => match model.iter_mut().find(|(mk, _)| *mk == k) {
+            Some((_, mv)) => *mv = v,
+            None => model.push((k, v)),
+        },
+        MapOp::OrInsert(k, v) => {
+            if !model.iter().any(|(mk, _)| *mk == k) {
+                model.push((k, v));
+            }
+        }
+        MapOp::Remove(k) => model.retain(|(mk, _)| *mk != k),
+        MapOp::RetainBelow(b) => model.retain(|(mk, _)| *mk < b),
+    }
+}
+
+proptest! {
+    /// DetMap is observationally an insertion-ordered association list,
+    /// for EVERY hash seed: iteration order, lengths, and per-key
+    /// lookups all match the seed-free oracle across random op
+    /// sequences (including remove-then-reinsert, which moves the key
+    /// to the back, and retain, which compacts tombstones). Holding for
+    /// arbitrary seeds is the determinism claim — the seed can perturb
+    /// probing internals only, never anything observable.
+    #[test]
+    fn detmap_matches_insertion_ordered_model(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(map_op(), 0..200),
+    ) {
+        let mut map: DetMap<u8, u16> = DetMap::with_seed(seed);
+        let mut model: Vec<(u8, u16)> = Vec::new();
+        for op in &ops {
+            match *op {
+                MapOp::Insert(k, v) => {
+                    let old = model.iter().find(|(mk, _)| *mk == k).map(|&(_, mv)| mv);
+                    prop_assert_eq!(map.insert(k, v), old);
+                }
+                MapOp::OrInsert(k, v) => {
+                    let expect = model
+                        .iter()
+                        .find(|(mk, _)| *mk == k)
+                        .map_or(v, |&(_, mv)| mv);
+                    prop_assert_eq!(*map.or_insert_with(k, || v), expect);
+                }
+                MapOp::Remove(k) => {
+                    let old = model.iter().find(|(mk, _)| *mk == k).map(|&(_, mv)| mv);
+                    prop_assert_eq!(map.remove(&k), old);
+                }
+                MapOp::RetainBelow(b) => map.retain(|&k, _| k < b),
+            }
+            apply_to_model(&mut model, op);
+        }
+        prop_assert_eq!(map.len(), model.len());
+        let got: Vec<(u8, u16)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, model.clone());
+        for k in 0u8..=255 {
+            let expect = model.iter().find(|(mk, _)| *mk == k).map(|&(_, mv)| mv);
+            prop_assert_eq!(map.get(&k).copied(), expect);
+            prop_assert_eq!(map.contains_key(&k), expect.is_some());
+        }
     }
 }

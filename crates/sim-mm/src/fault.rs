@@ -17,9 +17,8 @@
 //! 5. file-backed, cached → minor fault;
 //! 6. file-backed, uncached → major fault with readahead.
 
-use std::collections::BTreeMap;
-
 use faasnap_obs::{SelfProfile, TraceContext, Tracer};
+use sim_core::detmap::DetMap;
 use sim_core::rng::Prng;
 use sim_core::time::{SimDuration, SimTime};
 use sim_storage::device::{IoKind, IoRequest};
@@ -137,7 +136,7 @@ struct DelayInjection {
 #[derive(Clone, Debug)]
 pub struct FaultResolver {
     costs: FaultCosts,
-    readahead: BTreeMap<FileId, ReadaheadState>,
+    readahead: DetMap<FileId, ReadaheadState>,
     rng: Prng,
     /// Maximum readahead window in pages (Linux default 32 = 128 KiB).
     max_ra_pages: u64,
@@ -156,7 +155,7 @@ impl FaultResolver {
     pub fn new(costs: FaultCosts, seed: u64) -> Self {
         FaultResolver {
             costs,
-            readahead: BTreeMap::new(),
+            readahead: DetMap::new(),
             rng: Prng::new(seed),
             max_ra_pages: 32,
             initial_ra_pages: 4,
@@ -403,8 +402,7 @@ impl FaultResolver {
         let (init, max) = (self.initial_ra_pages, self.max_ra_pages);
         let ra = self
             .readahead
-            .entry(file)
-            .or_insert_with(|| ReadaheadState::new(init, max));
+            .or_insert_with(file, || ReadaheadState::new(init, max));
         let (start, len) = ra.on_miss(file_page);
         debug_assert_eq!(start, file_page);
         let sequential_stream = ra.window_pages() > init;

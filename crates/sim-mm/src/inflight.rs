@@ -11,15 +11,14 @@
 //! instants. The DES runtime inserts a window when it submits the read and
 //! clears it on completion.
 
-use std::collections::BTreeMap;
-
+use sim_core::detmap::DetMap;
 use sim_core::time::SimTime;
 use sim_storage::file::FileId;
 
 /// Registry of file pages with reads currently in flight.
 #[derive(Clone, Debug, Default)]
 pub struct InflightIo {
-    pending: BTreeMap<(FileId, u64), SimTime>,
+    pending: DetMap<(FileId, u64), SimTime>,
 }
 
 impl InflightIo {
@@ -33,10 +32,12 @@ impl InflightIo {
     /// completion (the first read to finish unlocks the page).
     pub fn insert_window(&mut self, file: FileId, start: u64, len: u64, done: SimTime) {
         for p in start..start + len {
-            self.pending
-                .entry((file, p))
-                .and_modify(|t| *t = (*t).min(done))
-                .or_insert(done);
+            match self.pending.get_mut(&(file, p)) {
+                Some(t) => *t = (*t).min(done),
+                None => {
+                    self.pending.insert((file, p), done);
+                }
+            }
         }
     }
 

@@ -14,8 +14,9 @@
 //! compacted recency queue, plus explicit drop operations mirroring the
 //! evaluation's `drop_caches` between runs (§6.1).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
+use sim_core::detmap::DetMap;
 use sim_storage::file::FileId;
 
 /// Key of one cached file page.
@@ -26,9 +27,10 @@ type Key = (FileId, u64);
 pub struct PageCache {
     /// Maximum resident pages (host memory budget for the cache).
     capacity_pages: u64,
-    /// Page -> recency stamp of the most recent touch. Ordered so the
-    /// eviction rebuild path iterates deterministically.
-    resident: BTreeMap<Key, u64>,
+    /// Page -> recency stamp of the most recent touch. Insertion-ordered
+    /// deterministic map; the eviction rebuild path sorts by stamp, so it
+    /// never depends on iteration order.
+    resident: DetMap<Key, u64>,
     /// Recency queue: (stamp, key); stale entries skipped on eviction.
     queue: VecDeque<(u64, Key)>,
     next_stamp: u64,
@@ -45,7 +47,7 @@ impl PageCache {
         assert!(capacity_pages > 0, "page cache capacity must be positive");
         PageCache {
             capacity_pages,
-            resident: BTreeMap::new(),
+            resident: DetMap::new(),
             queue: VecDeque::new(),
             next_stamp: 0,
             insertions: 0,

@@ -27,6 +27,12 @@
 # failure too (it means behavior changed without re-blessing the
 # baseline: rerun `scripts/bench.sh` and review the new report).
 #
+# Methodology: every driver except cluster_mega is sampled 5 times and
+# the median wall is reported; the smoke fleets also use `faasnapd
+# --repeat` to amortize process startup over 20 in-process runs, so
+# their wall_ms is per-simulation (fractional ms). Ratio-based gates
+# skip sub-25 ms measurements unless the absolute slowdown is >= 5 ms.
+#
 # FAASNAP_BENCH_SLOW=<factor> multiplies measured wall times in the
 # generated report — the hook `--selftest` uses to prove the gate trips.
 
@@ -47,6 +53,15 @@ OUT="${OUT:-BENCH_$(date +%F).json}"
 
 SEED=42
 CHUNK_BYTES=2097152
+# Each non-mega driver is sampled MEDIAN_RUNS times and the report
+# records the median wall, so a single scheduler hiccup cannot move the
+# trajectory. The smoke fleets additionally run SMOKE_REPEAT in-process
+# repetitions per sample (faasnapd --repeat asserts they are
+# byte-identical) and record wall/SMOKE_REPEAT — per-simulation time
+# with the ~2 ms process-startup floor amortized away, which at ~1-2 ms
+# per fleet would otherwise dominate the measurement.
+MEDIAN_RUNS=5
+SMOKE_REPEAT=20
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -55,37 +70,51 @@ echo "==> building release faasnapd"
 cargo build --release -q -p faasnap-cluster --bin faasnapd
 
 : > "$TMP/wall.txt"
+# time_driver <name> <divisor> <cmd...>: appends one "<name> <ns>
+# <divisor>" sample; the report takes the median over samples of
+# ns/divisor per name.
 time_driver() {
-    local name="$1"
-    shift
+    local name="$1" divisor="$2"
+    shift 2
     echo "==> $name: $*"
     local t0 t1
     t0=$(date +%s%N)
     "$@" > "$TMP/$name.out" 2> /dev/null
     t1=$(date +%s%N)
-    echo "$name $(((t1 - t0) / 1000000))" >> "$TMP/wall.txt"
+    echo "$name $((t1 - t0)) $divisor" >> "$TMP/wall.txt"
 }
 
 FD=./target/release/faasnapd
-time_driver invoke_hello_faasnap "$FD" invoke hello-world
-time_driver invoke_json_reap "$FD" invoke json --strategy reap
-time_driver burst_json_x8 "$FD" burst json --parallelism 8
-time_driver cluster_smoke "$FD" cluster --smoke --policy snapshot-locality --seed "$SEED"
-time_driver cluster_smoke_dedup_off "$FD" cluster --smoke --policy snapshot-locality \
-    --seed "$SEED" --dedup off
+for _ in $(seq "$MEDIAN_RUNS"); do
+    time_driver invoke_hello_faasnap 1 "$FD" invoke hello-world
+    time_driver invoke_json_reap 1 "$FD" invoke json --strategy reap
+    time_driver burst_json_x8 1 "$FD" burst json --parallelism 8
+    time_driver cluster_smoke "$SMOKE_REPEAT" "$FD" cluster --smoke --policy snapshot-locality \
+        --seed "$SEED" --repeat "$SMOKE_REPEAT"
+    time_driver cluster_smoke_dedup_off "$SMOKE_REPEAT" "$FD" cluster --smoke \
+        --policy snapshot-locality --seed "$SEED" --dedup off --repeat "$SMOKE_REPEAT"
+done
+# Trace scale: ≥10⁶ invocations across 1000 hosts, one sample (its
+# multi-second wall is far above timer noise).
+time_driver cluster_mega 1 "$FD" cluster --mega --policy snapshot-locality --seed "$SEED"
 
 # Renders $TMP measurements into a schema v2 report at $1. Honors
 # FAASNAP_BENCH_SLOW as a wall-time multiplier (self-test hook).
 generate() {
     python3 - "$TMP" "$1" "$SEED" "$CHUNK_BYTES" << 'EOF'
-import json, os, sys, datetime, pathlib
+import json, os, sys, datetime, pathlib, statistics
 
 tmp, out = pathlib.Path(sys.argv[1]), sys.argv[2]
 seed, chunk_bytes = int(sys.argv[3]), int(sys.argv[4])
 slow = float(os.environ.get("FAASNAP_BENCH_SLOW", "1"))
+# Median over the samples of each driver (ns / in-process divisor),
+# insertion-ordered by first appearance.
+samples = {}
+for line in (tmp / "wall.txt").read_text().splitlines():
+    name, ns, divisor = line.split()
+    samples.setdefault(name, []).append(int(ns) / 1e6 / int(divisor))
 walls = dict(
-    (name, int(int(ms) * slow))
-    for name, ms in (line.split() for line in (tmp / "wall.txt").read_text().splitlines())
+    (name, round(statistics.median(vals) * slow, 3)) for name, vals in samples.items()
 )
 
 drivers = []
@@ -135,6 +164,11 @@ if old.get("config") != new.get("config"):
 # noise on tiny drivers cannot trip it. The suite total gets a tighter
 # slack — aggregate noise averages out.
 RATIO, DRIVER_SLACK_MS, TOTAL_SLACK_MS = 1.15, 30, 10
+# A 15% ratio on a sub-25 ms measurement is within a timer tick or two
+# of noise: ratio-based checks (events/sec) only apply above this wall
+# floor, unless the absolute slowdown is itself >= 5 ms — a real
+# regression on a tiny driver still trips on magnitude.
+MIN_RATE_WALL_MS, MIN_ABS_DELTA_MS = 25, 5
 
 olds = {d["name"]: d for d in old["drivers"]}
 news = {d["name"]: d for d in new["drivers"]}
@@ -148,8 +182,9 @@ for name in sorted(olds.keys() & news.keys()):
     if n["wall_ms"] > o["wall_ms"] * RATIO + DRIVER_SLACK_MS:
         failures.append(f"{name}: wall {o['wall_ms']} ms -> {n['wall_ms']} ms "
                         f"(>{int((RATIO - 1) * 100)}% + {DRIVER_SLACK_MS} ms)")
-    if (o.get("events_per_sec") and n.get("events_per_sec")
-            and o["wall_ms"] >= DRIVER_SLACK_MS
+    rate_eligible = (o["wall_ms"] >= MIN_RATE_WALL_MS
+                     or n["wall_ms"] - o["wall_ms"] >= MIN_ABS_DELTA_MS)
+    if (o.get("events_per_sec") and n.get("events_per_sec") and rate_eligible
             and n["events_per_sec"] < o["events_per_sec"] / RATIO):
         failures.append(f"{name}: events/sec {o['events_per_sec']} -> "
                         f"{n['events_per_sec']}")
@@ -158,8 +193,11 @@ for name in sorted(olds.keys() & news.keys()):
             failures.append(f"{name}: deterministic {det} {o[det]} -> {n.get(det)} "
                             f"(behavior changed; rerun scripts/bench.sh to re-bless)")
 
-o_total = sum(d["wall_ms"] for d in old["drivers"])
-n_total = sum(d["wall_ms"] for d in new["drivers"])
+# Totals compare only drivers both reports know: a newly-added driver
+# is new coverage, not a regression of the old suite.
+common = olds.keys() & news.keys()
+o_total = round(sum(olds[name]["wall_ms"] for name in common), 3)
+n_total = round(sum(news[name]["wall_ms"] for name in common), 3)
 if n_total > o_total * RATIO + TOTAL_SLACK_MS:
     failures.append(f"suite total: {o_total} ms -> {n_total} ms")
 

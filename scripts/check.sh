@@ -50,6 +50,23 @@ for artifact in invoke_trace.json invoke_metrics.prom invoke_profile.folded \
         || { echo "CLI $artifact drifted from tests/golden/$artifact"; exit 1; }
 done
 
+echo "==> cluster_mega: >=10^6 invocations across >=1000 hosts in budget"
+# Trace-scale gate (ROADMAP item 2): the fixed mega fleet must finish
+# inside a 120 s budget — far above its expected few-second wall, so
+# only an asymptotic regression (a reintroduced per-event scan) trips
+# it — and must actually serve a million invocations on 1000 hosts.
+timeout 120 ./target/release/faasnapd cluster --mega --policy snapshot-locality --seed 42 \
+    > "$OBS_TMP/cluster_mega.json" \
+    || { echo "cluster_mega exceeded its 120 s budget"; exit 1; }
+python3 - "$OBS_TMP/cluster_mega.json" << 'EOF'
+import json, sys
+run = json.load(open(sys.argv[1]))["runs"][0]
+served, hosts = run["fleet"]["served"], run["hosts"]
+assert served >= 1_000_000, f"cluster_mega served {served} < 1e6"
+assert hosts >= 1000, f"cluster_mega hosts {hosts} < 1000"
+print(f"cluster_mega: {served} invocations across {hosts} hosts")
+EOF
+
 echo "==> bench trajectory: regression-gate self-test, then compare"
 # The self-test proves a 2x injected slowdown trips the gate; the
 # compare then diffs this machine's run against the latest committed
