@@ -40,6 +40,7 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // CRITERION_ITERS overrides the per-benchmark iteration count.
+        // faasnap-lint: allow(no-env-read, CRITERION_ITERS scales the shim's timing loop only; timings are reported, never compared against goldens)
         let iterations = std::env::var("CRITERION_ITERS")
             .ok()
             .and_then(|v| v.parse().ok())

@@ -130,7 +130,7 @@ impl ScatterPool {
         self.clusters
             .windows(2)
             .filter_map(|w| {
-                let gap = w[0].gap_to(&w[1]).expect("clusters ascend");
+                let gap = w[0].gap_to(&w[1])?;
                 (gap > 0 && gap <= max_gap).then(|| PageRange::new(w[0].end, w[1].start))
             })
             .collect()

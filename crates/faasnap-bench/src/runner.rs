@@ -19,6 +19,7 @@ pub fn platform_with(profile: DiskProfile, seed: u64, functions: &[Function]) ->
     for f in functions {
         p.register(f.clone());
     }
+    // faasnap-lint: allow(no-env-read, FAASNAP_OBS_DIR toggles side-artifact dumping only; figure and table output is identical either way)
     if std::env::var_os("FAASNAP_OBS_DIR").is_some() {
         p.set_tracer(Tracer::enabled());
         p.set_metrics(Metrics::enabled());
@@ -31,6 +32,7 @@ pub fn platform_with(profile: DiskProfile, seed: u64, functions: &[Function]) ->
 /// exposition) under `$FAASNAP_OBS_DIR`. No-op unless that variable is
 /// set and the platform was built with observability attached.
 pub fn dump_observability(p: &Platform, tag: &str) {
+    // faasnap-lint: allow(no-env-read, FAASNAP_OBS_DIR names where side artifacts land; absent means skip, golden outputs unaffected)
     let Some(dir) = std::env::var_os("FAASNAP_OBS_DIR") else {
         return;
     };

@@ -20,7 +20,7 @@
 //!                  [--smoke] [--mega] [--repeat <n>]
 //!                  [--metrics-out <file>] [--trace-out <file>]
 //!                  [--profile-out <file>] [--self-profile-out <file>]
-//! faasnapd lint [--root <dir>]
+//! faasnapd lint [--root <dir>] [--deep] [--json]
 //! ```
 //!
 //! `--trace-out` writes a Chrome trace-event JSON file loadable in
@@ -87,7 +87,7 @@ impl Args {
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = if matches!(name, "trace" | "smoke" | "mega") {
+                let value = if matches!(name, "trace" | "smoke" | "mega" | "deep" | "json") {
                     "true".to_string()
                 } else {
                     iter.next()
@@ -168,14 +168,30 @@ fn cmd_lint(args: &Args) {
             .and_then(|d| faasnap_lint::find_workspace_root(&d))
             .unwrap_or_else(|| die("no workspace root found (pass --root)")),
     };
-    let report = faasnap_lint::lint_workspace(&root).unwrap_or_else(|e| die(&e));
-    for d in &report.diagnostics {
-        println!("{d}");
+    let deep = args.flags.contains_key("deep");
+    let report = if deep {
+        faasnap_lint::lint_workspace_deep(&root)
+    } else {
+        faasnap_lint::lint_workspace(&root)
     }
-    println!(
-        "unwrap-budget: {} of {} non-test unwrap()/expect() call sites used",
-        report.unwrap_count, report.unwrap_budget
-    );
+    .unwrap_or_else(|e| die(&e));
+    if args.flags.contains_key("json") {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "unwrap-budget: {} of {} non-test unwrap()/expect() call sites used",
+            report.unwrap_count, report.unwrap_budget
+        );
+        if deep {
+            println!(
+                "panic-path-budget: {} of {} non-test panic paths used",
+                report.panic_path_count, report.panic_path_budget
+            );
+        }
+    }
     if !report.is_clean() {
         eprintln!("faasnapd lint: {} diagnostic(s)", report.diagnostics.len());
         std::process::exit(1);

@@ -1,0 +1,669 @@
+//! Workspace-wide call graph over the parsed items.
+//!
+//! Nodes are the `fn` items [`crate::parse`] extracted; edges come from
+//! a token scan of each body (plain calls, `path::calls`, `.method()`
+//! calls). Resolution is name-based and deliberately conservative:
+//!
+//! * a path call whose first segment names a workspace crate (or
+//!   `crate`/`self`/`super`) is confined to that crate; `Type::name`
+//!   prefers candidates owned by `Type`;
+//! * a plain call prefers same-file, then same-crate, then any workspace
+//!   function of that name (imports resolve aliases first);
+//! * a method call links to **every** workspace method of that name —
+//!   over-approximating the dynamic dispatch the analyzer cannot see.
+//!
+//! Extra edges make the taint pass over-report, never under-report,
+//! which is the right failure mode for a determinism gate. Calls that
+//! resolve to nothing are external (std, shimmed deps) and carry no
+//! workspace taint — the nondeterminism *sources* among them are caught
+//! textually at the call site by the line rules.
+//!
+//! The one hard prune is the Cargo dependency relation ([`CrateDeps`]):
+//! a call cannot land in a crate the caller's crate does not
+//! (transitively) depend on — the code would not link. Dev-dependencies
+//! are reachable only from test/harness code, matching how Cargo builds
+//! them. Without this prune, ubiquitous method names (`new`, `insert`,
+//! `default`) would fan out across unrelated crates and a single source
+//! would taint the entire workspace.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::layering::Manifest;
+use crate::parse::{is_expr_keyword, ParsedFile, Tok};
+
+/// Which crates each crate's code may call into. Crates absent from
+/// `normal` are unconstrained (fixture snippets lint without manifests).
+#[derive(Clone, Debug, Default)]
+pub struct CrateDeps {
+    /// crate → transitive closure of its normal dependencies.
+    normal: BTreeMap<String, BTreeSet<String>>,
+    /// crate → dev-dependencies plus *their* normal closures
+    /// (reachable from test/harness code only).
+    dev: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CrateDeps {
+    /// Builds the relation from parsed manifests, closing normal deps
+    /// transitively (re-exports make indirect deps callable).
+    pub fn from_manifests(manifests: &[Manifest]) -> Self {
+        let direct: BTreeMap<&str, Vec<&str>> = manifests
+            .iter()
+            .map(|m| {
+                (
+                    m.name.as_str(),
+                    m.deps.iter().map(|d| d.name.as_str()).collect(),
+                )
+            })
+            .collect();
+        let closure = |seeds: &[&str]| -> BTreeSet<String> {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut queue: Vec<&str> = seeds.to_vec();
+            while let Some(c) = queue.pop() {
+                if seen.insert(c) {
+                    if let Some(next) = direct.get(c) {
+                        queue.extend(next.iter().copied());
+                    }
+                }
+            }
+            seen.into_iter().map(str::to_string).collect()
+        };
+        let mut out = CrateDeps::default();
+        for m in manifests {
+            let normal: Vec<&str> = m.deps.iter().map(|d| d.name.as_str()).collect();
+            let mut dev_seeds = normal.clone();
+            dev_seeds.extend(m.dev_deps.iter().map(|d| d.name.as_str()));
+            out.normal.insert(m.name.clone(), closure(&normal));
+            out.dev.insert(m.name.clone(), closure(&dev_seeds));
+        }
+        out
+    }
+
+    /// True if code in `caller` (test/harness code when `testish`) may
+    /// call into `callee`.
+    fn allows(&self, caller: &str, callee: &str, testish: bool) -> bool {
+        if caller == callee {
+            return true;
+        }
+        let Some(normal) = self.normal.get(caller) else {
+            return true; // unknown crate: no manifest, stay permissive
+        };
+        if normal.contains(callee) {
+            return true;
+        }
+        testish && self.dev.get(caller).is_some_and(|d| d.contains(callee))
+    }
+}
+
+/// One analyzed source file: identity plus its parse.
+pub struct FileUnit {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Owning crate (Cargo package name, e.g. `sim-core`).
+    pub crate_name: String,
+    /// True under `tests/`, `benches/`, or `examples/`.
+    pub is_harness: bool,
+    /// Parsed items and tokens.
+    pub parsed: ParsedFile,
+}
+
+/// One node of the call graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index of the owning [`FileUnit`].
+    pub file: usize,
+    /// Index of the [`crate::parse::FnItem`] within that file.
+    pub item: usize,
+    /// Function name.
+    pub name: String,
+    /// Owning crate name (copied from the file for cheap filtering).
+    pub crate_name: String,
+    /// `fn` keyword line.
+    pub line: u32,
+    /// Declared `pub` (any visibility qualifier).
+    pub is_pub: bool,
+    /// In a `#[cfg(test)]` region or a harness file.
+    pub is_test: bool,
+    /// `impl`/`trait` owner, if any.
+    pub self_type: Option<String>,
+    /// Takes a `self` parameter.
+    pub has_self: bool,
+}
+
+/// A call site extracted from a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallSite {
+    /// `name(...)` — an unqualified call.
+    Plain { name: String, line: u32 },
+    /// `a::b::name(...)` — path-qualified call, all segments kept.
+    Path { segments: Vec<String>, line: u32 },
+    /// `.name(...)` — method call.
+    Method { name: String, line: u32 },
+    /// `name!(...)` — macro invocation.
+    Macro { name: String, line: u32 },
+    /// `expr[...]` — index expression (panic path).
+    Index { line: u32 },
+}
+
+impl CallSite {
+    /// Source line of the site.
+    pub fn line(&self) -> u32 {
+        match self {
+            CallSite::Plain { line, .. }
+            | CallSite::Path { line, .. }
+            | CallSite::Method { line, .. }
+            | CallSite::Macro { line, .. }
+            | CallSite::Index { line } => *line,
+        }
+    }
+}
+
+/// Scans a body token range for call/macro/index sites.
+pub fn extract_sites(parsed: &ParsedFile, body: Range<usize>) -> Vec<CallSite> {
+    let toks = &parsed.tokens;
+    let mut sites = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        match &toks[i].kind {
+            Tok::Word(w) => {
+                let line = toks[i].line;
+                // Path or plain call: walk `::`-joined segments.
+                let mut segments = vec![w.clone()];
+                let mut j = i + 1;
+                while j + 2 < body.end
+                    && toks[j].kind.is(':')
+                    && toks[j + 1].kind.is(':')
+                    && matches!(toks[j + 2].kind, Tok::Word(_))
+                {
+                    if let Tok::Word(next) = &toks[j + 2].kind {
+                        segments.push(next.clone());
+                    }
+                    j += 3;
+                }
+                let end_line = toks[j - 1].line;
+                if j < body.end && toks[j].kind.is('!') && segments.len() == 1 {
+                    sites.push(CallSite::Macro {
+                        name: segments.remove(0),
+                        line,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                // Skip a turbofish before the call parens:
+                // `collect::<Vec<_>>()`.
+                let mut k = j;
+                if k + 1 < body.end && toks[k].kind.is(':') && toks[k + 1].kind.is(':') {
+                    k += 2;
+                    if k < body.end && toks[k].kind.is('<') {
+                        let mut depth = 0i64;
+                        while k < body.end {
+                            if toks[k].kind.is('<') {
+                                depth += 1;
+                            } else if toks[k].kind.is('>') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                if k < body.end && toks[k].kind.is('(') {
+                    let is_method = i > body.start && toks[i - 1].kind.is('.');
+                    let head = segments[0].as_str();
+                    if is_method && segments.len() == 1 {
+                        sites.push(CallSite::Method {
+                            name: segments.remove(0),
+                            line,
+                        });
+                    } else if segments.len() > 1 {
+                        sites.push(CallSite::Path {
+                            segments,
+                            line: end_line,
+                        });
+                    } else if !is_expr_keyword(head) && head != "fn" {
+                        sites.push(CallSite::Plain {
+                            name: segments.remove(0),
+                            line,
+                        });
+                    }
+                }
+                i = j;
+            }
+            Tok::Punct('[') => {
+                // Postfix index: `word[`, `)[`, `][` — never after a
+                // keyword (`return [vec]`), a type position, or `#[`.
+                let indexes = i > body.start
+                    && match &toks[i - 1].kind {
+                        Tok::Word(w) => !is_expr_keyword(w),
+                        Tok::Punct(p) => *p == ')' || *p == ']',
+                    };
+                if indexes {
+                    sites.push(CallSite::Index { line: toks[i].line });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    sites
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    /// All function nodes, in (file, item) order.
+    pub nodes: Vec<FnNode>,
+    /// Forward edges: `callees[n]` = nodes `n` may call (sorted, deduped).
+    pub callees: Vec<Vec<usize>>,
+    /// Reverse edges: `callers[n]` = nodes that may call `n`.
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Human-readable node label: `Type::name` or `name`.
+    pub fn label(&self, n: usize) -> String {
+        let node = &self.nodes[n];
+        match &node.self_type {
+            Some(t) => format!("{t}::{}", node.name),
+            None => node.name.clone(),
+        }
+    }
+
+    /// Nodes reachable from the given start set over forward edges
+    /// (including the starts themselves).
+    pub fn reachable_from(&self, starts: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in starts {
+            if !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let n = queue[head];
+            head += 1;
+            for &c in &self.callees[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    queue.push(c);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Maps a crate-path segment (`sim_core`) to its package name
+/// (`sim-core`) if it names a workspace crate.
+fn segment_crate<'a>(seg: &str, crates: &'a [String]) -> Option<&'a str> {
+    crates
+        .iter()
+        .map(String::as_str)
+        .find(|c| c.replace('-', "_") == seg)
+}
+
+/// Builds the call graph over all files, pruning cross-crate edges the
+/// dependency relation rules out.
+pub fn build(files: &[FileUnit], deps: &CrateDeps) -> Graph {
+    let mut nodes = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ii, item) in file.parsed.fns.iter().enumerate() {
+            nodes.push(FnNode {
+                file: fi,
+                item: ii,
+                name: item.name.clone(),
+                crate_name: file.crate_name.clone(),
+                line: item.line,
+                is_pub: item.is_pub,
+                is_test: item.in_cfg_test || file.is_harness,
+                self_type: item.self_type.clone(),
+                has_self: item.has_self_param,
+            });
+        }
+    }
+
+    // Name index over all nodes; BTreeMap so iteration (and therefore
+    // edge order) is deterministic — the linter obeys its own rules.
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (n, node) in nodes.iter().enumerate() {
+        by_name.entry(node.name.clone()).or_default().push(n);
+    }
+    let crate_names: Vec<String> = {
+        let mut v: Vec<String> = files.iter().map(|f| f.crate_name.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (n, node) in nodes.iter().enumerate() {
+        let file = &files[node.file];
+        let item = &file.parsed.fns[node.item];
+        if item.body.is_empty() {
+            continue;
+        }
+        let mut out = Vec::new();
+        for site in extract_sites(&file.parsed, item.body.clone()) {
+            resolve(
+                &site,
+                node,
+                file,
+                &nodes,
+                &by_name,
+                &crate_names,
+                deps,
+                &mut out,
+            );
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&c| c != n); // self-recursion adds nothing to taint
+        callees[n] = out;
+    }
+
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (n, outs) in callees.iter().enumerate() {
+        for &c in outs {
+            callers[c].push(n);
+        }
+    }
+    Graph {
+        nodes,
+        callees,
+        callers,
+    }
+}
+
+/// Appends the node indices a call site may land on.
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    site: &CallSite,
+    caller: &FnNode,
+    file: &FileUnit,
+    nodes: &[FnNode],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    crate_names: &[String],
+    deps: &CrateDeps,
+    out: &mut Vec<usize>,
+) {
+    // Feasible candidates only: the dependency prune applies before any
+    // narrowing, so an impossible cross-crate match can never shadow a
+    // reachable one.
+    let candidates = |name: &str| -> Vec<usize> {
+        by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(|&c| deps.allows(&caller.crate_name, &nodes[c].crate_name, caller.is_test))
+            .collect()
+    };
+    match site {
+        CallSite::Method { name, .. } => {
+            let cands = candidates(name);
+            let with_self: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| nodes[c].has_self)
+                .collect();
+            out.extend(if with_self.is_empty() {
+                cands.to_vec()
+            } else {
+                with_self
+            });
+        }
+        CallSite::Plain { name, line } => {
+            // An import may alias the name to a path; re-resolve as one.
+            if let Some(imp) = file.parsed.imports.iter().find(|i| &i.name == name) {
+                if imp.path.len() > 1 {
+                    let path_site = CallSite::Path {
+                        segments: imp.path.clone(),
+                        line: *line,
+                    };
+                    resolve(
+                        &path_site,
+                        caller,
+                        file,
+                        nodes,
+                        by_name,
+                        crate_names,
+                        deps,
+                        out,
+                    );
+                    return;
+                }
+            }
+            let cands = candidates(name);
+            let same_file: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| nodes[c].file == caller.file)
+                .collect();
+            if !same_file.is_empty() {
+                out.extend(same_file);
+                return;
+            }
+            let same_crate: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| nodes[c].crate_name == caller.crate_name)
+                .collect();
+            out.extend(if same_crate.is_empty() {
+                cands.to_vec()
+            } else {
+                same_crate
+            });
+        }
+        CallSite::Path { segments, .. } => {
+            let Some(name) = segments.last() else { return };
+            // Expand a leading import alias (`use x::y; y::f()`).
+            let mut segs: Vec<String> = segments.clone();
+            if let Some(imp) = file.parsed.imports.iter().find(|i| i.name == segs[0]) {
+                let mut full = imp.path.clone();
+                full.extend(segs[1..].iter().cloned());
+                segs = full;
+            }
+            let crate_filter: Option<&str> = match segs[0].as_str() {
+                "crate" | "self" | "super" => Some(caller.crate_name.as_str()),
+                "std" | "core" | "alloc" => return, // external; no workspace edge
+                first => segment_crate(first, crate_names),
+            };
+            let type_seg: Option<&str> = if segs.len() >= 2 {
+                let t = segs[segs.len() - 2].as_str();
+                if t == "Self" {
+                    caller.self_type.as_deref()
+                } else if t.chars().next().is_some_and(char::is_uppercase) {
+                    Some(t)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let cands = candidates(name);
+            // Narrowing ladder: type+crate, then type alone, then crate
+            // alone, then any candidate — first non-empty rung wins.
+            let matches = |use_type: bool, use_crate: bool| -> Vec<usize> {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        let ok_type = !use_type
+                            || type_seg.is_none()
+                            || nodes[c].self_type.as_deref() == type_seg;
+                        let ok_crate =
+                            !use_crate || crate_filter.is_none_or(|cf| nodes[c].crate_name == cf);
+                        ok_type && ok_crate
+                    })
+                    .collect()
+            };
+            for (use_type, use_crate) in [(true, true), (true, false), (false, true)] {
+                let m = matches(use_type, use_crate);
+                if !m.is_empty() {
+                    out.extend(m);
+                    return;
+                }
+            }
+            out.extend(cands.to_vec());
+        }
+        CallSite::Macro { .. } | CallSite::Index { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parse::parse_file;
+
+    fn unit(rel: &str, crate_name: &str, src: &str) -> FileUnit {
+        FileUnit {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            is_harness: false,
+            parsed: parse_file(&lexer::scan(src).masked_lines),
+        }
+    }
+
+    fn names_of(g: &Graph, idxs: &[usize]) -> Vec<String> {
+        idxs.iter().map(|&i| g.nodes[i].name.clone()).collect()
+    }
+
+    #[test]
+    fn sites_extracted() {
+        let src = "fn f(v: &[u32], m: &M) -> u32 {\n\
+                       helper(1);\n\
+                       sim_core::rng::seeded(7);\n\
+                       m.lookup(3);\n\
+                       panic!(\"boom\");\n\
+                       v[0] + v.iter().collect::<Vec<_>>().len() as u32\n\
+                   }\n";
+        let p = parse_file(&lexer::scan(src).masked_lines);
+        let sites = extract_sites(&p, p.fns[0].body.clone());
+        assert!(sites.contains(&CallSite::Plain {
+            name: "helper".into(),
+            line: 2
+        }));
+        assert!(sites.contains(&CallSite::Path {
+            segments: vec!["sim_core".into(), "rng".into(), "seeded".into()],
+            line: 3
+        }));
+        assert!(sites.contains(&CallSite::Method {
+            name: "lookup".into(),
+            line: 4
+        }));
+        assert!(sites.contains(&CallSite::Macro {
+            name: "panic".into(),
+            line: 5
+        }));
+        assert!(sites.contains(&CallSite::Index { line: 6 }));
+        // `.iter()` and `.collect::<..>()` are methods, not indexes.
+        assert_eq!(
+            sites
+                .iter()
+                .filter(|s| matches!(s, CallSite::Index { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn array_literals_and_attrs_are_not_indexing() {
+        let src = "fn f() -> [u32; 2] {\n    let a = [1, 2];\n    return [0, 1];\n}\n";
+        let p = parse_file(&lexer::scan(src).masked_lines);
+        let sites = extract_sites(&p, p.fns[0].body.clone());
+        assert!(sites.iter().all(|s| !matches!(s, CallSite::Index { .. })));
+    }
+
+    #[test]
+    fn plain_calls_prefer_same_file_then_same_crate() {
+        let a = unit(
+            "crates/a/src/lib.rs",
+            "crate-a",
+            "fn helper() {}\nfn top() { helper(); }\n",
+        );
+        let b = unit("crates/b/src/lib.rs", "crate-b", "pub fn helper() {}\n");
+        let g = build(&[a, b], &CrateDeps::default());
+        // top (node 1) calls helper; the same-file helper (node 0) wins.
+        assert_eq!(g.callees[1], vec![0]);
+        assert_eq!(g.callers[0], vec![1]);
+        assert!(g.callers[2].is_empty());
+    }
+
+    #[test]
+    fn path_calls_confined_to_named_crate() {
+        let a = unit(
+            "crates/a/src/lib.rs",
+            "crate-a",
+            "pub fn go() { crate_b::helper(); }\n",
+        );
+        let b = unit("crates/b/src/lib.rs", "crate-b", "pub fn helper() {}\n");
+        let c = unit("crates/c/src/lib.rs", "crate-c", "pub fn helper() {}\n");
+        let g = build(&[a, b, c], &CrateDeps::default());
+        assert_eq!(names_of(&g, &g.callees[0]), vec!["helper"]);
+        assert_eq!(g.callees[0], vec![1]); // crate-b's helper, not crate-c's
+    }
+
+    #[test]
+    fn type_qualified_calls_prefer_owner() {
+        let src = "struct Host;\nimpl Host {\n    pub fn new() -> Host { Host }\n}\n\
+                   struct Disk;\nimpl Disk {\n    pub fn new() -> Disk { Disk }\n}\n\
+                   pub fn boot() { let _ = Host::new(); }\n";
+        let g = build(
+            &[unit("crates/a/src/lib.rs", "crate-a", src)],
+            &CrateDeps::default(),
+        );
+        let boot = g.nodes.iter().position(|n| n.name == "boot").expect("boot");
+        let hosts: Vec<&str> = g.callees[boot]
+            .iter()
+            .map(|&c| g.nodes[c].self_type.as_deref().unwrap_or(""))
+            .collect();
+        assert_eq!(hosts, vec!["Host"]);
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_all_owners() {
+        let src = "struct A;\nimpl A { pub fn poll(&self) {} }\n\
+                   struct B;\nimpl B { pub fn poll(&self) {} }\n\
+                   pub fn drive(x: &A) { x.poll(); }\n";
+        let g = build(
+            &[unit("crates/a/src/lib.rs", "crate-a", src)],
+            &CrateDeps::default(),
+        );
+        let drive = g
+            .nodes
+            .iter()
+            .position(|n| n.name == "drive")
+            .expect("drive");
+        assert_eq!(g.callees[drive].len(), 2); // conservative: both polls
+    }
+
+    #[test]
+    fn import_alias_resolves() {
+        let a = unit(
+            "crates/a/src/lib.rs",
+            "crate-a",
+            "use crate_b::deep::helper as h;\npub fn go() { h(); }\n",
+        );
+        let b = unit("crates/b/src/lib.rs", "crate-b", "pub fn helper() {}\n");
+        let g = build(&[a, b], &CrateDeps::default());
+        let go = g.nodes.iter().position(|n| n.name == "go").expect("go");
+        assert_eq!(names_of(&g, &g.callees[go]), vec!["helper"]);
+    }
+
+    #[test]
+    fn reachability_walks_forward() {
+        let src = "pub fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn island() {}\n";
+        let g = build(
+            &[unit("crates/a/src/lib.rs", "crate-a", src)],
+            &CrateDeps::default(),
+        );
+        let reach = g.reachable_from(&[0]);
+        assert_eq!(reach, vec![true, true, true, false]);
+    }
+}

@@ -1,6 +1,9 @@
 //! `faasnap-lint` CLI: lint the workspace, print diagnostics, exit 1 if
 //! any. `--root <dir>` overrides the workspace root (default: walk up
-//! from the current directory); `--rules` lists the rule ids.
+//! from the current directory); `--deep` runs the interprocedural
+//! passes (call graph + determinism taint + panic/float/dead-allow);
+//! `--json` emits the machine-readable report instead of text;
+//! `--rules` lists the rule ids.
 
 #![forbid(unsafe_code)]
 
@@ -9,6 +12,8 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut deep = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -19,6 +24,8 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--deep" => deep = true,
+            "--json" => json = true,
             "--rules" => {
                 for id in faasnap_lint::RULE_IDS {
                     println!("{id}");
@@ -27,7 +34,8 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "faasnap-lint: unknown argument {other:?} (usage: [--root DIR] [--rules])"
+                    "faasnap-lint: unknown argument {other:?} \
+                     (usage: [--root DIR] [--deep] [--json] [--rules])"
                 );
                 return ExitCode::from(2);
             }
@@ -46,15 +54,30 @@ fn main() -> ExitCode {
         }
     };
 
-    match faasnap_lint::lint_workspace(&root) {
+    let result = if deep {
+        faasnap_lint::lint_workspace_deep(&root)
+    } else {
+        faasnap_lint::lint_workspace(&root)
+    };
+    match result {
         Ok(report) => {
-            for d in &report.diagnostics {
-                println!("{d}");
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
+                println!(
+                    "unwrap-budget: {} of {} non-test unwrap()/expect() call sites used",
+                    report.unwrap_count, report.unwrap_budget
+                );
+                if deep {
+                    println!(
+                        "panic-path-budget: {} of {} non-test panic paths used",
+                        report.panic_path_count, report.panic_path_budget
+                    );
+                }
             }
-            println!(
-                "unwrap-budget: {} of {} non-test unwrap()/expect() call sites used",
-                report.unwrap_count, report.unwrap_budget
-            );
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

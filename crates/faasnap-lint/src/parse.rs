@@ -1,0 +1,788 @@
+//! Token-tree parser over the masked source: items, not lines.
+//!
+//! The lexer ([`crate::lexer`]) blanks comments and literals; this module
+//! tokenizes what survives and extracts the structure the deep passes
+//! need — `fn` items with their body token ranges, `impl`/`trait` owners,
+//! nested `mod`s, `use` imports, `#[cfg(test)]` gating, and visibility.
+//! It is a recognizer for the workspace's own dialect of Rust, not a
+//! general parser: items it does not understand are skipped token by
+//! token, which degrades analysis precision but never aborts it
+//! (conservatism lives downstream — unresolved calls taint widely).
+
+use std::ops::Range;
+
+/// One token of masked source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token payload.
+    pub kind: Tok,
+}
+
+/// Token payload: identifier-ish words (identifiers, keywords, numeric
+/// literals) or single punctuation characters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// `[A-Za-z0-9_]+`, with a leading `r#` raw-identifier prefix
+    /// stripped (`r#type` tokenizes as the word `type`).
+    Word(String),
+    /// Any other non-whitespace character, one per token (`::` is two
+    /// `:` tokens).
+    Punct(char),
+}
+
+impl Tok {
+    /// The word payload, if this is a word token.
+    pub fn word(&self) -> Option<&str> {
+        match self {
+            Tok::Word(w) => Some(w.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// Tokenizes masked source lines (see [`crate::lexer::Scanned`]).
+pub fn tokenize(masked_lines: &[String]) -> Vec<Token> {
+    let mut toks = Vec::new();
+    for (idx, line) in masked_lines.iter().enumerate() {
+        let lineno = idx as u32 + 1;
+        let bytes = line.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if b == b'_' || b.is_ascii_alphanumeric() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let mut word = &line[start..i];
+                // Raw identifier: the lexer leaves `r#name` intact; fold
+                // it to `name` so rules match either spelling.
+                if word == "r" && bytes.get(i) == Some(&b'#') {
+                    let after = i + 1;
+                    let mut j = after;
+                    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                    {
+                        j += 1;
+                    }
+                    if j > after {
+                        word = &line[after..j];
+                        i = j;
+                    }
+                }
+                toks.push(Token {
+                    line: lineno,
+                    kind: Tok::Word(word.to_string()),
+                });
+            } else {
+                // Masked regions are blanked to spaces, so every
+                // remaining byte is ASCII punctuation from real code.
+                toks.push(Token {
+                    line: lineno,
+                    kind: Tok::Punct(b as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// One `fn` item the parser extracted.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name (`r#` prefix folded away).
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Declared with `pub` (any form, including `pub(crate)`).
+    pub is_pub: bool,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub self_type: Option<String>,
+    /// Enclosing in-file module path (`["foo", "bar"]` for
+    /// `mod foo { mod bar { … } }`).
+    pub module: Vec<String>,
+    /// True inside a `#[cfg(test)]`-gated item (directly attributed or
+    /// via an enclosing test module).
+    pub in_cfg_test: bool,
+    /// True if the parameter list mentions `self`.
+    pub has_self_param: bool,
+    /// Token range of the body, excluding the outer braces. Empty for
+    /// bodyless trait-method declarations.
+    pub body: Range<usize>,
+    /// 1-based line range [start, end] covered by the body tokens.
+    pub body_lines: (u32, u32),
+}
+
+/// One local name introduced by a `use` declaration.
+#[derive(Clone, Debug)]
+pub struct Import {
+    /// Name visible in this file (the last path segment, or the alias
+    /// after `as`; `*` for glob imports).
+    pub name: String,
+    /// Full path segments, e.g. `["sim_core", "detmap", "DetMap"]`.
+    pub path: Vec<String>,
+}
+
+/// Everything the parser extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// The token stream (referenced by [`FnItem::body`] ranges).
+    pub tokens: Vec<Token>,
+    /// All `fn` items, in source order.
+    pub fns: Vec<FnItem>,
+    /// All `use` imports.
+    pub imports: Vec<Import>,
+}
+
+impl ParsedFile {
+    /// The innermost function whose body covers `line`, if any. Bodies
+    /// never overlap except through nesting the parser does not model,
+    /// so "innermost" is the latest-starting covering body.
+    pub fn fn_covering_line(&self, line: u32) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            let (lo, hi) = f.body_lines;
+            if !f.body.is_empty() && lo <= line && line <= hi {
+                match best {
+                    Some(b) if self.fns[b].body_lines.0 >= lo => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Words that start statements/expressions where a following `(` or `{`
+/// is grouping, not a call or struct body.
+const EXPR_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "return", "break", "continue", "in", "for", "while", "loop", "let",
+    "mut", "move", "as", "where", "dyn", "ref", "await", "yield",
+];
+
+/// True if `w` is a keyword that can precede `[` without indexing.
+pub fn is_expr_keyword(w: &str) -> bool {
+    EXPR_KEYWORDS.contains(&w)
+}
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+    out_fns: Vec<FnItem>,
+    out_imports: Vec<Import>,
+}
+
+/// Parses a file's masked lines into items.
+pub fn parse_file(masked_lines: &[String]) -> ParsedFile {
+    let tokens = tokenize(masked_lines);
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+        out_fns: Vec::new(),
+        out_imports: Vec::new(),
+    };
+    p.items(&mut Vec::new(), None, false);
+    ParsedFile {
+        fns: p.out_fns,
+        imports: p.out_imports,
+        tokens,
+    }
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> Option<&'t Tok> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'t Tok> {
+        self.toks.get(self.pos + off).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn take_word(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.bump();
+                Some(w)
+            }
+            _ => None,
+        }
+    }
+
+    /// Skips a balanced delimiter group starting at the current token
+    /// (which must be `open`); returns the token range between the
+    /// delimiters.
+    fn skip_group(&mut self, open: char, close: char) -> Range<usize> {
+        debug_assert!(self.peek().is_some_and(|t| t.is(open)));
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1u32;
+        while let Some(t) = self.peek() {
+            if t.is(open) {
+                depth += 1;
+            } else if t.is(close) {
+                depth -= 1;
+                if depth == 0 {
+                    let range = start..self.pos;
+                    self.bump();
+                    return range;
+                }
+            }
+            self.bump();
+        }
+        start..self.pos
+    }
+
+    /// Skips a balanced `<…>` generic group. Angle brackets are not real
+    /// delimiters (`a < b` is comparison), but in the item positions
+    /// this is called from — after `fn name`, after `impl` — `<` always
+    /// opens generics. `->` inside (closure/fn-pointer types) is handled
+    /// by ignoring `>` directly after `-`.
+    fn skip_angles(&mut self) {
+        debug_assert!(self.peek().is_some_and(|t| t.is('<')));
+        let mut depth = 0i64;
+        let mut prev_dash = false;
+        while let Some(t) = self.peek() {
+            if t.is('<') {
+                depth += 1;
+            } else if t.is('>') && !prev_dash {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            prev_dash = t.is('-');
+            self.bump();
+        }
+    }
+
+    /// Skips one `#[…]` / `#![…]` attribute; reports whether it is
+    /// exactly-ish `cfg(test)` (any `cfg` attribute naming `test`).
+    fn skip_attribute(&mut self) -> bool {
+        debug_assert!(self.peek().is_some_and(|t| t.is('#')));
+        self.bump();
+        if self.peek().is_some_and(|t| t.is('!')) {
+            self.bump();
+        }
+        if !self.peek().is_some_and(|t| t.is('[')) {
+            return false;
+        }
+        let range = self.skip_group('[', ']');
+        let words: Vec<&str> = self.toks[range]
+            .iter()
+            .filter_map(|t| t.kind.word())
+            .collect();
+        words.first() == Some(&"cfg") && words.contains(&"test")
+    }
+
+    /// Parses a `use` tree after the `use` keyword, emitting imports.
+    fn parse_use(&mut self) {
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut prefix);
+        // Consume the trailing `;` if present.
+        if self.peek().is_some_and(|t| t.is(';')) {
+            self.bump();
+        }
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.peek() {
+                Some(Tok::Word(w)) => {
+                    if w == "as" {
+                        self.bump();
+                        if let Some(alias) = self.take_word() {
+                            self.out_imports.push(Import {
+                                name: alias,
+                                path: prefix.clone(),
+                            });
+                            prefix.truncate(depth_at_entry.min(prefix.len()));
+                            // The caller handles `,` / `}` / `;`.
+                            if !self.finish_segment(prefix, depth_at_entry) {
+                                return;
+                            }
+                        }
+                    } else {
+                        prefix.push(w.clone());
+                        self.bump();
+                        if !self.step_after_segment(prefix, depth_at_entry) {
+                            return;
+                        }
+                    }
+                }
+                Some(t) if t.is('*') => {
+                    self.bump();
+                    self.out_imports.push(Import {
+                        name: "*".to_string(),
+                        path: prefix.clone(),
+                    });
+                    if !self.finish_segment(prefix, depth_at_entry) {
+                        return;
+                    }
+                }
+                Some(t) if t.is('{') => {
+                    self.bump();
+                    self.use_tree(prefix);
+                    if !self.finish_segment(prefix, depth_at_entry) {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// After a path segment: `::` continues the path, anything else ends
+    /// the current leaf. Returns false when the enclosing tree is done.
+    fn step_after_segment(&mut self, prefix: &mut Vec<String>, depth_at_entry: usize) -> bool {
+        if self.peek().is_some_and(|t| t.is(':')) && self.peek_at(1).is_some_and(|t| t.is(':')) {
+            self.bump();
+            self.bump();
+            return true;
+        }
+        if self.peek().and_then(|t| t.word()) == Some("as") {
+            // Alias ahead: keep the prefix; the main loop emits it.
+            return true;
+        }
+        // Leaf without alias: the visible name is the last segment.
+        if let Some(last) = prefix.last().cloned() {
+            self.out_imports.push(Import {
+                name: last,
+                path: prefix.clone(),
+            });
+        }
+        prefix.truncate(depth_at_entry);
+        self.finish_segment(prefix, depth_at_entry)
+    }
+
+    /// Handles `,` (next leaf in a group) and `}` / `;` (end of group /
+    /// declaration). Returns false when the current tree level is done.
+    fn finish_segment(&mut self, prefix: &mut Vec<String>, depth_at_entry: usize) -> bool {
+        prefix.truncate(depth_at_entry);
+        match self.peek() {
+            Some(t) if t.is(',') => {
+                self.bump();
+                true
+            }
+            Some(t) if t.is('}') => {
+                self.bump();
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses items until the closing `}` of the current scope (or EOF).
+    fn items(&mut self, module: &mut Vec<String>, self_type: Option<&str>, in_cfg_test: bool) {
+        let mut pending_pub = false;
+        let mut pending_cfg_test = false;
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Punct('#') => {
+                    pending_cfg_test |= self.skip_attribute();
+                }
+                Tok::Punct('}') => {
+                    self.bump();
+                    return;
+                }
+                Tok::Punct('{') => {
+                    // Stray block at item level (e.g. a const body the
+                    // scanner dropped us into): skip it wholesale.
+                    self.skip_group('{', '}');
+                }
+                Tok::Punct(_) => self.bump(),
+                Tok::Word(w) => match w.as_str() {
+                    "pub" => {
+                        self.bump();
+                        if self.peek().is_some_and(|t| t.is('(')) {
+                            self.skip_group('(', ')');
+                        }
+                        pending_pub = true;
+                    }
+                    "use" => {
+                        self.bump();
+                        self.parse_use();
+                        pending_pub = false;
+                        pending_cfg_test = false;
+                    }
+                    "mod" => {
+                        self.bump();
+                        let name = self.take_word().unwrap_or_default();
+                        if self.peek().is_some_and(|t| t.is('{')) {
+                            self.bump();
+                            module.push(name);
+                            self.items(module, self_type, in_cfg_test || pending_cfg_test);
+                            module.pop();
+                        }
+                        pending_pub = false;
+                        pending_cfg_test = false;
+                    }
+                    "fn" => {
+                        self.bump();
+                        self.parse_fn(
+                            module,
+                            self_type,
+                            pending_pub,
+                            in_cfg_test || pending_cfg_test,
+                        );
+                        pending_pub = false;
+                        pending_cfg_test = false;
+                    }
+                    "impl" => {
+                        self.bump();
+                        self.parse_impl(module, in_cfg_test || pending_cfg_test);
+                        pending_pub = false;
+                        pending_cfg_test = false;
+                    }
+                    "trait" => {
+                        self.bump();
+                        let name = self.take_word().unwrap_or_default();
+                        self.skip_to_body_brace();
+                        if self.peek().is_some_and(|t| t.is('{')) {
+                            self.bump();
+                            self.items(module, Some(&name), in_cfg_test || pending_cfg_test);
+                        }
+                        pending_pub = false;
+                        pending_cfg_test = false;
+                    }
+                    "macro_rules" => {
+                        self.bump(); // `macro_rules`
+                        if self.peek().is_some_and(|t| t.is('!')) {
+                            self.bump();
+                        }
+                        self.take_word(); // macro name
+                        if self.peek().is_some_and(|t| t.is('{')) {
+                            self.skip_group('{', '}');
+                        }
+                        pending_pub = false;
+                        pending_cfg_test = false;
+                    }
+                    "const" | "static" | "type" | "struct" | "enum" | "union" | "extern" => {
+                        self.bump();
+                        // `const fn` / `extern "C" fn`: fall through to
+                        // the next loop turn, which sees `fn`.
+                        if self.peek().and_then(|t| t.word()) == Some("fn") {
+                            continue;
+                        }
+                        self.skip_item_rest();
+                        pending_pub = false;
+                        pending_cfg_test = false;
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                },
+            }
+        }
+    }
+
+    /// Skips a non-fn item's remainder: to the `;` terminator or through
+    /// one balanced `{…}` body, whichever comes first at top depth.
+    fn skip_item_rest(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is(';') {
+                self.bump();
+                return;
+            }
+            if t.is('{') {
+                self.skip_group('{', '}');
+                return;
+            }
+            if t.is('(') {
+                self.skip_group('(', ')');
+            } else if t.is('[') {
+                self.skip_group('[', ']');
+            } else if t.is('<') {
+                self.skip_angles();
+            } else if t.is('}') {
+                return; // end of enclosing scope; don't consume
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// After `impl`: optional generics, the (possibly `Trait for`) type
+    /// path, then the brace-delimited item list with `self_type` set.
+    fn parse_impl(&mut self, module: &mut Vec<String>, in_cfg_test: bool) {
+        if self.peek().is_some_and(|t| t.is('<')) {
+            self.skip_angles();
+        }
+        let mut last_word: Option<String> = None;
+        loop {
+            match self.peek() {
+                Some(Tok::Word(w)) if w == "for" => {
+                    self.bump();
+                    last_word = None; // type after `for` is the self type
+                }
+                Some(Tok::Word(w)) if w == "where" => {
+                    self.bump();
+                    self.skip_to_body_brace();
+                    break;
+                }
+                Some(Tok::Word(w)) => {
+                    last_word = Some(w.clone());
+                    self.bump();
+                }
+                Some(t) if t.is('<') => self.skip_angles(),
+                Some(t) if t.is('{') => break,
+                Some(t) if t.is(':') || t.is('&') || t.is('\'') => self.bump(),
+                _ => break,
+            }
+        }
+        if self.peek().is_some_and(|t| t.is('{')) {
+            self.bump();
+            self.items(module, last_word.as_deref(), in_cfg_test);
+        }
+    }
+
+    /// Advances to the next `{` at the current nesting level, balancing
+    /// parens/brackets/angles on the way (for where clauses and return
+    /// types). Stops before the brace.
+    fn skip_to_body_brace(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is('{') || t.is(';') || t.is('}') {
+                return;
+            }
+            if t.is('(') {
+                self.skip_group('(', ')');
+            } else if t.is('[') {
+                self.skip_group('[', ']');
+            } else if t.is('<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// After the `fn` keyword: name, generics, params, return type, then
+    /// the body (or `;` for a bodyless trait method).
+    fn parse_fn(
+        &mut self,
+        module: &[String],
+        self_type: Option<&str>,
+        is_pub: bool,
+        in_cfg_test: bool,
+    ) {
+        let line = self.line();
+        let Some(name) = self.take_word() else {
+            return;
+        };
+        if self.peek().is_some_and(|t| t.is('<')) {
+            self.skip_angles();
+        }
+        let mut has_self_param = false;
+        if self.peek().is_some_and(|t| t.is('(')) {
+            let params = self.skip_group('(', ')');
+            has_self_param = self.toks[params]
+                .iter()
+                .any(|t| t.kind.word() == Some("self"));
+        }
+        self.skip_to_body_brace();
+        let body = if self.peek().is_some_and(|t| t.is('{')) {
+            self.skip_group('{', '}')
+        } else {
+            if self.peek().is_some_and(|t| t.is(';')) {
+                self.bump();
+            }
+            self.pos..self.pos
+        };
+        let body_lines = if body.is_empty() {
+            (line, line)
+        } else {
+            (self.toks[body.start].line, self.toks[body.end - 1].line)
+        };
+        self.out_fns.push(FnItem {
+            name,
+            line,
+            is_pub,
+            self_type: self_type.map(str::to_string),
+            module: module.to_vec(),
+            in_cfg_test,
+            has_self_param,
+            body,
+            body_lines,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lexer::scan(src).masked_lines)
+    }
+
+    #[test]
+    fn plain_fn_with_body() {
+        let p = parse("pub fn hello(x: u32) -> u32 {\n    x + 1\n}\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "hello");
+        assert!(f.is_pub);
+        assert!(!f.has_self_param);
+        assert_eq!(f.line, 1);
+        assert_eq!(f.body_lines, (2, 2));
+    }
+
+    #[test]
+    fn impl_methods_get_self_type() {
+        let p = parse(
+            "struct Host;\n\
+             impl Host {\n    pub fn submit(&self) {}\n    fn drain(&mut self, n: u32) {}\n}\n\
+             impl Clone for Host {\n    fn clone(&self) -> Host { Host }\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref(), f.has_self_param))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("submit", Some("Host"), true),
+                ("drain", Some("Host"), true),
+                ("clone", Some("Host"), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn generics_and_where_clauses() {
+        let p = parse(
+            "impl<K: Ord, V> Table<K, V> {\n\
+                 pub fn get<Q>(&self, q: &Q) -> Option<&V> where K: Borrow<Q>, Q: Ord {\n\
+                     None\n    }\n}\n\
+             fn free<T: Into<Vec<u8>>>(t: T) -> impl Iterator<Item = u8> { t.into().into_iter() }\n",
+        );
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["get", "free"]);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Table"));
+    }
+
+    #[test]
+    fn cfg_test_marks_fns() {
+        let p = parse(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn check() { live(); }\n}\n\
+             #[cfg(test)]\nfn helper() {}\n\
+             #[cfg(feature = \"x\")]\nfn gated() {}\n",
+        );
+        let flags: Vec<(&str, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_cfg_test))
+            .collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("live", false),
+                ("check", true),
+                ("helper", true),
+                ("gated", false),
+            ]
+        );
+        assert_eq!(p.fns[1].module, vec!["tests".to_string()]);
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let p = parse(
+            "use std::collections::BTreeMap;\n\
+             use sim_core::{rng::Prng, time::SimTime as T};\n\
+             use faasnap_obs::*;\n",
+        );
+        let imports: Vec<(String, String)> = p
+            .imports
+            .iter()
+            .map(|i| (i.name.clone(), i.path.join("::")))
+            .collect();
+        assert_eq!(
+            imports,
+            vec![
+                ("BTreeMap".into(), "std::collections::BTreeMap".into()),
+                ("Prng".into(), "sim_core::rng::Prng".into()),
+                ("T".into(), "sim_core::time::SimTime".into()),
+                ("*".into(), "faasnap_obs".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn macro_bodies_are_opaque() {
+        let p = parse(
+            "macro_rules! gen {\n    ($n:ident) => { fn $n() { panic!(\"in macro\") } };\n}\n\
+             fn after() {}\n",
+        );
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["after"]);
+    }
+
+    #[test]
+    fn const_fn_and_bodyless_trait_methods() {
+        let p = parse(
+            "pub const fn zero() -> u32 { 0 }\n\
+             trait Disk {\n    fn submit(&self, op: u32);\n    fn len(&self) -> u64 { 0 }\n}\n",
+        );
+        let named: Vec<(&str, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.body.is_empty()))
+            .collect();
+        assert_eq!(
+            named,
+            vec![("zero", false), ("submit", true), ("len", false)]
+        );
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("Disk"));
+    }
+
+    #[test]
+    fn raw_identifiers_fold() {
+        let p = parse("fn r#type() {}\n");
+        assert_eq!(p.fns[0].name, "type");
+    }
+
+    #[test]
+    fn fn_covering_line_picks_innermost() {
+        let p = parse("fn outer() {\n    let x = 1;\n    let y = 2;\n}\nfn next() {\n    3;\n}\n");
+        assert_eq!(
+            p.fn_covering_line(2).map(|i| p.fns[i].name.as_str()),
+            Some("outer")
+        );
+        assert_eq!(
+            p.fn_covering_line(6).map(|i| p.fns[i].name.as_str()),
+            Some("next")
+        );
+        assert_eq!(p.fn_covering_line(40), None);
+    }
+
+    #[test]
+    fn nested_raw_strings_do_not_break_items() {
+        let src = "fn a() {\n    let s = r##\"outer r#\"inner\"# end\"##;\n    let _ = s;\n}\nfn b() {}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -12,7 +12,9 @@
 use crate::diag::Diagnostic;
 use crate::lexer::{self, Comment};
 
-/// Every rule id the tool can emit, in stable order.
+/// Every rule id the tool can emit, in stable order. The first block is
+/// the line-lexer rules; the second block only fires under `--deep`
+/// (parser/call-graph/taint passes — see [`crate::taint`]).
 pub const RULE_IDS: &[&str] = &[
     "no-wallclock",
     "no-os-entropy",
@@ -22,6 +24,11 @@ pub const RULE_IDS: &[&str] = &[
     "layering",
     "missing-forbid-unsafe",
     "malformed-allow",
+    "no-env-read",
+    "determinism-taint",
+    "panic-path",
+    "float-determinism",
+    "dead-allow",
 ];
 
 /// Where a source file sits, for rule applicability decisions.
@@ -45,6 +52,41 @@ pub struct FileLint {
     pub unwrap_sites: u64,
     /// True if the file carries `#![forbid(unsafe_code)]`.
     pub has_forbid_unsafe: bool,
+    /// Well-formed allow directives, with usage marks. The deep passes
+    /// keep marking these; whatever stays unused becomes `dead-allow`.
+    pub allows: Vec<AllowRecord>,
+}
+
+/// A parsed, well-formed allow directive plus whether it ever fired.
+#[derive(Clone, Debug)]
+pub struct AllowRecord {
+    /// 1-based line the directive comment starts on.
+    pub line: u32,
+    /// Rule id it suppresses.
+    pub rule: String,
+    /// True once the directive has suppressed at least one finding (or
+    /// exempted at least one budget site) in any pass.
+    pub used: bool,
+}
+
+impl AllowRecord {
+    /// A directive covers its own line (trailing form) and the next line
+    /// (preceding form).
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (self.line == line || self.line + 1 == line)
+    }
+}
+
+/// True if some directive covers (rule, line); marks it used.
+pub fn consume_allow(allows: &mut [AllowRecord], rule: &str, line: u32) -> bool {
+    let mut hit = false;
+    for a in allows.iter_mut() {
+        if a.covers(rule, line) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
 }
 
 struct TextRule {
@@ -115,7 +157,7 @@ fn is_ident_byte(b: u8) -> bool {
 
 /// Occurrences of `pat` in `line` at identifier boundaries (so `HashMap`
 /// does not match inside `MyHashMapLike`).
-fn count_matches(line: &str, pat: &str) -> u64 {
+pub fn count_matches(line: &str, pat: &str) -> u64 {
     let lb = line.as_bytes();
     let pb = pat.as_bytes();
     let bound_front = is_ident_byte(pb[0]);
@@ -135,24 +177,9 @@ fn count_matches(line: &str, pat: &str) -> u64 {
     n
 }
 
-/// A parsed, well-formed allow directive.
-#[derive(Clone, Debug)]
-struct Allow {
-    line: u32,
-    rule: String,
-}
-
-impl Allow {
-    /// A directive covers its own line (trailing form) and the next line
-    /// (preceding form).
-    fn covers(&self, rule: &str, line: u32) -> bool {
-        self.rule == rule && (self.line == line || self.line + 1 == line)
-    }
-}
-
 const MARKER: &str = concat!("faasnap-lint", ":");
 
-fn parse_directives(ctx: &FileCtx, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnostic>) {
+fn parse_directives(ctx: &FileCtx, comments: &[Comment]) -> (Vec<AllowRecord>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for c in comments {
@@ -181,9 +208,10 @@ fn parse_directives(ctx: &FileCtx, comments: &[Comment]) -> (Vec<Allow>, Vec<Dia
                 "allow({rule}) needs a reason: `allow({rule}, why this is sound)`"
             )));
         } else {
-            allows.push(Allow {
+            allows.push(AllowRecord {
                 line: c.line,
                 rule: rule.to_string(),
+                used: false,
             });
         }
     }
@@ -192,7 +220,7 @@ fn parse_directives(ctx: &FileCtx, comments: &[Comment]) -> (Vec<Allow>, Vec<Dia
 
 /// Marks lines inside `#[cfg(test)]`-attributed items (brace-balanced on
 /// the masked text), which the unwrap budget skips.
-fn cfg_test_lines(masked_lines: &[String]) -> Vec<bool> {
+pub fn cfg_test_lines(masked_lines: &[String]) -> Vec<bool> {
     let mut in_test = vec![false; masked_lines.len()];
     let mut i = 0usize;
     while i < masked_lines.len() {
@@ -234,13 +262,16 @@ fn cfg_test_lines(masked_lines: &[String]) -> Vec<bool> {
 /// [`crate::layering`] and [`crate::lint_workspace`]; everything
 /// line-shaped happens here.
 pub fn lint_source(ctx: &FileCtx, source: &str) -> FileLint {
-    let scanned = lexer::scan(source);
-    let (allows, mut diagnostics) = parse_directives(ctx, &scanned.comments);
+    lint_scanned(ctx, &lexer::scan(source))
+}
+
+/// [`lint_source`] over an already-scanned file, so the deep pipeline
+/// can lex once and share the result with the parser.
+pub fn lint_scanned(ctx: &FileCtx, scanned: &lexer::Scanned) -> FileLint {
+    let (mut allows, mut diagnostics) = parse_directives(ctx, &scanned.comments);
     let test_lines = cfg_test_lines(&scanned.masked_lines);
     let mut unwrap_sites = 0u64;
     let mut has_forbid_unsafe = false;
-
-    let allowed = |rule: &str, line: u32| allows.iter().any(|a| a.covers(rule, line));
 
     for (idx, mline) in scanned.masked_lines.iter().enumerate() {
         let line = idx as u32 + 1;
@@ -252,7 +283,7 @@ pub fn lint_source(ctx: &FileCtx, source: &str) -> FileLint {
                 continue;
             }
             for pat in rule.patterns {
-                if count_matches(mline, pat) > 0 && !allowed(rule.id, line) {
+                if count_matches(mline, pat) > 0 && !consume_allow(&mut allows, rule.id, line) {
                     diagnostics.push(Diagnostic::new(
                         ctx.path,
                         line,
@@ -264,7 +295,7 @@ pub fn lint_source(ctx: &FileCtx, source: &str) -> FileLint {
         }
         if !ctx.is_harness && !test_lines[idx] {
             let n = count_matches(mline, ".unwrap()") + count_matches(mline, ".expect(");
-            if n > 0 && !allowed("unwrap-budget", line) {
+            if n > 0 && !consume_allow(&mut allows, "unwrap-budget", line) {
                 unwrap_sites += n;
             }
         }
@@ -275,6 +306,7 @@ pub fn lint_source(ctx: &FileCtx, source: &str) -> FileLint {
         diagnostics,
         unwrap_sites,
         has_forbid_unsafe,
+        allows,
     }
 }
 

@@ -1,0 +1,97 @@
+//! Golden test over the deep-analysis fixtures in `tests/fixtures/deep/`.
+//!
+//! Each fixture file becomes one source unit of a crate named
+//! `sim-fixture` and the whole set runs through the full deep pipeline
+//! (parse → call graph → taint → panic/float/dead-allow). Both the text
+//! diagnostics and the `--json` rendering are pinned byte-for-byte.
+//! Regenerate after an intentional analyzer change with
+//! `FAASNAP_BLESS=1 cargo test -p faasnap-lint` and review the diff.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use faasnap_lint::{lint_sources_deep, SourceUnit};
+
+fn deep_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/deep")
+}
+
+fn load_units() -> Vec<SourceUnit> {
+    let dir = deep_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read deep fixtures dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .into_string()
+                .expect("utf-8 fixture name")
+        })
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no fixtures in {}", dir.display());
+    names
+        .iter()
+        .map(|name| SourceUnit {
+            rel: format!("fixtures/deep/{name}"),
+            crate_name: "sim-fixture".to_string(),
+            is_harness: false,
+            is_crate_root: false,
+            source: std::fs::read_to_string(dir.join(name)).expect("read fixture"),
+        })
+        .collect()
+}
+
+fn check_golden(file: &str, actual: &str) {
+    let golden = deep_dir().join(file);
+    if std::env::var_os("FAASNAP_BLESS").is_some() {
+        std::fs::write(&golden, actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|_| {
+        panic!("tests/fixtures/deep/{file} missing; run once with FAASNAP_BLESS=1")
+    });
+    assert_eq!(
+        actual, expected,
+        "deep fixture output drifted ({file}); if intentional, rerun with FAASNAP_BLESS=1 \
+         and review"
+    );
+}
+
+#[test]
+fn deep_fixtures_match_golden() {
+    let report = lint_sources_deep(&load_units());
+    let mut text = String::new();
+    for d in &report.diagnostics {
+        writeln!(text, "{d}").expect("write to string");
+    }
+    writeln!(
+        text,
+        "unwrap_sites={} panic_paths={}",
+        report.unwrap_count, report.panic_path_count
+    )
+    .expect("write to string");
+    check_golden("expected.golden", &text);
+    check_golden("expected.json", &report.to_json());
+}
+
+/// The acceptance chain in one assertion, independent of the golden:
+/// the fixture where a wrapper launders `SystemTime::now()` into a
+/// golden-emitting public caller must be flagged with the full chain.
+#[test]
+fn laundering_chain_is_flagged() {
+    let report = lint_sources_deep(&load_units());
+    let taint: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "determinism-taint" && d.path.ends_with("launder.rs"))
+        .collect();
+    assert_eq!(taint.len(), 1, "{:?}", report.diagnostics);
+    assert!(
+        taint[0]
+            .message
+            .contains("emit_summary -> header_line -> stamp_ns"),
+        "chain missing from: {}",
+        taint[0].message
+    );
+}

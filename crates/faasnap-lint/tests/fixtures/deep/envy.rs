@@ -1,0 +1,16 @@
+//! Deep fixture: ambient environment reads. The bare read is flagged
+//! (`no-env-read`) and taints its public caller; the allowed read seeds
+//! nothing.
+
+fn knob() -> bool {
+    std::env::var("FIXTURE_KNOB").is_ok()
+}
+
+pub fn decide() -> bool {
+    knob()
+}
+
+pub fn sanctioned_toggle() -> bool {
+    // faasnap-lint: allow(no-env-read, toggles an optional side artifact only; primary output is unchanged)
+    std::env::var_os("FIXTURE_SIDE_DIR").is_some()
+}

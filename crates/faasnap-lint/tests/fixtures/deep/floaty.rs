@@ -1,0 +1,17 @@
+//! Deep fixture: float-determinism hazards. A float-keyed map and a
+//! `partial_cmp` on a publicly reachable path are flagged; the same
+//! comparison inside an unreachable helper is not.
+
+use std::collections::BTreeMap;
+
+pub struct Scores {
+    pub by_score: BTreeMap<f64, u32>,
+}
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn island_compare(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}

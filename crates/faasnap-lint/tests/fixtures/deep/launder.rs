@@ -1,0 +1,23 @@
+//! Deep fixture: a wall-clock read laundered through two private
+//! helpers into a public, golden-emitting function. The line rules see
+//! only `stamp_ns`; the taint pass must flag `emit_summary` with the
+//! full chain.
+
+/// Private wrapper around the nondeterminism source.
+fn stamp_ns() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+/// Innocent-looking formatter that happens to call the wrapper.
+fn header_line() -> String {
+    format!("# generated at {}", stamp_ns())
+}
+
+/// Public entry point whose output lands in a golden file.
+pub fn emit_summary() -> String {
+    let mut out = header_line();
+    out.push_str("\ntotal 0\n");
+    out
+}

@@ -1,0 +1,25 @@
+//! Deep fixture: panic-path sites. Three count toward the budget
+//! (`panic!`, `.expect(`, slice index); the allowed index and everything
+//! under `#[cfg(test)]` do not.
+
+pub fn risky(v: &[u32], x: Option<u32>) -> u32 {
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    v[0] + x.expect("caller guarantees Some")
+}
+
+pub fn vetted(v: &[u32]) -> u32 {
+    // faasnap-lint: allow(panic-path, length checked by risky() before every call)
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_panics_are_free() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v[0], 1);
+        unreachable!();
+    }
+}

@@ -1,0 +1,13 @@
+//! Deep fixture: allow liveness. The first directive suppresses a real
+//! finding and stays silent; the second suppresses nothing and is
+//! reported as `dead-allow`.
+
+pub fn counted() -> usize {
+    // faasnap-lint: allow(no-unordered-iteration, only the count escapes; iteration order never observed)
+    std::collections::HashSet::<u32>::new().len()
+}
+
+// faasnap-lint: allow(no-wallclock, a clock lived here before the refactor)
+pub fn quiet() -> u32 {
+    7
+}

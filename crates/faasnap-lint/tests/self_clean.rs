@@ -1,16 +1,17 @@
-//! The workspace must satisfy its own linter: zero diagnostics, and the
-//! unwrap ratchet at or under budget. This is the test-suite twin of the
-//! `scripts/check.sh` gate.
+//! The workspace must satisfy its own linter — shallow *and* deep: zero
+//! diagnostics, and both ratchets at or under budget. This is the
+//! test-suite twin of the `scripts/check.sh` gate.
 
 use std::path::Path;
 
-#[test]
-fn workspace_is_lint_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("workspace root is two levels above the crate");
-    let report = faasnap_lint::lint_workspace(root).expect("lint runs on the real workspace");
+        .expect("workspace root is two levels above the crate")
+}
+
+fn assert_clean(report: &faasnap_lint::Report) {
     assert!(
         report.diagnostics.is_empty(),
         "workspace has lint findings:\n{}",
@@ -26,5 +27,25 @@ fn workspace_is_lint_clean() {
         "unwrap-budget ratchet exceeded: {} sites > budget {}",
         report.unwrap_count,
         report.unwrap_budget
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report =
+        faasnap_lint::lint_workspace(workspace_root()).expect("lint runs on the real workspace");
+    assert_clean(&report);
+}
+
+#[test]
+fn workspace_is_deep_lint_clean() {
+    let report = faasnap_lint::lint_workspace_deep(workspace_root())
+        .expect("deep lint runs on the real workspace");
+    assert_clean(&report);
+    assert!(
+        report.panic_path_count <= report.panic_path_budget,
+        "panic-path ratchet exceeded: {} sites > budget {}",
+        report.panic_path_count,
+        report.panic_path_budget
     );
 }

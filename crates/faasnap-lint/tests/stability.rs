@@ -1,0 +1,84 @@
+//! Property: the deep lint report is byte-stable — across repeated runs
+//! on identical input and across any permutation of the input file
+//! order. Goldens and the check-script JSON diff both assume this.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+use faasnap_lint::{lint_sources_deep, SourceUnit};
+
+/// A small workspace with enough structure to exercise every deep pass:
+/// a taint chain, an env read, a float hazard, panic paths, and one
+/// live plus one dead allow.
+fn units() -> Vec<SourceUnit> {
+    let mk = |rel: &str, source: &str| SourceUnit {
+        rel: rel.to_string(),
+        crate_name: "sim-fixture".to_string(),
+        is_harness: false,
+        is_crate_root: false,
+        source: source.to_string(),
+    };
+    vec![
+        mk(
+            "a/clock.rs",
+            "fn stamp() -> u64 { std::time::SystemTime::now(); 0 }\n\
+             pub fn emit() -> u64 { stamp() }\n",
+        ),
+        mk(
+            "b/env.rs",
+            "fn knob() -> bool { std::env::var(\"K\").is_ok() }\n\
+             pub fn decide() -> bool { knob() }\n",
+        ),
+        mk(
+            "c/float.rs",
+            "pub fn rank(xs: &mut [f64]) {\n\
+                 xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n\
+             }\n",
+        ),
+        mk(
+            "d/panic.rs",
+            "pub fn risky(v: &[u32]) -> u32 { v[0] }\n\
+             // faasnap-lint: allow(no-wallclock, nothing here reads a clock anymore)\n\
+             pub fn quiet() -> u32 { 9 }\n",
+        ),
+        mk(
+            "e/allowed.rs",
+            "pub fn counted() -> usize {\n\
+                 // faasnap-lint: allow(no-unordered-iteration, only the count escapes)\n\
+                 std::collections::HashSet::<u32>::new().len()\n\
+             }\n",
+        ),
+    ]
+}
+
+fn shuffled(mut v: Vec<SourceUnit>, seed: u64) -> Vec<SourceUnit> {
+    let mut rng = TestRng::new(seed);
+    for i in (1..v.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let base = lint_sources_deep(&units()).to_json();
+    for _ in 0..5 {
+        assert_eq!(lint_sources_deep(&units()).to_json(), base);
+    }
+    // Sanity: the run actually found things — stability of an empty
+    // report would prove nothing.
+    assert!(base.contains("determinism-taint"));
+    assert!(base.contains("dead-allow"));
+}
+
+proptest! {
+    /// Any discovery order yields the same bytes, diagnostics and
+    /// budgets included.
+    #[test]
+    fn deep_report_stable_under_file_order(seed in 0u64..u64::MAX) {
+        let canonical = lint_sources_deep(&units()).to_json();
+        let permuted = lint_sources_deep(&shuffled(units(), seed)).to_json();
+        prop_assert_eq!(permuted, canonical);
+    }
+}

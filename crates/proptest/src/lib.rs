@@ -63,6 +63,7 @@ pub mod test_runner {
 
     /// Number of cases each property runs (PROPTEST_CASES overrides).
     pub fn case_count() -> u32 {
+        // faasnap-lint: allow(no-env-read, PROPTEST_CASES scales how many cases run, never what any case asserts; the RNG seed stays fixed)
         std::env::var("PROPTEST_CASES")
             .ok()
             .and_then(|v| v.parse().ok())

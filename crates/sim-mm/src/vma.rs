@@ -128,7 +128,9 @@ impl AddressSpace {
             .collect();
 
         for key in overlapping {
-            let old = self.vmas.remove(&key).expect("key just observed");
+            let Some(old) = self.vmas.remove(&key) else {
+                continue;
+            };
             // Left remainder.
             let left = PageRange::new(
                 old.range.start,

@@ -97,13 +97,19 @@ impl SimFs {
     }
 
     /// Changes a file's length (e.g. when a loading-set file is written).
+    /// Unknown ids are ignored.
     pub fn set_len_pages(&mut self, id: FileId, len_pages: u64) {
-        self.files.get_mut(&id).expect("unknown FileId").len_pages = len_pages;
+        if let Some(meta) = self.files.get_mut(&id) {
+            meta.len_pages = len_pages;
+        }
     }
 
     /// Moves a file to a different device (e.g. local SSD vs. remote EBS).
+    /// Unknown ids are ignored.
     pub fn set_device(&mut self, id: FileId, device: DeviceId) {
-        self.files.get_mut(&id).expect("unknown FileId").device = device;
+        if let Some(meta) = self.files.get_mut(&id) {
+            meta.device = device;
+        }
     }
 
     /// Removes a file. Returns its metadata if it existed.

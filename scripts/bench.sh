@@ -66,8 +66,9 @@ SMOKE_REPEAT=20
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-echo "==> building release faasnapd"
+echo "==> building release faasnapd + faasnap-lint"
 cargo build --release -q -p faasnap-cluster --bin faasnapd
+cargo build --release -q -p faasnap-lint
 
 : > "$TMP/wall.txt"
 # time_driver <name> <divisor> <cmd...>: appends one "<name> <ns>
@@ -93,6 +94,9 @@ for _ in $(seq "$MEDIAN_RUNS"); do
         --seed "$SEED" --repeat "$SMOKE_REPEAT"
     time_driver cluster_smoke_dedup_off "$SMOKE_REPEAT" "$FD" cluster --smoke \
         --policy snapshot-locality --seed "$SEED" --dedup off --repeat "$SMOKE_REPEAT"
+    # Deep static analysis over the whole workspace: parse, call graph,
+    # taint. Tracks analyzer cost as the codebase and the analyzer grow.
+    time_driver lint_deep 1 ./target/release/faasnap-lint --deep
 done
 # Trace scale: ≥10⁶ invocations across 1000 hosts, one sample (its
 # multi-second wall is far above timer noise).

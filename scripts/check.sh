@@ -13,10 +13,21 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> faasnap-lint: determinism & architecture rules"
-# Fails on any diagnostic; the final line reports the unwrap-budget ratchet
-# (non-test unwrap()/expect() call sites used vs. the cap in faasnap-lint).
-cargo run --release -q -p faasnap-lint
+echo "==> faasnap-lint: determinism & architecture rules (deep)"
+# Fails on any diagnostic; the final lines report the unwrap-budget and
+# panic-path ratchets (call sites used vs. the caps in faasnap-lint).
+# --deep adds the interprocedural passes: call-graph determinism taint,
+# env reads, float hazards, dead allows.
+cargo run --release -q -p faasnap-lint -- --deep
+
+echo "==> faasnap-lint: --json report matches tests/golden/lint_deep.json"
+# Pins the machine-readable report (budgets included) byte-for-byte, so
+# a budget bump or a new diagnostic is always a reviewed diff.
+LINT_TMP="$(mktemp)"
+cargo run --release -q -p faasnap-lint -- --deep --json > "$LINT_TMP"
+diff -u tests/golden/lint_deep.json "$LINT_TMP" \
+    || { rm -f "$LINT_TMP"; echo "deep lint JSON drifted from tests/golden/lint_deep.json"; exit 1; }
+rm -f "$LINT_TMP"
 
 echo "==> tier-1 verify: cargo build --release"
 cargo build --release
