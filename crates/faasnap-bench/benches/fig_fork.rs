@@ -1,0 +1,14 @@
+//! Regenerates the branching fan-out table; see
+//! `faasnap_bench::figures::fig_fork`.
+
+use faasnap_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::var("FAASNAP_QUICK").is_ok() {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    let out = figures::fig_fork(effort);
+    println!("{out}");
+}

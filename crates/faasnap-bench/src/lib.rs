@@ -19,6 +19,7 @@
 //! | `tbl_footprint`      | §7.3           | [`figures::tbl_footprint`] |
 //! | `tbl_merge`          | §4.6           | [`figures::tbl_merge`] |
 //! | `fig_cluster`        | fleet SLOs     | [`figures::fig_cluster`] |
+//! | `fig_fork`           | branching      | [`figures::fig_fork`] |
 //! | `micro`              | (criterion)    | library microbenchmarks |
 //!
 //! Drivers accept an [`Effort`] so smoke tests can run the same code
@@ -79,6 +80,14 @@ mod tests {
         let s = format!("{t}");
         assert!(s.contains("random"));
         assert!(s.contains("snapshot-locality"));
+    }
+
+    #[test]
+    fn fig_fork_driver_runs_quick() {
+        let t = figures::fig_fork(Effort::Quick);
+        let s = format!("{t}");
+        assert!(s.contains("Snapshot branching"));
+        assert!(s.contains("100"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! faasnapd list
 //! faasnapd invoke <function> [--strategy faasnap|firecracker|cached|reap|warm]
 //!                            [--input a|b] [--ratio <f64>] [--device nvme|ebs]
+//!                            [--fork <n>]
 //!                            [--trace] [--trace-out <file>] [--metrics-out <file>]
 //!                            [--profile-out <file>] [--self-profile-out <file>]
 //! faasnapd burst <function> --parallelism <n> [--strategy ...] [--kind same|diff]
@@ -17,7 +18,7 @@
 //!                  [--snapshot-budget <bytes>] [--dedup on|off] [--chunk-bytes <bytes>]
 //!                  [--fault-prob 0.02] [--fault-retry-ms 3] [--degrade-prob 0.25] [--degrade-ms 25]
 //!                  [--slo-latency-ms 1000] [--slo-burn 2.0]
-//!                  [--smoke] [--mega] [--repeat <n>]
+//!                  [--smoke] [--mega] [--repeat <n>] [--branch]
 //!                  [--metrics-out <file>] [--trace-out <file>]
 //!                  [--profile-out <file>] [--self-profile-out <file>]
 //! faasnapd lint [--root <dir>] [--deep] [--json]
@@ -53,6 +54,13 @@
 //! content-addressed store, so snapshots sharing zero, runtime, or
 //! function-family chunks cost far less than their logical size, and
 //! eviction frees only chunks no surviving snapshot references.
+//! `--branch` turns on snapshot branching: while a snapshot restore is
+//! paging a family's chunks from disk, co-located same-family requests
+//! branch COW siblings off it instead of re-reading the loading set,
+//! adding a `fork` section (and `fleet_fork_*` metric families) when
+//! any request actually branched. `--smoke --branch` runs the fixed
+//! [`ClusterConfig::fork_smoke`] branching fleet, which the repo's
+//! `fork_fleet.json` golden pins byte-for-byte.
 //! `--dedup off` makes every chunk tenant-unique — reproducing the old
 //! whole-file LRU accounting as an ablation baseline — and
 //! `--chunk-bytes` sets the dedup granularity (default 2 MiB).
@@ -63,7 +71,7 @@ use faasnap_cluster::{
     WorkloadSpec,
 };
 use faasnap_daemon::config::ExperimentConfig;
-use faasnap_daemon::observe::traced_invoke;
+use faasnap_daemon::observe::{traced_fork, traced_invoke};
 use faasnap_daemon::platform::{BurstKind, Platform};
 use faasnap_daemon::policy::{best_mode_for_period, Costs, ModeLatencies};
 use faasnap_obs::{
@@ -87,7 +95,10 @@ impl Args {
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = if matches!(name, "trace" | "smoke" | "mega" | "deep" | "json") {
+                let value = if matches!(
+                    name,
+                    "trace" | "smoke" | "mega" | "deep" | "json" | "branch"
+                ) {
                     "true".to_string()
                 } else {
                     iter.next()
@@ -247,6 +258,50 @@ fn cmd_invoke(args: &Args) {
     let strategy = strategy_for(&args.flag("strategy", "faasnap"));
     let profile = profile_for(&args.flag("device", "nvme"));
     let input = input_for(args, &f);
+    // `--fork N` branches N concurrent restores from the one snapshot
+    // instead of running a single independent restore.
+    let fork_n: usize = args.num("fork", "1");
+    if fork_n == 0 {
+        die("--fork must be at least 1");
+    }
+    if fork_n > 1 {
+        println!("recording snapshot for {} (input A)...", f.name());
+        let run = traced_fork(f.name(), &input, strategy, profile, 0xFA5D, fork_n)
+            .unwrap_or_else(|e| die(&e));
+        let fork = &run.fork;
+        let times: Summary = fork
+            .outcomes
+            .iter()
+            .map(|o| o.report.total_time().as_millis_f64())
+            .collect();
+        println!(
+            "{} x{} fork ({}): mean {:.1} ms, p95 {:.1} ms, max {:.1} ms",
+            f.name(),
+            fork_n,
+            strategy.label(),
+            times.mean(),
+            times.p95(),
+            times.max(),
+        );
+        println!(
+            "sharing: {} disk pages read for {} siblings ({} shared base pages, {} private COW pages)",
+            fork.disk_read_pages, fork_n, fork.shared_pages, fork.private_pages
+        );
+        if let Some(path) = args.flags.get("trace-out") {
+            write_artifact(path, "Chrome trace", &chrome_trace_json(&run.tracer));
+        }
+        if let Some(path) = args.flags.get("metrics-out") {
+            write_artifact(path, "metrics", &run.metrics.render_prometheus());
+        }
+        if let Some(path) = args.flags.get("profile-out") {
+            println!("\n{}", render_phase_table(&run.tracer));
+            write_artifact(path, "folded stacks", &folded_stacks(&run.tracer));
+        }
+        if let Some(path) = args.flags.get("self-profile-out") {
+            write_artifact(path, "self-profile", &run.selfprof.render_report());
+        }
+        return;
+    }
     println!("recording snapshot for {} (input A)...", f.name());
     let run =
         traced_invoke(f.name(), &input, strategy, profile, 0xFA5D).unwrap_or_else(|e| die(&e));
@@ -405,6 +460,9 @@ fn cmd_cluster(args: &Args) {
         &(faasnap_cluster::HostConfig::default().snapshot_budget_bytes).to_string(),
     );
     let store = StoreParams { dedup, chunk_bytes };
+    // Snapshot branching: co-located same-family restores share one
+    // in-flight read stream instead of each paging from disk.
+    let branch = args.flags.contains_key("branch");
     // A fault profile is armed as soon as any --fault-*/--degrade-*
     // flag appears; unspecified knobs fall back to the mild defaults.
     let fault_profile = if ["fault-prob", "fault-retry-ms", "degrade-prob", "degrade-ms"]
@@ -474,7 +532,12 @@ fn cmd_cluster(args: &Args) {
     let mut p99_by_policy: Vec<(String, f64)> = Vec::new();
     for policy in policies {
         let mut cfg = if smoke {
-            ClusterConfig::smoke(policy, seed)
+            if branch {
+                // The fixed branching smoke fleet (golden-pinned).
+                ClusterConfig::fork_smoke(policy, seed)
+            } else {
+                ClusterConfig::smoke(policy, seed)
+            }
         } else if mega {
             ClusterConfig::mega(policy, seed)
         } else {
@@ -492,6 +555,7 @@ fn cmd_cluster(args: &Args) {
         cfg.fault_profile = fault_profile;
         cfg.host.store = store;
         cfg.host.snapshot_budget_bytes = snapshot_budget;
+        cfg.host.branch = branch;
         eprintln!(
             "simulating {} on {} hosts, {} tenants for {}...",
             policy.label(),

@@ -139,6 +139,22 @@ impl ClusterConfig {
         }
     }
 
+    /// The fixed branching smoke fleet behind `faasnapd cluster --smoke
+    /// --branch` and the `fork_fleet.json` golden: one branch-enabled
+    /// host with no warm reuse and a starved loading-set cache, so
+    /// co-located same-family restores must branch off each other's
+    /// in-flight disk reads. Byte-deterministic per seed, like
+    /// [`ClusterConfig::smoke`].
+    pub fn fork_smoke(policy: RoutePolicy, seed: u64) -> Self {
+        let mut cfg = ClusterConfig::smoke(policy, seed);
+        cfg.hosts = 1;
+        cfg.host.branch = true;
+        cfg.host.warm_pool_cap = 0;
+        cfg.host.cache_budget_bytes = 1;
+        cfg.workload = WorkloadSpec::zipf(8, &["hello-world"], 60.0, 1.0);
+        cfg
+    }
+
     /// The trace-scale fleet behind `faasnapd cluster --mega` and the
     /// `cluster_mega` bench driver: ≥10⁶ invocations across 1000 hosts
     /// (≈4000 req/s aggregate over a 300 s horizon from 4000 Zipf-skewed
@@ -450,6 +466,8 @@ pub fn run_cluster(cfg: &ClusterConfig) -> FleetMetrics {
     for (i, h) in hosts.iter().enumerate() {
         metrics.host_busy[i] = h.busy_time();
         metrics.host_slots[i] = h.config().slots;
+        metrics.fork_branched += h.branched_count();
+        metrics.fork_saved_bytes += h.branched_saved_bytes();
         let reg = h.snapshots();
         metrics.store_unique_bytes[i] = reg.total_bytes();
         metrics.store_logical_bytes[i] = reg.logical_bytes();
@@ -572,6 +590,39 @@ mod tests {
         // Queue bound caps per-request queueing delay at roughly
         // queue_cap × service time; nothing should wait unboundedly.
         assert!(m.total_served() > 0);
+    }
+
+    #[test]
+    fn branch_mode_shares_in_flight_restores() {
+        // Snapshot-heavy stream on one branch-enabled host: no warm
+        // pool, so every serve after the first is a snapshot restore,
+        // and concurrent same-family restores must branch.
+        let base = || {
+            let mut cfg = quick_cfg(RoutePolicy::LeastLoaded, 11);
+            cfg.hosts = 1;
+            cfg.host.warm_pool_cap = 0;
+            cfg.host.cache_budget_bytes = 1; // loading sets never stay hot
+            cfg.workload = WorkloadSpec::zipf(8, &["hello-world"], 60.0, 1.0);
+            cfg
+        };
+        let off = run_cluster(&base());
+        assert_eq!(off.fork_branched, 0);
+        assert!(off.to_json().get("fork").is_none());
+        let mut cfg = base();
+        cfg.host.branch = true;
+        let on = run_cluster(&cfg);
+        assert!(on.fork_branched > 0, "no branch under heavy overlap");
+        assert_eq!(
+            on.fork_saved_bytes,
+            on.fork_branched * ServiceTimes::default().loading_set_bytes
+        );
+        let v = on.to_json();
+        assert_eq!(
+            v.get("fork").unwrap().get("branched").unwrap().as_u64(),
+            Some(on.fork_branched)
+        );
+        // Branched siblings dodge disk reads, so the tail improves.
+        assert!(on.p(99.0) <= off.p(99.0));
     }
 
     #[test]

@@ -130,6 +130,11 @@ pub struct HostConfig {
     pub cache_budget_bytes: u64,
     /// Snapshot-store parameters: chunk-level dedup and granularity.
     pub store: StoreParams,
+    /// Snapshot branching: while a same-family snapshot restore is
+    /// paging from disk, co-located requests branch from it as COW
+    /// siblings instead of re-reading the loading set (default off; an
+    /// off host is byte-identical to a branch-free build).
+    pub branch: bool,
 }
 
 impl Default for HostConfig {
@@ -142,6 +147,7 @@ impl Default for HostConfig {
             snapshot_budget_bytes: 24 << 30,
             cache_budget_bytes: 2 << 30,
             store: StoreParams::default(),
+            branch: false,
         }
     }
 }
@@ -273,6 +279,13 @@ pub struct HostSim {
     warm: Vec<(TenantId, SimTime)>,
     snapshots: StoreRegistry,
     cache: LruBudget,
+    /// Branch windows: disk-touching snapshot restores in flight, as
+    /// (family, completion time). Only populated when `cfg.branch`.
+    restoring: Vec<(u64, SimTime)>,
+    /// Invocations served by branching off an in-flight restore.
+    branched: u64,
+    /// Loading-set bytes those branched serves did not re-read.
+    branched_saved_bytes: u64,
     shed: u64,
     busy: SimDuration,
     metrics: Metrics,
@@ -293,6 +306,9 @@ impl HostSim {
             warm: Vec::new(),
             snapshots: StoreRegistry::new(cfg.snapshot_budget_bytes, cfg.store),
             cache: LruBudget::new(cfg.cache_budget_bytes),
+            restoring: Vec::new(),
+            branched: 0,
+            branched_saved_bytes: 0,
             shed: 0,
             busy: SimDuration::ZERO,
             metrics: Metrics::disabled(),
@@ -360,6 +376,17 @@ impl HostSim {
     /// Requests shed so far.
     pub fn shed_count(&self) -> u64 {
         self.shed
+    }
+
+    /// Invocations served by branching off an in-flight same-family
+    /// restore (always 0 unless [`HostConfig::branch`]).
+    pub fn branched_count(&self) -> u64 {
+        self.branched
+    }
+
+    /// Loading-set bytes branched serves avoided re-reading from disk.
+    pub fn branched_saved_bytes(&self) -> u64 {
+        self.branched_saved_bytes
     }
 
     /// Cumulative slot-busy time (for utilization metrics).
@@ -468,7 +495,27 @@ impl HostSim {
             self.sync_index_tenant(tenant);
             if hot {
                 ServeMode::SnapshotHot
+            } else if self.branch_active(family, now) {
+                // A same-family restore is already paging this family's
+                // shared chunks in; branch a COW sibling off it instead
+                // of re-reading the loading set. The sibling pays only
+                // the mapping/fault work — the snapshot-hot latency.
+                self.branched += 1;
+                self.branched_saved_bytes += times.loading_set_bytes;
+                self.metrics
+                    .counter_inc("fleet_fork_siblings_total", &[("host", &self.host_label)]);
+                self.metrics.counter_add(
+                    "fleet_fork_saved_bytes_total",
+                    &[("host", &self.host_label)],
+                    times.loading_set_bytes,
+                );
+                ServeMode::SnapshotHot
             } else {
+                if self.cfg.branch {
+                    // Leader: its disk reads are sharable until it
+                    // finishes restoring.
+                    self.restoring.push((family, now + times.snap_cold));
+                }
                 ServeMode::SnapshotCold
             }
         } else {
@@ -534,6 +581,16 @@ impl HostSim {
         job
     }
 
+    /// True if a disk-touching restore of `family` is still in flight
+    /// (branch mode only; expired windows are purged on the way).
+    fn branch_active(&mut self, family: u64, now: SimTime) -> bool {
+        if !self.cfg.branch {
+            return false;
+        }
+        self.restoring.retain(|&(_, until)| until > now);
+        self.restoring.iter().any(|&(f, _)| f == family)
+    }
+
     fn purge_expired_warm(&mut self, now: SimTime) {
         // The pool is sorted by expiry, so the expired VMs are a prefix.
         while self.warm.first().is_some_and(|&(_, e)| e < now) {
@@ -576,6 +633,7 @@ mod tests {
             snapshot_budget_bytes: 100,
             cache_budget_bytes: 100,
             store: StoreParams::default(),
+            branch: false,
         })
     }
 

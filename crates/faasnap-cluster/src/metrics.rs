@@ -69,6 +69,11 @@ pub struct FleetMetrics {
     pub store_logical_bytes: Vec<u64>,
     /// Per-host count of resident (restorable) snapshots at end of run.
     pub snapshots_resident: Vec<u64>,
+    /// Invocations served by branching off an in-flight same-family
+    /// restore (snapshot branching; 0 unless branch mode is on).
+    pub fork_branched: u64,
+    /// Loading-set bytes branched serves avoided re-reading from disk.
+    pub fork_saved_bytes: u64,
     /// Burn-rate SLO alert log, present only when a rule fired during
     /// the run — healthy runs serialize without an `slo` key, keeping
     /// their documents byte-identical to monitor-free builds.
@@ -105,6 +110,8 @@ impl FleetMetrics {
             store_unique_bytes: vec![0; hosts],
             store_logical_bytes: vec![0; hosts],
             snapshots_resident: vec![0; hosts],
+            fork_branched: 0,
+            fork_saved_bytes: 0,
             slo: None,
         }
     }
@@ -293,6 +300,16 @@ impl FleetMetrics {
             .with("fleet", fleet)
             .with("tenants", Value::Array(tenants))
             .with("per_host", Value::Array(hosts));
+        // Like `slo`, the fork section appears only when branching
+        // actually happened, so branch-free runs stay byte-identical.
+        if self.fork_branched > 0 {
+            root = root.with(
+                "fork",
+                Value::object()
+                    .with("branched", self.fork_branched)
+                    .with("saved_disk_bytes", self.fork_saved_bytes),
+            );
+        }
         if let Some(slo) = &self.slo {
             root = root.with("slo", slo.clone());
         }
@@ -389,6 +406,18 @@ mod tests {
         let v = m.to_json();
         let store = v.get("fleet").unwrap().get("store").unwrap();
         assert_eq!(store.get("dedup_ratio").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn fork_section_only_present_when_branching_happened() {
+        let mut m = metrics();
+        assert!(m.to_json().get("fork").is_none());
+        m.fork_branched = 3;
+        m.fork_saved_bytes = 30;
+        let v = m.to_json();
+        let fork = v.get("fork").unwrap();
+        assert_eq!(fork.get("branched").unwrap().as_u64(), Some(3));
+        assert_eq!(fork.get("saved_disk_bytes").unwrap().as_u64(), Some(30));
     }
 
     #[test]

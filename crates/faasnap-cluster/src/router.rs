@@ -93,6 +93,7 @@ mod tests {
                     snapshot_budget_bytes: 1 << 30,
                     cache_budget_bytes: 1 << 30,
                     store: crate::store::StoreParams::default(),
+                    branch: false,
                 })
             })
             .collect()

@@ -500,6 +500,7 @@ mod tests {
                 snapshot_budget_bytes: 100,
                 cache_budget_bytes: 70,
                 store: crate::store::StoreParams::default(),
+                branch: false,
             };
             let idx = RouterIndex::enabled(4);
             let mut hosts: Vec<HostSim> = (0..4).map(|_| HostSim::new(cfg)).collect();

@@ -65,6 +65,7 @@ proptest! {
             snapshot_budget_bytes: snapshot_budget,
             cache_budget_bytes: snapshot_budget,
             store: StoreParams::default(),
+            branch: false,
         });
         let st = ServiceTimes { snapshot_bytes: 1, loading_set_bytes: 1, ..ServiceTimes::default() };
         let mut now = SimTime::ZERO;

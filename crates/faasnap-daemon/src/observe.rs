@@ -9,7 +9,7 @@
 //! arrival and the metrics cover only test-phase work.
 
 use faas_workloads::Input;
-use faasnap::runtime::InvocationOutcome;
+use faasnap::runtime::{ForkOutcome, InvocationOutcome};
 use faasnap::strategy::RestoreStrategy;
 use faasnap_obs::{Metrics, SelfProfile, Tracer};
 use sim_storage::profiles::DiskProfile;
@@ -63,6 +63,57 @@ pub fn traced_invoke(
     let outcome = platform.invoke(function, "cli", input, strategy)?;
     Ok(TraceRun {
         outcome,
+        tracer,
+        metrics,
+        selfprof,
+    })
+}
+
+/// A fork outcome together with the observability it produced.
+pub struct ForkRun {
+    /// Per-sibling outcomes plus fork sharing accounting.
+    pub fork: ForkOutcome,
+    /// Spans covering the fork (platform → fork → per-sibling
+    /// invocations → per-fault).
+    pub tracer: Tracer,
+    /// Metrics covering the fork (fault counts, prefetch traffic,
+    /// `faasnap_fork_*` sharing counters when n > 1).
+    pub metrics: Metrics,
+    /// Engine self-profile covering the fork.
+    pub selfprof: SelfProfile,
+}
+
+/// [`traced_invoke`]'s branching sibling: records `function` once, then
+/// branches `n` fully traced concurrent restores from the snapshot. With
+/// `n = 1` the artifacts are byte-identical to [`traced_invoke`]'s.
+pub fn traced_fork(
+    function: &str,
+    input: &Input,
+    strategy: RestoreStrategy,
+    profile: DiskProfile,
+    seed: u64,
+    n: usize,
+) -> Result<ForkRun, String> {
+    let mut platform = Platform::new(profile, seed);
+    for f in faas_workloads::all_functions() {
+        platform.register(f);
+    }
+    let input_a = platform
+        .registry()
+        .function(function)
+        .ok_or_else(|| format!("unknown function {function}"))?
+        .input_a();
+    platform.record(function, "cli", &input_a)?;
+
+    let tracer = Tracer::enabled();
+    let metrics = Metrics::enabled();
+    let selfprof = SelfProfile::enabled();
+    platform.set_tracer(tracer.clone());
+    platform.set_metrics(metrics.clone());
+    platform.set_self_profile(selfprof.clone());
+    let fork = platform.fork(function, "cli", input, strategy, n)?;
+    Ok(ForkRun {
+        fork,
         tracer,
         metrics,
         selfprof,

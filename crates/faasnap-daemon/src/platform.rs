@@ -10,7 +10,7 @@
 
 use faas_workloads::{Function, Input};
 use faasnap::error::RestoreError;
-use faasnap::runtime::{run_invocations, Host, InvocationOutcome, InvocationSpec};
+use faasnap::runtime::{run_invocations, ForkOutcome, Host, InvocationOutcome, InvocationSpec};
 use faasnap::snapstore::FamilyStore;
 use faasnap::strategy::RestoreStrategy;
 use faasnap_obs::{Metrics, SelfProfile, TraceContext, Tracer};
@@ -318,6 +318,97 @@ impl Platform {
                 Err(InvokeError::Restore(e))
             }
         }
+    }
+
+    /// Branches `n` concurrent restores from one snapshot (§6.6's
+    /// same-snapshot burst taken to its logical end): all siblings share
+    /// the frozen base image copy-on-write and the snapshot-keyed page
+    /// state, so the working set is read from disk once for the whole
+    /// batch. `n = 1` is byte-identical to [`Platform::try_invoke`].
+    pub fn try_fork(
+        &mut self,
+        name: &str,
+        label: &str,
+        input: &Input,
+        strategy: RestoreStrategy,
+        n: usize,
+    ) -> Result<ForkOutcome, InvokeError> {
+        assert!(n >= 1, "a fork needs at least one sibling");
+        let spec = self
+            .build_spec(name, label, input, strategy)
+            .map_err(InvokeError::NotFound)?;
+        if self.store_backed_reads {
+            if let Some(store) = self.snapstore.as_ref() {
+                if let (Some(artifacts), Ok(layout)) = (
+                    self.registry.artifacts(name, label),
+                    store.layout(&format!("{name}.{label}")),
+                ) {
+                    self.host
+                        .map_chunked_file(artifacts.snapshot.mem_file(), layout);
+                }
+            }
+        }
+        self.kv.put(
+            format!("{name}/input"),
+            KvValue {
+                len: input.payload_kb * 1024,
+                fingerprint: input.seed,
+            },
+        );
+        self.host.drop_caches();
+        let tracer = self.host.tracer.clone();
+        // A 1-way fork is an ordinary invocation and must trace as one.
+        let span = if n > 1 {
+            "platform/fork"
+        } else {
+            "platform/invoke"
+        };
+        let ctx = tracer.begin(span, "daemon", SimTime::ZERO, TraceContext::NONE);
+        tracer.tag(ctx, "function", name);
+        tracer.tag(ctx, "label", label);
+        tracer.tag(ctx, "strategy", strategy.label());
+        if n > 1 {
+            tracer.tag(ctx, "siblings", n as u64);
+        }
+        tracer.push_parent(ctx);
+        let result = faasnap::runtime::try_run_fork(&mut self.host, spec, n);
+        tracer.pop_parent();
+        match result {
+            Ok(fork) => {
+                let end = fork
+                    .outcomes
+                    .iter()
+                    .map(|o| o.report.total_time())
+                    .max()
+                    .unwrap_or_default();
+                tracer.end(ctx, SimTime::ZERO + end);
+                self.kv.put(
+                    format!("{name}/output"),
+                    KvValue {
+                        len: input.payload_kb * 1024,
+                        fingerprint: fork.outcomes[0].final_memory.checksum(),
+                    },
+                );
+                Ok(fork)
+            }
+            Err(e) => {
+                tracer.end(ctx, tracer.latest_end().unwrap_or(SimTime::ZERO));
+                Err(InvokeError::Restore(e))
+            }
+        }
+    }
+
+    /// [`Platform::try_fork`] with a stringly error (CLI surface).
+    pub fn fork(
+        &mut self,
+        name: &str,
+        label: &str,
+        input: &Input,
+        strategy: RestoreStrategy,
+        n: usize,
+    ) -> Result<ForkOutcome, String> {
+        self.try_fork(name, label, input, strategy, n)
+            .map_err(|e| e.to_string())
     }
 
     /// Builds a test-phase spec without running it.

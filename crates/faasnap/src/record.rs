@@ -13,8 +13,8 @@
 
 use sim_mm::addr::{PageNum, PageRange};
 use sim_mm::mincore::scan_new_pages;
-use sim_mm::page_cache::PageCache;
 use sim_mm::page_table::PageTable;
+use sim_mm::share::SharedPages;
 use sim_mm::vma::AddressSpace;
 
 use crate::wset::{ReapWorkingSet, WorkingSet};
@@ -58,7 +58,7 @@ impl MincoreRecorder {
         rss_pages: u64,
         aspace: &AddressSpace,
         pt: &PageTable,
-        cache: &PageCache,
+        cache: &SharedPages,
     ) -> bool {
         if rss_pages < self.last_scan_rss + self.scan_threshold {
             return false;
@@ -69,7 +69,7 @@ impl MincoreRecorder {
     }
 
     /// Unconditional scan (the final scan after the invocation finishes).
-    pub fn scan(&mut self, aspace: &AddressSpace, pt: &PageTable, cache: &PageCache) {
+    pub fn scan(&mut self, aspace: &AddressSpace, pt: &PageTable, cache: &SharedPages) {
         let new_pages = scan_new_pages(self.range, aspace, pt, cache, &mut self.seen);
         self.ws.extend(&new_pages);
         self.scans += 1;
@@ -132,7 +132,7 @@ mod tests {
     use sim_mm::vma::Backing;
     use sim_storage::file::FileId;
 
-    fn world(total: u64) -> (AddressSpace, PageTable, PageCache) {
+    fn world(total: u64) -> (AddressSpace, PageTable, SharedPages) {
         let mut a = AddressSpace::new();
         a.map_fixed(
             PageRange::new(0, total),
@@ -141,7 +141,7 @@ mod tests {
                 offset_page: 0,
             },
         );
-        (a, PageTable::new(total), PageCache::new(1 << 20))
+        (a, PageTable::new(total), SharedPages::new(1 << 20))
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   blocking working-set fetch). The vCPU starts here.
 //! - `done`: the function replies; `invocation_time = done − setup_time`.
 
+use std::rc::Rc;
+
 use faasnap_obs::{Metrics, SelfProfile, TraceContext, Tracer};
 use sim_core::engine::{Engine, Scheduler, World};
 use sim_core::json::Value;
@@ -24,9 +26,8 @@ use sim_core::time::{SimDuration, SimTime};
 use sim_mm::addr::{PageNum, PageRange};
 use sim_mm::costs::FaultCosts;
 use sim_mm::fault::{FaultKind, FaultOutcome, FaultResolver};
-use sim_mm::inflight::InflightIo;
-use sim_mm::page_cache::PageCache;
 use sim_mm::page_table::{PageState, PageTable};
+use sim_mm::share::SharedPages;
 use sim_mm::userfaultfd::UffdRegistry;
 use sim_mm::vma::{AddressSpace, Resolved};
 use sim_storage::chunked::{merge_completions, ChunkedFile};
@@ -37,6 +38,7 @@ use sim_storage::profiles::DiskProfile;
 use sim_vm::boot::BootModel;
 use sim_vm::guest_kernel::GuestKernel;
 use sim_vm::guest_memory::GuestMemory;
+use sim_vm::overlay::{CowMemory, GuestMem, VmMemory};
 use sim_vm::trace::Trace;
 use sim_vm::vcpu::{Step, Vcpu};
 
@@ -143,10 +145,10 @@ pub struct Host {
     pub fs: SimFs,
     /// Block devices, indexed by `DeviceId`.
     pub disks: Vec<Disk>,
-    /// The host page cache (shared by all VMs).
-    pub cache: PageCache,
-    /// In-flight read registry (page-lock semantics).
-    pub inflight: InflightIo,
+    /// Snapshot-keyed shared page state: the page cache and in-flight
+    /// read registry keyed by canonical chunk identity, shared by all
+    /// VMs (fork siblings share hits and deduplicate reads through it).
+    pub pages: SharedPages,
     /// Fault cost model.
     pub costs: FaultCosts,
     /// Boot/setup timing model.
@@ -161,11 +163,6 @@ pub struct Host {
     /// Self-profiling handle (simulator-effort counters) shared by every
     /// layer on this host.
     pub selfprof: SelfProfile,
-    /// Chunk-store extent maps for store-backed logical files. Reads of a
-    /// mapped file are translated chunk-by-chunk to the store's physical
-    /// layout before reaching the device; unmapped files go straight
-    /// through (the default — behavior is byte-identical when empty).
-    chunk_maps: sim_core::detmap::DetMap<FileId, ChunkedFile>,
     seed: u64,
     vmgenid: u64,
 }
@@ -177,15 +174,13 @@ impl Host {
         Host {
             fs: SimFs::new(),
             disks: vec![Disk::new(profile, seed ^ 0xD15C)],
-            cache: PageCache::new(40 * 1024 * 1024), // 160 GB of page cache
-            inflight: InflightIo::new(),
+            pages: SharedPages::new(40 * 1024 * 1024), // 160 GB of page cache
             costs: FaultCosts::default(),
             boot: BootModel::default(),
             cpu: CpuPool::new(96),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
             selfprof: SelfProfile::disabled(),
-            chunk_maps: sim_core::detmap::DetMap::new(),
             seed,
             vmgenid: 0,
         }
@@ -206,7 +201,7 @@ impl Host {
 
     /// Drops the entire page cache (between-test hygiene, §6.1).
     pub fn drop_caches(&mut self) {
-        self.cache.drop_all();
+        self.pages.drop_cache();
     }
 
     /// Issues a fresh VM generation ID — the §7.4 mitigation for clones
@@ -235,27 +230,28 @@ impl Host {
     /// Backs a logical file with a chunk-store extent map: subsequent
     /// reads of it resolve through the store's physical layout.
     pub fn map_chunked_file(&mut self, file: FileId, map: ChunkedFile) {
-        self.chunk_maps.insert(file, map);
+        self.pages.share_mut().map_file(file, map);
     }
 
     /// Removes a file's chunk-store backing (reads go direct again).
     pub fn unmap_chunked_file(&mut self, file: FileId) -> Option<ChunkedFile> {
-        self.chunk_maps.remove(&file)
+        self.pages.share_mut().unmap_file(file)
     }
 
     /// The chunk-store backing of a file, if any.
     pub fn chunked_file(&self, file: FileId) -> Option<&ChunkedFile> {
-        self.chunk_maps.get(&file)
+        self.pages.share().chunked(file)
     }
 
     /// Submits a read, resolving store-backed files through their chunk
     /// maps (per-chunk physical requests, merged completion: latest chunk
     /// wins, first injected fault wins). Files without a map — every file
     /// today unless [`Host::map_chunked_file`] was called — submit
-    /// directly, unchanged. The in-flight registry and page cache keep
-    /// operating on *logical* identity at every call site.
+    /// directly, unchanged. Call sites keep passing *logical* requests:
+    /// [`SharedPages`] canonicalizes cache and in-flight keys through the
+    /// same maps, so siblings whose files share chunks share hits too.
     pub fn submit_checked(&mut self, now: SimTime, io: IoRequest) -> IoCompletion {
-        let plan = match self.chunk_maps.get(&io.file) {
+        let plan = match self.pages.share().chunked(io.file) {
             Some(map) => map.plan(&io),
             None => return self.disk_of_file(io.file).submit_checked(now, io),
         };
@@ -420,13 +416,18 @@ enum Ev {
         fate: IoFate,
         ctx: TraceContext,
     },
-    /// A page-lock wait on an in-flight read finished.
+    /// A page-lock wait on an in-flight read finished. `attempt` is the
+    /// waiter's own access attempt: a wake from a *cancelled* (failed)
+    /// read re-faults with it bumped, so waiters consume retry budget
+    /// too and a fail-forever read fails every waiter closed instead of
+    /// livelocking the sibling group.
     InflightDone {
         vm: usize,
         page: PageNum,
         write: bool,
         token: u64,
         started: SimTime,
+        attempt: u32,
         ctx: TraceContext,
     },
     /// A loader read finished (perhaps unsuccessfully). `io` is the
@@ -469,7 +470,7 @@ enum Ev {
 
 struct VmRun {
     vcpu: Vcpu,
-    mem: GuestMemory,
+    mem: VmMemory,
     kernel: GuestKernel,
     aspace: AddressSpace,
     pt: PageTable,
@@ -514,19 +515,109 @@ pub fn try_run_invocations(
     host: &mut Host,
     specs: Vec<InvocationSpec>,
 ) -> Result<Vec<InvocationOutcome>, RestoreError> {
+    Ok(run_specs(host, specs, None)?.0)
+}
+
+/// The result of an N-way fork: per-sibling outcomes plus sharing
+/// accounting for the whole batch.
+#[derive(Clone, Debug)]
+pub struct ForkOutcome {
+    /// Per-sibling invocation outcomes, in sibling order.
+    pub outcomes: Vec<InvocationOutcome>,
+    /// Disk pages transferred by the whole fork (all siblings, all I/O).
+    pub disk_read_pages: u64,
+    /// Non-zero pages of the shared base image (stored once for all
+    /// siblings).
+    pub shared_pages: u64,
+    /// Private copied-on-write pages, summed over all siblings.
+    pub private_pages: u64,
+}
+
+/// Branches `n` concurrent restores from one snapshot. Every sibling
+/// shares the frozen base image read-only (dirty pages copy on write
+/// into a private anonymous overlay) and the snapshot-keyed page state,
+/// so the working set is read from disk once for the whole batch instead
+/// of once per sibling. `n = 1` is byte-identical to
+/// [`try_run_invocation`]: same seed draws, same event order, same
+/// trace, same metrics.
+pub fn try_run_fork(
+    host: &mut Host,
+    spec: InvocationSpec,
+    n: usize,
+) -> Result<ForkOutcome, RestoreError> {
+    assert!(n >= 1, "a fork needs at least one sibling");
+    let read_before: u64 = host.disks.iter().map(|d| d.stats().pages).sum();
+    let base = Rc::new(spec.memory.clone());
+    // The fork span (and its metrics below) only exist for real forks:
+    // a 1-way fork stays indistinguishable from an independent restore.
+    let fork_ctx = if n > 1 {
+        let ctx = host
+            .tracer
+            .begin("fork", "vm", SimTime::ZERO, host.tracer.current_parent());
+        host.tracer.tag(ctx, "siblings", n as u64);
+        host.tracer.push_parent(ctx);
+        Some(ctx)
+    } else {
+        None
+    };
+    let specs: Vec<InvocationSpec> = (0..n).map(|_| spec.clone()).collect();
+    let result = run_specs(host, specs, Some(&base));
+    if let Some(ctx) = fork_ctx {
+        host.tracer.pop_parent();
+        let end = host.tracer.latest_end().unwrap_or(SimTime::ZERO);
+        host.tracer.end(ctx, end);
+    }
+    let (outcomes, private_pages) = result?;
+    let read_after: u64 = host.disks.iter().map(|d| d.stats().pages).sum();
+    let disk_read_pages = read_after - read_before;
+    let shared_pages = base.nonzero_count();
+    if n > 1 {
+        host.metrics
+            .counter_add("faasnap_fork_siblings_total", &[], n as u64);
+        host.metrics
+            .counter_add("faasnap_fork_disk_read_pages_total", &[], disk_read_pages);
+        host.metrics
+            .counter_add("faasnap_fork_shared_pages_total", &[], shared_pages);
+        host.metrics
+            .counter_add("faasnap_fork_private_pages_total", &[], private_pages);
+    }
+    Ok(ForkOutcome {
+        outcomes,
+        disk_read_pages,
+        shared_pages,
+        private_pages,
+    })
+}
+
+/// Branches `n` siblings, panicking on restore failure.
+pub fn run_fork(host: &mut Host, spec: InvocationSpec, n: usize) -> ForkOutcome {
+    match try_run_fork(host, spec, n) {
+        Ok(f) => f,
+        Err(e) => panic!("fork failed: {e}"),
+    }
+}
+
+/// Shared engine loop behind both entry points. With `fork_base`, every
+/// VM's memory is a copy-on-write overlay over that image; the second
+/// return value is the total private (copied) page count.
+fn run_specs(
+    host: &mut Host,
+    specs: Vec<InvocationSpec>,
+    fork_base: Option<&Rc<GuestMemory>>,
+) -> Result<(Vec<InvocationOutcome>, u64), RestoreError> {
     // Each run has its own clock starting at zero: device queues and the
     // in-flight registry (which hold absolute times) start idle.
     for disk in &mut host.disks {
         disk.reset_queue();
     }
-    host.inflight.clear();
+    host.pages.clear_inflight();
 
     let mut engine: Engine<Ev> = Engine::new();
     let mut vms = Vec::with_capacity(specs.len());
 
     for (i, spec) in specs.into_iter().enumerate() {
         let seed = host.next_seed();
-        let (vm, setup_time) = prepare_vm(host, spec, seed, i);
+        let (vm, setup_time) = prepare_vm(host, spec, seed, i, fork_base);
         // The loader starts at request arrival; the vCPU after setup.
         if !vm.loader_plan.is_empty() {
             engine
@@ -559,29 +650,33 @@ pub fn try_run_invocations(
     ]);
     host.selfprof
         .max("engine/peak_pending", estats.peak_pending);
-    vms.into_iter()
-        .map(|mut vm| {
-            if let Some(err) = vm.error.take() {
-                return Err(err);
-            }
-            assert!(
-                vm.done_at.is_some(),
-                "vCPU never finished — deadlocked simulation?"
-            );
-            // Footprint accounting (§7.3): anonymous residency plus the
-            // page-cache pages of this VM's backing files.
-            vm.report.resident_pages = vm.pt.rss_pages();
-            vm.report.cache_pages = host.cache.resident_of(vm.mem_file)
-                + vm.ls_file.map(|f| host.cache.resident_of(f)).unwrap_or(0);
-            vm.report.faults.injected_mm_delays = vm.resolver.injected_delays();
-            Ok(InvocationOutcome {
-                report: vm.report,
-                final_memory: vm.mem,
-                ws: vm.mincore_rec.map(|r| r.finish()),
-                reap_ws: vm.uffd_track.map(|t| t.finish()),
-            })
-        })
-        .collect()
+    let mut outcomes = Vec::with_capacity(vms.len());
+    let mut private_pages: u64 = 0;
+    for mut vm in vms {
+        if let Some(err) = vm.error.take() {
+            return Err(err);
+        }
+        assert!(
+            vm.done_at.is_some(),
+            "vCPU never finished — deadlocked simulation?"
+        );
+        // Footprint accounting (§7.3): anonymous residency plus the
+        // page-cache pages of this VM's backing files.
+        vm.report.resident_pages = vm.pt.rss_pages();
+        vm.report.cache_pages = host.pages.resident_of(vm.mem_file)
+            + vm.ls_file.map(|f| host.pages.resident_of(f)).unwrap_or(0);
+        vm.report.faults.injected_mm_delays = vm.resolver.injected_delays();
+        if let VmMemory::Cow(c) = &vm.mem {
+            private_pages += c.private_pages();
+        }
+        outcomes.push(InvocationOutcome {
+            report: vm.report,
+            final_memory: vm.mem.into_guest_memory(),
+            ws: vm.mincore_rec.map(|r| r.finish()),
+            reap_ws: vm.uffd_track.map(|t| t.finish()),
+        });
+    }
+    Ok((outcomes, private_pages))
 }
 
 /// Runs a batch of invocations, panicking on restore failure (healthy
@@ -628,6 +723,7 @@ fn prepare_vm(
     spec: InvocationSpec,
     seed: u64,
     idx: usize,
+    fork_base: Option<&Rc<GuestMemory>>,
 ) -> (VmRun, SimDuration) {
     let total_pages = spec.memory.total_pages();
     let mut aspace = AddressSpace::new();
@@ -669,7 +765,7 @@ fn prepare_vm(
             setup = host.boot.snapshot_setup_base() + host.costs.mmap_calls(1);
             // Pre-load the memory file into the page cache (reference
             // setting; the warm-up itself is not measured, §6.1).
-            host.cache.insert_range(spec.mem_file, 0, total_pages);
+            host.pages.insert_range(spec.mem_file, 0, total_pages);
         }
         RestoreStrategy::Reap => {
             mapper::map_vanilla(&mut aspace, total_pages, spec.mem_file);
@@ -799,9 +895,15 @@ fn prepare_vm(
         .complete("setup", "vm", SimTime::ZERO, setup, ctx_invocation);
     host.tracer.tag(ctx_setup, "mmap_calls", report.mmap_calls);
 
+    // A fork sibling maps the shared base copy-on-write; an ordinary
+    // restore owns its image outright.
+    let mem = match fork_base {
+        None => VmMemory::Flat(spec.memory),
+        Some(base) => VmMemory::Cow(CowMemory::new(base.clone())),
+    };
     let vm = VmRun {
         vcpu: Vcpu::new(spec.trace),
-        mem: spec.memory,
+        mem,
         kernel,
         aspace,
         pt,
@@ -956,7 +1058,7 @@ impl World for SimWorld<'_> {
                     // Nothing was transferred: drop the page locks this
                     // read held (waiters re-fault) and retry or fail.
                     self.host
-                        .inflight
+                        .pages
                         .cancel_window(io.file, io.page, io.pages, now);
                     self.host.tracer.end(ctx, now);
                     let next = attempt + 1;
@@ -1000,16 +1102,16 @@ impl World for SimWorld<'_> {
                     IoFate::Short { served } => served,
                     _ => io.pages,
                 };
-                self.host.cache.insert_range(io.file, io.page, served);
+                self.host.pages.insert_range(io.file, io.page, served);
                 self.host
-                    .inflight
+                    .pages
                     .complete_window(io.file, io.page, served, now);
                 if served < io.pages {
                     // Short read: the unserved tail's page locks drop;
                     // its waiters re-fault. The faulting page itself is
                     // always within the served prefix (readahead starts
                     // at it), so this access still completes.
-                    self.host.inflight.cancel_window(
+                    self.host.pages.cancel_window(
                         io.file,
                         io.page + served,
                         io.pages - served,
@@ -1055,7 +1157,7 @@ impl World for SimWorld<'_> {
                     // the kernel does): no vCPU waits on this read, and
                     // any page it covered re-faults on demand.
                     self.host
-                        .inflight
+                        .pages
                         .cancel_window(io.file, io.page, io.pages, now);
                     return;
                 }
@@ -1063,12 +1165,12 @@ impl World for SimWorld<'_> {
                     IoFate::Short { served } => served,
                     _ => io.pages,
                 };
-                self.host.cache.insert_range(io.file, io.page, served);
+                self.host.pages.insert_range(io.file, io.page, served);
                 self.host
-                    .inflight
+                    .pages
                     .complete_window(io.file, io.page, served, now);
                 if served < io.pages {
-                    self.host.inflight.cancel_window(
+                    self.host.pages.cancel_window(
                         io.file,
                         io.page + served,
                         io.pages - served,
@@ -1105,22 +1207,47 @@ impl World for SimWorld<'_> {
                 write,
                 token,
                 started,
+                attempt,
                 ctx,
             } => {
+                if self.vms[vm].error.is_some() {
+                    return;
+                }
                 // If the read this waiter was parked on failed, its page
                 // locks were cancelled and the cache was never populated:
                 // re-fault from scratch instead of installing a page with
-                // no backing bytes.
+                // no backing bytes. Waiting on a failed read consumes one
+                // of the waiter's own retry attempts — otherwise siblings
+                // alternating between issuing and waiting on each other's
+                // failing reads would reset their budgets forever.
                 let v = &self.vms[vm];
                 let stale = match v.aspace.resolve(page) {
                     Some(Resolved::File { file, file_page }) => {
-                        !self.host.cache.contains(file, file_page)
+                        if self.host.pages.contains(file, file_page) {
+                            None
+                        } else {
+                            Some((file, file_page))
+                        }
                     }
-                    _ => false,
+                    _ => None,
                 };
-                if stale {
+                if let Some((file, file_page)) = stale {
                     self.host.tracer.end(ctx, now);
-                    if !self.handle_access(vm, page, write, token, now, sched, 0) {
+                    let next = attempt + 1;
+                    if next >= MAX_FAULT_RETRIES {
+                        self.fail_vm(
+                            vm,
+                            now,
+                            RestoreError::ReadRetriesExhausted {
+                                site: RetrySite::GuestFault,
+                                file,
+                                page: file_page,
+                                attempts: next,
+                            },
+                        );
+                        return;
+                    }
+                    if !self.handle_access(vm, page, write, token, now, sched, next) {
                         self.drive_vcpu(vm, now, sched);
                     }
                     return;
@@ -1140,18 +1267,18 @@ impl World for SimWorld<'_> {
                 match fate {
                     IoFate::Failed => {
                         self.host
-                            .inflight
+                            .pages
                             .cancel_window(io.file, io.page, io.pages, now);
                         self.loader_retry_or_degrade(vm, idx, io, io.page, attempt, now, sched);
                     }
                     IoFate::Short { served } => {
                         // Keep the served prefix; retry resumes at the
                         // first unserved page.
-                        self.host.cache.insert_range(io.file, io.page, served);
+                        self.host.pages.insert_range(io.file, io.page, served);
                         self.host
-                            .inflight
+                            .pages
                             .complete_window(io.file, io.page, served, now);
-                        self.host.inflight.cancel_window(
+                        self.host.pages.cancel_window(
                             io.file,
                             io.page + served,
                             io.pages - served,
@@ -1168,9 +1295,9 @@ impl World for SimWorld<'_> {
                         );
                     }
                     IoFate::Ok => {
-                        self.host.cache.insert_range(io.file, io.page, io.pages);
+                        self.host.pages.insert_range(io.file, io.page, io.pages);
                         self.host
-                            .inflight
+                            .pages
                             .complete_window(io.file, io.page, io.pages, now);
                         let v = &mut self.vms[vm];
                         if let Some(start) = v.loader_started {
@@ -1196,8 +1323,8 @@ impl World for SimWorld<'_> {
                 let end = chunk.page + chunk.pages;
                 let mut p = chunk.page;
                 while p < end
-                    && (self.host.cache.contains(chunk.file, p)
-                        || self.host.inflight.completion_of(chunk.file, p).is_some())
+                    && (self.host.pages.contains(chunk.file, p)
+                        || self.host.pages.completion_of(chunk.file, p).is_some())
                 {
                     p += 1;
                 }
@@ -1228,7 +1355,7 @@ impl World for SimWorld<'_> {
                 // degrades to a hard failure at injection time.
                 if fate != IoFate::Ok {
                     self.host
-                        .inflight
+                        .pages
                         .cancel_window(io.file, io.page, io.pages, now);
                     self.host.tracer.end(ctx, now);
                     let next = attempt + 1;
@@ -1268,9 +1395,9 @@ impl World for SimWorld<'_> {
                     }
                     return;
                 }
-                self.host.cache.insert_range(io.file, io.page, io.pages);
+                self.host.pages.insert_range(io.file, io.page, io.pages);
                 self.host
-                    .inflight
+                    .pages
                     .complete_window(io.file, io.page, io.pages, now);
                 let v = &mut self.vms[vm];
                 let resume_at = match v.reap.as_mut() {
@@ -1306,7 +1433,7 @@ impl World for SimWorld<'_> {
                     return;
                 }
                 if let Some(rec) = &mut v.mincore_rec {
-                    rec.poll(v.pt.rss_pages(), &v.aspace, &v.pt, &self.host.cache);
+                    rec.poll(v.pt.rss_pages(), &v.aspace, &v.pt, &self.host.pages);
                 }
                 sched.schedule(now + MINCORE_POLL_INTERVAL, Ev::MincorePoll { vm });
             }
@@ -1366,7 +1493,7 @@ impl SimWorld<'_> {
                     // Final mincore scan (the daemon scans once more after
                     // the invocation completes).
                     if let Some(rec) = &mut v.mincore_rec {
-                        rec.scan(&v.aspace, &v.pt, &self.host.cache);
+                        rec.scan(&v.aspace, &v.pt, &self.host.pages);
                     }
                     return;
                 }
@@ -1413,9 +1540,8 @@ impl SimWorld<'_> {
             page,
             &v.aspace,
             &mut v.pt,
-            &mut self.host.cache,
+            &mut self.host.pages,
             &v.uffd,
-            &self.host.inflight,
             now,
             v.ctx_function,
         );
@@ -1459,6 +1585,7 @@ impl SimWorld<'_> {
                         write,
                         token,
                         started: now,
+                        attempt,
                         ctx,
                     },
                 );
@@ -1475,7 +1602,7 @@ impl SimWorld<'_> {
                 }
                 let done = completion.done;
                 self.host
-                    .inflight
+                    .pages
                     .insert_window(io.file, io.page, io.pages, done);
                 sched.schedule(
                     done,
@@ -1501,7 +1628,7 @@ impl SimWorld<'_> {
                     }
                     let adone = acomp.done;
                     self.host
-                        .inflight
+                        .pages
                         .insert_window(aio.file, aio.page, aio.pages, adone);
                     let guest_start = page + io.pages;
                     let actx = self.host.tracer.begin(
@@ -1529,7 +1656,7 @@ impl SimWorld<'_> {
                     .reap
                     .as_mut()
                     .expect("uffd fault without handler");
-                if self.host.cache.contains(file, file_page) {
+                if self.host.pages.contains(file, file_page) {
                     let svc = handler.serve_cached(now, &self.host.costs);
                     sched.schedule(
                         svc.resume_at,
@@ -1559,9 +1686,7 @@ impl SimWorld<'_> {
                         self.record_injection(vm, now, f);
                     }
                     let done = completion.done;
-                    self.host
-                        .inflight
-                        .insert_window(file, file_page, pages, done);
+                    self.host.pages.insert_window(file, file_page, pages, done);
                     self.vms[vm].report.guest_fault_read_pages += pages;
                     self.vms[vm].report.fault_block_requests += 1;
                     sched.schedule(
@@ -1614,8 +1739,8 @@ impl SimWorld<'_> {
         let room = v.aspace.contiguous_extent(guest_start, len);
         let mut pages = 0;
         for fp in file_start..file_start + room {
-            if self.host.cache.contains(file, fp)
-                || self.host.inflight.completion_of(file, fp).is_some()
+            if self.host.pages.contains(file, fp)
+                || self.host.pages.completion_of(file, fp).is_some()
             {
                 break;
             }
@@ -1635,7 +1760,7 @@ impl SimWorld<'_> {
             self.record_injection(vm, now, f);
         }
         self.host
-            .inflight
+            .pages
             .insert_window(file, file_start, pages, completion.done);
         let ctx = self
             .host
@@ -1672,8 +1797,8 @@ impl SimWorld<'_> {
             self.vms[vm].loader_next += 1;
             // Read-once: skip fully cached or in-flight chunks.
             let covered = (chunk.page..chunk.page + chunk.pages).all(|p| {
-                self.host.cache.contains(chunk.file, p)
-                    || self.host.inflight.completion_of(chunk.file, p).is_some()
+                self.host.pages.contains(chunk.file, p)
+                    || self.host.pages.completion_of(chunk.file, p).is_some()
             });
             if covered {
                 self.host
@@ -1702,7 +1827,7 @@ impl SimWorld<'_> {
             self.record_injection(vm, now, f);
         }
         self.host
-            .inflight
+            .pages
             .insert_window(io.file, io.page, io.pages, completion.done);
         let parent = self.vms[vm].ctx_loader.unwrap_or(TraceContext::NONE);
         let ctx = self
@@ -2099,6 +2224,64 @@ mod tests {
             "cache sharing should dedupe reads, got {read_pages}"
         );
         assert!(total_majors > 0);
+    }
+
+    #[test]
+    fn fork_siblings_share_reads_and_keep_private_writes() {
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let spec =
+            InvocationSpec::new(RestoreStrategy::Vanilla, touch_trace(100, 50, true), mem, f);
+        let fork = run_fork(&mut host, spec, 4);
+        assert_eq!(fork.outcomes.len(), 4);
+        // All siblings fault the same 50 pages, but the disk serves far
+        // fewer than 4x: in-flight waits and cache hits dedupe reads.
+        let read_pages = host.disks[0].stats().pages_of(IoKind::FaultRead);
+        assert!(
+            read_pages < 4 * 50,
+            "siblings share reads, got {read_pages}"
+        );
+        assert_eq!(fork.shared_pages, 200, "base image stored once");
+        assert!(
+            fork.private_pages >= 4 * 50,
+            "every sibling copies its dirty pages, got {}",
+            fork.private_pages
+        );
+        for o in &fork.outcomes {
+            for p in 100..150 {
+                assert_eq!(o.final_memory.read(p), Trace::token_for(5, p));
+            }
+            assert_eq!(o.final_memory.read(150), 150 * 13 + 1, "clean page intact");
+        }
+    }
+
+    #[test]
+    fn fork_of_one_matches_independent_run() {
+        let mk = |mem: &GuestMemory, f: FileId| {
+            InvocationSpec::new(
+                RestoreStrategy::Vanilla,
+                touch_trace(100, 80, false),
+                mem.clone(),
+                f,
+            )
+        };
+        let (mut host, mem, f) = tiny_world();
+        host.drop_caches();
+        let solo = run_invocation(&mut host, mk(&mem, f));
+        // A fresh identical host, so seed and vmgenid draws line up.
+        let (mut host2, mem2, f2) = tiny_world();
+        host2.drop_caches();
+        let fork = run_fork(&mut host2, mk(&mem2, f2), 1);
+        let sib = &fork.outcomes[0];
+        assert_eq!(solo.report.total_faults(), sib.report.total_faults());
+        assert_eq!(solo.report.invocation_time, sib.report.invocation_time);
+        assert_eq!(solo.report.setup_time, sib.report.setup_time);
+        assert_eq!(solo.final_memory, sib.final_memory);
+        assert_eq!(
+            host.disks[0].stats(),
+            host2.disks[0].stats(),
+            "identical I/O stream"
+        );
     }
 
     #[test]

@@ -27,9 +27,8 @@ use sim_storage::readahead::ReadaheadState;
 
 use crate::addr::PageNum;
 use crate::costs::FaultCosts;
-use crate::inflight::InflightIo;
-use crate::page_cache::PageCache;
 use crate::page_table::{PageState, PageTable};
+use crate::share::SharedPages;
 use crate::userfaultfd::UffdRegistry;
 use crate::vma::{AddressSpace, Resolved};
 
@@ -235,11 +234,10 @@ impl FaultResolver {
         page: PageNum,
         aspace: &AddressSpace,
         pt: &mut PageTable,
-        cache: &mut PageCache,
+        pages: &mut SharedPages,
         uffd: &UffdRegistry,
-        inflight: &InflightIo,
     ) -> FaultOutcome {
-        let outcome = self.plan(page, aspace, pt, cache, uffd, inflight);
+        let outcome = self.plan(page, aspace, pt, pages, uffd);
         if self.selfprof.is_enabled() {
             self.selfprof.inc("mm/resolve_calls");
             // Map-op estimates per outcome: a state lookup, plus the
@@ -265,9 +263,8 @@ impl FaultResolver {
         page: PageNum,
         aspace: &AddressSpace,
         pt: &mut PageTable,
-        cache: &mut PageCache,
+        pages: &mut SharedPages,
         uffd: &UffdRegistry,
-        inflight: &InflightIo,
     ) -> FaultOutcome {
         if !pt.faults_on(page) {
             return FaultOutcome::NoFault;
@@ -311,14 +308,14 @@ impl FaultResolver {
                 }
             }
             Resolved::File { file, file_page } => {
-                if cache.touch(file, file_page) {
+                if pages.touch(file, file_page) {
                     pt.install(page);
                     let cost = self.costs.minor_fault(&mut self.rng);
                     FaultOutcome::Resolved {
                         cost: self.inject_delay(cost),
                         kind: FaultKind::Minor,
                     }
-                } else if let Some(ready_at) = inflight.completion_of(file, file_page) {
+                } else if let Some(ready_at) = pages.completion_of(file, file_page) {
                     // Sleep on the page lock; the read in flight will
                     // populate the cache. Install cost on wake.
                     let cost = self.costs.minor_fault(&mut self.rng);
@@ -327,8 +324,7 @@ impl FaultResolver {
                         cost: self.inject_delay(cost),
                     }
                 } else {
-                    let (io, async_io) =
-                        self.plan_major(page, file, file_page, aspace, cache, inflight);
+                    let (io, async_io) = self.plan_major(page, file, file_page, aspace, pages);
                     let overhead = self.costs.major_overhead(&mut self.rng);
                     FaultOutcome::NeedsIo {
                         io,
@@ -352,13 +348,12 @@ impl FaultResolver {
         page: PageNum,
         aspace: &AddressSpace,
         pt: &mut PageTable,
-        cache: &mut PageCache,
+        pages: &mut SharedPages,
         uffd: &UffdRegistry,
-        inflight: &InflightIo,
         now: SimTime,
         parent: TraceContext,
     ) -> (FaultOutcome, TraceContext) {
-        let outcome = self.resolve(page, aspace, pt, cache, uffd, inflight);
+        let outcome = self.resolve(page, aspace, pt, pages, uffd);
         if !self.tracer.is_enabled() {
             return (outcome, TraceContext::NONE);
         }
@@ -396,8 +391,7 @@ impl FaultResolver {
         file: FileId,
         file_page: u64,
         aspace: &AddressSpace,
-        cache: &PageCache,
-        inflight: &InflightIo,
+        pages_state: &SharedPages,
     ) -> (IoRequest, Option<IoRequest>) {
         let (init, max) = (self.initial_ra_pages, self.max_ra_pages);
         let ra = self
@@ -415,7 +409,7 @@ impl FaultResolver {
 
         // Trim at the first cached page to keep the read contiguous.
         for (i, fp) in (file_page..file_page + pages).enumerate() {
-            if i > 0 && cache.contains(file, fp) {
+            if i > 0 && pages_state.contains(file, fp) {
                 pages = i as u64;
                 break;
             }
@@ -437,7 +431,7 @@ impl FaultResolver {
             let room = aspace.contiguous_extent(page + pages, len).min(len);
             let mut a_pages = 0;
             for fp in a_start..a_start + room {
-                if cache.contains(file, fp) || inflight.completion_of(file, fp).is_some() {
+                if pages_state.contains(file, fp) || pages_state.completion_of(file, fp).is_some() {
                     break;
                 }
                 a_pages += 1;
@@ -466,36 +460,34 @@ mod tests {
     ) -> (
         AddressSpace,
         PageTable,
-        PageCache,
+        SharedPages,
         UffdRegistry,
-        InflightIo,
         FaultResolver,
     ) {
         let aspace = AddressSpace::new();
         let pt = PageTable::new(total);
-        let cache = PageCache::new(1 << 20);
+        let pages = SharedPages::new(1 << 20);
         let uffd = UffdRegistry::new();
-        let inflight = InflightIo::new();
         let r = FaultResolver::new(FaultCosts::default(), 42);
-        (aspace, pt, cache, uffd, inflight, r)
+        (aspace, pt, pages, uffd, r)
     }
 
     #[test]
     fn mapped_page_no_fault() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
         pt.install(5);
         assert!(matches!(
-            r.resolve(5, &a, &mut pt, &mut c, &u, &fl),
+            r.resolve(5, &a, &mut pt, &mut c, &u),
             FaultOutcome::NoFault
         ));
     }
 
     #[test]
     fn anon_fault_resolves_and_installs() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
-        match r.resolve(7, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(7, &a, &mut pt, &mut c, &u) {
             FaultOutcome::Resolved {
                 kind: FaultKind::Anon,
                 cost,
@@ -509,7 +501,7 @@ mod tests {
 
     #[test]
     fn minor_fault_from_cache() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 100),
             Backing::File {
@@ -518,7 +510,7 @@ mod tests {
             },
         );
         c.insert(FileId(1), 10);
-        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(10, &a, &mut pt, &mut c, &u) {
             FaultOutcome::Resolved {
                 kind: FaultKind::Minor,
                 ..
@@ -530,7 +522,7 @@ mod tests {
 
     #[test]
     fn major_fault_plans_readahead_io() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 100),
             Backing::File {
@@ -538,7 +530,7 @@ mod tests {
                 offset_page: 0,
             },
         );
-        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(10, &a, &mut pt, &mut c, &u) {
             FaultOutcome::NeedsIo { io, overhead, .. } => {
                 assert_eq!(io.file, FileId(1));
                 assert_eq!(io.page, 10);
@@ -554,7 +546,7 @@ mod tests {
 
     #[test]
     fn major_window_clamped_to_vma() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 12),
             Backing::File {
@@ -562,7 +554,7 @@ mod tests {
                 offset_page: 0,
             },
         );
-        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(10, &a, &mut pt, &mut c, &u) {
             FaultOutcome::NeedsIo { io, .. } => assert_eq!(io.pages, 2),
             other => panic!("{other:?}"),
         }
@@ -570,7 +562,7 @@ mod tests {
 
     #[test]
     fn major_window_trimmed_at_cached_page() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 100),
             Backing::File {
@@ -579,7 +571,7 @@ mod tests {
             },
         );
         c.insert(FileId(1), 13);
-        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(10, &a, &mut pt, &mut c, &u) {
             FaultOutcome::NeedsIo { io, .. } => {
                 assert_eq!(io.pages, 3, "trim before cached page 13")
             }
@@ -589,7 +581,7 @@ mod tests {
 
     #[test]
     fn file_offset_translation_in_major() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(50, 60),
             Backing::File {
@@ -597,7 +589,7 @@ mod tests {
                 offset_page: 7,
             },
         );
-        match r.resolve(55, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(55, &a, &mut pt, &mut c, &u) {
             FaultOutcome::NeedsIo { io, .. } => {
                 assert_eq!(io.file, FileId(2));
                 assert_eq!(io.page, 12);
@@ -608,7 +600,7 @@ mod tests {
 
     #[test]
     fn sequential_majors_grow_window() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(1000);
+        let (mut a, mut pt, mut c, u, mut r) = setup(1000);
         a.map_fixed(
             PageRange::new(0, 1000),
             Backing::File {
@@ -618,7 +610,7 @@ mod tests {
         );
         let sizes: Vec<u64> = [0u64, 4, 12]
             .iter()
-            .map(|&p| match r.resolve(p, &a, &mut pt, &mut c, &u, &fl) {
+            .map(|&p| match r.resolve(p, &a, &mut pt, &mut c, &u) {
                 FaultOutcome::NeedsIo { io, .. } => io.pages,
                 other => panic!("{other:?}"),
             })
@@ -628,7 +620,7 @@ mod tests {
 
     #[test]
     fn uffd_fault_routed_to_user_space() {
-        let (mut a, mut pt, mut c, mut u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, mut u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 100),
             Backing::File {
@@ -637,7 +629,7 @@ mod tests {
             },
         );
         u.register(PageRange::new(0, 100));
-        match r.resolve(33, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(33, &a, &mut pt, &mut c, &u) {
             FaultOutcome::Userfault { file, file_page } => {
                 assert_eq!(file, FileId(1));
                 assert_eq!(file_page, 33);
@@ -648,7 +640,7 @@ mod tests {
 
     #[test]
     fn host_pte_fast_path_beats_uffd() {
-        let (mut a, mut pt, mut c, mut u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, mut u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 100),
             Backing::File {
@@ -658,7 +650,7 @@ mod tests {
         );
         u.register(PageRange::new(0, 100));
         pt.set_state(20, PageState::HostPte);
-        match r.resolve(20, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(20, &a, &mut pt, &mut c, &u) {
             FaultOutcome::Resolved {
                 kind: FaultKind::HostPte,
                 cost,
@@ -671,7 +663,7 @@ mod tests {
 
     #[test]
     fn inflight_read_blocks_instead_of_duplicating() {
-        let (mut a, mut pt, mut c, u, mut fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 100),
             Backing::File {
@@ -680,8 +672,8 @@ mod tests {
             },
         );
         let ready = sim_core::time::SimTime::from_nanos(50_000);
-        fl.insert_window(FileId(1), 8, 8, ready);
-        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+        c.insert_window(FileId(1), 8, 8, ready);
+        match r.resolve(10, &a, &mut pt, &mut c, &u) {
             FaultOutcome::WaitInflight { ready_at, cost } => {
                 assert_eq!(ready_at, ready);
                 assert!(cost.as_micros_f64() < 15.0);
@@ -690,7 +682,7 @@ mod tests {
         }
         // A page outside the window still plans its own IO.
         assert!(matches!(
-            r.resolve(40, &a, &mut pt, &mut c, &u, &fl),
+            r.resolve(40, &a, &mut pt, &mut c, &u),
             FaultOutcome::NeedsIo { .. }
         ));
     }
@@ -699,13 +691,13 @@ mod tests {
     fn delay_injection_inflates_costs_deterministically() {
         let extra = SimDuration::from_micros(250);
         let run = |armed: bool| {
-            let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+            let (mut a, mut pt, mut c, u, mut r) = setup(100);
             a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
             if armed {
                 r.set_delay_injection(7, 1.0, extra, 2);
             }
             let costs: Vec<SimDuration> = (0..4)
-                .map(|p| match r.resolve(p, &a, &mut pt, &mut c, &u, &fl) {
+                .map(|p| match r.resolve(p, &a, &mut pt, &mut c, &u) {
                     FaultOutcome::Resolved { cost, .. } => cost,
                     other => panic!("{other:?}"),
                 })
@@ -728,11 +720,11 @@ mod tests {
 
     #[test]
     fn delay_injection_zero_prob_never_fires() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(PageRange::new(0, 100), Backing::Anonymous);
         r.set_delay_injection(7, 0.0, SimDuration::from_micros(250), u64::MAX);
         for p in 0..50 {
-            r.resolve(p, &a, &mut pt, &mut c, &u, &fl);
+            r.resolve(p, &a, &mut pt, &mut c, &u);
         }
         assert_eq!(r.injected_delays(), 0);
         r.clear_delay_injection();
@@ -741,7 +733,7 @@ mod tests {
 
     #[test]
     fn self_profile_counts_resolutions() {
-        let (mut a, mut pt, mut c, u, fl, mut r) = setup(100);
+        let (mut a, mut pt, mut c, u, mut r) = setup(100);
         a.map_fixed(
             PageRange::new(0, 100),
             Backing::File {
@@ -753,13 +745,13 @@ mod tests {
         r.set_self_profile(prof.clone());
         // Major (plans a 4-page window), then the same page again → NoFault
         // after install, then a cached page → minor.
-        match r.resolve(10, &a, &mut pt, &mut c, &u, &fl) {
+        match r.resolve(10, &a, &mut pt, &mut c, &u) {
             FaultOutcome::NeedsIo { .. } => pt.install(10),
             other => panic!("{other:?}"),
         }
-        r.resolve(10, &a, &mut pt, &mut c, &u, &fl);
+        r.resolve(10, &a, &mut pt, &mut c, &u);
         c.insert(FileId(1), 50);
-        r.resolve(50, &a, &mut pt, &mut c, &u, &fl);
+        r.resolve(50, &a, &mut pt, &mut c, &u);
         assert_eq!(prof.counter("mm/resolve_calls"), 3);
         assert_eq!(prof.counter("mm/io_planned"), 1);
         assert_eq!(prof.counter("mm/readahead_pages"), 4);
@@ -771,7 +763,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unmapped page")]
     fn unmapped_fault_panics() {
-        let (a, mut pt, mut c, u, fl, mut r) = setup(100);
-        r.resolve(5, &a, &mut pt, &mut c, &u, &fl);
+        let (a, mut pt, mut c, u, mut r) = setup(100);
+        r.resolve(5, &a, &mut pt, &mut c, &u);
     }
 }

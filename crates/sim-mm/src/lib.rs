@@ -15,6 +15,10 @@
 //! - [`page_cache`] — the host page cache shared by all VMs: LRU, explicit
 //!   drop (the evaluation drops caches before each test), and warm-up for
 //!   the `Cached` reference setting.
+//! - [`share`] — snapshot-keyed shared page state: the cache and in-flight
+//!   registries bundled behind canonical content-addressed chunk identity,
+//!   so concurrent restores of snapshots sharing chunks (fork siblings)
+//!   share hits and deduplicate reads.
 //! - [`fault`] — classification and cost/IO planning for guest page faults
 //!   (anonymous zero-fill vs. minor vs. major vs. `userfaultfd`).
 //! - [`mincore`] — the `mincore(2)` model used by FaaSnap's host page
@@ -33,6 +37,7 @@ pub mod inflight;
 pub mod mincore;
 pub mod page_cache;
 pub mod page_table;
+pub mod share;
 pub mod userfaultfd;
 pub mod vma;
 
@@ -42,5 +47,6 @@ pub use fault::{FaultOutcome, FaultResolver};
 pub use inflight::InflightIo;
 pub use page_cache::PageCache;
 pub use page_table::{PageState, PageTable};
+pub use share::{ShareMap, SharedPages};
 pub use userfaultfd::UffdRegistry;
 pub use vma::{AddressSpace, Backing, Vma};

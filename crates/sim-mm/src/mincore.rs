@@ -14,8 +14,8 @@
 //! resident in the address space.
 
 use crate::addr::{PageNum, PageRange};
-use crate::page_cache::PageCache;
 use crate::page_table::{PageState, PageTable};
+use crate::share::SharedPages;
 use crate::vma::{AddressSpace, Resolved};
 
 /// Returns the in-core bitmap for `range` of the mapped guest region,
@@ -24,7 +24,7 @@ pub fn mincore(
     range: PageRange,
     aspace: &AddressSpace,
     pt: &PageTable,
-    cache: &PageCache,
+    cache: &SharedPages,
 ) -> Vec<bool> {
     range
         .iter()
@@ -37,7 +37,7 @@ pub fn page_in_core(
     page: PageNum,
     aspace: &AddressSpace,
     pt: &PageTable,
-    cache: &PageCache,
+    cache: &SharedPages,
 ) -> bool {
     match aspace.resolve(page) {
         Some(Resolved::File { file, file_page }) => cache.contains(file, file_page),
@@ -55,7 +55,7 @@ pub fn scan_new_pages(
     range: PageRange,
     aspace: &AddressSpace,
     pt: &PageTable,
-    cache: &PageCache,
+    cache: &SharedPages,
     already_seen: &mut [bool],
 ) -> Vec<PageNum> {
     assert_eq!(
@@ -79,7 +79,7 @@ mod tests {
     use crate::vma::Backing;
     use sim_storage::file::FileId;
 
-    fn world() -> (AddressSpace, PageTable, PageCache) {
+    fn world() -> (AddressSpace, PageTable, SharedPages) {
         let mut a = AddressSpace::new();
         a.map_fixed(
             PageRange::new(0, 50),
@@ -89,7 +89,7 @@ mod tests {
             },
         );
         a.map_fixed(PageRange::new(50, 100), Backing::Anonymous);
-        (a, PageTable::new(100), PageCache::new(1000))
+        (a, PageTable::new(100), SharedPages::new(1000))
     }
 
     #[test]

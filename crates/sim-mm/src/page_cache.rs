@@ -113,6 +113,14 @@ impl PageCache {
         self.resident.keys().filter(|(f, _)| *f == file).count() as u64
     }
 
+    /// Number of cached pages of `file` within `[start, start + len)`.
+    pub fn resident_in(&self, file: FileId, start: u64, len: u64) -> u64 {
+        self.resident
+            .keys()
+            .filter(|(f, p)| *f == file && (start..start + len).contains(p))
+            .count() as u64
+    }
+
     /// Drops every cached page of `file` (per-file cache drop).
     pub fn drop_file(&mut self, file: FileId) {
         self.resident.retain(|(f, _), _| *f != file);

@@ -78,6 +78,11 @@ impl ChunkedFile {
         self.extents.get(&idx).copied()
     }
 
+    /// All mapped `(chunk index, extent)` pairs in chunk order.
+    pub fn extents(&self) -> impl Iterator<Item = (u64, ChunkExtent)> + '_ {
+        self.extents.iter().map(|(&idx, &ext)| (idx, ext))
+    }
+
     /// Translates one logical request into physical per-chunk requests:
     /// split at chunk boundaries, offsets preserved within each chunk,
     /// holes (unmapped chunks) dropped. The accounting tag carries over so

@@ -19,7 +19,7 @@
 use sim_core::time::SimDuration;
 use sim_mm::addr::PageRange;
 
-use crate::guest_memory::GuestMemory;
+use crate::overlay::GuestMem;
 
 /// Guest-kernel model for one VM.
 #[derive(Clone, Debug)]
@@ -65,7 +65,7 @@ impl GuestKernel {
     /// With it off, stale contents remain (and would be captured by a
     /// snapshot, inflating the non-zero set — exactly the behavior FaaSnap
     /// fixes).
-    pub fn free_pages(&mut self, mem: &mut GuestMemory, range: PageRange) -> SimDuration {
+    pub fn free_pages<M: GuestMem>(&mut self, mem: &mut M, range: PageRange) -> SimDuration {
         self.pages_freed += range.len();
         if self.sanitize_freed {
             mem.zero_range(range);
@@ -90,6 +90,7 @@ impl GuestKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guest_memory::GuestMemory;
 
     #[test]
     fn sanitize_zeroes_and_costs() {

@@ -1,0 +1,274 @@
+//! Copy-on-write guest-memory overlays for snapshot branching.
+//!
+//! When N siblings are forked from one snapshot, they share the frozen
+//! base image read-only and each accumulates *private* dirty pages in an
+//! anonymous overlay — the MAP_PRIVATE semantics of mapping the snapshot
+//! memory file. [`CowMemory`] models exactly that: reads fall through to
+//! the shared base unless the sibling has written the page; writes always
+//! land in the overlay and are invisible to every other sibling.
+//!
+//! [`VmMemory`] lets the runtime hold either a flat, exclusively-owned
+//! [`GuestMemory`] (the ordinary restore path) or a COW overlay (a fork
+//! sibling) behind one type, and [`GuestMem`] is the access surface the
+//! guest kernel and vCPU need, implemented by all three.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use sim_mm::addr::{PageNum, PageRange};
+
+use crate::guest_memory::GuestMemory;
+
+/// The guest-physical access surface: what the vCPU and guest kernel
+/// need from memory, regardless of whether it is flat or overlaid.
+pub trait GuestMem {
+    /// Total guest physical pages.
+    fn total_pages(&self) -> u64;
+    /// Reads a page's content token (0 for zero pages).
+    fn read(&self, page: PageNum) -> u64;
+    /// Writes a content token; a zero token makes the page a zero page.
+    fn write(&mut self, page: PageNum, token: u64);
+    /// Zeroes every page in `range` (freed-page sanitization).
+    fn zero_range(&mut self, range: PageRange);
+}
+
+impl GuestMem for GuestMemory {
+    fn total_pages(&self) -> u64 {
+        GuestMemory::total_pages(self)
+    }
+    fn read(&self, page: PageNum) -> u64 {
+        GuestMemory::read(self, page)
+    }
+    fn write(&mut self, page: PageNum, token: u64) {
+        GuestMemory::write(self, page, token)
+    }
+    fn zero_range(&mut self, range: PageRange) {
+        GuestMemory::zero_range(self, range)
+    }
+}
+
+/// Copy-on-write view over a shared base image.
+///
+/// The overlay maps dirtied pages to their private tokens; a stored 0 is
+/// a tombstone (the sibling zeroed a page that is non-zero in the base).
+/// Pages absent from the overlay read through to the base.
+#[derive(Clone, Debug)]
+pub struct CowMemory {
+    base: Rc<GuestMemory>,
+    overlay: BTreeMap<PageNum, u64>,
+}
+
+impl CowMemory {
+    /// A fresh overlay over `base` with no private pages.
+    pub fn new(base: Rc<GuestMemory>) -> Self {
+        CowMemory {
+            base,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    /// The shared base image (for fork trees and sharing assertions).
+    pub fn base(&self) -> &Rc<GuestMemory> {
+        &self.base
+    }
+
+    /// Number of private (copied-on-write) pages in this overlay.
+    pub fn private_pages(&self) -> u64 {
+        self.overlay.len() as u64
+    }
+
+    /// Branches a child overlay: shares this overlay's base and starts
+    /// from a copy of the current private pages (fork-of-fork).
+    pub fn fork(&self) -> CowMemory {
+        self.clone()
+    }
+
+    /// Flattens the overlay onto a copy of the base, producing the
+    /// sibling's logical memory image.
+    pub fn materialize(&self) -> GuestMemory {
+        let mut mem = (*self.base).clone();
+        for (&p, &token) in &self.overlay {
+            mem.write(p, token);
+        }
+        mem
+    }
+
+    /// Checksum of the materialized image (matches
+    /// [`GuestMemory::checksum`] of an equal flat memory).
+    pub fn checksum(&self) -> u64 {
+        self.materialize().checksum()
+    }
+}
+
+impl GuestMem for CowMemory {
+    fn total_pages(&self) -> u64 {
+        self.base.total_pages()
+    }
+    fn read(&self, page: PageNum) -> u64 {
+        assert!(page < self.total_pages(), "page {page} out of range");
+        self.overlay
+            .get(&page)
+            .copied()
+            .unwrap_or_else(|| self.base.read(page))
+    }
+    fn write(&mut self, page: PageNum, token: u64) {
+        assert!(page < self.total_pages(), "page {page} out of range");
+        self.overlay.insert(page, token);
+    }
+    fn zero_range(&mut self, range: PageRange) {
+        for p in range.iter() {
+            if self.base.is_nonzero(p) {
+                self.overlay.insert(p, 0);
+            } else {
+                // Base page is already zero: dropping any private copy
+                // restores the shared zero page (the guest returned it).
+                self.overlay.remove(&p);
+            }
+        }
+    }
+}
+
+/// A VM's memory: flat and exclusively owned (ordinary restore) or a COW
+/// overlay over a shared base (fork sibling).
+#[derive(Clone, Debug)]
+pub enum VmMemory {
+    /// Exclusively owned flat image.
+    Flat(GuestMemory),
+    /// Copy-on-write overlay over a base shared with sibling VMs.
+    Cow(CowMemory),
+}
+
+impl VmMemory {
+    /// Private pages: everything for a flat image, overlay size for COW.
+    pub fn private_pages(&self) -> u64 {
+        match self {
+            VmMemory::Flat(m) => m.nonzero_count(),
+            VmMemory::Cow(c) => c.private_pages(),
+        }
+    }
+
+    /// Flattens into an owned [`GuestMemory`] (identity for `Flat`).
+    pub fn into_guest_memory(self) -> GuestMemory {
+        match self {
+            VmMemory::Flat(m) => m,
+            VmMemory::Cow(c) => c.materialize(),
+        }
+    }
+}
+
+impl GuestMem for VmMemory {
+    fn total_pages(&self) -> u64 {
+        match self {
+            VmMemory::Flat(m) => m.total_pages(),
+            VmMemory::Cow(c) => c.total_pages(),
+        }
+    }
+    fn read(&self, page: PageNum) -> u64 {
+        match self {
+            VmMemory::Flat(m) => m.read(page),
+            VmMemory::Cow(c) => c.read(page),
+        }
+    }
+    fn write(&mut self, page: PageNum, token: u64) {
+        match self {
+            VmMemory::Flat(m) => m.write(page, token),
+            VmMemory::Cow(c) => c.write(page, token),
+        }
+    }
+    fn zero_range(&mut self, range: PageRange) {
+        match self {
+            VmMemory::Flat(m) => m.zero_range(range),
+            VmMemory::Cow(c) => c.zero_range(range),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Rc<GuestMemory> {
+        let mut m = GuestMemory::new(64);
+        for p in 10..20 {
+            m.write(p, p * 100);
+        }
+        Rc::new(m)
+    }
+
+    #[test]
+    fn reads_fall_through_to_base() {
+        let c = CowMemory::new(base());
+        assert_eq!(c.read(12), 1200);
+        assert_eq!(c.read(0), 0);
+        assert_eq!(c.private_pages(), 0);
+    }
+
+    #[test]
+    fn writes_are_private_to_the_overlay() {
+        let b = base();
+        let mut s1 = CowMemory::new(b.clone());
+        let mut s2 = CowMemory::new(b.clone());
+        s1.write(12, 7);
+        s2.write(12, 8);
+        assert_eq!(s1.read(12), 7);
+        assert_eq!(s2.read(12), 8);
+        assert_eq!(b.read(12), 1200, "base untouched");
+        assert_eq!(s1.private_pages(), 1);
+    }
+
+    #[test]
+    fn zero_range_tombstones_base_pages_only() {
+        let mut c = CowMemory::new(base());
+        c.write(3, 5); // private page over a zero base page
+        c.zero_range(PageRange::new(0, 16));
+        assert_eq!(c.read(12), 0, "base non-zero page tombstoned");
+        assert_eq!(c.read(3), 0, "private copy dropped");
+        // Tombstones only where the base is non-zero: pages 10..16.
+        assert_eq!(c.private_pages(), 6);
+        assert_eq!(c.read(18), 1800, "outside the range untouched");
+    }
+
+    #[test]
+    fn materialize_matches_flat_replay() {
+        let b = base();
+        let mut cow = CowMemory::new(b.clone());
+        let mut flat = (*b).clone();
+        for (p, t) in [(12, 7), (30, 9), (15, 0)] {
+            cow.write(p, t);
+            flat.write(p, t);
+        }
+        cow.zero_range(PageRange::new(18, 22));
+        flat.zero_range(PageRange::new(18, 22));
+        assert_eq!(cow.materialize(), flat);
+        assert_eq!(cow.checksum(), flat.checksum());
+    }
+
+    #[test]
+    fn fork_of_fork_shares_one_base() {
+        let b = base();
+        let mut parent = CowMemory::new(b.clone());
+        parent.write(12, 7);
+        let mut child = parent.fork();
+        child.write(13, 8);
+        assert_eq!(child.read(12), 7, "inherits parent's private page");
+        assert_eq!(parent.read(13), 1300, "parent blind to child writes");
+        assert!(Rc::ptr_eq(parent.base(), child.base()));
+        assert_eq!(Rc::strong_count(&b), 3);
+    }
+
+    #[test]
+    fn vm_memory_round_trips() {
+        let flat = VmMemory::Flat((*base()).clone());
+        let cow = VmMemory::Cow(CowMemory::new(base()));
+        assert_eq!(
+            flat.into_guest_memory().checksum(),
+            cow.into_guest_memory().checksum()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cow_out_of_range_read_panics() {
+        CowMemory::new(base()).read(64);
+    }
+}

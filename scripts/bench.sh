@@ -90,6 +90,9 @@ for _ in $(seq "$MEDIAN_RUNS"); do
     time_driver invoke_hello_faasnap 1 "$FD" invoke hello-world
     time_driver invoke_json_reap 1 "$FD" invoke json --strategy reap
     time_driver burst_json_x8 1 "$FD" burst json --parallelism 8
+    # Snapshot branching: 100 sibling restores from one snapshot —
+    # tracks the shared-fault-path cost (cache + in-flight dedup + COW).
+    time_driver fork_fanout_x100 1 "$FD" invoke json --fork 100
     time_driver cluster_smoke "$SMOKE_REPEAT" "$FD" cluster --smoke --policy snapshot-locality \
         --seed "$SEED" --repeat "$SMOKE_REPEAT"
     time_driver cluster_smoke_dedup_off "$SMOKE_REPEAT" "$FD" cluster --smoke \

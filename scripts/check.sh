@@ -55,8 +55,12 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --profile-out "$OBS_TMP/invoke_profile.folded" >/dev/null
 ./target/release/faasnapd cluster --smoke --policy snapshot-locality --seed 42 \
     --metrics-out "$OBS_TMP/cluster_metrics.prom" > "$OBS_TMP/cluster_fleet.json"
+# Snapshot branching: the fixed fork_smoke fleet must branch the same
+# requests and save the same disk bytes on every machine.
+./target/release/faasnapd cluster --smoke --branch --policy snapshot-locality --seed 42 \
+    > "$OBS_TMP/fork_fleet.json"
 for artifact in invoke_trace.json invoke_metrics.prom invoke_profile.folded \
-    cluster_metrics.prom cluster_fleet.json; do
+    cluster_metrics.prom cluster_fleet.json fork_fleet.json; do
     diff -u "tests/golden/$artifact" "$OBS_TMP/$artifact" \
         || { echo "CLI $artifact drifted from tests/golden/$artifact"; exit 1; }
 done

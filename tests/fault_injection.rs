@@ -546,3 +546,95 @@ fn shrinking_over_seeds_finds_minimal_schedules() {
         }
     }
 }
+
+#[test]
+fn concurrent_sibling_faults_share_one_disk_read_stream() {
+    // Eight siblings demand-page the same snapshot concurrently. A
+    // sibling faulting on a page another sibling is already reading
+    // waits on that one in-flight read instead of issuing its own, and
+    // later faults hit the cache the earlier reads loaded — so the
+    // branched burst must not read more pages than a single restore.
+    let mut p = recorded_platform("json", 0xFA17);
+    let f = faas_workloads::by_name("json").unwrap();
+    let solo = p
+        .fork("json", "t", &f.input_b(), RestoreStrategy::Vanilla, 1)
+        .unwrap();
+    let branched = p
+        .fork("json", "t", &f.input_b(), RestoreStrategy::Vanilla, 8)
+        .unwrap();
+    assert!(
+        branched.disk_read_pages <= solo.disk_read_pages,
+        "8 siblings read {} pages, one restore reads {}",
+        branched.disk_read_pages,
+        solo.disk_read_pages
+    );
+    // Sharing the read stream never shares dirty state: every sibling
+    // still ends with exactly the bytes an independent restore yields.
+    let independent = solo.outcomes[0].final_memory.checksum();
+    for (i, o) in branched.outcomes.iter().enumerate() {
+        assert_eq!(
+            o.final_memory.checksum(),
+            independent,
+            "sibling {i} diverged from the independent restore"
+        );
+    }
+}
+
+#[test]
+fn injected_error_on_shared_read_heals_for_every_waiting_sibling() {
+    // A bounded schedule (two read errors, under every retry budget)
+    // against a 4-way fork: the retried read must heal for *all*
+    // waiters — every sibling finishes with the snapshot's bytes and
+    // the injection log agrees the schedule fired.
+    let mut p = recorded_platform("json", 0xFA17);
+    let f = faas_workloads::by_name("json").unwrap();
+    let clean = p
+        .invoke("json", "t", &f.input_b(), RestoreStrategy::Warm)
+        .unwrap()
+        .final_memory
+        .checksum();
+    let mut plan = FaultPlan::new(9);
+    plan.push_rule(FaultRule::on_kind(
+        IoKind::FaultRead,
+        InjectedFaultKind::ReadError,
+        2,
+    ));
+    p.inject_storage_faults(plan);
+    let branched = p
+        .fork("json", "t", &f.input_b(), RestoreStrategy::Vanilla, 4)
+        .unwrap();
+    let plan = p.clear_storage_faults().unwrap();
+    assert_eq!(plan.injected(), 2, "the schedule never fired");
+    for (i, o) in branched.outcomes.iter().enumerate() {
+        assert_eq!(
+            o.final_memory.checksum(),
+            clean,
+            "sibling {i} corrupted by a healed read fault"
+        );
+    }
+}
+
+#[test]
+fn exhausted_retries_fail_the_whole_fork_closed_and_deterministically() {
+    // Every read failing forever: the fork must surface one typed
+    // error — no sibling half-completes — and the same seed must
+    // produce the identical error, byte for byte.
+    let run = || {
+        let mut p = recorded_platform("json", 0xFA17);
+        let f = faas_workloads::by_name("json").unwrap();
+        let mut plan = FaultPlan::new(3);
+        plan.push_rule(FaultRule::any(InjectedFaultKind::ReadError, u64::MAX));
+        p.inject_storage_faults(plan);
+        let err = p
+            .try_fork("json", "t", &f.input_b(), RestoreStrategy::Vanilla, 4)
+            .expect_err("every read failing forever must fail the fork");
+        match &err {
+            InvokeError::Restore(RestoreError::ReadRetriesExhausted { site, .. }) => {
+                assert_eq!(*site, RetrySite::GuestFault);
+            }
+            other => panic!("expected ReadRetriesExhausted, got {other:?}"),
+        }
+        format!("{err:?}")
+    };
+    assert_eq!(run(), run(), "fork failure is not deterministic");
+}

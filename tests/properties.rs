@@ -9,6 +9,7 @@ use sim_mm::addr::{normalize, PageRange};
 use sim_mm::vma::{AddressSpace, Backing, Resolved};
 use sim_storage::file::FileId;
 use sim_vm::guest_memory::GuestMemory;
+use sim_vm::{CowMemory, GuestMem};
 
 /// A small arbitrary set of distinct pages below `max`.
 fn arb_pages(max: u64) -> impl Strategy<Value = Vec<u64>> {
@@ -264,6 +265,83 @@ proptest! {
             for p in r.iter() {
                 prop_assert!(mem.is_nonzero(p));
             }
+        }
+    }
+}
+
+proptest! {
+    /// COW overlay conservation over random fork trees. N siblings'
+    /// N× logical pages are physically backed by exactly one shared
+    /// base plus each sibling's private overlay, and the accounting is
+    /// exact: every sibling's `private_pages()` equals an independent
+    /// replay model of its own write history (the inherited prefix
+    /// included), while the base never changes. Because each sibling's
+    /// materialized image equals its own replay, no sibling ever
+    /// observes another's dirty write.
+    #[test]
+    fn cow_fork_tree_conservation_and_isolation(
+        base_pages in arb_pages(200),
+        // Each op: (kind, sibling selector, page, token). kind % 4 == 0
+        // forks a new sibling off an existing one; anything else writes
+        // the token (0 = zero the page) to a page of an existing
+        // sibling.
+        ops in proptest::collection::vec((0u8..8, 0usize..64, 0u64..200, 0u64..40), 1..160)
+    ) {
+        let mut base = GuestMemory::new(200);
+        for &p in &base_pages {
+            base.write(p, p * 7 + 1);
+        }
+        let base_sum = base.checksum();
+        let base = std::rc::Rc::new(base);
+        let mut siblings = vec![CowMemory::new(base.clone())];
+        // The replay model: per sibling, the overlay an independent
+        // bookkeeper expects — write inserts, zero over a non-zero base
+        // page tombstones, zero over a zero base page erases.
+        let mut model: Vec<std::collections::BTreeMap<u64, u64>> = vec![Default::default()];
+        for (kind, sel, page, token) in ops {
+            let i = sel % siblings.len();
+            if kind % 4 == 0 && siblings.len() < 8 {
+                siblings.push(siblings[i].fork());
+                model.push(model[i].clone());
+            } else if token == 0 {
+                siblings[i].zero_range(PageRange::new(page, page + 1));
+                if base.is_nonzero(page) {
+                    model[i].insert(page, 0);
+                } else {
+                    model[i].remove(&page);
+                }
+            } else {
+                siblings[i].write(page, token);
+                model[i].insert(page, token);
+            }
+        }
+        // Physical sharing: every sibling holds the one base (plus our
+        // local handle), never a copy.
+        prop_assert_eq!(
+            std::rc::Rc::strong_count(&base),
+            siblings.len() + 1,
+            "fork tree must share a single base image"
+        );
+        prop_assert_eq!(base.checksum(), base_sum, "base mutated by a sibling");
+        // Conservation: shared + Σ private == base pages + exactly the
+        // distinct pages each sibling dirtied, nothing double-counted.
+        let shared = base.nonzero_count();
+        let private: u64 = siblings.iter().map(CowMemory::private_pages).sum();
+        let expected_private: u64 = model.iter().map(|m| m.len() as u64).sum();
+        prop_assert_eq!(private, expected_private);
+        prop_assert_eq!(shared + private, base.nonzero_count() + expected_private);
+        // Isolation: each sibling materializes to its own replay.
+        for (i, (sib, m)) in siblings.iter().zip(&model).enumerate() {
+            let mut expect = (*base).clone();
+            for (&p, &t) in m {
+                expect.write(p, t);
+            }
+            prop_assert_eq!(
+                sib.materialize(),
+                expect,
+                "sibling {} observed foreign dirty state",
+                i
+            );
         }
     }
 }

@@ -12,6 +12,7 @@
 
 use faasnap::strategy::{FaasnapConfig, RestoreStrategy};
 use faasnap_daemon::platform::Platform;
+use faasnap_obs::{chrome_trace_json, Metrics, Tracer};
 use sim_storage::profiles::DiskProfile;
 
 /// Every strategy plus the full Figure 9 ablation lattice: all valid
@@ -118,5 +119,47 @@ fn writes_overwrite_snapshot_state() {
             "{}: invocation must mutate guest memory",
             s.label()
         );
+    }
+}
+
+/// One fully observed run on a fresh platform: the Chrome trace, the
+/// Prometheus snapshot, and the final guest-memory checksum. `fork_path`
+/// routes through the branching entry point with N = 1 instead of the
+/// independent-restore entry point.
+fn traced_artifacts(fork_path: bool, strategy: RestoreStrategy) -> (String, String, u64) {
+    let mut p = Platform::new(DiskProfile::nvme_c5d(), 0xC0FFEE);
+    let f = faas_workloads::by_name("json").unwrap();
+    p.register(f.clone());
+    p.record("json", "t", &f.input_a()).unwrap();
+    let tracer = Tracer::enabled();
+    let metrics = Metrics::enabled();
+    p.set_tracer(tracer.clone());
+    p.set_metrics(metrics.clone());
+    let checksum = if fork_path {
+        let out = p.fork("json", "t", &f.input_b(), strategy, 1).unwrap();
+        out.outcomes[0].final_memory.checksum()
+    } else {
+        let out = p.invoke("json", "t", &f.input_b(), strategy).unwrap();
+        out.final_memory.checksum()
+    };
+    (
+        chrome_trace_json(&tracer),
+        metrics.render_prometheus(),
+        checksum,
+    )
+}
+
+#[test]
+fn fork_of_one_is_byte_identical_to_independent_restore() {
+    // The differential fork harness at its base case: branching one
+    // sibling must be indistinguishable — trace, metrics, and guest
+    // memory, byte for byte — from not branching at all, under every
+    // strategy including the full ablation lattice.
+    for s in all_strategies() {
+        let solo = traced_artifacts(false, s);
+        let fork = traced_artifacts(true, s);
+        assert_eq!(solo.0, fork.0, "{}: trace diverged", s.label());
+        assert_eq!(solo.1, fork.1, "{}: metrics diverged", s.label());
+        assert_eq!(solo.2, fork.2, "{}: final memory diverged", s.label());
     }
 }
